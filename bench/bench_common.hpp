@@ -1,0 +1,141 @@
+// Shared utilities for the figure/table reproduction benches.
+//
+// Every bench binary follows the same shape: build a scenario (the
+// workload mix of one paper experiment), simulate it, run SDchecker over
+// the produced logs, print the figure's rows/series in text form, and
+// finally hand control to google-benchmark for the timed kernels (mining
+// throughput etc.).  Absolute values come from calibrated models; the
+// *shape* (who wins, by what factor, where crossovers fall) is the
+// reproduction target — see EXPERIMENTS.md.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "harness/scenario.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "trace/submission_trace.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc::benchutil {
+
+struct RunOutput {
+  harness::ScenarioResult sim;
+  checker::AnalysisResult analysis;
+};
+
+/// Simulates the scenario and mines its logs.
+inline RunOutput run_and_analyze(const harness::ScenarioConfig& config,
+                                 std::size_t mine_threads = 2) {
+  RunOutput out;
+  out.sim = harness::run_scenario(config);
+  out.analysis =
+      checker::SdChecker({.threads = mine_threads}).analyze(out.sim.logs);
+  return out;
+}
+
+/// Adds `count` TPC-H queries from the bursty trace generator.
+inline void add_tpch_trace(harness::ScenarioConfig& config, std::int32_t count,
+                           double input_mb, std::int32_t executors,
+                           SimTime start = seconds(5),
+                           SimDuration mean_gap = seconds(4)) {
+  trace::TraceConfig trace_config;
+  trace_config.count = count;
+  trace_config.mean_interarrival = mean_gap;
+  trace_config.start = start;
+  trace_config.seed = config.seed + 1;
+  for (const auto& submission : trace::generate_trace(trace_config)) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = submission.at;
+    plan.app = workloads::make_tpch_query(
+        1 + submission.workload_index % workloads::kTpchQueryCount, input_mb,
+        executors);
+    config.spark_jobs.push_back(std::move(plan));
+  }
+}
+
+/// Job runtimes (submission -> completion) in seconds, from ground truth.
+inline SampleSet job_runtimes(const harness::ScenarioResult& sim) {
+  SampleSet out;
+  for (const auto& job : sim.jobs) {
+    if (job.finished_at != kNoTime && job.submitted_at != kNoTime) {
+      out.add(to_seconds(job.finished_at - job.submitted_at));
+    }
+  }
+  return out;
+}
+
+/// Ratios of per-app SDchecker metrics: `num(app)/den(app)` for every app
+/// where both are present.
+template <typename NumFn, typename DenFn>
+SampleSet ratio_samples(const checker::AnalysisResult& analysis,
+                        const harness::ScenarioResult& sim, NumFn num,
+                        DenFn den) {
+  SampleSet out;
+  for (const auto& job : sim.jobs) {
+    const auto it = analysis.delays.find(job.app);
+    if (it == analysis.delays.end()) continue;
+    const auto n = num(it->second, job);
+    const auto d = den(it->second, job);
+    if (n && d && *d > 0) out.add(*n / *d);
+  }
+  return out;
+}
+
+// --- printing ---------------------------------------------------------------
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("    (reproduces %s)\n\n", paper_ref.c_str());
+}
+
+/// One distribution row: label | n | median | p95 | mean | stddev.
+inline void print_dist_row(const std::string& label, const SampleSet& set,
+                           const char* unit = "s") {
+  if (set.empty()) {
+    std::printf("  %-22s        (no samples)\n", label.c_str());
+    return;
+  }
+  std::printf("  %-22s n=%-6zu median=%8.3f%s  p95=%8.3f%s  mean=%8.3f%s  "
+              "std=%7.3f%s\n",
+              label.c_str(), set.size(), set.median(), unit, set.p95(), unit,
+              set.mean(), unit, set.stddev(), unit);
+}
+
+/// Compact CDF series (the paper's figures are CDF plots).
+inline void print_cdf(const std::string& label, const SampleSet& set,
+                      const char* unit = "s") {
+  if (set.empty()) {
+    std::printf("  CDF %-18s (no samples)\n", label.c_str());
+    return;
+  }
+  std::printf("  CDF %-18s", label.c_str());
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    std::printf(" p%.0f=%.2f%s", p, set.percentile(p), unit);
+  }
+  std::printf("\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("  note: %s\n", note.c_str());
+}
+
+/// Standard tail for every bench binary: print tables first, then run the
+/// registered google-benchmark kernels.
+inline int bench_main(int argc, char** argv, void (*experiment)()) {
+  experiment();
+  std::printf("\n--- timed kernels (google-benchmark) ---\n");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace sdc::benchutil

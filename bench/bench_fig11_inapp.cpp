@@ -1,0 +1,107 @@
+// E10/E11 — Figure 11: in-application delay anatomy.
+//
+//   (a) driver delay and executor delay for Spark wordcount vs Spark-SQL:
+//       driver delays are nearly identical (~3 s — same SparkContext
+//       code), executor delay is much longer for SQL (p95 9.5 s vs
+//       6.0 s) because 8 TPC-H tables are opened (one RDD + broadcast
+//       each) on the scheduling critical path.
+//   (b) executor delay vs the number of opened files: opt (parallel init
+//       via Scala Futures), x1 (8 files), x2 (16), x4 (32).  The
+//       optimization buys ~2 s at the tail over x1.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sdc;
+
+harness::ScenarioConfig trace_for(const spark::SparkAppConfig& prototype,
+                                  std::uint64_t seed, int jobs = 70) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = seed;
+  trace::TraceConfig trace_config;
+  trace_config.count = jobs;
+  trace_config.mean_interarrival = seconds(6);
+  trace_config.seed = seed + 1;
+  for (const auto& submission : trace::generate_trace(trace_config)) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = submission.at;
+    plan.app = prototype;
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  return scenario;
+}
+
+void part_a() {
+  std::printf("  (a) wordcount vs Spark-SQL [paper: driver ~3s both; "
+              "executor p95 6.0s (wc) vs 9.5s (sql)]\n");
+  const auto wc_out =
+      benchutil::run_and_analyze(trace_for(workloads::make_spark_wordcount(2048, 4), 100));
+  const auto sql_out =
+      benchutil::run_and_analyze(trace_for(workloads::make_tpch_query(7, 2048, 4), 101));
+  benchutil::print_dist_row("wc driver", wc_out.analysis.aggregate.driver);
+  benchutil::print_dist_row("sql driver", sql_out.analysis.aggregate.driver);
+  benchutil::print_dist_row("wc executor", wc_out.analysis.aggregate.executor);
+  benchutil::print_dist_row("sql executor", sql_out.analysis.aggregate.executor);
+  std::printf("      driver medians differ by %.0fms; executor p95 gap = "
+              "%.1fs\n",
+              std::abs(wc_out.analysis.aggregate.driver.median() -
+                       sql_out.analysis.aggregate.driver.median()) *
+                  1000,
+              sql_out.analysis.aggregate.executor.p95() -
+                  wc_out.analysis.aggregate.executor.p95());
+}
+
+void part_b() {
+  std::printf("\n  (b) executor delay vs opened files [paper: more files -> "
+              "longer; opt saves ~2s at the tail vs x1]\n");
+  struct Variant {
+    const char* label;
+    std::int32_t files;
+    bool parallel;
+  };
+  const Variant variants[] = {
+      {"opt (8 files, parallel)", 8, true},
+      {"x1  (8 files)", 8, false},
+      {"x2  (16 files)", 16, false},
+      {"x4  (32 files)", 32, false},
+  };
+  SampleSet opt_exec;
+  SampleSet x1_exec;
+  for (const Variant& variant : variants) {
+    spark::SparkAppConfig app = workloads::make_tpch_query(7, 2048, 4);
+    app.files_opened = variant.files;
+    app.parallel_init = variant.parallel;
+    const auto out = benchutil::run_and_analyze(trace_for(app, 102));
+    benchutil::print_dist_row(variant.label, out.analysis.aggregate.executor);
+    if (variant.parallel) opt_exec = out.analysis.aggregate.executor;
+    if (!variant.parallel && variant.files == 8)
+      x1_exec = out.analysis.aggregate.executor;
+  }
+  std::printf("      opt tail saving vs x1: %.1fs at p95\n",
+              x1_exec.p95() - opt_exec.p95());
+}
+
+void experiment() {
+  benchutil::print_header("Figure 11: in-application delay",
+                          "paper Fig. 11 (a)-(b), §IV-D");
+  part_a();
+  part_b();
+}
+
+void BM_UserInitModel(benchmark::State& state) {
+  spark::SparkCostModel model;
+  cluster::InterferenceModel idle;
+  Rng rng(1);
+  const bool parallel = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.user_init(
+        static_cast<std::int32_t>(state.range(0)), parallel, idle, rng));
+  }
+}
+BENCHMARK(BM_UserInitModel)->Args({8, 0})->Args({8, 1})->Args({32, 0});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdc::benchutil::bench_main(argc, argv, experiment);
+}

@@ -1,0 +1,123 @@
+// E12 — Figure 12: impact of I/O interference (dfsIO writers).
+//
+// Paper, at 100 interfering maps (each writing 20 GB to HDFS):
+//   (a) total delay p95 degraded ~3.9x; both in and out suffer
+//   (b) localization delay: ~9.4x median / ~7x tail slowdown
+//   (c) executor delay: 2.5-3.5x, with a much more scattered distribution
+//   (d) AM delay: up to ~8x (the driver localizes too, so the total
+//       pipeline pays the interference twice)
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sdc;
+
+struct Row {
+  int maps;
+  SampleSet total, in_app, out_app, localization, executor, am;
+};
+
+Row run_with_interference(int maps) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 120;
+  if (maps > 0) {
+    harness::MrSubmissionPlan dfsio;
+    dfsio.at = 0;
+    dfsio.app = workloads::make_dfsio(maps, seconds(700));
+    scenario.mr_jobs.push_back(std::move(dfsio));
+  }
+  benchutil::add_tpch_trace(scenario, 60, 2048, 4, seconds(40), seconds(8));
+  scenario.extra_horizon = seconds(8 * 3600);
+  const auto out = benchutil::run_and_analyze(scenario);
+  Row row;
+  row.maps = maps;
+  // Restrict to the SQL victims (exclude the dfsIO app itself).
+  for (const auto& job : out.sim.jobs) {
+    if (job.kind != spark::AppKind::kSparkSql) continue;
+    const auto it = out.analysis.delays.find(job.app);
+    if (it == out.analysis.delays.end()) continue;
+    const checker::Delays& d = it->second;
+    const auto push = [](SampleSet& set, const std::optional<std::int64_t>& v) {
+      if (v) set.add(static_cast<double>(*v) / 1000.0);
+    };
+    push(row.total, d.total);
+    push(row.in_app, d.in_app);
+    push(row.out_app, d.out_app);
+    push(row.executor, d.executor);
+    push(row.am, d.am);
+    for (const std::int64_t loc : d.worker_localizations()) {
+      row.localization.add(static_cast<double>(loc) / 1000.0);
+    }
+  }
+  return row;
+}
+
+void experiment() {
+  benchutil::print_header("Figure 12: I/O interference (dfsIO maps)",
+                          "paper Fig. 12 (a)-(d), §IV-E");
+  std::vector<Row> rows;
+  for (const int maps : {0, 20, 50, 100}) rows.push_back(run_with_interference(maps));
+  const Row& base = rows.front();
+  const Row& worst = rows.back();
+
+  std::printf("  (a) default vs 100-interference [paper: total p95 ~3.9x; "
+              "in and out both degrade]\n");
+  benchutil::print_cdf("total default", base.total);
+  benchutil::print_cdf("total 100-intf", worst.total);
+  std::printf("      p95 slowdown: total %.1fx, in %.1fx, out %.1fx\n",
+              worst.total.p95() / base.total.p95(),
+              worst.in_app.p95() / base.in_app.p95(),
+              worst.out_app.p95() / base.out_app.p95());
+
+  std::printf("\n  (b) localization delay vs degree [paper @100: ~9.4x "
+              "median, ~7x tail]\n");
+  for (const Row& row : rows) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d maps", row.maps);
+    benchutil::print_dist_row(label, row.localization);
+  }
+  std::printf("      @100 maps: median %.1fx, p95 %.1fx vs default\n",
+              worst.localization.median() / base.localization.median(),
+              worst.localization.p95() / base.localization.p95());
+
+  std::printf("\n  (c) executor delay vs degree [paper @100: 2.5-3.5x, "
+              "more scattered]\n");
+  for (const Row& row : rows) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d maps", row.maps);
+    benchutil::print_dist_row(label, row.executor);
+  }
+  std::printf("      @100 maps: median %.1fx, stddev %.1fx vs default\n",
+              worst.executor.median() / base.executor.median(),
+              worst.executor.stddev() / base.executor.stddev());
+
+  std::printf("\n  (d) AM delay vs degree [paper @100: up to ~8x — the "
+              "driver localization pays the interference too]\n");
+  for (const Row& row : rows) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d maps", row.maps);
+    benchutil::print_dist_row(label, row.am);
+  }
+}
+
+void BM_InterferedScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ScenarioConfig scenario;
+    scenario.seed = 121;
+    harness::MrSubmissionPlan dfsio;
+    dfsio.at = 0;
+    dfsio.app = workloads::make_dfsio(static_cast<std::int32_t>(state.range(0)),
+                                      seconds(60));
+    scenario.mr_jobs.push_back(std::move(dfsio));
+    benchutil::add_tpch_trace(scenario, 4, 2048, 4, seconds(10));
+    scenario.extra_horizon = seconds(3600);
+    benchmark::DoNotOptimize(harness::run_scenario(scenario).jobs.size());
+  }
+}
+BENCHMARK(BM_InterferedScenario)->Arg(0)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdc::benchutil::bench_main(argc, argv, experiment);
+}

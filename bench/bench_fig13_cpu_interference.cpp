@@ -1,0 +1,123 @@
+// E13 — Figure 13: impact of CPU interference (parallel Kmeans apps).
+//
+// Paper, at 16 Kmeans applications (4 executors x 16 vcores each):
+//   (a) total delay p95 ~1.6x; unlike I/O interference, only the
+//       in-application delay is severely affected
+//   (b) executor delay up to ~2.4x
+//   (c) driver delay up to ~2.9x
+//   (d) localization only moderately affected (~1.4x median): the
+//       NameNode RPC is CPU-bound but the transfer is I/O-dominated
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sdc;
+
+struct Row {
+  int apps;
+  SampleSet total, in_app, out_app, executor, driver, localization;
+};
+
+Row run_with_kmeans(int kmeans_apps) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 130;
+  for (int i = 0; i < kmeans_apps; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = millis(200) * i;
+    plan.app = workloads::make_kmeans(seconds(700));
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  benchutil::add_tpch_trace(scenario, 60, 2048, 4, seconds(40), seconds(8));
+  scenario.extra_horizon = seconds(8 * 3600);
+  const auto out = benchutil::run_and_analyze(scenario);
+  Row row;
+  row.apps = kmeans_apps;
+  for (const auto& job : out.sim.jobs) {
+    if (job.kind != spark::AppKind::kSparkSql) continue;
+    const auto it = out.analysis.delays.find(job.app);
+    if (it == out.analysis.delays.end()) continue;
+    const checker::Delays& d = it->second;
+    const auto push = [](SampleSet& set, const std::optional<std::int64_t>& v) {
+      if (v) set.add(static_cast<double>(*v) / 1000.0);
+    };
+    push(row.total, d.total);
+    push(row.in_app, d.in_app);
+    push(row.out_app, d.out_app);
+    push(row.executor, d.executor);
+    push(row.driver, d.driver);
+    for (const std::int64_t loc : d.worker_localizations()) {
+      row.localization.add(static_cast<double>(loc) / 1000.0);
+    }
+  }
+  return row;
+}
+
+void experiment() {
+  benchutil::print_header("Figure 13: CPU interference (Kmeans apps)",
+                          "paper Fig. 13 (a)-(d), §IV-E");
+  std::vector<Row> rows;
+  for (const int apps : {0, 4, 8, 16}) rows.push_back(run_with_kmeans(apps));
+  const Row& base = rows.front();
+  const Row& worst = rows.back();
+
+  std::printf("  (a) default vs 16-Kmeans [paper: total p95 ~1.6x; in-app "
+              "takes the hit, out-app barely moves]\n");
+  benchutil::print_cdf("total default", base.total);
+  benchutil::print_cdf("total 16-kmeans", worst.total);
+  std::printf("      p95 slowdown: total %.2fx, in %.2fx, out %.2fx\n",
+              worst.total.p95() / base.total.p95(),
+              worst.in_app.p95() / base.in_app.p95(),
+              worst.out_app.p95() / base.out_app.p95());
+
+  std::printf("\n  (b) executor delay vs degree [paper @16: up to ~2.4x]\n");
+  for (const Row& row : rows) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d kmeans", row.apps);
+    benchutil::print_dist_row(label, row.executor);
+  }
+
+  std::printf("\n  (c) driver delay vs degree [paper @16: up to ~2.9x]\n");
+  for (const Row& row : rows) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d kmeans", row.apps);
+    benchutil::print_dist_row(label, row.driver);
+  }
+  std::printf("      @16 apps: driver median %.1fx, executor median %.1fx\n",
+              worst.driver.median() / base.driver.median(),
+              worst.executor.median() / base.executor.median());
+
+  std::printf("\n  (d) localization delay vs degree [paper @16: only ~1.4x "
+              "median]\n");
+  for (const Row& row : rows) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d kmeans", row.apps);
+    benchutil::print_dist_row(label, row.localization);
+  }
+  std::printf("      @16 apps: localization median %.2fx (vs driver %.1fx) — "
+              "in-app is far more CPU-sensitive\n",
+              worst.localization.median() / base.localization.median(),
+              worst.driver.median() / base.driver.median());
+}
+
+void BM_KmeansScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ScenarioConfig scenario;
+    scenario.seed = 131;
+    for (int i = 0; i < state.range(0); ++i) {
+      harness::SparkSubmissionPlan plan;
+      plan.at = millis(100) * i;
+      plan.app = workloads::make_kmeans(seconds(60));
+      scenario.spark_jobs.push_back(std::move(plan));
+    }
+    benchutil::add_tpch_trace(scenario, 4, 2048, 4, seconds(10));
+    scenario.extra_horizon = seconds(3600);
+    benchmark::DoNotOptimize(harness::run_scenario(scenario).jobs.size());
+  }
+}
+BENCHMARK(BM_KmeansScenario)->Arg(0)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdc::benchutil::bench_main(argc, argv, experiment);
+}

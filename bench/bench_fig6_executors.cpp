@@ -1,0 +1,73 @@
+// E3 — Figure 6: impact of the number of executors.
+//
+// Paper: 16 executors give a 21.5 s p95 total delay, ~4 s longer than 8
+// executors; the Cl-Cf spread (first-to-last container launching) grows
+// with executor count, because Spark gates task scheduling on 80% of
+// executors registering and each extra container adds allocation
+// variance.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sdc;
+
+void experiment() {
+  benchutil::print_header("Figure 6: scheduling delay vs number of executors",
+                          "paper Fig. 6 (a)-(b), §IV-B");
+  struct Row {
+    int executors;
+    SampleSet total;
+    SampleSet cl_cf;
+  };
+  std::vector<Row> rows;
+  for (const int executors : {4, 8, 12, 16}) {
+    harness::ScenarioConfig scenario;
+    scenario.seed = 60;
+    benchutil::add_tpch_trace(scenario, 80, 2048, executors, seconds(5),
+                              seconds(6));
+    const auto out = benchutil::run_and_analyze(scenario);
+    rows.push_back(Row{executors, out.analysis.aggregate.total,
+                       out.analysis.aggregate.cl_minus_cf});
+  }
+
+  std::printf("  (a) total delay [paper: p95 rises with executors; "
+              "16 execs ~21.5s, ~4s over 8 execs]\n");
+  for (const Row& row : rows) {
+    benchutil::print_cdf("exec=" + std::to_string(row.executors), row.total);
+  }
+
+  std::printf("\n  (b) Cl-Cf spread (first vs last container launch) "
+              "[paper: grows in both median and variance]\n");
+  for (const Row& row : rows) {
+    benchutil::print_dist_row("exec=" + std::to_string(row.executors),
+                              row.cl_cf);
+  }
+
+  // Monotonicity summary the paper's text claims.
+  std::printf("\n  p95(total): ");
+  for (const Row& row : rows) {
+    std::printf("%d->%.1fs  ", row.executors, row.total.p95());
+  }
+  std::printf("\n  median(Cl-Cf): ");
+  for (const Row& row : rows) {
+    std::printf("%d->%.2fs  ", row.executors, row.cl_cf.median());
+  }
+  std::printf("\n");
+}
+
+void BM_SixteenExecutorJob(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ScenarioConfig scenario;
+    scenario.seed = 61;
+    benchutil::add_tpch_trace(scenario, 5, 2048,
+                              static_cast<std::int32_t>(state.range(0)));
+    benchmark::DoNotOptimize(harness::run_scenario(scenario).jobs.size());
+  }
+}
+BENCHMARK(BM_SixteenExecutorJob)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdc::benchutil::bench_main(argc, argv, experiment);
+}

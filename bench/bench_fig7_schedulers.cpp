@@ -1,0 +1,172 @@
+// E4/E5 — Figure 7: centralized vs distributed scheduling.
+//
+//   (a) accumulated container allocation delay (START_ALLO -> END_ALLO):
+//       paper: distributed ~80x faster median; p95 108 ms (de-) vs
+//       3,709 ms (ce-).
+//   (b) task queuing delay at the node under a highly loaded cluster:
+//       paper: distributed tasks queue up to ~53 s (random placement,
+//       no global view); centralized ~100 ms.
+//   (c) container acquisition delay vs cluster load (MapReduce victims,
+//       1 s AM heartbeat): capped by the heartbeat interval, high
+//       variance at every load level.
+#include <set>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sdc;
+
+/// Aggregates one per-app metric over the subset of apps whose ground
+/// truth name starts with `prefix`.
+template <typename Fn>
+SampleSet for_apps_named(const benchutil::RunOutput& out,
+                         const std::string& prefix, Fn fn) {
+  SampleSet samples;
+  for (const auto& job : out.sim.jobs) {
+    if (job.name.rfind(prefix, 0) != 0) continue;
+    const auto it = out.analysis.delays.find(job.app);
+    if (it == out.analysis.delays.end()) continue;
+    fn(it->second, samples);
+  }
+  return samples;
+}
+
+harness::ScenarioConfig sql_trace(yarn::SchedulerKind scheduler,
+                                  std::int32_t jobs) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 70;
+  scenario.yarn.scheduler = scheduler;
+  benchutil::add_tpch_trace(scenario, jobs, 2048, 4);
+  return scenario;
+}
+
+void part_a() {
+  std::printf("  (a) accumulated allocation delay [paper: de- ~80x faster "
+              "median; p95: de-=108ms ce-=3709ms]\n");
+  SampleSet alloc_ce;
+  SampleSet alloc_de;
+  {
+    const auto out =
+        benchutil::run_and_analyze(sql_trace(yarn::SchedulerKind::kCapacity, 120));
+    alloc_ce = out.analysis.aggregate.alloc;
+  }
+  {
+    const auto out = benchutil::run_and_analyze(
+        sql_trace(yarn::SchedulerKind::kOpportunistic, 120));
+    alloc_de = out.analysis.aggregate.alloc;
+  }
+  benchutil::print_cdf("ce-alloc", alloc_ce);
+  benchutil::print_cdf("de-alloc", alloc_de);
+  std::printf("      median speedup de- over ce-: %.0fx   (p95: ce=%.0fms "
+              "de=%.0fms)\n",
+              alloc_ce.median() / alloc_de.median(), alloc_ce.p95() * 1000,
+              alloc_de.p95() * 1000);
+}
+
+/// Highly loaded cluster: a churning MR wordcount occupying ~90% of
+/// vcores, plus Spark-SQL victims.
+harness::ScenarioConfig loaded_cluster(yarn::SchedulerKind scheduler) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 71;
+  scenario.yarn.scheduler = scheduler;
+  harness::MrSubmissionPlan load;
+  load.at = 0;
+  load.app = workloads::make_mr_wordcount_for_load(0.96, 25 * 32, seconds(90));
+  load.app.name = "mr-load";
+  scenario.mr_jobs.push_back(std::move(load));
+  for (int i = 0; i < 10; ++i) {
+    harness::SparkSubmissionPlan victim;
+    victim.at = seconds(20 + 6 * i);
+    victim.app = workloads::make_tpch_query(1 + i, 2048, 4);
+    victim.app.name = "victim-" + victim.app.name;
+    scenario.spark_jobs.push_back(std::move(victim));
+  }
+  scenario.extra_horizon = seconds(8 * 3600);
+  return scenario;
+}
+
+void part_b() {
+  std::printf("\n  (b) queuing delay on a highly loaded cluster [paper: "
+              "de- up to ~53s; ce- ~100ms]\n");
+  for (const auto scheduler : {yarn::SchedulerKind::kCapacity,
+                               yarn::SchedulerKind::kOpportunistic}) {
+    const auto out = benchutil::run_and_analyze(loaded_cluster(scheduler));
+    const SampleSet queuing =
+        for_apps_named(out, "victim-", [](const checker::Delays& delays,
+                                          SampleSet& samples) {
+          for (const std::int64_t q : delays.worker_queuings()) {
+            samples.add(static_cast<double>(q) / 1000.0);
+          }
+        });
+    const char* label =
+        scheduler == yarn::SchedulerKind::kCapacity ? "ce-queuing" : "de-queuing";
+    benchutil::print_dist_row(label, queuing);
+    if (!queuing.empty()) {
+      std::printf("      max %s = %.1fs\n", label, queuing.max());
+    }
+  }
+}
+
+void part_c() {
+  std::printf("\n  (c) acquisition delay vs cluster load [paper: capped at "
+              "the 1s MapReduce heartbeat, high variance]\n");
+  for (const double load : {0.1, 0.4, 0.7, 1.0}) {
+    harness::ScenarioConfig scenario;
+    scenario.seed = 72;
+    // Background load occupying the target fraction of the cluster.
+    harness::MrSubmissionPlan background;
+    background.at = 0;
+    background.app = workloads::make_mr_wordcount_for_load(
+        std::max(0.0, load - 0.05), 25 * 32, seconds(60));
+    background.app.name = "mr-load";
+    scenario.mr_jobs.push_back(std::move(background));
+    // MapReduce victims (1 s AM heartbeat).
+    for (int i = 0; i < 12; ++i) {
+      harness::MrSubmissionPlan victim;
+      victim.at = seconds(15 + 4 * i);
+      victim.app.name = "mr-victim";
+      victim.app.num_maps = 8;
+      victim.app.num_reduces = 1;
+      victim.app.map_duration_median = seconds(8);
+      scenario.mr_jobs.push_back(std::move(victim));
+    }
+    const auto out = benchutil::run_and_analyze(scenario);
+    const SampleSet acquisition =
+        for_apps_named(out, "mr-victim", [](const checker::Delays& delays,
+                                            SampleSet& samples) {
+          for (const std::int64_t a : delays.worker_acquisitions()) {
+            samples.add(static_cast<double>(a) / 1000.0);
+          }
+        });
+    char label[32];
+    std::snprintf(label, sizeof(label), "load=%.0f%%", load * 100);
+    benchutil::print_dist_row(label, acquisition);
+  }
+  benchutil::print_note(
+      "every acquisition sample sits in [0, 1s]: the AM-RM heartbeat caps it");
+}
+
+void experiment() {
+  benchutil::print_header(
+      "Figure 7: centralized (ce-) vs distributed (de-) scheduling",
+      "paper Fig. 7 (a)-(c), §IV-C");
+  part_a();
+  part_b();
+  part_c();
+}
+
+void BM_OpportunisticAllocation(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ScenarioConfig scenario =
+        sql_trace(yarn::SchedulerKind::kOpportunistic, 5);
+    benchmark::DoNotOptimize(harness::run_scenario(scenario).jobs.size());
+  }
+}
+BENCHMARK(BM_OpportunisticAllocation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdc::benchutil::bench_main(argc, argv, experiment);
+}

@@ -1,0 +1,97 @@
+// E7 — Figure 8: impact of the localized file size.
+//
+// Paper: extra files shipped with `spark-submit -f` are localized to
+// every executor container on top of the ~500 MB default package.
+// (a) total delay deteriorates severely with the localized size;
+// (b) localization delay: ~500 ms for the 0.5 GB default, ~23 s at 8 GB.
+// Some 8 GB-run localizations still finish <1 s — those are *driver*
+// (AM) localizations, which only ship the default package.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sdc;
+
+void experiment() {
+  benchutil::print_header("Figure 8: scheduling delay vs localized file size",
+                          "paper Fig. 8 (a)-(b), §IV-C");
+  struct Point {
+    const char* label;
+    double extra_mb;  // on top of the 500 MB default package
+  };
+  const Point points[] = {
+      {"0.5GB", 0},
+      {"2GB", 1536},
+      {"4GB", 3584},
+      {"8GB", 7680},
+  };
+  struct Row {
+    const char* label;
+    SampleSet total;
+    SampleSet worker_localization;
+    SampleSet am_localization;
+  };
+  std::vector<Row> rows;
+  for (const Point& point : points) {
+    harness::ScenarioConfig scenario;
+    scenario.seed = 90;
+    trace::TraceConfig trace_config;
+    trace_config.count = 50;
+    trace_config.mean_interarrival = seconds(8);
+    trace_config.seed = 91;
+    for (const auto& submission : trace::generate_trace(trace_config)) {
+      harness::SparkSubmissionPlan plan;
+      plan.at = submission.at;
+      plan.app = workloads::make_tpch_query(
+          1 + submission.workload_index % 22, 2048, 4);
+      plan.app.extra_localized_mb = point.extra_mb;
+      scenario.spark_jobs.push_back(std::move(plan));
+    }
+    const auto out = benchutil::run_and_analyze(scenario);
+    Row row;
+    row.label = point.label;
+    row.total = out.analysis.aggregate.total;
+    row.worker_localization = out.analysis.aggregate.localization;
+    for (const auto& [app, delays] : out.analysis.delays) {
+      for (const checker::ContainerDelays& c : delays.containers) {
+        if (c.is_am && c.localization) {
+          row.am_localization.add(static_cast<double>(*c.localization) /
+                                  1000.0);
+        }
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("  (a) total scheduling delay [paper: severely deteriorated "
+              "for large localized files]\n");
+  for (const Row& row : rows) benchutil::print_cdf(row.label, row.total);
+
+  std::printf("\n  (b) localization delay [paper: ~0.5s at 0.5GB, ~23s at "
+              "8GB; <1s stragglers are driver localizations]\n");
+  for (const Row& row : rows) {
+    benchutil::print_dist_row(std::string(row.label) + " executor",
+                              row.worker_localization);
+  }
+  benchutil::print_dist_row("driver (any size)", rows.back().am_localization);
+}
+
+void BM_LocalizationHeavyJob(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ScenarioConfig scenario;
+    scenario.seed = 92;
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1);
+    plan.app = workloads::make_tpch_query(1, 2048, 4);
+    plan.app.extra_localized_mb = static_cast<double>(state.range(0));
+    scenario.spark_jobs.push_back(std::move(plan));
+    benchmark::DoNotOptimize(harness::run_scenario(scenario).jobs.size());
+  }
+}
+BENCHMARK(BM_LocalizationHeavyJob)->Arg(0)->Arg(7680)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdc::benchutil::bench_main(argc, argv, experiment);
+}

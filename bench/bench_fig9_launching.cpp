@@ -1,0 +1,136 @@
+// E8/E9 — Figure 9: container launching delay.
+//
+//   (a) by instance type: Spark driver (spm) / executor (spe) ~700 ms
+//       median; MapReduce master (mrm) / map (mrsm) / reduce (mrsr) are
+//       somewhat slower.
+//   (b) default YARN container vs Docker: Docker adds ~350 ms median /
+//       ~658 ms p95 (image load + rootfs mount of a 2.65 GB image) with a
+//       long-tail effect.
+//
+// Launching delay = ContainerImpl RUNNING (the NM invoking the launch
+// script) -> the instance's first log line.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sdc;
+
+/// Collects per-container launching delays, split AM vs workers, over
+/// apps with a given ground-truth name prefix.
+void collect_launchings(const benchutil::RunOutput& out,
+                        const std::string& prefix, SampleSet& am,
+                        SampleSet& workers) {
+  for (const auto& job : out.sim.jobs) {
+    if (job.name.rfind(prefix, 0) != 0) continue;
+    const auto it = out.analysis.delays.find(job.app);
+    if (it == out.analysis.delays.end()) continue;
+    for (const checker::ContainerDelays& c : it->second.containers) {
+      if (!c.launching) continue;
+      (c.is_am ? am : workers).add(static_cast<double>(*c.launching) / 1000.0);
+    }
+  }
+}
+
+void part_a() {
+  std::printf("  (a) launching delay by instance type [paper: spm/spe "
+              "~700ms median; MapReduce slightly slower]\n");
+  harness::ScenarioConfig scenario;
+  scenario.seed = 95;
+  // Spark jobs -> spm (AM) + spe (workers).
+  for (int i = 0; i < 30; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(2 + 7 * i);
+    plan.app = workloads::make_tpch_query(1 + i % 22, 2048, 4);
+    plan.app.name = "spark-" + plan.app.name;
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  // Map-only MR jobs -> mrm (AM) + mrsm (workers).
+  for (int i = 0; i < 25; ++i) {
+    harness::MrSubmissionPlan plan;
+    plan.at = seconds(4 + 8 * i);
+    plan.app.name = "mrmap-wc";
+    plan.app.num_maps = 6;
+    plan.app.num_reduces = 0;
+    plan.app.map_duration_median = seconds(10);
+    scenario.mr_jobs.push_back(std::move(plan));
+  }
+  // Reduce-heavy MR jobs -> mrsr workers (single map contaminates ~8%).
+  for (int i = 0; i < 25; ++i) {
+    harness::MrSubmissionPlan plan;
+    plan.at = seconds(6 + 8 * i);
+    plan.app.name = "mrred-sort";
+    plan.app.num_maps = 1;
+    plan.app.num_reduces = 10;
+    plan.app.map_duration_median = seconds(5);
+    plan.app.reduce_duration_median = seconds(8);
+    scenario.mr_jobs.push_back(std::move(plan));
+  }
+  const auto out = benchutil::run_and_analyze(scenario);
+
+  SampleSet spm, spe, mrm, mrsm, mrm2, mrsr;
+  collect_launchings(out, "spark-", spm, spe);
+  collect_launchings(out, "mrmap-", mrm, mrsm);
+  collect_launchings(out, "mrred-", mrm2, mrsr);
+  mrm.add_all(mrm2.samples());
+  benchutil::print_dist_row("spm (spark driver)", spm);
+  benchutil::print_dist_row("spe (spark executor)", spe);
+  benchutil::print_dist_row("mrm (MR master)", mrm);
+  benchutil::print_dist_row("mrsm (MR map)", mrsm);
+  benchutil::print_dist_row("mrsr (MR reduce)", mrsr);
+  benchutil::print_note("mrsr pool contains one map task per job (~9%): the "
+                        "first log line alone cannot distinguish it");
+}
+
+void part_b() {
+  std::printf("\n  (b) YARN container vs Docker [paper: +350ms median, "
+              "+658ms p95, long tail]\n");
+  SampleSet plain, docker;
+  for (const bool use_docker : {false, true}) {
+    harness::ScenarioConfig scenario;
+    scenario.seed = 96;
+    for (int i = 0; i < 60; ++i) {
+      harness::SparkSubmissionPlan plan;
+      plan.at = seconds(2 + 6 * i);
+      plan.app = workloads::make_tpch_query(1 + i % 22, 2048, 4);
+      plan.app.docker = use_docker;
+      plan.app.name = "sql-" + plan.app.name;
+      scenario.spark_jobs.push_back(std::move(plan));
+    }
+    const auto out = benchutil::run_and_analyze(scenario);
+    SampleSet am;
+    collect_launchings(out, "sql-", am, use_docker ? docker : plain);
+    if (use_docker) {
+      for (double v : am.samples()) docker.add(v);
+    } else {
+      for (double v : am.samples()) plain.add(v);
+    }
+  }
+  benchutil::print_dist_row("default container", plain);
+  benchutil::print_dist_row("docker container", docker);
+  std::printf("      docker overhead: median +%.0fms, p95 +%.0fms\n",
+              (docker.median() - plain.median()) * 1000,
+              (docker.p95() - plain.p95()) * 1000);
+}
+
+void experiment() {
+  benchutil::print_header("Figure 9: launching delay by instance/container type",
+                          "paper Fig. 9 (a)-(b), §IV-C");
+  part_a();
+  part_b();
+}
+
+void BM_LaunchModelSampling(benchmark::State& state) {
+  yarn::LaunchModel model;
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.sample(yarn::InstanceType::kSparkExecutor,
+                                          state.range(0) != 0, 1.0, 1.0, rng));
+  }
+}
+BENCHMARK(BM_LaunchModelSampling)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdc::benchutil::bench_main(argc, argv, experiment);
+}

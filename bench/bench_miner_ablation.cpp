@@ -1,0 +1,110 @@
+// Ablation benches for the design decisions called out in DESIGN.md §5:
+//
+//   * parallel log mining — one shard per log file across a thread pool
+//     (SDchecker-side scalability as clusters/log volumes grow)
+//   * log4j line parsing throughput (hand-rolled vs the std::regex the
+//     paper's description implies — we keep the regex variant here as the
+//     baseline to justify the hand-rolled parser)
+//   * discrete-event engine throughput (the simulator's own cost)
+#include <regex>
+
+#include "bench_common.hpp"
+#include "sdchecker/miner.hpp"
+#include "sdchecker/parsed_line.hpp"
+#include "simcore/engine.hpp"
+
+namespace {
+
+using namespace sdc;
+
+const logging::LogBundle& big_bundle() {
+  static const logging::LogBundle bundle = [] {
+    harness::ScenarioConfig scenario;
+    scenario.seed = 160;
+    benchutil::add_tpch_trace(scenario, 300, 2048, 4);
+    return harness::run_scenario(scenario).logs;
+  }();
+  return bundle;
+}
+
+void experiment() {
+  benchutil::print_header("Ablations: mining parallelism, parser, engine",
+                          "DESIGN.md §5 (not a paper figure)");
+  const auto& bundle = big_bundle();
+  std::printf("  corpus: %zu streams, %zu lines\n", bundle.stream_count(),
+              bundle.total_lines());
+  std::printf("  (timings below, via google-benchmark)\n");
+}
+
+void BM_MineThreads(benchmark::State& state) {
+  const auto& bundle = big_bundle();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    checker::LogMiner miner(checker::MinerOptions{threads});
+    benchmark::DoNotOptimize(miner.mine(bundle).events.size());
+  }
+  state.counters["lines/s"] = benchmark::Counter(
+      static_cast<double>(big_bundle().total_lines() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MineThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_ParseLineHandRolled(benchmark::State& state) {
+  const std::string line =
+      "2017-07-03 16:40:00,123 INFO  org.apache.hadoop.yarn.server."
+      "resourcemanager.rmapp.RMAppImpl: application_1499100000000_0007 State "
+      "change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker::parse_line(line));
+  }
+}
+BENCHMARK(BM_ParseLineHandRolled);
+
+void BM_ParseLineStdRegex(benchmark::State& state) {
+  // The baseline a regex-first implementation (as the paper describes)
+  // would pay per line.
+  static const std::regex pattern(
+      R"((\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2},\d{3}) (\w+) +([\w.$]+): (.*))");
+  const std::string line =
+      "2017-07-03 16:40:00,123 INFO  org.apache.hadoop.yarn.server."
+      "resourcemanager.rmapp.RMAppImpl: application_1499100000000_0007 State "
+      "change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED";
+  for (auto _ : state) {
+    std::smatch match;
+    benchmark::DoNotOptimize(std::regex_match(line, match, pattern));
+  }
+}
+BENCHMARK(BM_ParseLineStdRegex);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      engine.schedule_at(millis(i % 997), [&sum] { ++sum; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      10'000.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ScenarioConfig scenario;
+    scenario.seed = 161;
+    benchutil::add_tpch_trace(scenario, static_cast<std::int32_t>(state.range(0)),
+                              2048, 4);
+    benchmark::DoNotOptimize(harness::run_scenario(scenario).events_executed);
+  }
+}
+BENCHMARK(BM_EndToEndScenario)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdc::benchutil::bench_main(argc, argv, experiment);
+}

@@ -1,0 +1,113 @@
+// Example: centralized Capacity Scheduler vs distributed Opportunistic
+// scheduler, on an idle and on a busy cluster (paper §IV-C in one run).
+//
+// Shows the core trade-off: the distributed path allocates two orders of
+// magnitude faster, but its random placement queues tasks behind busy
+// nodes when the cluster is loaded.
+//
+//   ./scheduler_comparison [jobs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/scenario.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/tpch.hpp"
+
+namespace {
+
+using namespace sdc;
+
+struct Outcome {
+  double alloc_median_ms = 0;
+  double alloc_p95_ms = 0;
+  double queuing_p95_s = 0;
+  double queuing_max_s = 0;
+  double total_p95_s = 0;
+};
+
+Outcome run(yarn::SchedulerKind scheduler, bool busy, int jobs) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 13;
+  scenario.yarn.scheduler = scheduler;
+  scenario.extra_horizon = seconds(8 * 3600);
+  if (busy) {
+    harness::MrSubmissionPlan load;
+    load.at = 0;
+    load.app =
+        workloads::make_mr_wordcount_for_load(0.93, 25 * 32, seconds(75));
+    scenario.mr_jobs.push_back(std::move(load));
+  }
+  for (int i = 0; i < jobs; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(busy ? 20 : 2) + seconds(7) * i;
+    plan.app = workloads::make_tpch_query(1 + i % 22, 2048, 4);
+    plan.app.name = "sql-" + plan.app.name;
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  const auto result = harness::run_scenario(scenario);
+  const auto analysis = checker::SdChecker({.threads = 2}).analyze(result.logs);
+
+  Outcome outcome;
+  SampleSet alloc;
+  SampleSet queuing;
+  SampleSet total;
+  for (const auto& job : result.jobs) {
+    if (job.name.rfind("sql-", 0) != 0) continue;
+    const auto it = analysis.delays.find(job.app);
+    if (it == analysis.delays.end()) continue;
+    const checker::Delays& delays = it->second;
+    if (delays.alloc) alloc.add(static_cast<double>(*delays.alloc));
+    if (delays.total) total.add(static_cast<double>(*delays.total) / 1000.0);
+    for (const std::int64_t q : delays.worker_queuings()) {
+      queuing.add(static_cast<double>(q) / 1000.0);
+    }
+  }
+  if (!alloc.empty()) {
+    outcome.alloc_median_ms = alloc.median();
+    outcome.alloc_p95_ms = alloc.p95();
+  }
+  if (!queuing.empty()) {
+    outcome.queuing_p95_s = queuing.p95();
+    outcome.queuing_max_s = queuing.max();
+  }
+  if (!total.empty()) outcome.total_p95_s = total.p95();
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int jobs = argc > 1 ? std::atoi(argv[1]) : 20;
+  std::printf("Scheduler comparison, %d Spark-SQL jobs per condition\n\n",
+              jobs);
+  struct Case {
+    const char* name;
+    yarn::SchedulerKind kind;
+    bool busy;
+  };
+  const Case cases[] = {
+      {"centralized / idle cluster", yarn::SchedulerKind::kCapacity, false},
+      {"distributed / idle cluster", yarn::SchedulerKind::kOpportunistic,
+       false},
+      {"centralized / busy cluster", yarn::SchedulerKind::kCapacity, true},
+      {"distributed / busy cluster", yarn::SchedulerKind::kOpportunistic,
+       true},
+      {"sampling(d=2) / busy cluster", yarn::SchedulerKind::kSampling, true},
+  };
+  std::printf("  %-28s %12s %12s %12s %10s\n", "condition", "alloc med",
+              "alloc p95", "queuing p95", "total p95");
+  for (const Case& c : cases) {
+    const Outcome o = run(c.kind, c.busy, jobs);
+    std::printf("  %-28s %10.0fms %10.0fms %11.1fs %9.1fs\n", c.name,
+                o.alloc_median_ms, o.alloc_p95_ms, o.queuing_p95_s,
+                o.total_p95_s);
+  }
+  std::printf(
+      "\nTake-away (paper Fig. 7): the distributed scheduler wins allocation\n"
+      "latency by ~100x, but on a busy cluster its randomly-placed tasks\n"
+      "queue for tens of seconds at the node — a bad trade for short jobs.\n"
+      "Sparrow-style power-of-two probing keeps the fast allocation while\n"
+      "trimming that queuing tail.\n");
+  return 0;
+}

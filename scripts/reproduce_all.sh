@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite, regenerates every paper
+# table/figure, and leaves the transcripts in test_output.txt /
+# bench_output.txt at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    echo "########## $(basename "$b")"
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. See EXPERIMENTS.md for the paper-vs-measured index."

@@ -1,0 +1,63 @@
+#include "cluster/block_map.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace sdc::cluster {
+
+BlockMap::BlockMap(std::int32_t num_nodes, std::int32_t replication,
+                   std::uint64_t seed)
+    : num_nodes_(num_nodes),
+      replication_(std::min(replication, num_nodes)),
+      rng_(seed) {}
+
+void BlockMap::register_file(const std::string& name, std::int64_t blocks) {
+  if (files_.contains(name)) return;  // immutable files
+  std::vector<BlockLocation> locations;
+  locations.reserve(static_cast<std::size_t>(blocks));
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    BlockLocation location;
+    location.block_index = static_cast<std::int32_t>(b);
+    std::set<std::int32_t> chosen;
+    while (static_cast<std::int32_t>(chosen.size()) < replication_) {
+      chosen.insert(static_cast<std::int32_t>(
+          rng_.uniform_int(1, num_nodes_)));
+    }
+    for (const std::int32_t index : chosen) {
+      location.replicas.push_back(NodeId{index});
+    }
+    locations.push_back(std::move(location));
+  }
+  files_[name] = std::move(locations);
+}
+
+bool BlockMap::has_file(const std::string& name) const {
+  return files_.contains(name);
+}
+
+const std::vector<BlockLocation>& BlockMap::locations(
+    const std::string& name) const {
+  static const std::vector<BlockLocation> kEmpty;
+  const auto it = files_.find(name);
+  return it == files_.end() ? kEmpty : it->second;
+}
+
+std::vector<NodeId> BlockMap::nodes_with_replicas(
+    const std::string& name) const {
+  std::set<NodeId> nodes;
+  for (const BlockLocation& location : locations(name)) {
+    nodes.insert(location.replicas.begin(), location.replicas.end());
+  }
+  return {nodes.begin(), nodes.end()};
+}
+
+std::vector<NodeId> BlockMap::replicas_of_block(
+    const std::string& name, std::int64_t block_index) const {
+  const auto& all = locations(name);
+  if (block_index < 0 || block_index >= static_cast<std::int64_t>(all.size())) {
+    return {};
+  }
+  return all[static_cast<std::size_t>(block_index)].replicas;
+}
+
+}  // namespace sdc::cluster

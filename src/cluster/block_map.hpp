@@ -1,0 +1,68 @@
+// HDFS block placement map: which nodes hold replicas of which file's
+// blocks.  Backs (a) data-locality preferences of task container asks
+// (delay scheduling, [5] in the paper) and (b) MapReduce map fan-out
+// (one map per block).
+//
+// Placement follows HDFS's default policy shape: replicas of a block go
+// to `replication` distinct nodes chosen pseudo-randomly (we skip the
+// writer-local + remote-rack refinements — the simulated cluster is one
+// rack, as the paper's testbed effectively is for scheduling purposes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+
+namespace sdc::cluster {
+
+struct BlockLocation {
+  std::int32_t block_index = 0;
+  std::vector<NodeId> replicas;
+};
+
+class BlockMap {
+ public:
+  /// `num_nodes` worker nodes (ids 1..num_nodes); `replication` replicas
+  /// per block; `seed` fixes placement.
+  BlockMap(std::int32_t num_nodes, std::int32_t replication,
+           std::uint64_t seed);
+
+  /// Registers a file with `blocks` blocks, placing replicas.  Idempotent:
+  /// re-registering an existing name keeps the original placement (HDFS
+  /// files are immutable).
+  void register_file(const std::string& name, std::int64_t blocks);
+
+  [[nodiscard]] bool has_file(const std::string& name) const;
+
+  /// Block locations of a file (empty for unknown files).
+  [[nodiscard]] const std::vector<BlockLocation>& locations(
+      const std::string& name) const;
+
+  /// De-duplicated set of nodes holding at least one replica of the file,
+  /// ordered by node id (empty for unknown files).
+  [[nodiscard]] std::vector<NodeId> nodes_with_replicas(
+      const std::string& name) const;
+
+  /// Replica nodes of one block (empty when out of range).
+  [[nodiscard]] std::vector<NodeId> replicas_of_block(
+      const std::string& name, std::int64_t block_index) const;
+
+  [[nodiscard]] std::size_t file_count() const noexcept {
+    return files_.size();
+  }
+  [[nodiscard]] std::int32_t replication() const noexcept {
+    return replication_;
+  }
+
+ private:
+  std::int32_t num_nodes_;
+  std::int32_t replication_;
+  Rng rng_;
+  std::map<std::string, std::vector<BlockLocation>> files_;
+};
+
+}  // namespace sdc::cluster

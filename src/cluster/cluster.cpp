@@ -1,0 +1,47 @@
+#include "cluster/cluster.hpp"
+
+namespace sdc::cluster {
+
+Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
+    : engine_(engine),
+      config_(config),
+      hdfs_(config.hdfs),
+      blocks_(config.worker_nodes, config.hdfs.replication,
+              config.placement_seed) {
+  nodes_.reserve(static_cast<std::size_t>(config_.worker_nodes));
+  for (std::int32_t i = 0; i < config_.worker_nodes; ++i) {
+    nodes_.push_back(
+        std::make_unique<Node>(NodeId{i + 1}, config_.node_capacity));
+  }
+}
+
+std::vector<Node*> Cluster::nodes() {
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
+double Cluster::cluster_cpu_utilization() const {
+  std::int64_t used = 0;
+  std::int64_t cap = 0;
+  for (const auto& n : nodes_) {
+    used += n->used().vcores;
+    cap += n->capacity().vcores;
+  }
+  return cap == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(cap);
+}
+
+Resource Cluster::total_capacity() const {
+  Resource total{};
+  for (const auto& n : nodes_) total += n->capacity();
+  return total;
+}
+
+Resource Cluster::total_used() const {
+  Resource total{};
+  for (const auto& n : nodes_) total += n->used();
+  return total;
+}
+
+}  // namespace sdc::cluster

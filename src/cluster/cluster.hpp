@@ -1,0 +1,72 @@
+// The simulated cluster: the paper's 26-node testbed (25 workers + 1
+// master, §IV-A) as a set of `Node`s plus shared HDFS and interference
+// state, all driven by one discrete-event engine.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "cluster/block_map.hpp"
+#include "cluster/hdfs.hpp"
+#include "cluster/interference.hpp"
+#include "cluster/node.hpp"
+#include "common/rng.hpp"
+#include "simcore/engine.hpp"
+
+namespace sdc::cluster {
+
+struct ClusterConfig {
+  std::int32_t worker_nodes = 25;
+  Resource node_capacity = kNodeCapacity;
+  HdfsConfig hdfs = {};
+  /// Wall-clock epoch (ms) of simulation time 0; also the YARN "cluster
+  /// timestamp" embedded in application/container IDs.
+  std::int64_t epoch_base_ms = 1'499'100'000'000;  // 2017-07-03T16:40:00Z
+  /// Seed of the HDFS block-placement map.
+  std::uint64_t placement_seed = 0xB10C;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, ClusterConfig config);
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] Node& node(std::size_t index) { return *nodes_.at(index); }
+  [[nodiscard]] const Node& node(std::size_t index) const {
+    return *nodes_.at(index);
+  }
+  [[nodiscard]] std::vector<Node*> nodes();
+
+  [[nodiscard]] HdfsModel& hdfs() noexcept { return hdfs_; }
+  [[nodiscard]] BlockMap& blocks() noexcept { return blocks_; }
+  [[nodiscard]] const BlockMap& blocks() const noexcept { return blocks_; }
+  [[nodiscard]] InterferenceModel& interference() noexcept {
+    return interference_;
+  }
+  [[nodiscard]] const InterferenceModel& interference() const noexcept {
+    return interference_;
+  }
+
+  /// Aggregate vcore utilization across workers, in [0, 1].
+  [[nodiscard]] double cluster_cpu_utilization() const;
+
+  /// Total resources across all workers.
+  [[nodiscard]] Resource total_capacity() const;
+  [[nodiscard]] Resource total_used() const;
+
+ private:
+  sim::Engine& engine_;
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  HdfsModel hdfs_;
+  BlockMap blocks_;
+  InterferenceModel interference_;
+};
+
+}  // namespace sdc::cluster

@@ -1,0 +1,35 @@
+#include "cluster/hdfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdc::cluster {
+
+SimDuration HdfsModel::expected_transfer(double size_mb,
+                                         double io_multiplier) const {
+  if (size_mb <= 0) return 0;
+  const double cached = std::min(size_mb, config_.cached_mb);
+  const double remote = size_mb - cached;
+  // Contention slows both tiers fully: dfsIO-style interference thrashes
+  // the page cache and saturates the same spindles that serve "local"
+  // reads (Fig. 12-b: even the 500 MB default package slows ~9x).
+  const double secs = cached / config_.fast_bw_mbps * io_multiplier +
+                      remote / config_.slow_bw_mbps * io_multiplier;
+  return static_cast<SimDuration>(secs * 1e6);
+}
+
+SimDuration HdfsModel::sample_transfer(double size_mb, double io_multiplier,
+                                       Rng& rng) const {
+  const SimDuration expected = expected_transfer(size_mb, io_multiplier);
+  if (expected <= 0) return 0;
+  return rng.lognormal_duration(expected, config_.noise_sigma);
+}
+
+std::int64_t HdfsModel::block_count(double size_mb) const {
+  if (size_mb <= 0) return 0;
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(size_mb / static_cast<double>(config_.block_size_mb))));
+}
+
+}  // namespace sdc::cluster

@@ -1,0 +1,56 @@
+// HDFS transfer-time model.
+//
+// The evaluation cluster stores localization files and table data in HDFS
+// (block size 128 MB, replication 3) on the same RAID-5 spindles that
+// serve task input (§IV-A) — which is exactly why localization and task
+// I/O interfere.  The model is a two-tier bandwidth curve: a slice of the
+// file is served from local replicas / page cache at a fast rate, the
+// remainder crosses the network at a slower shared rate.  Calibrated to
+// Fig. 8: ~0.5 s for the default 500 MB package, ~23 s for 8 GB.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace sdc::cluster {
+
+struct HdfsConfig {
+  std::int64_t block_size_mb = 128;
+  std::int32_t replication = 3;
+  /// Size served at the fast (local / cached) rate.
+  double cached_mb = 1024.0;
+  /// Fast tier bandwidth, MB/s (local disk + page cache).
+  double fast_bw_mbps = 1000.0;
+  /// Slow tier bandwidth, MB/s (remote replicas over shared 10 GbE + RAID).
+  double slow_bw_mbps = 340.0;
+  /// Lognormal sigma of per-transfer noise.
+  double noise_sigma = 0.22;
+};
+
+class HdfsModel {
+ public:
+  explicit HdfsModel(HdfsConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const HdfsConfig& config() const noexcept { return config_; }
+
+  /// Expected (noise-free) transfer time for `size_mb` under an I/O
+  /// contention multiplier (1.0 = idle cluster).
+  [[nodiscard]] SimDuration expected_transfer(double size_mb,
+                                              double io_multiplier) const;
+
+  /// Sampled transfer time: expected value with lognormal noise.
+  [[nodiscard]] SimDuration sample_transfer(double size_mb,
+                                            double io_multiplier,
+                                            Rng& rng) const;
+
+  /// Number of HDFS blocks for `size_mb` (ceiling; minimum 1 for any
+  /// non-empty file) — drives MapReduce map-task counts.
+  [[nodiscard]] std::int64_t block_count(double size_mb) const;
+
+ private:
+  HdfsConfig config_;
+};
+
+}  // namespace sdc::cluster

@@ -1,0 +1,43 @@
+#include "cluster/interference.hpp"
+
+#include <cmath>
+
+namespace sdc::cluster {
+namespace {
+
+/// Sub-linear power-law slowdown: 1 + a * units^b.
+double power_law(double units, double a, double b) {
+  if (units <= 0) return 1.0;
+  return 1.0 + a * std::pow(units, b);
+}
+
+}  // namespace
+
+double InterferenceModel::io_transfer_multiplier() const noexcept {
+  // 100 units -> ~13x raw (Fig. 12-b calibration anchor).
+  return power_law(transfer_units_, 0.42, 0.72);
+}
+
+double InterferenceModel::io_control_multiplier() const noexcept {
+  // 100 units -> ~4.2x raw (Fig. 12-c calibration anchor).
+  return power_law(control_units_, 0.20, 0.60);
+}
+
+double InterferenceModel::cpu_multiplier() const noexcept {
+  // 16 units -> ~2.6x (Fig. 13-b/c: driver 2.9x, executor 2.4x at 16 apps).
+  return power_law(cpu_units_, 0.26, 0.65);
+}
+
+double InterferenceModel::cpu_localization_multiplier() const noexcept {
+  // 16 units -> ~1.38x (Fig. 13-d: ~1.4x median at 16 apps).
+  return power_law(cpu_units_, 0.11, 0.45);
+}
+
+double InterferenceModel::execution_multiplier() const noexcept {
+  // Job runtime degrades under both kinds of load, CPU-dominated
+  // ("most data analytics applications are CPU intensive", §IV-E).
+  return power_law(cpu_units_, 0.18, 0.60) *
+         power_law(control_units_, 0.05, 0.55);
+}
+
+}  // namespace sdc::cluster

@@ -1,0 +1,97 @@
+// Cluster-wide interference model (paper §IV-E).
+//
+// Three load channels with distinct fingerprints:
+//
+//   * I/O *transfer* load — saturates disks + the replication pipeline.
+//     dfsIO writes (20 GB per map, 3-way replicated) are the worst case:
+//     one dfsIO map = one transfer unit.  Drives localization downloads
+//     and Docker image loads (Fig. 12-b: ~9x localization slowdown).
+//   * I/O *control* load — pressure on HDFS client paths, class loading,
+//     broadcast-block writes, heartbeat RPC.  dfsIO maps add one unit
+//     each; large input *scans* also add units (0.3 per GB of input per
+//     running query) — reads spread across 25 nodes barely collide with
+//     a specific localization download (the paper's 200 GB runs degrade
+//     `out` only ~1.5x) but do slow the JVM-side control paths (`in`
+//     degrades ~5.7x, Fig. 5).  Scans contribute only a token amount
+//     (0.015/GB) to the transfer channel.
+//   * CPU load, in "Kmeans-app units" — one unit is one HiBench Kmeans
+//     application with 4x16-vcore executors spinning the whole cluster.
+//
+// The multiplier curves are the central calibration artifact: sub-linear
+// power laws fit so the paper's reported slowdowns land where measured.
+// See EXPERIMENTS.md for the fit against each figure.
+#pragma once
+
+namespace sdc::cluster {
+
+class InterferenceModel {
+ public:
+  /// Adds/removes write-heavy I/O load (dfsIO maps): hits both the
+  /// transfer and the control channel, one unit per map.
+  void add_io_units(double units) noexcept {
+    transfer_units_ += units;
+    control_units_ += units;
+  }
+  void remove_io_units(double units) noexcept {
+    transfer_units_ = clamp0(transfer_units_ - units);
+    control_units_ = clamp0(control_units_ - units);
+  }
+
+  /// Adds/removes scan (read) load with independent channel weights.
+  void add_scan_units(double control_units, double transfer_units) noexcept {
+    control_units_ += control_units;
+    transfer_units_ += transfer_units;
+  }
+  void remove_scan_units(double control_units,
+                         double transfer_units) noexcept {
+    control_units_ = clamp0(control_units_ - control_units);
+    transfer_units_ = clamp0(transfer_units_ - transfer_units);
+  }
+
+  [[nodiscard]] double transfer_units() const noexcept {
+    return transfer_units_;
+  }
+  [[nodiscard]] double control_units() const noexcept {
+    return control_units_;
+  }
+
+  /// Adds/removes CPU load in Kmeans-app units.
+  void add_cpu_units(double units) noexcept { cpu_units_ += units; }
+  void remove_cpu_units(double units) noexcept {
+    cpu_units_ = clamp0(cpu_units_ - units);
+  }
+  [[nodiscard]] double cpu_units() const noexcept { return cpu_units_; }
+
+  /// Slowdown applied to bulk disk+network transfers (localization
+  /// downloads, Docker image loads).  ~13x raw at 100 transfer units; the
+  /// measured localization slowdown (Fig. 12-b, ~9.4x median) is diluted
+  /// by the fixed localization overhead and the elevated trace baseline.
+  [[nodiscard]] double io_transfer_multiplier() const noexcept;
+
+  /// Slowdown applied to I/O-sensitive control phases (executor
+  /// registration heartbeats, class loading, broadcast creation).  ~4.2x
+  /// raw at 100 control units; the measured executor-delay slowdown lands
+  /// in the paper band (2.5-3.5x) because the window start also shifts.
+  [[nodiscard]] double io_control_multiplier() const noexcept;
+
+  /// Slowdown applied to CPU-bound phases (JVM warm-up, JIT, driver and
+  /// executor initialization).  ~2.6x at 16 CPU units (Fig. 13-b/c band).
+  [[nodiscard]] double cpu_multiplier() const noexcept;
+
+  /// Mild CPU effect on localization (NameNode RPC is CPU-bound but the
+  /// transfer itself is I/O-dominated): ~1.4x at 16 CPU units (Fig. 13-d).
+  [[nodiscard]] double cpu_localization_multiplier() const noexcept;
+
+  /// Combined multiplier for task execution (job runtime model): data
+  /// analytics is CPU-intensive (paper §IV-E) with some I/O sensitivity.
+  [[nodiscard]] double execution_multiplier() const noexcept;
+
+ private:
+  static double clamp0(double v) noexcept { return v < 0 ? 0 : v; }
+
+  double transfer_units_ = 0.0;
+  double control_units_ = 0.0;
+  double cpu_units_ = 0.0;
+};
+
+}  // namespace sdc::cluster

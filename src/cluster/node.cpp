@@ -1,0 +1,27 @@
+#include "cluster/node.hpp"
+
+#include <cassert>
+
+namespace sdc::cluster {
+
+bool Node::try_allocate(const Resource& ask) {
+  if (!available().fits(ask)) return false;
+  used_ += ask;
+  return true;
+}
+
+void Node::release(const Resource& res) {
+  assert(used_.vcores >= res.vcores && used_.memory_mb >= res.memory_mb &&
+         "release exceeds allocation");
+  used_ -= res;
+  if (used_.vcores < 0) used_.vcores = 0;
+  if (used_.memory_mb < 0) used_.memory_mb = 0;
+}
+
+double Node::cpu_utilization() const noexcept {
+  if (capacity_.vcores == 0) return 0.0;
+  return static_cast<double>(used_.vcores) /
+         static_cast<double>(capacity_.vcores);
+}
+
+}  // namespace sdc::cluster

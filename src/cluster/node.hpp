@@ -1,0 +1,59 @@
+// One worker node: capacity accounting plus local I/O flow tracking used
+// by the contention model.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/resource.hpp"
+#include "common/ids.hpp"
+
+namespace sdc::cluster {
+
+class Node {
+ public:
+  Node(NodeId id, Resource capacity) : id_(id), capacity_(capacity) {}
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const Resource& capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const Resource& used() const noexcept { return used_; }
+  [[nodiscard]] Resource available() const noexcept {
+    return capacity_ - used_;
+  }
+
+  /// Reserves `ask` if it fits; returns whether the allocation happened.
+  [[nodiscard]] bool try_allocate(const Resource& ask);
+
+  /// Releases a previous allocation (asserts against underflow).
+  void release(const Resource& res);
+
+  /// Fraction of vcores in use, in [0, 1].
+  [[nodiscard]] double cpu_utilization() const noexcept;
+
+  /// Local I/O flows (HDFS reads/writes, localization downloads) active on
+  /// this node's disks; feeds the per-node share of I/O contention.
+  void add_io_flow() noexcept { ++io_flows_; }
+  void remove_io_flow() noexcept {
+    if (io_flows_ > 0) --io_flows_;
+  }
+  [[nodiscard]] std::int32_t io_flows() const noexcept { return io_flows_; }
+
+  /// Containers queued at this node (opportunistic scheduling); the
+  /// distributed scheduler's queuing delay (Fig. 7-b) is the time these
+  /// spend waiting for resources to free up.
+  void enqueue_opportunistic() noexcept { ++queued_; }
+  void dequeue_opportunistic() noexcept {
+    if (queued_ > 0) --queued_;
+  }
+  [[nodiscard]] std::int32_t queued_opportunistic() const noexcept {
+    return queued_;
+  }
+
+ private:
+  NodeId id_;
+  Resource capacity_;
+  Resource used_{};
+  std::int32_t io_flows_ = 0;
+  std::int32_t queued_ = 0;
+};
+
+}  // namespace sdc::cluster

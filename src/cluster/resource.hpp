@@ -1,0 +1,53 @@
+// Resource vectors, YARN-style: a container is an ensemble of vcores and
+// memory (paper §II-A).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace sdc::cluster {
+
+struct Resource {
+  std::int32_t vcores = 0;
+  std::int64_t memory_mb = 0;
+
+  auto operator<=>(const Resource&) const = default;
+
+  constexpr Resource operator+(const Resource& o) const noexcept {
+    return {vcores + o.vcores, memory_mb + o.memory_mb};
+  }
+  constexpr Resource operator-(const Resource& o) const noexcept {
+    return {vcores - o.vcores, memory_mb - o.memory_mb};
+  }
+  Resource& operator+=(const Resource& o) noexcept {
+    vcores += o.vcores;
+    memory_mb += o.memory_mb;
+    return *this;
+  }
+  Resource& operator-=(const Resource& o) noexcept {
+    vcores -= o.vcores;
+    memory_mb -= o.memory_mb;
+    return *this;
+  }
+
+  /// True if `ask` fits inside this resource on both dimensions.
+  [[nodiscard]] constexpr bool fits(const Resource& ask) const noexcept {
+    return ask.vcores <= vcores && ask.memory_mb <= memory_mb;
+  }
+
+  [[nodiscard]] std::string str() const {
+    return "<vcores:" + std::to_string(vcores) +
+           ", memory:" + std::to_string(memory_mb) + "MB>";
+  }
+};
+
+/// The paper's executor shape: 8 cores, 4 GB (§IV-A).
+inline constexpr Resource kExecutorResource{8, 4096};
+/// AppMaster container shape (Spark driver defaults).
+inline constexpr Resource kAmResource{1, 1024};
+/// One evaluation node: dual 8-core Xeon with hyper-threading (32
+/// hardware threads) and 132 GB RAM (§IV-A, a slice reserved for the OS).
+inline constexpr Resource kNodeCapacity{32, 128 * 1024};
+
+}  // namespace sdc::cluster

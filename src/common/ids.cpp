@@ -1,0 +1,99 @@
+#include "common/ids.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace sdc {
+namespace {
+
+/// Parses a decimal integer span; advances `pos` past it on success.
+template <typename Int>
+bool parse_int(std::string_view text, std::size_t& pos, Int& out) {
+  const char* first = text.data() + pos;
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec != std::errc{} || ptr == first) return false;
+  pos += static_cast<std::size_t>(ptr - first);
+  return true;
+}
+
+/// Consumes a literal prefix; advances `pos` past it on success.
+bool consume(std::string_view text, std::size_t& pos, std::string_view lit) {
+  if (text.substr(pos, lit.size()) != lit) return false;
+  pos += lit.size();
+  return true;
+}
+
+}  // namespace
+
+std::string ApplicationId::str() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "application_%lld_%04d",
+                static_cast<long long>(cluster_ts), id);
+  return buf;
+}
+
+std::optional<ApplicationId> ApplicationId::parse(std::string_view text) {
+  std::size_t pos = 0;
+  ApplicationId out;
+  if (!consume(text, pos, "application_")) return std::nullopt;
+  if (!parse_int(text, pos, out.cluster_ts)) return std::nullopt;
+  if (!consume(text, pos, "_")) return std::nullopt;
+  if (!parse_int(text, pos, out.id)) return std::nullopt;
+  if (pos != text.size()) return std::nullopt;
+  return out;
+}
+
+std::string ContainerId::str() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "container_%lld_%04d_%02d_%06lld",
+                static_cast<long long>(app.cluster_ts), app.id, attempt,
+                static_cast<long long>(id));
+  return buf;
+}
+
+std::optional<ContainerId> ContainerId::parse(std::string_view text) {
+  std::size_t pos = 0;
+  ContainerId out;
+  if (!consume(text, pos, "container_")) return std::nullopt;
+  // Hadoop 2.8+ embeds the RM epoch for work-preserving restarts:
+  // `container_e17_<clusterTs>_...`.  The epoch does not participate in
+  // identity here (single RM incarnation per analysis) — skip it.
+  if (pos < text.size() && text[pos] == 'e') {
+    std::size_t epoch_pos = pos + 1;
+    std::int32_t epoch = 0;
+    if (!parse_int(text, epoch_pos, epoch)) return std::nullopt;
+    if (!consume(text, epoch_pos, "_")) return std::nullopt;
+    pos = epoch_pos;
+  }
+  if (!parse_int(text, pos, out.app.cluster_ts)) return std::nullopt;
+  if (!consume(text, pos, "_")) return std::nullopt;
+  if (!parse_int(text, pos, out.app.id)) return std::nullopt;
+  if (!consume(text, pos, "_")) return std::nullopt;
+  if (!parse_int(text, pos, out.attempt)) return std::nullopt;
+  if (!consume(text, pos, "_")) return std::nullopt;
+  if (!parse_int(text, pos, out.id)) return std::nullopt;
+  if (pos != text.size()) return std::nullopt;
+  return out;
+}
+
+std::string NodeId::str() const { return hostname() + ":45454"; }
+
+std::string NodeId::hostname() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "node%02d.cluster", index);
+  return buf;
+}
+
+std::optional<NodeId> NodeId::parse(std::string_view text) {
+  std::size_t pos = 0;
+  NodeId out;
+  if (!consume(text, pos, "node")) return std::nullopt;
+  if (!parse_int(text, pos, out.index)) return std::nullopt;
+  if (!consume(text, pos, ".cluster")) return std::nullopt;
+  if (pos != text.size() && !consume(text, pos, ":45454")) return std::nullopt;
+  if (pos != text.size()) return std::nullopt;
+  return out;
+}
+
+}  // namespace sdc

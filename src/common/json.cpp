@@ -1,0 +1,133 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sdc::json {
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::comma_if_needed() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key, no comma
+  }
+  if (!stack_.empty()) {
+    if (stack_.back() == '1') {
+      out_ += ',';
+    } else {
+      stack_.back() = '1';
+    }
+  }
+}
+
+Writer& Writer::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  stack_ += '0';
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  out_ += '}';
+  if (!stack_.empty()) stack_.pop_back();
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  stack_ += '0';
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  out_ += ']';
+  if (!stack_.empty()) stack_.pop_back();
+  return *this;
+}
+
+Writer& Writer::key(std::string_view name) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view text) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t number) {
+  comma_if_needed();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+Writer& Writer::value(double number) {
+  comma_if_needed();
+  if (!std::isfinite(number)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", number);
+  out_ += buf;
+  return *this;
+}
+
+Writer& Writer::value(bool boolean) {
+  comma_if_needed();
+  out_ += boolean ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::null() {
+  comma_if_needed();
+  out_ += "null";
+  return *this;
+}
+
+Writer& Writer::value(const std::optional<std::int64_t>& number) {
+  if (!number) return null();
+  return value(*number);
+}
+
+}  // namespace sdc::json

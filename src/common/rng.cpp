@@ -1,0 +1,52 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdc {
+
+Rng Rng::fork(std::uint64_t salt) {
+  // splitmix64-style finalizer over (next draw, salt) decorrelates children.
+  std::uint64_t x = engine_() ^ (salt * 0x9E3779B97F4A7C15ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return Rng(x);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::lognormal(double median, double sigma) {
+  return std::lognormal_distribution<double>(std::log(median), sigma)(engine_);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  const double u = std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  return xm / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+double Rng::normal_clamped(double mean, double stddev, double lo) {
+  return std::max(lo, std::normal_distribution<double>(mean, stddev)(engine_));
+}
+
+bool Rng::chance(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+SimDuration Rng::lognormal_duration(SimDuration median, double sigma) {
+  return static_cast<SimDuration>(lognormal(static_cast<double>(median), sigma));
+}
+
+}  // namespace sdc

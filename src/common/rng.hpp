@@ -1,0 +1,58 @@
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic cost model draws from an `Rng` that is seeded from the
+// scenario seed, so a fixed seed yields byte-identical logs (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/sim_time.hpp"
+
+namespace sdc {
+
+/// A seeded pseudo-random source with the distribution shapes the cost
+/// models need.  Cheap to copy; derive child streams with `fork`.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derives an independent child stream; mixing in `salt` keeps sibling
+  /// streams decorrelated even when created in a loop.
+  [[nodiscard]] Rng fork(std::uint64_t salt);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Lognormal parameterized by its *median* and sigma of the underlying
+  /// normal.  Latency phases in the simulator are lognormal because real
+  /// JVM/daemon phase times are right-skewed and strictly positive.
+  double lognormal(double median, double sigma);
+
+  /// Pareto (heavy tail) with scale `xm` and shape `alpha` (> 0).
+  double pareto(double xm, double alpha);
+
+  /// Normal clamped below at `lo`.
+  double normal_clamped(double mean, double stddev, double lo);
+
+  /// Bernoulli draw.
+  bool chance(double p);
+
+  /// Convenience: lognormal duration in microseconds from a median
+  /// duration and sigma.
+  SimDuration lognormal_duration(SimDuration median, double sigma);
+
+  /// Underlying engine access for std:: distributions in tests.
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sdc

@@ -1,0 +1,41 @@
+// Simulated-time primitives.
+//
+// The simulation engine runs at microsecond resolution to avoid tie
+// artifacts between events that a millisecond clock would collapse; log
+// sinks round down to milliseconds, which is exactly the precision of
+// log4j timestamps and therefore of SDchecker (paper §III-A).
+#pragma once
+
+#include <cstdint>
+
+namespace sdc {
+
+/// A point in simulated time, in microseconds since the simulation epoch.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in microseconds.
+using SimDuration = std::int64_t;
+
+/// Sentinel for "no time recorded".
+inline constexpr SimTime kNoTime = -1;
+
+constexpr SimDuration micros(std::int64_t us) noexcept { return us; }
+constexpr SimDuration millis(std::int64_t ms) noexcept { return ms * 1000; }
+constexpr SimDuration seconds(std::int64_t s) noexcept { return s * 1'000'000; }
+
+/// Converts a microsecond simulation time to whole milliseconds
+/// (rounding toward negative infinity), the precision visible in logs.
+constexpr std::int64_t to_millis(SimTime t) noexcept {
+  return t >= 0 ? t / 1000 : (t - 999) / 1000;
+}
+
+/// Converts a microsecond duration to fractional seconds.
+constexpr double to_seconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / 1e6;
+}
+
+/// Converts a millisecond value (e.g. parsed from a log line) back to the
+/// engine's microsecond scale.
+constexpr SimTime from_millis(std::int64_t ms) noexcept { return ms * 1000; }
+
+}  // namespace sdc

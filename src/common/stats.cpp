@@ -1,0 +1,95 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sdc {
+
+void SampleSet::add(double v) {
+  samples_.push_back(v);
+  sorted_valid_ = false;
+}
+
+void SampleSet::add_all(const std::vector<double>& vs) {
+  samples_.insert(samples_.end(), vs.begin(), vs.end());
+  sorted_valid_ = false;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (double v : samples_) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  if (sorted_.empty()) throw std::out_of_range("SampleSet::min on empty set");
+  return sorted_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  if (sorted_.empty()) throw std::out_of_range("SampleSet::max on empty set");
+  return sorted_.back();
+}
+
+double SampleSet::percentile(double p) const {
+  ensure_sorted();
+  if (sorted_.empty())
+    throw std::out_of_range("SampleSet::percentile on empty set");
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf(std::size_t points) const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q =
+        static_cast<double>(i) / static_cast<double>(points - 1 == 0 ? 1 : points - 1);
+    out.emplace_back(percentile(q * 100.0), q);
+  }
+  return out;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+namespace fmt {
+
+std::string secs(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  return buf;
+}
+
+std::string pct(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", ratio * 100.0);
+  return buf;
+}
+
+}  // namespace fmt
+}  // namespace sdc

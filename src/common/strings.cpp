@@ -1,0 +1,64 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+
+namespace sdc {
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+bool is_token_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+std::string_view find_token_with_prefix(std::string_view text,
+                                        std::string_view prefix) {
+  std::size_t pos = 0;
+  while ((pos = text.find(prefix, pos)) != std::string_view::npos) {
+    // Must be at a token boundary.
+    if (pos > 0 && is_token_char(text[pos - 1])) {
+      ++pos;
+      continue;
+    }
+    std::size_t end = pos + prefix.size();
+    while (end < text.size() && is_token_char(text[end])) ++end;
+    return text.substr(pos, end - pos);
+  }
+  return {};
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace sdc

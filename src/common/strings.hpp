@@ -1,0 +1,28 @@
+// Small string helpers shared by the log formatter and the log miner.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdc {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Returns the first token in `text` that parses as the given YARN-style
+/// prefix ("application_" / "container_"), or an empty view.  Tokens are
+/// maximal runs of [A-Za-z0-9_].
+std::string_view find_token_with_prefix(std::string_view text,
+                                        std::string_view prefix);
+
+/// Joins parts with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace sdc

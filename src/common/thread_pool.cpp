@@ -1,0 +1,94 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace sdc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  const std::size_t shards = std::min(n, pool.thread_count());
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  for (std::size_t s = 0; s < shards; ++s) {
+    pool.submit([&] {
+      std::size_t i;
+      while ((i = next.fetch_add(1)) < n) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      {
+        std::lock_guard lock(done_mu);
+        ++done;
+      }
+      done_cv.notify_one();
+    });
+  }
+  std::unique_lock lock(done_mu);
+  done_cv.wait(lock, [&] { return done == shards; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sdc

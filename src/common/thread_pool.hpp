@@ -1,0 +1,54 @@
+// A small fixed-size thread pool used by SDchecker's parallel log miner
+// (one shard per log file) and by the benchmark harness for parameter
+// sweeps.  Tasks are plain `std::function<void()>`; use `parallel_for`
+// for the common chunked-index pattern.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdc {
+
+/// Fixed-size worker pool.  Destruction waits for queued tasks to finish.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means `hardware_concurrency` (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs `body(i)` for i in [0, n) across the pool, blocking until done.
+/// Exceptions thrown by `body` are rethrown (first one wins) on the caller.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace sdc

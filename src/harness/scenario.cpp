@@ -1,0 +1,151 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "simcore/engine.hpp"
+#include "spark/driver.hpp"
+#include "yarn/node_manager.hpp"
+#include "yarn/resource_manager.hpp"
+
+namespace sdc::harness {
+namespace {
+
+/// Shared mutable state for one scenario run.
+struct RunState {
+  std::vector<std::unique_ptr<spark::SparkDriver>> drivers;
+  std::vector<std::unique_ptr<workloads::MrApp>> mr_apps;
+  std::vector<spark::JobRecord> completed;
+  std::size_t jobs_total = 0;
+};
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, config.cluster);
+  logging::LogBundle logs;
+  Rng rng(config.seed);
+  spark::SparkCostModel cost_model(config.spark_costs);
+  yarn::LaunchModel launch_model;
+
+  yarn::ResourceManager rm(cluster, logs, config.yarn, rng.fork(0x71).engine()());
+  std::vector<std::unique_ptr<yarn::NodeManager>> nms;
+  std::vector<yarn::NodeManager*> nm_ptrs;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    const std::int64_t skew = i < config.nm_clock_skew_ms.size()
+                                  ? config.nm_clock_skew_ms[i]
+                                  : 0;
+    nms.push_back(std::make_unique<yarn::NodeManager>(
+        cluster, cluster.node(i), logs, rm.config(), rm.launch_model(),
+        rng.fork(0x100 + i), skew));
+    nm_ptrs.push_back(nms.back().get());
+  }
+  rm.attach_node_managers(nm_ptrs);
+  rm.start();
+
+  RunState state;
+  state.jobs_total = config.spark_jobs.size() + config.mr_jobs.size();
+
+  SimTime last_submission = 0;
+
+  // Schedule Spark submissions.
+  for (std::size_t i = 0; i < config.spark_jobs.size(); ++i) {
+    const SparkSubmissionPlan& plan = config.spark_jobs[i];
+    last_submission = std::max(last_submission, plan.at);
+    engine.schedule_at(plan.at, [&, i] {
+      const SparkSubmissionPlan& p = config.spark_jobs[i];
+      spark::SparkAppConfig app_config = p.app;
+      const SimTime submitted_at = engine.now();
+      auto user_on_complete = app_config.on_complete;
+      app_config.on_complete = [&state, submitted_at,
+                                user_on_complete](const spark::JobRecord& r) {
+        spark::JobRecord record = r;
+        record.submitted_at = submitted_at;
+        state.completed.push_back(record);
+        if (user_on_complete) user_on_complete(record);
+      };
+      yarn::AppSubmission submission;
+      submission.name = app_config.name;
+      submission.am_type = yarn::InstanceType::kSparkDriver;
+      submission.docker = app_config.docker;
+      submission.warm_jvm = app_config.jvm_reuse;
+      submission.am_failure_prob = app_config.am_failure_prob;
+      submission.am_heartbeat = app_config.am_heartbeat;
+      submission.on_am_started =
+          [&, app_config](ApplicationId app, ContainerId am_container,
+                          NodeId node, SimTime first_log) {
+            state.drivers.push_back(std::make_unique<spark::SparkDriver>(
+                cluster, rm, logs, app_config, app, am_container, node,
+                first_log, rng.fork(0x9000 + static_cast<std::uint64_t>(app.id)),
+                &cost_model));
+          };
+      rm.submit(std::move(submission));
+    });
+  }
+
+  // Schedule MapReduce submissions.
+  for (std::size_t i = 0; i < config.mr_jobs.size(); ++i) {
+    const MrSubmissionPlan& plan = config.mr_jobs[i];
+    last_submission = std::max(last_submission, plan.at);
+    engine.schedule_at(plan.at, [&, i] {
+      const MrSubmissionPlan& p = config.mr_jobs[i];
+      workloads::MrAppConfig app_config = p.app;
+      const SimTime submitted_at = engine.now();
+      auto user_on_complete = app_config.on_complete;
+      app_config.on_complete = [&state, submitted_at,
+                                user_on_complete](const spark::JobRecord& r) {
+        spark::JobRecord record = r;
+        record.submitted_at = submitted_at;
+        state.completed.push_back(record);
+        if (user_on_complete) user_on_complete(record);
+      };
+      yarn::AppSubmission submission;
+      submission.name = app_config.name;
+      submission.am_type = yarn::InstanceType::kMrMaster;
+      submission.am_localization_mb = app_config.am_localization_mb;
+      submission.docker = app_config.docker;
+      submission.am_heartbeat = app_config.am_heartbeat;
+      submission.on_am_started =
+          [&, app_config](ApplicationId app, ContainerId am_container,
+                          NodeId node, SimTime first_log) {
+            state.mr_apps.push_back(std::make_unique<workloads::MrApp>(
+                cluster, rm, logs, app_config, app, am_container, node,
+                first_log,
+                rng.fork(0xA000 + static_cast<std::uint64_t>(app.id))));
+          };
+      rm.submit(std::move(submission));
+    });
+  }
+
+  // Run in chunks: the NM heartbeat loops keep the event queue non-empty
+  // forever, so "everything finished" is detected via the completion
+  // count rather than queue drain.
+  const SimDuration extra = config.extra_horizon > 0
+                                ? config.extra_horizon
+                                : seconds(4 * 3600);
+  const SimTime hard_cap = last_submission + extra;
+  ScenarioResult result;
+  SimTime t = 0;
+  while (state.completed.size() < state.jobs_total && t < hard_cap) {
+    t = std::min<SimTime>(t + seconds(30), hard_cap);
+    engine.run(t);
+  }
+  result.hit_time_cap = state.completed.size() < state.jobs_total;
+  // Flush trailing bookkeeping events (FINISHED transitions, container
+  // teardown logs).
+  engine.run(engine.now() + seconds(10));
+
+  std::sort(state.completed.begin(), state.completed.end(),
+            [](const spark::JobRecord& a, const spark::JobRecord& b) {
+              return a.app < b.app;
+            });
+  result.jobs = std::move(state.completed);
+  result.containers_allocated = rm.containers_allocated();
+  result.end_time = engine.now();
+  result.events_executed = engine.executed();
+  result.logs = std::move(logs);
+  return result;
+}
+
+}  // namespace sdc::harness

@@ -1,0 +1,59 @@
+// Scenario runner: wires engine + cluster + RM + NMs, submits the planned
+// workload mix, runs the simulation to completion and returns the log
+// bundle (what SDchecker sees) plus ground-truth job records (what it is
+// checked against).  Every benchmark and integration test goes through
+// this one entry point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "logging/log_bundle.hpp"
+#include "spark/app_config.hpp"
+#include "spark/cost_model.hpp"
+#include "workloads/mr_app.hpp"
+#include "yarn/config.hpp"
+
+namespace sdc::harness {
+
+struct SparkSubmissionPlan {
+  SimTime at = 0;
+  spark::SparkAppConfig app;
+};
+
+struct MrSubmissionPlan {
+  SimTime at = 0;
+  workloads::MrAppConfig app;
+};
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  cluster::ClusterConfig cluster;
+  yarn::YarnConfig yarn;
+  spark::SparkCostConfig spark_costs;
+  std::vector<SparkSubmissionPlan> spark_jobs;
+  std::vector<MrSubmissionPlan> mr_jobs;
+  /// Hard simulation cap beyond the last submission; 0 picks a generous
+  /// default.  A scenario hitting the cap (deadlock) is reported via
+  /// ScenarioResult::hit_time_cap.
+  SimDuration extra_horizon = 0;
+  /// Clock skew (ms) injected into NodeManager logs, one entry per node
+  /// index (missing entries = 0) — for SDchecker robustness studies.
+  std::vector<std::int64_t> nm_clock_skew_ms;
+};
+
+struct ScenarioResult {
+  logging::LogBundle logs;
+  /// Ground truth for every completed job, sorted by application id.
+  std::vector<spark::JobRecord> jobs;
+  std::int64_t containers_allocated = 0;
+  SimTime end_time = 0;
+  std::uint64_t events_executed = 0;
+  bool hit_time_cap = false;
+};
+
+/// Runs one scenario start-to-finish.  Deterministic for a fixed config.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config);
+
+}  // namespace sdc::harness

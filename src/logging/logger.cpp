@@ -1,0 +1,15 @@
+#include "logging/logger.hpp"
+
+namespace sdc::logging {
+
+void Logger::log(SimTime now, Level level, const std::string& logger_class,
+                 const std::string& message) const {
+  LogRecord record;
+  record.epoch_ms = wall_ms(now);
+  record.level = level;
+  record.logger = logger_class;
+  record.message = message;
+  bundle_->append(stream_, record.render());
+}
+
+}  // namespace sdc::logging

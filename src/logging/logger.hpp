@@ -1,0 +1,59 @@
+// Daemon-facing logger.
+//
+// Each simulated daemon (ResourceManager, one per NodeManager, one per
+// Spark driver / executor) owns a `Logger` bound to a stream in a shared
+// `LogBundle`.  The logger converts engine microseconds to wall-clock
+// epoch milliseconds using the cluster epoch plus an optional per-daemon
+// clock skew — letting tests exercise SDchecker against imperfect NTP,
+// which the paper's tool silently assumes away.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_time.hpp"
+#include "logging/log_bundle.hpp"
+#include "logging/record.hpp"
+
+namespace sdc::logging {
+
+class Logger {
+ public:
+  /// Binds to `bundle[stream]`.  `epoch_base_ms` is the wall-clock time of
+  /// simulation time 0; `skew_ms` is added to every rendered timestamp.
+  Logger(LogBundle* bundle, std::string stream, std::int64_t epoch_base_ms,
+         std::int64_t skew_ms = 0)
+      : bundle_(bundle),
+        stream_(std::move(stream)),
+        epoch_base_ms_(epoch_base_ms),
+        skew_ms_(skew_ms) {}
+
+  /// Emits one line at simulation time `now`.
+  void log(SimTime now, Level level, const std::string& logger_class,
+           const std::string& message) const;
+
+  void info(SimTime now, const std::string& logger_class,
+            const std::string& message) const {
+    log(now, Level::kInfo, logger_class, message);
+  }
+  void warn(SimTime now, const std::string& logger_class,
+            const std::string& message) const {
+    log(now, Level::kWarn, logger_class, message);
+  }
+
+  [[nodiscard]] const std::string& stream() const noexcept { return stream_; }
+  [[nodiscard]] std::int64_t skew_ms() const noexcept { return skew_ms_; }
+
+  /// Wall-clock milliseconds this logger would stamp at simulation `now`.
+  [[nodiscard]] std::int64_t wall_ms(SimTime now) const noexcept {
+    return epoch_base_ms_ + to_millis(now) + skew_ms_;
+  }
+
+ private:
+  LogBundle* bundle_;
+  std::string stream_;
+  std::int64_t epoch_base_ms_;
+  std::int64_t skew_ms_;
+};
+
+}  // namespace sdc::logging

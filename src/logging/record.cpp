@@ -1,0 +1,32 @@
+#include "logging/record.hpp"
+
+#include "logging/timestamp.hpp"
+
+namespace sdc::logging {
+
+std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO ";
+    case Level::kWarn:
+      return "WARN ";
+    case Level::kError:
+      return "ERROR";
+  }
+  return "INFO ";
+}
+
+std::string LogRecord::render() const {
+  std::string out = format_epoch_ms(epoch_ms);
+  out += ' ';
+  out += level_name(level);
+  out += ' ';
+  out += logger;
+  out += ": ";
+  out += message;
+  return out;
+}
+
+}  // namespace sdc::logging

@@ -1,0 +1,34 @@
+// A single log4j-style log line.
+//
+// Rendered format (matching the paper's `timestamp class log-message`
+// description, concretely the log4j default layout):
+//
+//   2017-07-03 17:20:00,123 INFO  org.apache...rmapp.RMAppImpl: <message>
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sdc::logging {
+
+enum class Level { kDebug, kInfo, kWarn, kError };
+
+/// Returns the fixed-width upper-case name ("INFO ", "WARN ", ...).
+std::string_view level_name(Level level);
+
+struct LogRecord {
+  /// Wall-clock timestamp in epoch milliseconds as the daemon saw it
+  /// (includes any injected clock skew).
+  std::int64_t epoch_ms = 0;
+  Level level = Level::kInfo;
+  /// Fully qualified logger name, e.g.
+  /// "org.apache.hadoop.yarn.server.resourcemanager.rmapp.RMAppImpl".
+  std::string logger;
+  std::string message;
+
+  /// Renders the full log line (no trailing newline).
+  [[nodiscard]] std::string render() const;
+};
+
+}  // namespace sdc::logging

@@ -1,0 +1,92 @@
+#include "logging/timestamp.hpp"
+
+#include <cstdio>
+
+namespace sdc::logging {
+namespace {
+
+/// Days from civil date (Howard Hinnant's algorithm), valid for all dates
+/// in the proleptic Gregorian calendar.
+constexpr std::int64_t days_from_civil(std::int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+/// Inverse of days_from_civil.
+constexpr void civil_from_days(std::int64_t z, std::int64_t& y, unsigned& m,
+                               unsigned& d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = doy - (153 * mp + 2) / 5 + 1;
+  m = mp + (mp < 10 ? 3 : -9);
+  y += m <= 2;
+}
+
+bool two_digits(std::string_view s, std::size_t pos, int& out) {
+  const char a = s[pos];
+  const char b = s[pos + 1];
+  if (a < '0' || a > '9' || b < '0' || b > '9') return false;
+  out = (a - '0') * 10 + (b - '0');
+  return true;
+}
+
+}  // namespace
+
+std::string format_epoch_ms(std::int64_t epoch_ms) {
+  std::int64_t days = epoch_ms / 86'400'000;
+  std::int64_t rem = epoch_ms % 86'400'000;
+  if (rem < 0) {
+    rem += 86'400'000;
+    --days;
+  }
+  std::int64_t y;
+  unsigned m, d;
+  civil_from_days(days, y, m, d);
+  const int hh = static_cast<int>(rem / 3'600'000);
+  const int mm = static_cast<int>(rem / 60'000 % 60);
+  const int ss = static_cast<int>(rem / 1000 % 60);
+  const int ms = static_cast<int>(rem % 1000);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02u-%02u %02d:%02d:%02d,%03d",
+                static_cast<long long>(y), m, d, hh, mm, ss, ms);
+  return buf;
+}
+
+std::optional<std::int64_t> parse_epoch_ms(std::string_view text) {
+  if (text.size() < kTimestampWidth) return std::nullopt;
+  // Layout: 0123456789...
+  //         YYYY-MM-DD HH:MM:SS,mmm
+  if (text[4] != '-' || text[7] != '-' || text[10] != ' ' || text[13] != ':' ||
+      text[16] != ':' || text[19] != ',') {
+    return std::nullopt;
+  }
+  int c1, c2, mo, dd, hh, mi, ss, ms_hi, ms_lo1;
+  if (!two_digits(text, 0, c1) || !two_digits(text, 2, c2) ||
+      !two_digits(text, 5, mo) || !two_digits(text, 8, dd) ||
+      !two_digits(text, 11, hh) || !two_digits(text, 14, mi) ||
+      !two_digits(text, 17, ss) || !two_digits(text, 20, ms_hi)) {
+    return std::nullopt;
+  }
+  const char last = text[22];
+  if (last < '0' || last > '9') return std::nullopt;
+  ms_lo1 = last - '0';
+  const std::int64_t year = c1 * 100 + c2;
+  if (mo < 1 || mo > 12 || dd < 1 || dd > 31 || hh > 23 || mi > 59 || ss > 59)
+    return std::nullopt;
+  const std::int64_t days =
+      days_from_civil(year, static_cast<unsigned>(mo), static_cast<unsigned>(dd));
+  const std::int64_t millis_of_day = ((hh * 60LL + mi) * 60 + ss) * 1000 +
+                                     ms_hi * 10 + ms_lo1;
+  return days * 86'400'000 + millis_of_day;
+}
+
+}  // namespace sdc::logging

@@ -1,0 +1,27 @@
+// log4j timestamp codec.
+//
+// Both YARN and Spark log via log4j, whose default pattern renders
+// timestamps as `YYYY-MM-DD HH:MM:SS,mmm` with 1 ms precision — the
+// precision bound of the whole analysis (paper §III-A).  The conversion
+// uses UTC civil time with the days-from-civil algorithm so it is
+// locale- and timezone-independent and lock-free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sdc::logging {
+
+/// Width of a rendered timestamp: "2017-07-03 17:20:00,123".
+inline constexpr std::size_t kTimestampWidth = 23;
+
+/// Renders epoch milliseconds (UTC) in log4j's default pattern.
+std::string format_epoch_ms(std::int64_t epoch_ms);
+
+/// Parses a log4j timestamp back to epoch milliseconds; nullopt on any
+/// malformation (wrong width, non-digits, out-of-range fields).
+std::optional<std::int64_t> parse_epoch_ms(std::string_view text);
+
+}  // namespace sdc::logging

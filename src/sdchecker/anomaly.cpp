@@ -1,0 +1,99 @@
+#include "sdchecker/anomaly.hpp"
+
+namespace sdc::checker {
+namespace {
+
+void add(std::vector<Anomaly>& out, AnomalyType type, const ApplicationId& app,
+         std::string entity, std::string detail) {
+  out.push_back(Anomaly{type, app, std::move(entity), std::move(detail)});
+}
+
+void check_negative(std::vector<Anomaly>& out, const ApplicationId& app,
+                    const std::string& entity, std::string_view name,
+                    const std::optional<std::int64_t>& value) {
+  if (value && *value < 0) {
+    add(out, AnomalyType::kNegativeInterval, app, entity,
+        std::string(name) + " is negative (" + std::to_string(*value) +
+            " ms) — daemon clocks are skewed");
+  }
+}
+
+}  // namespace
+
+std::string_view anomaly_type_name(AnomalyType type) {
+  switch (type) {
+    case AnomalyType::kNeverUsedContainer:
+      return "never-used-container";
+    case AnomalyType::kMissingEvent:
+      return "missing-event";
+    case AnomalyType::kNegativeInterval:
+      return "negative-interval";
+  }
+  return "?";
+}
+
+void detect_anomalies(const AppTimeline& timeline, const Delays& delays,
+                      std::vector<Anomaly>& out) {
+  const ApplicationId& app = timeline.app;
+
+  // --- never-used containers (SPARK-21562 signature) ----------------------
+  for (const auto& [id, container] : timeline.containers) {
+    if (id.is_am()) continue;
+    const bool rm_side = container.has(EventKind::kContainerAllocated) ||
+                         container.has(EventKind::kContainerAcquired);
+    const bool nm_side = container.has(EventKind::kNmLocalizing) ||
+                         container.has(EventKind::kNmScheduled) ||
+                         container.has(EventKind::kNmRunning);
+    const bool exec_side = container.has(EventKind::kExecutorFirstLog) ||
+                           container.has(EventKind::kExecutorFirstTask);
+    if (rm_side && !nm_side && !exec_side) {
+      add(out, AnomalyType::kNeverUsedContainer, app, id.str(),
+          "container was allocated" +
+              std::string(container.has(EventKind::kContainerAcquired)
+                              ? " and acquired"
+                              : "") +
+              " but shows no NodeManager or executor activity "
+              "(application over-requested containers)");
+    }
+  }
+
+  // --- broken chains -------------------------------------------------------
+  if (timeline.has(EventKind::kAttemptRegistered) &&
+      !timeline.has(EventKind::kAppSubmitted)) {
+    add(out, AnomalyType::kMissingEvent, app, "app",
+        "APT_REGISTERED present but SUBMITTED missing (RM log truncated?)");
+  }
+  for (const auto& [id, container] : timeline.containers) {
+    if (container.has(EventKind::kNmScheduled) &&
+        !container.has(EventKind::kNmLocalizing)) {
+      add(out, AnomalyType::kMissingEvent, app, id.str(),
+          "SCHEDULED present but LOCALIZING missing (NM log truncated?)");
+    }
+    if (container.has(EventKind::kContainerAcquired) &&
+        !container.has(EventKind::kContainerAllocated)) {
+      add(out, AnomalyType::kMissingEvent, app, id.str(),
+          "ACQUIRED present but ALLOCATED missing (RM log truncated?)");
+    }
+    if (container.has(EventKind::kExecutorFirstTask) &&
+        !container.has(EventKind::kExecutorFirstLog)) {
+      add(out, AnomalyType::kMissingEvent, app, id.str(),
+          "FIRST_TASK present but executor FIRST_LOG missing");
+    }
+  }
+
+  // --- negative intervals (clock skew) -------------------------------------
+  check_negative(out, app, "app", "total scheduling delay", delays.total);
+  check_negative(out, app, "app", "AM delay", delays.am);
+  check_negative(out, app, "app", "driver delay", delays.driver);
+  check_negative(out, app, "app", "executor delay", delays.executor);
+  check_negative(out, app, "app", "allocation delay", delays.alloc);
+  for (const ContainerDelays& c : delays.containers) {
+    const std::string entity = c.id.str();
+    check_negative(out, app, entity, "acquisition delay", c.acquisition);
+    check_negative(out, app, entity, "localization delay", c.localization);
+    check_negative(out, app, entity, "queuing delay", c.queuing);
+    check_negative(out, app, entity, "launching delay", c.launching);
+  }
+}
+
+}  // namespace sdc::checker

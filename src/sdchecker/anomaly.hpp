@@ -1,0 +1,43 @@
+// Anomaly detection over application timelines.
+//
+// The flagship finding is the *never-used container* (paper §V-A /
+// SPARK-21562): containers whose RM-side states exist but which show no
+// NodeManager or executor activity — Spark requested more containers than
+// it launched.  The detector also reports broken event chains (log loss)
+// and negative intervals (clock skew between daemons).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdchecker/decompose.hpp"
+#include "sdchecker/grouping.hpp"
+
+namespace sdc::checker {
+
+enum class AnomalyType {
+  /// RM allocated (and possibly acquired) a container that never reached
+  /// a NodeManager nor logged executor activity.
+  kNeverUsedContainer,
+  /// An event chain is broken: a later state exists without the earlier
+  /// one (e.g. SCHEDULED without LOCALIZING) — lost or truncated logs.
+  kMissingEvent,
+  /// A computed delay is negative — daemon clocks disagree.
+  kNegativeInterval,
+};
+
+std::string_view anomaly_type_name(AnomalyType type);
+
+struct Anomaly {
+  AnomalyType type = AnomalyType::kMissingEvent;
+  ApplicationId app;
+  /// Entity the finding is about ("app" or a container id).
+  std::string entity;
+  std::string detail;
+};
+
+/// Inspects one application; appends findings to `out`.
+void detect_anomalies(const AppTimeline& timeline, const Delays& delays,
+                      std::vector<Anomaly>& out);
+
+}  // namespace sdc::checker

@@ -1,0 +1,87 @@
+#include "sdchecker/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sdc::checker {
+
+ComparisonResult compare(const AnalysisResult& a, const AnalysisResult& b) {
+  ComparisonResult result;
+  result.apps_a = a.timelines.size();
+  result.apps_b = b.timelines.size();
+  const auto metrics_a = a.aggregate.metrics();
+  const auto metrics_b = b.aggregate.metrics();
+  for (std::size_t i = 0; i < metrics_a.size() && i < metrics_b.size(); ++i) {
+    MetricDelta delta;
+    delta.metric = metrics_a[i].first;
+    const SampleSet& set_a = *metrics_a[i].second;
+    const SampleSet& set_b = *metrics_b[i].second;
+    delta.n_a = set_a.size();
+    delta.n_b = set_b.size();
+    if (!set_a.empty()) {
+      delta.median_a = set_a.median();
+      delta.p95_a = set_a.p95();
+    }
+    if (!set_b.empty()) {
+      delta.median_b = set_b.median();
+      delta.p95_b = set_b.p95();
+    }
+    if (delta.median_a && delta.median_b && *delta.median_a > 0) {
+      delta.median_ratio = *delta.median_b / *delta.median_a;
+    }
+    result.metrics.push_back(std::move(delta));
+  }
+  return result;
+}
+
+std::string ComparisonResult::render_text(const std::string& label_a,
+                                          const std::string& label_b) const {
+  std::string out;
+  char buf[200];
+  std::snprintf(buf, sizeof(buf), "%-14s | %12s %12s | %12s %12s | %8s\n",
+                "metric", (label_a + " median").c_str(),
+                (label_a + " p95").c_str(), (label_b + " median").c_str(),
+                (label_b + " p95").c_str(), "B/A med");
+  out += buf;
+  out += std::string(84, '-') + "\n";
+  const auto cell = [](const std::optional<double>& v) -> std::string {
+    if (!v) return "-";
+    char c[32];
+    std::snprintf(c, sizeof(c), "%.3fs", *v);
+    return c;
+  };
+  for (const MetricDelta& delta : metrics) {
+    std::string ratio = "-";
+    if (delta.median_ratio) {
+      char c[32];
+      std::snprintf(c, sizeof(c), "%.2fx", *delta.median_ratio);
+      ratio = c;
+    }
+    std::snprintf(buf, sizeof(buf), "%-14s | %12s %12s | %12s %12s | %8s\n",
+                  delta.metric.c_str(), cell(delta.median_a).c_str(),
+                  cell(delta.p95_a).c_str(), cell(delta.median_b).c_str(),
+                  cell(delta.p95_b).c_str(), ratio.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<const MetricDelta*> ComparisonResult::significant(
+    double threshold) const {
+  std::vector<const MetricDelta*> out;
+  for (const MetricDelta& delta : metrics) {
+    if (delta.median_ratio &&
+        std::abs(*delta.median_ratio - 1.0) > threshold) {
+      out.push_back(&delta);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricDelta* x, const MetricDelta* y) {
+              return std::abs(*x->median_ratio - 1.0) >
+                     std::abs(*y->median_ratio - 1.0);
+            });
+  return out;
+}
+
+}  // namespace sdc::checker

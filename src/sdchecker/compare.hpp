@@ -1,0 +1,47 @@
+// Run comparison: put two analyses side by side, metric by metric — the
+// operator workflow behind every optimization in Table III ("did the
+// change move the delay it was supposed to move, and nothing else?").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sdchecker/sdchecker.hpp"
+
+namespace sdc::checker {
+
+/// One metric's side-by-side summary.
+struct MetricDelta {
+  std::string metric;
+  std::size_t n_a = 0;
+  std::size_t n_b = 0;
+  /// Medians/p95s in seconds; nullopt when the side has no samples.
+  std::optional<double> median_a;
+  std::optional<double> median_b;
+  std::optional<double> p95_a;
+  std::optional<double> p95_b;
+  /// b/a ratio of medians (nullopt unless both sides have samples and a>0).
+  std::optional<double> median_ratio;
+};
+
+struct ComparisonResult {
+  std::vector<MetricDelta> metrics;
+  std::size_t apps_a = 0;
+  std::size_t apps_b = 0;
+
+  /// Fixed-width table: metric | A median/p95 | B median/p95 | B/A.
+  [[nodiscard]] std::string render_text(const std::string& label_a = "A",
+                                        const std::string& label_b = "B") const;
+
+  /// Metrics whose median moved by more than `threshold` (ratio away from
+  /// 1.0, e.g. 0.1 = ±10%), largest movement first.
+  [[nodiscard]] std::vector<const MetricDelta*> significant(
+      double threshold = 0.10) const;
+};
+
+/// Compares the aggregate distributions of two analyses.
+[[nodiscard]] ComparisonResult compare(const AnalysisResult& a,
+                                       const AnalysisResult& b);
+
+}  // namespace sdc::checker

@@ -1,0 +1,98 @@
+#include "sdchecker/decompose.hpp"
+
+namespace sdc::checker {
+namespace {
+
+std::optional<std::int64_t> diff(std::optional<std::int64_t> from,
+                                 std::optional<std::int64_t> to) {
+  if (!from || !to) return std::nullopt;
+  return *to - *from;
+}
+
+std::vector<std::int64_t> collect(
+    const std::vector<ContainerDelays>& containers,
+    std::optional<std::int64_t> ContainerDelays::* field) {
+  std::vector<std::int64_t> out;
+  for (const ContainerDelays& c : containers) {
+    if (!c.is_am && c.*field) out.push_back(*(c.*field));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> Delays::worker_acquisitions() const {
+  return collect(containers, &ContainerDelays::acquisition);
+}
+std::vector<std::int64_t> Delays::worker_localizations() const {
+  return collect(containers, &ContainerDelays::localization);
+}
+std::vector<std::int64_t> Delays::worker_queuings() const {
+  return collect(containers, &ContainerDelays::queuing);
+}
+std::vector<std::int64_t> Delays::worker_launchings() const {
+  return collect(containers, &ContainerDelays::launching);
+}
+std::vector<std::int64_t> Delays::worker_idles() const {
+  return collect(containers, &ContainerDelays::executor_idle);
+}
+
+Delays decompose(const AppTimeline& timeline) {
+  Delays out;
+  out.app = timeline.app;
+
+  const auto submitted = timeline.ts(EventKind::kAppSubmitted);
+  const auto registered = timeline.ts(EventKind::kAttemptRegistered);
+  const auto driver_first = timeline.ts(EventKind::kDriverFirstLog);
+  const auto driver_register = timeline.ts(EventKind::kDriverRegister);
+  const auto start_allo = timeline.ts(EventKind::kStartAllo);
+  const auto end_allo = timeline.ts(EventKind::kEndAllo);
+
+  const auto first_exec_log =
+      timeline.min_worker_ts(EventKind::kExecutorFirstLog);
+  const auto first_task = timeline.min_worker_ts(EventKind::kExecutorFirstTask);
+  const auto first_running = timeline.min_worker_ts(EventKind::kNmRunning);
+  const auto last_running = timeline.max_worker_ts(EventKind::kNmRunning);
+
+  out.total = diff(submitted, first_task);
+  out.am = diff(submitted, registered);
+  out.cf = diff(submitted, first_running);
+  out.cl = diff(submitted, last_running);
+  out.cl_minus_cf = diff(first_running, last_running);
+  out.driver = diff(driver_first, driver_register);
+  out.executor = diff(first_exec_log, first_task);
+  if (out.driver && out.executor) out.in_app = *out.driver + *out.executor;
+  if (out.total && out.in_app) out.out_app = *out.total - *out.in_app;
+  out.alloc = diff(start_allo, end_allo);
+
+  for (const auto& [id, container] : timeline.containers) {
+    ContainerDelays delays;
+    delays.id = id;
+    delays.is_am = id.is_am();
+    delays.acquisition = diff(container.ts(EventKind::kContainerAllocated),
+                              container.ts(EventKind::kContainerAcquired));
+    delays.localization = diff(container.ts(EventKind::kNmLocalizing),
+                               container.ts(EventKind::kNmScheduled));
+    delays.queuing = diff(container.ts(EventKind::kNmScheduled),
+                          container.ts(EventKind::kNmRunning));
+    // Launching ends at the launched instance's first log line: the
+    // driver's for the AM container, the executor's otherwise.  A failed
+    // launch never produced a first log (the app-level driver log may
+    // belong to a *later attempt's* AM, so it must not be borrowed).
+    const bool launch_failed = container.has(EventKind::kNmFailed);
+    const auto instance_first_log =
+        launch_failed ? std::nullopt
+        : delays.is_am ? driver_first
+                       : container.ts(EventKind::kExecutorFirstLog);
+    delays.launching =
+        diff(container.ts(EventKind::kNmRunning), instance_first_log);
+    if (!delays.is_am) {
+      delays.executor_idle = diff(container.ts(EventKind::kExecutorFirstLog),
+                                  container.ts(EventKind::kExecutorFirstTask));
+    }
+    out.containers.push_back(std::move(delays));
+  }
+  return out;
+}
+
+}  // namespace sdc::checker

@@ -1,0 +1,73 @@
+// Fifth stage: delay decomposition (paper §III-C).
+//
+// All values are millisecond intervals between Table-I events; a field is
+// nullopt when the required events are missing from the logs.  Negative
+// values are preserved (they indicate clock skew between daemons and are
+// flagged by the anomaly detector rather than silently clamped).
+//
+//   total     SUBMITTED(1)            -> first FIRST_TASK(14)
+//   am        SUBMITTED(1)            -> APT_REGISTERED(3)
+//   cf / cl   SUBMITTED(1)            -> first / last worker RUNNING(8)
+//   driver    DRV_FIRST_LOG(9)        -> DRV_REGISTER(10)
+//   executor  first EXE_FIRST_LOG(13) -> first FIRST_TASK(14)
+//   in_app    driver + executor                (Spark-caused)
+//   out_app   total - in_app                   (YARN-caused)
+//   alloc     START_ALLO(11)          -> END_ALLO(12)
+//   per container:
+//     acquisition   ALLOCATED(4)  -> ACQUIRED(5)
+//     localization  LOCALIZING(6) -> SCHEDULED(7)
+//     queuing       SCHEDULED(7)  -> RUNNING(8)
+//     launching     RUNNING(8)    -> instance FIRST_LOG(9/13)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sdchecker/grouping.hpp"
+
+namespace sdc::checker {
+
+/// Per-container component delays (ms).
+struct ContainerDelays {
+  ContainerId id;
+  bool is_am = false;
+  std::optional<std::int64_t> acquisition;
+  std::optional<std::int64_t> localization;
+  std::optional<std::int64_t> queuing;
+  std::optional<std::int64_t> launching;
+  /// Executor idle time (paper Fig. 10): this executor's FIRST_LOG to its
+  /// own first task — the span it sits waiting for the driver's user
+  /// initialization and task scheduling.
+  std::optional<std::int64_t> executor_idle;
+};
+
+/// Full decomposition for one application (ms).
+struct Delays {
+  ApplicationId app;
+
+  std::optional<std::int64_t> total;
+  std::optional<std::int64_t> am;
+  std::optional<std::int64_t> cf;
+  std::optional<std::int64_t> cl;
+  std::optional<std::int64_t> cl_minus_cf;
+  std::optional<std::int64_t> driver;
+  std::optional<std::int64_t> executor;
+  std::optional<std::int64_t> in_app;
+  std::optional<std::int64_t> out_app;
+  std::optional<std::int64_t> alloc;
+
+  std::vector<ContainerDelays> containers;
+
+  /// Convenience accessors over `containers` (workers only, value present).
+  [[nodiscard]] std::vector<std::int64_t> worker_acquisitions() const;
+  [[nodiscard]] std::vector<std::int64_t> worker_localizations() const;
+  [[nodiscard]] std::vector<std::int64_t> worker_queuings() const;
+  [[nodiscard]] std::vector<std::int64_t> worker_launchings() const;
+  [[nodiscard]] std::vector<std::int64_t> worker_idles() const;
+};
+
+/// Computes the decomposition from one application's timeline.
+[[nodiscard]] Delays decompose(const AppTimeline& timeline);
+
+}  // namespace sdc::checker

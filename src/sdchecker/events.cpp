@@ -1,0 +1,76 @@
+#include "sdchecker/events.hpp"
+
+namespace sdc::checker {
+
+std::string_view event_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAppSubmitted:
+      return "SUBMITTED";
+    case EventKind::kAppAccepted:
+      return "ACCEPTED";
+    case EventKind::kAttemptRegistered:
+      return "APT_REGISTERED";
+    case EventKind::kContainerAllocated:
+      return "ALLOCATED";
+    case EventKind::kContainerAcquired:
+      return "ACQUIRED";
+    case EventKind::kNmLocalizing:
+      return "LOCALIZING";
+    case EventKind::kNmScheduled:
+      return "SCHEDULED";
+    case EventKind::kNmRunning:
+      return "RUNNING";
+    case EventKind::kDriverFirstLog:
+      return "DRV_FIRST_LOG";
+    case EventKind::kDriverRegister:
+      return "DRV_REGISTER";
+    case EventKind::kStartAllo:
+      return "START_ALLO";
+    case EventKind::kEndAllo:
+      return "END_ALLO";
+    case EventKind::kExecutorFirstLog:
+      return "EXE_FIRST_LOG";
+    case EventKind::kExecutorFirstTask:
+      return "FIRST_TASK";
+    case EventKind::kRmContainerRunning:
+      return "RM_RUNNING";
+    case EventKind::kRmContainerCompleted:
+      return "RM_COMPLETED";
+    case EventKind::kRmContainerReleased:
+      return "RM_RELEASED";
+    case EventKind::kNmExited:
+      return "NM_EXITED";
+    case EventKind::kNmFailed:
+      return "NM_FAILED";
+    case EventKind::kAppFinished:
+      return "APP_FINISHED";
+  }
+  return "?";
+}
+
+std::int32_t table1_number(EventKind kind) {
+  const auto raw = static_cast<std::int32_t>(kind);
+  return raw >= 1 && raw <= 14 ? raw : 0;
+}
+
+bool is_container_event(EventKind kind) {
+  switch (kind) {
+    case EventKind::kContainerAllocated:
+    case EventKind::kContainerAcquired:
+    case EventKind::kNmLocalizing:
+    case EventKind::kNmScheduled:
+    case EventKind::kNmRunning:
+    case EventKind::kExecutorFirstLog:
+    case EventKind::kExecutorFirstTask:
+    case EventKind::kRmContainerRunning:
+    case EventKind::kRmContainerCompleted:
+    case EventKind::kRmContainerReleased:
+    case EventKind::kNmExited:
+    case EventKind::kNmFailed:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace sdc::checker

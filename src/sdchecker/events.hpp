@@ -1,0 +1,66 @@
+// The event vocabulary of the analysis: Table I's 14 identified log
+// messages plus a few auxiliary events (container completion/release,
+// application finish) that the scheduling graph and the anomaly detector
+// use.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/ids.hpp"
+
+namespace sdc::checker {
+
+enum class EventKind {
+  // Table I, rows 1-14.
+  kAppSubmitted = 1,        // RMAppImpl -> SUBMITTED
+  kAppAccepted = 2,         // RMAppImpl -> ACCEPTED
+  kAttemptRegistered = 3,   // RMAppImpl -> RUNNING on ATTEMPT_REGISTERED
+  kContainerAllocated = 4,  // RMContainerImpl -> ALLOCATED
+  kContainerAcquired = 5,   // RMContainerImpl -> ACQUIRED
+  kNmLocalizing = 6,        // ContainerImpl -> LOCALIZING
+  kNmScheduled = 7,         // ContainerImpl -> SCHEDULED
+  kNmRunning = 8,           // ContainerImpl -> RUNNING
+  kDriverFirstLog = 9,      // first line of a driver log
+  kDriverRegister = 10,     // driver registers with the RM
+  kStartAllo = 11,          // manually added: allocation batch starts
+  kEndAllo = 12,            // manually added: all requested granted
+  kExecutorFirstLog = 13,   // first line of an executor log
+  kExecutorFirstTask = 14,  // "Got assigned task"
+  // Auxiliary (beyond Table I).
+  kRmContainerRunning = 20,
+  kRmContainerCompleted = 21,
+  kRmContainerReleased = 22,
+  kNmExited = 23,
+  kAppFinished = 24,
+  kNmFailed = 25,
+};
+
+/// Short stable name for reports and DOT labels ("SUBMITTED",
+/// "FIRST_TASK", ...), following the paper's Table I naming.
+std::string_view event_name(EventKind kind);
+
+/// Table I message number (1-14), or 0 for auxiliary events.
+std::int32_t table1_number(EventKind kind);
+
+/// One extracted scheduling event.
+struct SchedEvent {
+  EventKind kind = EventKind::kAppSubmitted;
+  std::int64_t ts_ms = 0;
+  /// Owning application (always known once grouping resolves it; may be
+  /// unset straight out of the extractor for container events).
+  std::optional<ApplicationId> app;
+  /// Owning container, for container-scoped events.
+  std::optional<ContainerId> container;
+  /// Which log stream produced the event (file name).
+  std::string stream;
+  /// 1-based line number within the stream.
+  std::size_t line_no = 0;
+};
+
+/// True for events scoped to a container rather than the application.
+bool is_container_event(EventKind kind);
+
+}  // namespace sdc::checker

@@ -1,0 +1,35 @@
+// Plot-ready data export: per-app delay rows, raw event timelines, and
+// CDF series — the CSV inputs one would feed to gnuplot/matplotlib to
+// redraw the paper's figures.
+#pragma once
+
+#include <string>
+
+#include "common/stats.hpp"
+#include "sdchecker/sdchecker.hpp"
+
+namespace sdc::checker {
+
+/// One CSV row per application: every decomposed delay in milliseconds
+/// (empty cell when the events are missing).
+[[nodiscard]] std::string delays_csv(const AnalysisResult& result);
+
+/// One CSV row per (application, container): per-container component
+/// delays in milliseconds.
+[[nodiscard]] std::string containers_csv(const AnalysisResult& result);
+
+/// One CSV row per grouped event: app, container, Table-I number, event
+/// name, epoch-ms timestamp.  Suitable for timeline plots (Fig. 3 style).
+[[nodiscard]] std::string events_csv(const AnalysisResult& result);
+
+/// CDF series of one sample set: `value,probability` rows (the paper's
+/// figures are CDF plots).
+[[nodiscard]] std::string cdf_csv(const SampleSet& samples,
+                                  std::size_t points = 100);
+
+/// Full analysis as one JSON document: mining summary, aggregate
+/// distribution statistics, per-application decompositions (with
+/// per-container components), and anomalies.
+[[nodiscard]] std::string analysis_json(const AnalysisResult& result);
+
+}  // namespace sdc::checker

@@ -1,0 +1,239 @@
+#include "sdchecker/extractor.hpp"
+
+#include "common/strings.hpp"
+
+namespace sdc::checker {
+namespace {
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+/// Extracts the token following `marker` up to the next space (or end).
+std::string_view word_after(std::string_view text, std::string_view marker) {
+  const std::size_t pos = text.find(marker);
+  if (pos == std::string_view::npos) return {};
+  std::size_t start = pos + marker.size();
+  std::size_t end = start;
+  while (end < text.size() && text[end] != ' ') ++end;
+  return text.substr(start, end - start);
+}
+
+std::optional<SchedEvent> make_event(EventKind kind, const ParsedLine& line,
+                                     std::string_view stream,
+                                     std::size_t line_no,
+                                     std::optional<ApplicationId> app,
+                                     std::optional<ContainerId> container) {
+  SchedEvent event;
+  event.kind = kind;
+  event.ts_ms = line.epoch_ms;
+  event.app = app;
+  event.container = container;
+  event.stream = std::string(stream);
+  event.line_no = line_no;
+  return event;
+}
+
+}  // namespace
+
+std::string_view stream_kind_name(StreamKind kind) {
+  switch (kind) {
+    case StreamKind::kUnknown:
+      return "unknown";
+    case StreamKind::kResourceManager:
+      return "resourcemanager";
+    case StreamKind::kNodeManager:
+      return "nodemanager";
+    case StreamKind::kDriver:
+      return "driver";
+    case StreamKind::kExecutor:
+      return "executor";
+  }
+  return "?";
+}
+
+std::optional<ApplicationId> find_application_id(std::string_view message) {
+  const std::string_view token = find_token_with_prefix(message, "application_");
+  if (!token.empty()) return ApplicationId::parse(token);
+  // appattempt_<clusterTs>_<appId>_<attempt> embeds the application id.
+  const std::string_view attempt = find_token_with_prefix(message, "appattempt_");
+  if (attempt.empty()) return std::nullopt;
+  const auto parts = split(attempt, '_');
+  if (parts.size() != 4) return std::nullopt;
+  const std::string rebuilt =
+      "application_" + std::string(parts[1]) + "_" + std::string(parts[2]);
+  return ApplicationId::parse(rebuilt);
+}
+
+std::optional<ContainerId> find_container_id(std::string_view message) {
+  const std::string_view token = find_token_with_prefix(message, "container_");
+  if (token.empty()) return std::nullopt;
+  return ContainerId::parse(token);
+}
+
+std::optional<Transition> parse_transition(std::string_view message) {
+  // Both YARN phrasings: "State change from A to B on event = E",
+  // "Container Transitioned from A to B", "... transitioned from A to B".
+  const std::size_t from_pos = message.find("from ");
+  if (from_pos == std::string_view::npos) return std::nullopt;
+  std::size_t from_start = from_pos + 5;
+  const std::size_t to_pos = message.find(" to ", from_start);
+  if (to_pos == std::string_view::npos) return std::nullopt;
+  Transition out;
+  out.from = message.substr(from_start, to_pos - from_start);
+  std::size_t to_start = to_pos + 4;
+  std::size_t to_end = to_start;
+  while (to_end < message.size() && message[to_end] != ' ') ++to_end;
+  out.to = message.substr(to_start, to_end - to_start);
+  if (out.from.empty() || out.to.empty()) return std::nullopt;
+  return out;
+}
+
+StreamKind classify_line(const ParsedLine& line) {
+  const std::string_view cls = short_class_name(line.logger);
+  if (cls == "RMAppImpl" || cls == "RMContainerImpl" ||
+      cls == "CapacityScheduler" || cls == "ClientRMService" ||
+      cls == "OpportunisticContainerAllocatorAMService") {
+    return StreamKind::kResourceManager;
+  }
+  if (cls == "ContainerImpl" || cls == "ResourceLocalizationService" ||
+      cls == "ContainerScheduler") {
+    return StreamKind::kNodeManager;
+  }
+  if (cls == "ApplicationMaster" || cls == "YarnAllocator" ||
+      cls == "MRAppMaster" || cls == "SparkContext" ||
+      cls == "TaskSetManager" || cls == "YarnSchedulerBackend") {
+    return StreamKind::kDriver;
+  }
+  if (cls == "CoarseGrainedExecutorBackend" || cls == "Executor" ||
+      cls == "YarnChild") {
+    return StreamKind::kExecutor;
+  }
+  return StreamKind::kUnknown;
+}
+
+std::optional<SchedEvent> extract_event(const ParsedLine& line,
+                                        std::string_view stream,
+                                        std::size_t line_no) {
+  const std::string_view cls = short_class_name(line.logger);
+  const std::string_view msg = line.message;
+
+  if (cls == "RMAppImpl") {
+    const auto transition = parse_transition(msg);
+    if (!transition) return std::nullopt;
+    const auto app = find_application_id(msg);
+    if (!app) return std::nullopt;
+    if (transition->to == "SUBMITTED") {
+      return make_event(EventKind::kAppSubmitted, line, stream, line_no, app,
+                        std::nullopt);
+    }
+    if (transition->to == "ACCEPTED") {
+      return make_event(EventKind::kAppAccepted, line, stream, line_no, app,
+                        std::nullopt);
+    }
+    if (transition->to == "RUNNING" &&
+        contains(msg, "ATTEMPT_REGISTERED")) {
+      return make_event(EventKind::kAttemptRegistered, line, stream, line_no,
+                        app, std::nullopt);
+    }
+    if (transition->to == "FINISHED") {
+      return make_event(EventKind::kAppFinished, line, stream, line_no, app,
+                        std::nullopt);
+    }
+    return std::nullopt;
+  }
+
+  if (cls == "RMContainerImpl") {
+    const auto transition = parse_transition(msg);
+    if (!transition) return std::nullopt;
+    const auto container = find_container_id(msg);
+    if (!container) return std::nullopt;
+    const auto app = std::optional<ApplicationId>(container->app);
+    if (transition->to == "ALLOCATED") {
+      return make_event(EventKind::kContainerAllocated, line, stream, line_no,
+                        app, container);
+    }
+    if (transition->to == "ACQUIRED") {
+      return make_event(EventKind::kContainerAcquired, line, stream, line_no,
+                        app, container);
+    }
+    if (transition->to == "RUNNING") {
+      return make_event(EventKind::kRmContainerRunning, line, stream, line_no,
+                        app, container);
+    }
+    if (transition->to == "COMPLETED") {
+      return make_event(EventKind::kRmContainerCompleted, line, stream,
+                        line_no, app, container);
+    }
+    if (transition->to == "RELEASED") {
+      return make_event(EventKind::kRmContainerReleased, line, stream, line_no,
+                        app, container);
+    }
+    return std::nullopt;
+  }
+
+  if (cls == "ContainerImpl") {
+    const auto transition = parse_transition(msg);
+    if (!transition) return std::nullopt;
+    const auto container = find_container_id(msg);
+    if (!container) return std::nullopt;
+    const auto app = std::optional<ApplicationId>(container->app);
+    if (transition->to == "LOCALIZING") {
+      return make_event(EventKind::kNmLocalizing, line, stream, line_no, app,
+                        container);
+    }
+    if (transition->to == "SCHEDULED") {
+      return make_event(EventKind::kNmScheduled, line, stream, line_no, app,
+                        container);
+    }
+    if (transition->to == "RUNNING") {
+      return make_event(EventKind::kNmRunning, line, stream, line_no, app,
+                        container);
+    }
+    if (transition->to == "EXITED_WITH_SUCCESS") {
+      return make_event(EventKind::kNmExited, line, stream, line_no, app,
+                        container);
+    }
+    if (transition->to == "EXITED_WITH_FAILURE") {
+      return make_event(EventKind::kNmFailed, line, stream, line_no, app,
+                        container);
+    }
+    return std::nullopt;
+  }
+
+  if (cls == "ApplicationMaster" || cls == "MRAppMaster") {
+    if (contains(msg, "Registering the ApplicationMaster") ||
+        contains(msg, "Registering with the ResourceManager")) {
+      // App id is not in this message; the miner binds it stream-wide.
+      return make_event(EventKind::kDriverRegister, line, stream, line_no,
+                        std::nullopt, std::nullopt);
+    }
+    return std::nullopt;
+  }
+
+  if (cls == "YarnAllocator") {
+    if (contains(msg, "START_ALLO")) {
+      return make_event(EventKind::kStartAllo, line, stream, line_no,
+                        std::nullopt, std::nullopt);
+    }
+    if (contains(msg, "END_ALLO")) {
+      return make_event(EventKind::kEndAllo, line, stream, line_no,
+                        std::nullopt, std::nullopt);
+    }
+    return std::nullopt;
+  }
+
+  if (cls == "CoarseGrainedExecutorBackend") {
+    if (contains(msg, "Got assigned task")) {
+      const std::string_view tid = word_after(msg, "Got assigned task ");
+      (void)tid;
+      return make_event(EventKind::kExecutorFirstTask, line, stream, line_no,
+                        std::nullopt, std::nullopt);
+    }
+    return std::nullopt;
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace sdc::checker

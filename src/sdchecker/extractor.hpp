@@ -1,0 +1,59 @@
+// Second parsing stage: classify a parsed line as one of the identified
+// scheduling messages (Table I) and pull out its global IDs.
+//
+// Patterns are anchored on the daemon class plus the state-transition
+// phrasing YARN's state machines emit ("State change from A to B",
+// "Container Transitioned from A to B", "transitioned from A to B") and
+// on the Spark/MR milestone messages; IDs are recognized as
+// `application_...` / `container_...` / `appattempt_...` tokens anywhere
+// in the message (paper §III-A/Fig. 2).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "sdchecker/events.hpp"
+#include "sdchecker/parsed_line.hpp"
+
+namespace sdc::checker {
+
+/// What kind of daemon produced a log stream — decided from content, not
+/// file names, so SDchecker works on arbitrarily-named log files.
+enum class StreamKind {
+  kUnknown,
+  kResourceManager,
+  kNodeManager,
+  kDriver,    // Spark driver or MR AppMaster
+  kExecutor,  // Spark executor or MR task (YarnChild)
+};
+
+std::string_view stream_kind_name(StreamKind kind);
+
+/// Extracts the scheduling event from one parsed line, if it is one of
+/// the identified messages.  `stream` / `line_no` are recorded verbatim.
+/// FIRST_LOG events (messages 9/13) are *not* produced here — they are a
+/// per-stream property synthesized by the miner.
+std::optional<SchedEvent> extract_event(const ParsedLine& line,
+                                        std::string_view stream,
+                                        std::size_t line_no);
+
+/// Classifies one line's daemon kind from its logger class (kUnknown when
+/// the class is not diagnostic).
+StreamKind classify_line(const ParsedLine& line);
+
+/// Finds an application id in the message: a direct `application_...`
+/// token, or one embedded in an `appattempt_...` token.
+std::optional<ApplicationId> find_application_id(std::string_view message);
+
+/// Finds a `container_...` token in the message.
+std::optional<ContainerId> find_container_id(std::string_view message);
+
+/// Parses "... from <A> to <B> ..." transition phrasing; returns the two
+/// state names.
+struct Transition {
+  std::string_view from;
+  std::string_view to;
+};
+std::optional<Transition> parse_transition(std::string_view message);
+
+}  // namespace sdc::checker

@@ -1,0 +1,152 @@
+#include "sdchecker/graph.hpp"
+
+#include <array>
+
+#include "logging/timestamp.hpp"
+
+namespace sdc::checker {
+namespace {
+
+/// True for Spark-side (in-application) states — ellipses in Fig. 3.
+bool is_spark_state(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDriverFirstLog:
+    case EventKind::kDriverRegister:
+    case EventKind::kStartAllo:
+    case EventKind::kEndAllo:
+    case EventKind::kExecutorFirstLog:
+    case EventKind::kExecutorFirstTask:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::size_t SchedulingGraph::add_node(std::string entity, EventKind kind,
+                                      std::int64_t ts) {
+  nodes_.push_back(GraphNode{std::move(entity), kind, ts});
+  return nodes_.size() - 1;
+}
+
+void SchedulingGraph::add_edge(std::size_t from, std::size_t to, bool cross) {
+  if (from == kAbsent || to == kAbsent) return;
+  edges_.push_back(GraphEdge{from, to, cross});
+}
+
+SchedulingGraph SchedulingGraph::build(const AppTimeline& timeline) {
+  SchedulingGraph graph;
+
+  // --- application-level chain -------------------------------------------
+  const auto app_node = [&](EventKind kind) -> std::size_t {
+    const auto ts = timeline.ts(kind);
+    if (!ts) return kAbsent;
+    return graph.add_node("app", kind, *ts);
+  };
+  const std::size_t submitted = app_node(EventKind::kAppSubmitted);
+  const std::size_t accepted = app_node(EventKind::kAppAccepted);
+  const std::size_t registered = app_node(EventKind::kAttemptRegistered);
+  const std::size_t drv_first = app_node(EventKind::kDriverFirstLog);
+  const std::size_t drv_register = app_node(EventKind::kDriverRegister);
+  const std::size_t start_allo = app_node(EventKind::kStartAllo);
+  const std::size_t end_allo = app_node(EventKind::kEndAllo);
+  const std::size_t finished = app_node(EventKind::kAppFinished);
+
+  graph.add_edge(submitted, accepted, false);
+  graph.add_edge(accepted, registered, false);
+  graph.add_edge(drv_first, drv_register, false);
+  // Driver registration is what fires ATTEMPT_REGISTERED at the RM.
+  graph.add_edge(drv_register, registered, true);
+  graph.add_edge(drv_register, start_allo, false);
+  graph.add_edge(start_allo, end_allo, false);
+  graph.add_edge(registered, finished, false);
+
+  // --- per-container chains ----------------------------------------------
+  for (const auto& [id, container] : timeline.containers) {
+    const std::string entity = id.str();
+    const auto container_node = [&](EventKind kind) -> std::size_t {
+      const auto ts = container.ts(kind);
+      if (!ts) return kAbsent;
+      return graph.add_node(entity, kind, *ts);
+    };
+    const std::size_t allocated = container_node(EventKind::kContainerAllocated);
+    const std::size_t acquired = container_node(EventKind::kContainerAcquired);
+    const std::size_t localizing = container_node(EventKind::kNmLocalizing);
+    const std::size_t scheduled = container_node(EventKind::kNmScheduled);
+    const std::size_t running = container_node(EventKind::kNmRunning);
+    const std::size_t released = container_node(EventKind::kRmContainerReleased);
+    const std::size_t failed = container_node(EventKind::kNmFailed);
+    const std::size_t exec_first =
+        container_node(EventKind::kExecutorFirstLog);
+    const std::size_t first_task =
+        container_node(EventKind::kExecutorFirstTask);
+
+    graph.add_edge(allocated, acquired, false);
+    graph.add_edge(acquired, localizing, true);  // RM -> NM handoff
+    graph.add_edge(localizing, scheduled, false);
+    graph.add_edge(scheduled, running, false);
+    graph.add_edge(allocated, released, false);
+    graph.add_edge(running, failed, false);
+    graph.add_edge(running, exec_first, true);  // NM -> process handoff
+    graph.add_edge(exec_first, first_task, false);
+
+    if (id.is_am()) {
+      // The admitted app causes the AM container; its process is the
+      // driver.
+      graph.add_edge(accepted, allocated, true);
+      graph.add_edge(running, drv_first, true);
+    } else {
+      // Worker containers are requested by the allocator and their
+      // acquisition feeds END_ALLO — unless they are *replacements* for
+      // failed launches, acquired after END_ALLO already fired.
+      graph.add_edge(start_allo, allocated, true);
+      const auto acquired_ts = container.ts(EventKind::kContainerAcquired);
+      const auto end_allo_ts = timeline.ts(EventKind::kEndAllo);
+      if (acquired_ts && end_allo_ts && *acquired_ts <= *end_allo_ts) {
+        graph.add_edge(acquired, end_allo, true);
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<std::string> SchedulingGraph::validate() const {
+  std::vector<std::string> violations;
+  for (const GraphEdge& edge : edges_) {
+    const GraphNode& a = nodes_[edge.from];
+    const GraphNode& b = nodes_[edge.to];
+    if (b.ts_ms < a.ts_ms) {
+      violations.push_back(
+          a.entity + ":" + std::string(event_name(a.kind)) + " (" +
+          logging::format_epoch_ms(a.ts_ms) + ") -> " + b.entity + ":" +
+          std::string(event_name(b.kind)) + " (" +
+          logging::format_epoch_ms(b.ts_ms) + ") goes backwards by " +
+          std::to_string(a.ts_ms - b.ts_ms) + " ms");
+    }
+  }
+  return violations;
+}
+
+std::string SchedulingGraph::to_dot() const {
+  std::string out = "digraph scheduling {\n  rankdir=LR;\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const GraphNode& node = nodes_[i];
+    const std::int32_t num = table1_number(node.kind);
+    out += "  n" + std::to_string(i) + " [label=\"" + node.entity + "\\n" +
+           std::string(event_name(node.kind));
+    if (num > 0) out += " (" + std::to_string(num) + ")";
+    out += "\" shape=" +
+           std::string(is_spark_state(node.kind) ? "ellipse" : "box") + "];\n";
+  }
+  for (const GraphEdge& edge : edges_) {
+    out += "  n" + std::to_string(edge.from) + " -> n" +
+           std::to_string(edge.to);
+    if (edge.cross_entity) out += " [style=dashed]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sdc::checker

@@ -1,0 +1,65 @@
+// The scheduling graph (paper Fig. 3): per-application DAG of observed
+// scheduling states, with intra-entity edges following each state
+// machine and cross-entity edges expressing the causal protocol (app
+// accepted -> AM container allocated; container running -> process first
+// log; driver registered -> executor asks; ...).  Every edge should be
+// non-decreasing in timestamp on a well-behaved cluster — `validate`
+// returns the violations (clock skew, log loss).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sdchecker/grouping.hpp"
+
+namespace sdc::checker {
+
+struct GraphNode {
+  /// Entity label: "app", "driver", or a container id string.
+  std::string entity;
+  EventKind kind = EventKind::kAppSubmitted;
+  std::int64_t ts_ms = 0;
+};
+
+struct GraphEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  /// True when the edge crosses entities (protocol edge, dashed in DOT).
+  bool cross_entity = false;
+};
+
+class SchedulingGraph {
+ public:
+  /// Builds the graph from one application's timeline; absent events
+  /// simply have no node.
+  static SchedulingGraph build(const AppTimeline& timeline);
+
+  [[nodiscard]] const std::vector<GraphNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<GraphEdge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Returns human-readable descriptions of edges whose target precedes
+  /// its source in time (empty = graph is temporally consistent).
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Graphviz DOT rendering (rectangles: YARN states, ellipses: Spark
+  /// states — mirroring Fig. 3's shapes).
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  std::size_t add_node(std::string entity, EventKind kind, std::int64_t ts);
+  void add_edge(std::size_t from, std::size_t to, bool cross);
+  /// Adds a chain of nodes for the kinds present in `timeline`, linking
+  /// consecutive present states; returns node index per kind (npos if
+  /// absent).
+  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+};
+
+}  // namespace sdc::checker

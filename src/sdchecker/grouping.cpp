@@ -1,0 +1,92 @@
+#include "sdchecker/grouping.hpp"
+
+#include <algorithm>
+
+namespace sdc::checker {
+namespace {
+
+void record(std::map<EventKind, std::int64_t>& first_ts,
+            std::map<EventKind, std::int32_t>& counts, EventKind kind,
+            std::int64_t ts) {
+  const auto it = first_ts.find(kind);
+  if (it == first_ts.end() || ts < it->second) first_ts[kind] = ts;
+  ++counts[kind];
+}
+
+}  // namespace
+
+std::optional<std::int64_t> ContainerTimeline::ts(EventKind kind) const {
+  const auto it = first_ts.find(kind);
+  if (it == first_ts.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ContainerTimeline::has(EventKind kind) const {
+  return first_ts.contains(kind);
+}
+
+std::optional<std::int64_t> AppTimeline::ts(EventKind kind) const {
+  const auto it = first_ts.find(kind);
+  if (it == first_ts.end()) return std::nullopt;
+  return it->second;
+}
+
+bool AppTimeline::has(EventKind kind) const { return first_ts.contains(kind); }
+
+const ContainerTimeline* AppTimeline::am_container() const {
+  for (const auto& [id, timeline] : containers) {
+    if (id.is_am()) return &timeline;
+  }
+  return nullptr;
+}
+
+std::vector<const ContainerTimeline*> AppTimeline::worker_containers() const {
+  std::vector<const ContainerTimeline*> out;
+  for (const auto& [id, timeline] : containers) {
+    if (!id.is_am()) out.push_back(&timeline);
+  }
+  return out;  // std::map iteration is already id-ordered
+}
+
+std::optional<std::int64_t> AppTimeline::min_worker_ts(EventKind kind) const {
+  std::optional<std::int64_t> best;
+  for (const ContainerTimeline* c : worker_containers()) {
+    const auto t = c->ts(kind);
+    if (t && (!best || *t < *best)) best = t;
+  }
+  return best;
+}
+
+std::optional<std::int64_t> AppTimeline::max_worker_ts(EventKind kind) const {
+  std::optional<std::int64_t> best;
+  for (const ContainerTimeline* c : worker_containers()) {
+    const auto t = c->ts(kind);
+    if (t && (!best || *t > *best)) best = t;
+  }
+  return best;
+}
+
+bool apply_event(std::map<ApplicationId, AppTimeline>& apps,
+                 const SchedEvent& event) {
+  if (!event.app) return false;
+  AppTimeline& app = apps[*event.app];
+  app.app = *event.app;
+  if (event.container) {
+    ContainerTimeline& container = app.containers[*event.container];
+    container.id = *event.container;
+    record(container.first_ts, container.counts, event.kind, event.ts_ms);
+  } else {
+    record(app.first_ts, app.counts, event.kind, event.ts_ms);
+  }
+  return true;
+}
+
+GroupResult group_events(const std::vector<SchedEvent>& events) {
+  GroupResult result;
+  for (const SchedEvent& event : events) {
+    if (!apply_event(result.apps, event)) ++result.unattributed;
+  }
+  return result;
+}
+
+}  // namespace sdc::checker

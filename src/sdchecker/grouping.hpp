@@ -1,0 +1,68 @@
+// Fourth stage: aggregate events by global ID into per-application
+// timelines (paper §III-C: "SDchecker binds each log event with its
+// corresponding global ID ... aggregates and groups state transformations
+// based on the IDs").  For each entity and event kind the *first*
+// occurrence wins (an executor logs "Got assigned task" for every task;
+// only the first marks the end of the scheduling delay).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sdchecker/events.hpp"
+
+namespace sdc::checker {
+
+/// Event history of a single container.
+struct ContainerTimeline {
+  ContainerId id;
+
+  /// First timestamp per event kind (ms).
+  std::map<EventKind, std::int64_t> first_ts;
+  /// Occurrence counts per kind.
+  std::map<EventKind, std::int32_t> counts;
+
+  [[nodiscard]] std::optional<std::int64_t> ts(EventKind kind) const;
+  [[nodiscard]] bool has(EventKind kind) const;
+};
+
+/// Event history of one application and all its containers.
+struct AppTimeline {
+  ApplicationId app;
+
+  std::map<EventKind, std::int64_t> first_ts;
+  std::map<EventKind, std::int32_t> counts;
+  std::map<ContainerId, ContainerTimeline> containers;
+
+  [[nodiscard]] std::optional<std::int64_t> ts(EventKind kind) const;
+  [[nodiscard]] bool has(EventKind kind) const;
+
+  /// The AppMaster container (sequence number 1), if seen.
+  [[nodiscard]] const ContainerTimeline* am_container() const;
+
+  /// All non-AM containers, ordered by container id.
+  [[nodiscard]] std::vector<const ContainerTimeline*> worker_containers() const;
+
+  /// Earliest timestamp of `kind` across worker containers.
+  [[nodiscard]] std::optional<std::int64_t> min_worker_ts(EventKind kind) const;
+  /// Latest timestamp of `kind` across worker containers.
+  [[nodiscard]] std::optional<std::int64_t> max_worker_ts(EventKind kind) const;
+};
+
+struct GroupResult {
+  std::map<ApplicationId, AppTimeline> apps;
+  /// Events that could not be attributed to any application.
+  std::size_t unattributed = 0;
+};
+
+[[nodiscard]] GroupResult group_events(const std::vector<SchedEvent>& events);
+
+/// Applies a single event to the timelines (the incremental counterpart
+/// of group_events).  Returns false when the event carries no application
+/// id and cannot be attributed.
+bool apply_event(std::map<ApplicationId, AppTimeline>& apps,
+                 const SchedEvent& event);
+
+}  // namespace sdc::checker

@@ -1,0 +1,119 @@
+#include "sdchecker/incremental.hpp"
+
+#include "sdchecker/parsed_line.hpp"
+
+namespace sdc::checker {
+
+void IncrementalAnalyzer::feed(const std::string& stream,
+                               std::string_view line) {
+  StreamState& state = streams_[stream];
+  ++state.line_no;
+  ++lines_total_;
+
+  const auto parsed = parse_line(line);
+  if (!parsed) {
+    ++lines_unparsed_;
+    return;
+  }
+  if (state.kind == StreamKind::kUnknown) {
+    state.kind = classify_line(*parsed);
+    // Instance logs synthesize FIRST_LOG from their first *parsed* line;
+    // the timestamp was captured whenever that line arrived.
+    if ((state.kind == StreamKind::kDriver ||
+         state.kind == StreamKind::kExecutor) &&
+        !state.first_log_done) {
+      state.first_log_pending = true;
+      if (state.first_parsed_ts == 0) state.first_parsed_ts = parsed->epoch_ms;
+    }
+  }
+  if (state.first_parsed_ts == 0) state.first_parsed_ts = parsed->epoch_ms;
+
+  // Binding: the first application/container id seen anywhere binds the
+  // stream and releases any parked events.
+  const bool was_bound = state.bound_app.has_value();
+  if (!state.bound_container) {
+    if (auto container = find_container_id(parsed->message)) {
+      state.bound_container = container;
+      if (!state.bound_app) state.bound_app = container->app;
+    }
+  }
+  if (!state.bound_app) {
+    if (auto app = find_application_id(parsed->message)) {
+      state.bound_app = app;
+    }
+  }
+
+  if (state.first_log_pending &&
+      (state.kind == StreamKind::kDriver ||
+       state.kind == StreamKind::kExecutor)) {
+    state.first_log_pending = false;
+    state.first_log_done = true;
+    SchedEvent first;
+    first.kind = state.kind == StreamKind::kDriver
+                     ? EventKind::kDriverFirstLog
+                     : EventKind::kExecutorFirstLog;
+    first.ts_ms = state.first_parsed_ts;
+    first.stream = stream;
+    first.line_no = 1;
+    dispatch(state, std::move(first));
+  }
+
+  if (auto event = extract_event(*parsed, stream, state.line_no)) {
+    dispatch(state, std::move(*event));
+  }
+  if (!was_bound && state.bound_app) flush_parked(state);
+}
+
+void IncrementalAnalyzer::feed_all(const std::string& stream,
+                                   const std::vector<std::string>& lines) {
+  for (const std::string& line : lines) feed(stream, line);
+}
+
+void IncrementalAnalyzer::dispatch(StreamState& state, SchedEvent event) {
+  if (!event.app) event.app = state.bound_app;
+  if (!event.container && state.kind == StreamKind::kExecutor) {
+    event.container = state.bound_container;
+  }
+  if (!event.app) {
+    // Stream not bound yet: park for later.
+    state.parked.push_back(std::move(event));
+    return;
+  }
+  ++events_total_;
+  apply_event(timelines_, event);
+}
+
+void IncrementalAnalyzer::flush_parked(StreamState& state) {
+  std::vector<SchedEvent> parked = std::move(state.parked);
+  state.parked.clear();
+  for (SchedEvent& event : parked) {
+    dispatch(state, std::move(event));
+  }
+}
+
+Delays IncrementalAnalyzer::delays_for(const ApplicationId& app) const {
+  const auto it = timelines_.find(app);
+  if (it == timelines_.end()) {
+    Delays empty;
+    empty.app = app;
+    return empty;
+  }
+  return decompose(it->second);
+}
+
+AnalysisResult IncrementalAnalyzer::snapshot() const {
+  AnalysisResult result = finalize_analysis(timelines_);
+  result.lines_total = lines_total_;
+  result.lines_unparsed = lines_unparsed_;
+  result.events_total = events_total_;
+  result.events_unattributed = events_pending();
+  return result;
+}
+
+std::size_t IncrementalAnalyzer::events_pending() const {
+  std::size_t n = 0;
+  for (const auto& [name, state] : streams_) n += state.parked.size();
+  return n;
+}
+
+}  // namespace sdc::checker

@@ -1,0 +1,91 @@
+// Online (streaming) variant of the analyzer.
+//
+// The paper's tool is offline: collect all logs after the runs, then
+// mine.  For a monitoring deployment one wants the same decomposition
+// while the cluster runs — feeding lines as `tail -f` delivers them.
+// The subtlety versus batch mining is ordering: a driver/executor
+// stream's FIRST_LOG event and its milestone events arrive *before* the
+// line that reveals which application/container the stream belongs to,
+// so unbound events are parked per stream and flushed the moment the
+// stream binds to an id.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sdchecker/decompose.hpp"
+#include "sdchecker/extractor.hpp"
+#include "sdchecker/grouping.hpp"
+#include "sdchecker/sdchecker.hpp"
+
+namespace sdc::checker {
+
+class IncrementalAnalyzer {
+ public:
+  IncrementalAnalyzer() = default;
+
+  /// Feeds one raw log line belonging to the named stream (file).  Lines
+  /// of different streams may interleave arbitrarily; lines within one
+  /// stream must arrive in file order (as a tail would deliver them).
+  void feed(const std::string& stream, std::string_view line);
+
+  /// Feeds a batch of lines for one stream.
+  void feed_all(const std::string& stream,
+                const std::vector<std::string>& lines);
+
+  /// Live view of the grouped timelines.
+  [[nodiscard]] const std::map<ApplicationId, AppTimeline>& timelines()
+      const noexcept {
+    return timelines_;
+  }
+
+  /// Decomposition of one application *as of now* (fields fill in as
+  /// events arrive).
+  [[nodiscard]] Delays delays_for(const ApplicationId& app) const;
+
+  /// Full snapshot: decompositions, aggregates and anomalies over
+  /// everything seen so far.  O(apps) — intended for periodic reporting.
+  [[nodiscard]] AnalysisResult snapshot() const;
+
+  [[nodiscard]] std::size_t lines_total() const noexcept {
+    return lines_total_;
+  }
+  [[nodiscard]] std::size_t lines_unparsed() const noexcept {
+    return lines_unparsed_;
+  }
+  [[nodiscard]] std::size_t events_total() const noexcept {
+    return events_total_;
+  }
+  /// Events currently parked because their stream has not bound to an
+  /// application/container id yet.
+  [[nodiscard]] std::size_t events_pending() const;
+
+ private:
+  struct StreamState {
+    StreamKind kind = StreamKind::kUnknown;
+    std::size_t line_no = 0;
+    bool first_log_pending = false;
+    bool first_log_done = false;
+    std::int64_t first_parsed_ts = 0;
+    std::optional<ApplicationId> bound_app;
+    std::optional<ContainerId> bound_container;
+    /// Stream-scoped events waiting for the stream to bind.
+    std::vector<SchedEvent> parked;
+  };
+
+  /// Resolves (or parks) one stream-scoped event.
+  void dispatch(StreamState& state, SchedEvent event);
+  /// Called when a stream just bound; flushes parked events.
+  void flush_parked(StreamState& state);
+
+  std::map<std::string, StreamState> streams_;
+  std::map<ApplicationId, AppTimeline> timelines_;
+  std::size_t lines_total_ = 0;
+  std::size_t lines_unparsed_ = 0;
+  std::size_t events_total_ = 0;
+};
+
+}  // namespace sdc::checker

@@ -1,0 +1,101 @@
+#include "sdchecker/miner.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+
+namespace sdc::checker {
+
+MinedStream LogMiner::mine_stream(const std::string& name,
+                                  const std::vector<std::string>& lines) const {
+  MinedStream out;
+  out.name = name;
+  out.lines_total = lines.size();
+  std::optional<std::int64_t> first_parsed_ts;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto parsed = parse_line(lines[i]);
+    if (!parsed) {
+      ++out.lines_unparsed;
+      continue;
+    }
+    if (!first_parsed_ts) first_parsed_ts = parsed->epoch_ms;
+    if (out.kind == StreamKind::kUnknown) {
+      out.kind = classify_line(*parsed);
+    }
+    // Bind the stream to the first application/container id seen anywhere;
+    // driver and executor logs do not carry ids on every line (Fig. 2).
+    if (!out.bound_container) {
+      if (auto container = find_container_id(parsed->message)) {
+        out.bound_container = container;
+      }
+    }
+    if (!out.bound_app) {
+      if (auto app = find_application_id(parsed->message)) {
+        out.bound_app = app;
+      }
+    }
+    if (auto event = extract_event(*parsed, name, i + 1)) {
+      out.events.push_back(std::move(*event));
+    }
+  }
+  if (!out.bound_app && out.bound_container) {
+    out.bound_app = out.bound_container->app;
+  }
+  // Synthesize FIRST_LOG (messages 9/13) from the first parseable line of
+  // instance logs.
+  if (first_parsed_ts &&
+      (out.kind == StreamKind::kDriver || out.kind == StreamKind::kExecutor)) {
+    SchedEvent first;
+    first.kind = out.kind == StreamKind::kDriver ? EventKind::kDriverFirstLog
+                                                 : EventKind::kExecutorFirstLog;
+    first.ts_ms = *first_parsed_ts;
+    first.stream = name;
+    first.line_no = 1;
+    out.events.insert(out.events.begin(), std::move(first));
+  }
+  // Resolve stream-scoped events against the bound ids.
+  for (SchedEvent& event : out.events) {
+    if (!event.app) event.app = out.bound_app;
+    if (!event.container && out.kind == StreamKind::kExecutor) {
+      event.container = out.bound_container;
+    }
+  }
+  return out;
+}
+
+MineResult LogMiner::mine(const logging::LogBundle& bundle) const {
+  const std::vector<std::string> names = bundle.stream_names();
+  std::vector<MinedStream> streams(names.size());
+
+  const auto mine_one = [&](std::size_t i) {
+    streams[i] = mine_stream(names[i], bundle.lines(names[i]));
+  };
+  if (options_.threads > 1 && names.size() > 1) {
+    ThreadPool pool(options_.threads);
+    parallel_for(pool, names.size(), mine_one);
+  } else {
+    for (std::size_t i = 0; i < names.size(); ++i) mine_one(i);
+  }
+
+  MineResult result;
+  for (MinedStream& stream : streams) {
+    result.lines_total += stream.lines_total;
+    result.lines_unparsed += stream.lines_unparsed;
+    result.events.insert(result.events.end(), stream.events.begin(),
+                         stream.events.end());
+  }
+  std::sort(result.events.begin(), result.events.end(),
+            [](const SchedEvent& a, const SchedEvent& b) {
+              if (a.ts_ms != b.ts_ms) return a.ts_ms < b.ts_ms;
+              if (a.stream != b.stream) return a.stream < b.stream;
+              return a.line_no < b.line_no;
+            });
+  result.streams = std::move(streams);
+  return result;
+}
+
+MineResult LogMiner::mine_directory(const std::filesystem::path& dir) const {
+  return mine(logging::LogBundle::read_from_directory(dir));
+}
+
+}  // namespace sdc::checker

@@ -1,0 +1,88 @@
+#include "sdchecker/parsed_line.hpp"
+
+#include <cstdio>
+
+#include "logging/timestamp.hpp"
+
+namespace sdc::checker {
+
+namespace {
+
+/// Parses Spark's default log4j pattern `yy/MM/dd HH:mm:ss` (two-digit
+/// year, second precision, no milliseconds).  Returns epoch ms.
+std::optional<std::int64_t> parse_spark_short_ts(std::string_view text) {
+  // Layout: yy/MM/dd HH:mm:ss  (17 chars)
+  if (text.size() < 17) return std::nullopt;
+  if (text[2] != '/' || text[5] != '/' || text[8] != ' ' || text[11] != ':' ||
+      text[14] != ':') {
+    return std::nullopt;
+  }
+  const auto digits = [&text](std::size_t pos) -> int {
+    const char a = text[pos];
+    const char b = text[pos + 1];
+    if (a < '0' || a > '9' || b < '0' || b > '9') return -1;
+    return (a - '0') * 10 + (b - '0');
+  };
+  const int yy = digits(0);
+  const int mo = digits(3);
+  const int dd = digits(6);
+  const int hh = digits(9);
+  const int mi = digits(12);
+  const int ss = digits(15);
+  if (yy < 0 || mo < 1 || mo > 12 || dd < 1 || dd > 31 || hh < 0 || hh > 23 ||
+      mi < 0 || mi > 59 || ss < 0 || ss > 59) {
+    return std::nullopt;
+  }
+  // Rebuild through the ISO codec to reuse the civil-date arithmetic.
+  char iso[32];
+  std::snprintf(iso, sizeof(iso), "20%02d-%02d-%02d %02d:%02d:%02d,000", yy,
+                mo, dd, hh, mi, ss);
+  return logging::parse_epoch_ms(iso);
+}
+
+}  // namespace
+
+std::optional<ParsedLine> parse_line(std::string_view line) {
+  using logging::kTimestampWidth;
+  if (line.size() < 19) return std::nullopt;
+  std::size_t ts_width = kTimestampWidth;
+  auto ts = line.size() >= kTimestampWidth
+                ? logging::parse_epoch_ms(line.substr(0, kTimestampWidth))
+                : std::nullopt;
+  if (!ts) {
+    // Spark's default console pattern: second precision, 17-char stamp.
+    ts = parse_spark_short_ts(line);
+    if (!ts) return std::nullopt;
+    ts_width = 17;
+  }
+  std::string_view rest = line.substr(ts_width);
+  if (rest.empty() || rest.front() != ' ') return std::nullopt;
+  rest.remove_prefix(1);
+  // Level token (letters only), then whitespace.
+  std::size_t level_end = 0;
+  while (level_end < rest.size() && rest[level_end] >= 'A' &&
+         rest[level_end] <= 'Z') {
+    ++level_end;
+  }
+  if (level_end == 0) return std::nullopt;
+  const std::string_view level = rest.substr(0, level_end);
+  rest.remove_prefix(level_end);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  // Logger class up to ": ".
+  const std::size_t sep = rest.find(": ");
+  if (sep == std::string_view::npos || sep == 0) return std::nullopt;
+  ParsedLine out;
+  out.epoch_ms = *ts;
+  out.level = level;
+  out.logger = rest.substr(0, sep);
+  out.message = rest.substr(sep + 2);
+  return out;
+}
+
+std::string_view short_class_name(std::string_view logger) {
+  const std::size_t dot = logger.rfind('.');
+  if (dot == std::string_view::npos) return logger;
+  return logger.substr(dot + 1);
+}
+
+}  // namespace sdc::checker

@@ -1,0 +1,33 @@
+// First parsing stage: one raw log4j line -> (timestamp, level, class,
+// message).  Tolerant of garbage: anything that does not look like a
+// complete log4j line (truncated writes, stack-trace continuations,
+// interleaved output) is rejected rather than guessed at, and counted by
+// the miner.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sdc::checker {
+
+struct ParsedLine {
+  std::int64_t epoch_ms = 0;
+  /// Level token as seen ("INFO", "WARN", ...).
+  std::string_view level;
+  /// Fully qualified logger class.
+  std::string_view logger;
+  /// Message text after "class: ".
+  std::string_view message;
+};
+
+/// Parses one line; the returned views point into `line`, which must
+/// outlive the result.  Returns nullopt on malformed input.
+std::optional<ParsedLine> parse_line(std::string_view line);
+
+/// The short class name (text after the last '.') — what the paper's
+/// Table I refers to ("RMAppImpl", "ContainerImpl", ...).
+std::string_view short_class_name(std::string_view logger);
+
+}  // namespace sdc::checker

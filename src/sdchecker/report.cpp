@@ -1,0 +1,98 @@
+#include "sdchecker/report.hpp"
+
+#include <cstdio>
+
+namespace sdc::checker {
+namespace {
+
+constexpr double kMsToSec = 1e-3;
+
+void add_opt(SampleSet& set, const std::optional<std::int64_t>& value) {
+  if (value) set.add(static_cast<double>(*value) * kMsToSec);
+}
+
+void add_each(SampleSet& set, const std::vector<std::int64_t>& values) {
+  for (std::int64_t v : values) set.add(static_cast<double>(v) * kMsToSec);
+}
+
+}  // namespace
+
+void AggregateReport::add(const Delays& delays) {
+  ++apps_;
+  add_opt(total, delays.total);
+  add_opt(am, delays.am);
+  add_opt(cf, delays.cf);
+  add_opt(cl, delays.cl);
+  add_opt(cl_minus_cf, delays.cl_minus_cf);
+  add_opt(driver, delays.driver);
+  add_opt(executor, delays.executor);
+  add_opt(in_app, delays.in_app);
+  add_opt(out_app, delays.out_app);
+  add_opt(alloc, delays.alloc);
+  add_each(acquisition, delays.worker_acquisitions());
+  add_each(localization, delays.worker_localizations());
+  add_each(queuing, delays.worker_queuings());
+  add_each(launching, delays.worker_launchings());
+  add_each(exec_idle, delays.worker_idles());
+}
+
+std::vector<std::pair<std::string, const SampleSet*>> AggregateReport::metrics()
+    const {
+  return {
+      {"total", &total},
+      {"am", &am},
+      {"cf", &cf},
+      {"cl", &cl},
+      {"cl-cf", &cl_minus_cf},
+      {"driver", &driver},
+      {"executor", &executor},
+      {"in-app", &in_app},
+      {"out-app", &out_app},
+      {"alloc", &alloc},
+      {"acquisition", &acquisition},
+      {"localization", &localization},
+      {"queuing", &queuing},
+      {"launching", &launching},
+      {"exec-idle", &exec_idle},
+  };
+}
+
+std::string AggregateReport::render_text() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-14s %8s %10s %10s %10s %10s\n", "metric",
+                "n", "median", "p95", "mean", "stddev");
+  out += buf;
+  out += std::string(66, '-') + "\n";
+  for (const auto& [name, set] : metrics()) {
+    if (set->empty()) {
+      std::snprintf(buf, sizeof(buf), "%-14s %8zu %10s %10s %10s %10s\n",
+                    name.c_str(), set->size(), "-", "-", "-", "-");
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%-14s %8zu %9.3fs %9.3fs %9.3fs %9.3fs\n", name.c_str(),
+                    set->size(), set->median(), set->p95(), set->mean(),
+                    set->stddev());
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::string AggregateReport::render_csv() const {
+  std::string out = "metric,n,median_s,p95_s,mean_s,stddev_s\n";
+  char buf[160];
+  for (const auto& [name, set] : metrics()) {
+    if (set->empty()) {
+      std::snprintf(buf, sizeof(buf), "%s,0,,,,\n", name.c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s,%zu,%.4f,%.4f,%.4f,%.4f\n",
+                    name.c_str(), set->size(), set->median(), set->p95(),
+                    set->mean(), set->stddev());
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sdc::checker

@@ -1,0 +1,53 @@
+// Aggregation and rendering of decomposition results across many
+// applications: the percentiles, CDFs and standard deviations the paper's
+// figures plot, plus text/CSV renderers used by the benches and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sdchecker/decompose.hpp"
+
+namespace sdc::checker {
+
+/// Sample sets (in seconds) per delay metric, filled from per-app
+/// decompositions.
+struct AggregateReport {
+  SampleSet total;
+  SampleSet am;
+  SampleSet cf;
+  SampleSet cl;
+  SampleSet cl_minus_cf;
+  SampleSet driver;
+  SampleSet executor;
+  SampleSet in_app;
+  SampleSet out_app;
+  SampleSet alloc;
+  SampleSet acquisition;   // per container
+  SampleSet localization;  // per container
+  SampleSet queuing;       // per container
+  SampleSet launching;     // per container
+  SampleSet exec_idle;     // per container (Fig. 10 executor idleness)
+
+  /// Folds one application's decomposition in.
+  void add(const Delays& delays);
+
+  /// Number of applications folded in.
+  [[nodiscard]] std::size_t app_count() const noexcept { return apps_; }
+
+  /// Fixed-width text table: metric | n | median | p95 | mean | stddev.
+  [[nodiscard]] std::string render_text() const;
+
+  /// CSV with the same columns.
+  [[nodiscard]] std::string render_csv() const;
+
+  /// Named access to each metric for table-driven consumers.
+  [[nodiscard]] std::vector<std::pair<std::string, const SampleSet*>>
+  metrics() const;
+
+ private:
+  std::size_t apps_ = 0;
+};
+
+}  // namespace sdc::checker

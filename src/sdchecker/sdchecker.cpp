@@ -1,0 +1,107 @@
+#include "sdchecker/sdchecker.hpp"
+
+#include <stdexcept>
+
+namespace sdc::checker {
+
+SchedulingGraph AnalysisResult::graph_for(const ApplicationId& app) const {
+  const auto it = timelines.find(app);
+  if (it == timelines.end()) {
+    throw std::invalid_argument("no timeline for application " + app.str());
+  }
+  return SchedulingGraph::build(it->second);
+}
+
+std::vector<const Anomaly*> AnalysisResult::anomalies_of(
+    AnomalyType type) const {
+  std::vector<const Anomaly*> out;
+  for (const Anomaly& anomaly : anomalies) {
+    if (anomaly.type == type) out.push_back(&anomaly);
+  }
+  return out;
+}
+
+AnalysisResult SdChecker::analyze(const logging::LogBundle& bundle) const {
+  LogMiner miner(MinerOptions{options_.threads});
+  return analyze_mined(miner.mine(bundle));
+}
+
+AnalysisResult SdChecker::analyze_directory(
+    const std::filesystem::path& dir) const {
+  LogMiner miner(MinerOptions{options_.threads});
+  return analyze_mined(miner.mine_directory(dir));
+}
+
+std::vector<AnalysisResult::Completeness> AnalysisResult::completeness()
+    const {
+  static constexpr EventKind kTable1[] = {
+      EventKind::kAppSubmitted,       EventKind::kAppAccepted,
+      EventKind::kAttemptRegistered,  EventKind::kContainerAllocated,
+      EventKind::kContainerAcquired,  EventKind::kNmLocalizing,
+      EventKind::kNmScheduled,        EventKind::kNmRunning,
+      EventKind::kDriverFirstLog,     EventKind::kDriverRegister,
+      EventKind::kStartAllo,          EventKind::kEndAllo,
+      EventKind::kExecutorFirstLog,   EventKind::kExecutorFirstTask,
+  };
+  std::vector<Completeness> out;
+  for (const EventKind kind : kTable1) {
+    Completeness row;
+    row.kind = kind;
+    for (const auto& [app, timeline] : timelines) {
+      bool present = false;
+      if (is_container_event(kind)) {
+        for (const auto& [cid, container] : timeline.containers) {
+          if (container.has(kind)) {
+            present = true;
+            break;
+          }
+        }
+      } else {
+        present = timeline.has(kind);
+      }
+      if (!present) ++row.apps_missing;
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::string AnalysisResult::render_completeness() const {
+  std::string out;
+  char buf[96];
+  for (const Completeness& row : completeness()) {
+    if (row.apps_missing == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "  message %2d (%s): missing in %zu of %zu apps\n",
+                  table1_number(row.kind),
+                  std::string(event_name(row.kind)).c_str(), row.apps_missing,
+                  timelines.size());
+    out += buf;
+  }
+  return out;
+}
+
+AnalysisResult finalize_analysis(
+    std::map<ApplicationId, AppTimeline> timelines) {
+  AnalysisResult result;
+  result.timelines = std::move(timelines);
+  for (const auto& [app, timeline] : result.timelines) {
+    Delays delays = decompose(timeline);
+    detect_anomalies(timeline, delays, result.anomalies);
+    result.aggregate.add(delays);
+    result.delays.emplace(app, std::move(delays));
+  }
+  return result;
+}
+
+AnalysisResult SdChecker::analyze_mined(MineResult mined) const {
+  GroupResult grouped = group_events(mined.events);
+  AnalysisResult result = finalize_analysis(std::move(grouped.apps));
+  result.lines_total = mined.lines_total;
+  result.lines_unparsed = mined.lines_unparsed;
+  result.events_total = mined.events.size();
+  result.events_unattributed = grouped.unattributed;
+  return result;
+}
+
+}  // namespace sdc::checker

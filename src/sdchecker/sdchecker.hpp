@@ -1,0 +1,86 @@
+// SDchecker façade — the paper's tool as a library.
+//
+// Pipeline (paper §III): parse log4j lines -> extract Table-I messages ->
+// group by global IDs -> build per-app scheduling graphs -> decompose
+// scheduling delay into components -> detect anomalies -> aggregate.
+//
+//   sdc::checker::SdChecker checker({.threads = 4});
+//   auto result = checker.analyze_directory("/var/log/hadoop");
+//   std::cout << result.aggregate.render_text();
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <vector>
+
+#include "logging/log_bundle.hpp"
+#include "sdchecker/anomaly.hpp"
+#include "sdchecker/decompose.hpp"
+#include "sdchecker/graph.hpp"
+#include "sdchecker/grouping.hpp"
+#include "sdchecker/miner.hpp"
+#include "sdchecker/report.hpp"
+
+namespace sdc::checker {
+
+struct AnalyzeOptions {
+  /// Worker threads for the mining stage (1 = serial).
+  std::size_t threads = 1;
+};
+
+struct AnalysisResult {
+  /// Per-application grouped event timelines.
+  std::map<ApplicationId, AppTimeline> timelines;
+  /// Per-application delay decompositions.
+  std::map<ApplicationId, Delays> delays;
+  /// All findings across applications.
+  std::vector<Anomaly> anomalies;
+  /// Distribution summaries across applications.
+  AggregateReport aggregate;
+  /// Mining diagnostics.
+  std::size_t lines_total = 0;
+  std::size_t lines_unparsed = 0;
+  std::size_t events_total = 0;
+  std::size_t events_unattributed = 0;
+
+  /// Builds the Fig.-3-style scheduling graph for one application.
+  [[nodiscard]] SchedulingGraph graph_for(const ApplicationId& app) const;
+
+  /// Anomalies of one type.
+  [[nodiscard]] std::vector<const Anomaly*> anomalies_of(
+      AnomalyType type) const;
+
+  /// Per-Table-I-message completeness: for each of the 14 identified
+  /// messages, how many applications have no occurrence of it.  Non-zero
+  /// counts on a real corpus usually mean a daemon's logs were not
+  /// collected (the per-message footprint tells which one).
+  struct Completeness {
+    EventKind kind = EventKind::kAppSubmitted;
+    std::size_t apps_missing = 0;
+  };
+  [[nodiscard]] std::vector<Completeness> completeness() const;
+
+  /// Renders the non-zero completeness rows ("" when fully complete).
+  [[nodiscard]] std::string render_completeness() const;
+};
+
+class SdChecker {
+ public:
+  explicit SdChecker(AnalyzeOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] AnalysisResult analyze(const logging::LogBundle& bundle) const;
+  [[nodiscard]] AnalysisResult analyze_directory(
+      const std::filesystem::path& dir) const;
+
+ private:
+  AnalysisResult analyze_mined(MineResult mined) const;
+
+  AnalyzeOptions options_;
+};
+
+/// Runs the decomposition + anomaly + aggregation stages over already-
+/// grouped timelines (shared by SdChecker and the incremental analyzer).
+[[nodiscard]] AnalysisResult finalize_analysis(
+    std::map<ApplicationId, AppTimeline> timelines);
+
+}  // namespace sdc::checker

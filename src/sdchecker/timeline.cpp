@@ -1,0 +1,50 @@
+#include "sdchecker/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace sdc::checker {
+
+std::string render_timeline(const AppTimeline& timeline) {
+  struct Row {
+    std::int64_t ts;
+    std::string entity;
+    EventKind kind;
+  };
+  std::vector<Row> rows;
+  for (const auto& [kind, ts] : timeline.first_ts) {
+    rows.push_back(Row{ts, "app", kind});
+  }
+  for (const auto& [cid, container] : timeline.containers) {
+    for (const auto& [kind, ts] : container.first_ts) {
+      rows.push_back(Row{ts, cid.str(), kind});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.entity < b.entity;
+  });
+  std::string out = timeline.app.str() + "\n";
+  if (rows.empty()) return out;
+  const std::int64_t origin = rows.front().ts;
+  char buf[160];
+  for (const Row& row : rows) {
+    const std::int32_t num = table1_number(row.kind);
+    if (num > 0) {
+      std::snprintf(buf, sizeof(buf), "  %+9.3fs  %-40s %s (%d)\n",
+                    static_cast<double>(row.ts - origin) / 1000.0,
+                    row.entity.c_str(),
+                    std::string(event_name(row.kind)).c_str(), num);
+    } else {
+      std::snprintf(buf, sizeof(buf), "  %+9.3fs  %-40s %s\n",
+                    static_cast<double>(row.ts - origin) / 1000.0,
+                    row.entity.c_str(),
+                    std::string(event_name(row.kind)).c_str());
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sdc::checker

@@ -1,0 +1,21 @@
+// Human-readable event timeline for one application — the textual
+// counterpart of the Fig.-3 scheduling graph, with Table-I message
+// numbers and offsets from submission.
+#pragma once
+
+#include <string>
+
+#include "sdchecker/grouping.hpp"
+
+namespace sdc::checker {
+
+/// Renders every first-occurrence event of the application and its
+/// containers in timestamp order:
+///
+///     +0.000s  app                                     SUBMITTED (1)
+///     +0.004s  app                                     ACCEPTED (2)
+///     +0.038s  container_..._000001                    ALLOCATED (4)
+///     ...
+[[nodiscard]] std::string render_timeline(const AppTimeline& timeline);
+
+}  // namespace sdc::checker

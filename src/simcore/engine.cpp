@@ -1,0 +1,75 @@
+#include "simcore/engine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sdc::sim {
+
+TimerHandle Engine::schedule_at(SimTime t, Callback cb) {
+  assert(t >= now_ && "cannot schedule in the past");
+  if (t < now_) t = now_;
+  Entry entry;
+  entry.time = t;
+  entry.seq = next_seq_++;
+  entry.cb = std::move(cb);
+  entry.cancelled = std::make_shared<bool>(false);
+  entry.fired = std::make_shared<bool>(false);
+  TimerHandle handle;
+  handle.cancelled_ = entry.cancelled;
+  handle.fired_ = entry.fired;
+  queue_.push(std::move(entry));
+  return handle;
+}
+
+TimerHandle Engine::schedule_after(SimDuration d, Callback cb) {
+  if (d < 0) d = 0;
+  return schedule_at(now_ + d, std::move(cb));
+}
+
+std::size_t Engine::run(SimTime until) {
+  std::size_t n = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.top().time > until) break;
+    if (step()) ++n;
+  }
+  return n;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move out via const_cast, which is safe
+    // because the entry is popped immediately after.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.time;
+    if (*entry.cancelled) continue;  // discard silently, try next
+    *entry.fired = true;
+    ++executed_;
+    entry.cb();
+    return true;
+  }
+  return false;
+}
+
+PeriodicTask PeriodicTask::start(Engine& engine, SimTime start,
+                                 SimDuration interval,
+                                 std::function<bool()> body) {
+  PeriodicTask task;
+  task.stopped_ = std::make_shared<bool>(false);
+  auto stopped = task.stopped_;
+  // Self-rescheduling closure; copies of `tick` share `stopped`.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&engine, interval, body = std::move(body), stopped, tick] {
+    if (*stopped) return;
+    if (!body()) {
+      *stopped = true;
+      return;
+    }
+    engine.schedule_after(interval, [tick] { (*tick)(); });
+  };
+  engine.schedule_at(start, [tick] { (*tick)(); });
+  return task;
+}
+
+}  // namespace sdc::sim

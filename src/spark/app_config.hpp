@@ -1,0 +1,135 @@
+// Per-application configuration of the simulated Spark framework.
+//
+// The structural knobs are exactly the factors the paper varies: number
+// of executors (Fig. 6), extra localized file size (Fig. 8), number of
+// files opened during user initialization (Fig. 11-b), Docker (Fig. 9-b),
+// the parallel-init code optimization (Fig. 11-b "opt"), and the
+// over-request factor that reproduces the SPARK-21562 bug (§V-A).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cluster/resource.hpp"
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+
+namespace sdc::spark {
+
+/// Application flavor; decides defaults and report labels.
+enum class AppKind {
+  kSparkSql,    // TPC-H query via Spark-SQL (8 tables -> 8 opened files)
+  kWordCount,   // Spark wordcount (1 opened file)
+  kKmeans,      // HiBench Kmeans, used as CPU interference (§IV-E)
+  kMapReduce,   // MapReduce job (load / interference generators)
+};
+
+std::string_view app_kind_name(AppKind kind);
+
+/// Ground truth emitted when an application completes, used by the
+/// harness to cross-check SDchecker (the tool itself never sees this).
+struct JobRecord {
+  ApplicationId app;
+  std::string name;
+  AppKind kind = AppKind::kSparkSql;
+  SimTime submitted_at = kNoTime;    // filled by the harness
+  SimTime first_task_at = kNoTime;   // first user task assigned
+  SimTime finished_at = kNoTime;
+  std::int32_t executors_requested = 0;
+  std::int32_t executors_launched = 0;
+  /// Launches that failed and were replaced (failure injection).
+  std::int32_t executors_failed = 0;
+};
+
+struct SparkAppConfig {
+  std::string name = "tpch-q1";
+  AppKind kind = AppKind::kSparkSql;
+
+  std::int32_t num_executors = 4;
+  cluster::Resource executor_resource = cluster::kExecutorResource;
+
+  /// Input dataset size (drives execution time and scan I/O).
+  double input_mb = 2048.0;
+
+  /// HDFS name of the input dataset; executor container asks carry the
+  /// file's replica nodes as locality preferences.  Empty = derived from
+  /// the input size ("dataset-<MB>"), so apps over the same dataset share
+  /// block placement.
+  std::string input_file;
+
+  /// Extra files shipped with `spark-submit -f` and localized to every
+  /// *executor* container on top of the ~500 MB default package (Fig. 8;
+  /// the driver container localizes only the default package, which is
+  /// why some 8 GB-run localizations still finish under a second).
+  double extra_localized_mb = 0.0;
+
+  /// Files opened (one RDD + broadcast variable each) during user
+  /// initialization; 8 for TPC-H/Spark-SQL, 1 for wordcount (Fig. 11).
+  std::int32_t files_opened = 8;
+
+  /// Initialize RDDs/broadcasts concurrently with Scala Futures — the
+  /// paper's code optimization (Fig. 11-b "opt").
+  bool parallel_init = false;
+
+  /// Launch all containers (AM + executors) inside Docker (Fig. 9-b).
+  bool docker = false;
+
+  /// Launch from pre-warmed JVMs and skip cold classloading/JIT — the
+  /// paper's proposed "JVM reuse" optimization (§V-B), applicable to
+  /// recurring applications.
+  bool jvm_reuse = false;
+
+  /// Failure-injection: probability that an executor launch fails (the
+  /// driver requests a replacement container, like Spark's
+  /// ExecutorAllocationManager does on executor loss).
+  double executor_failure_prob = 0.0;
+
+  /// Failure-injection: probability that the *AM* launch fails; YARN then
+  /// starts a new application attempt (container ids carry the attempt
+  /// number) up to yarn.resourcemanager.am.max-attempts.
+  double am_failure_prob = 0.0;
+
+  /// Ask YARN for ceil(num_executors * over_request_factor) containers
+  /// but launch only num_executors — reproduces the allocated-but-never-
+  /// used container bug (SPARK-21562) under the opportunistic scheduler.
+  double over_request_factor = 1.0;
+
+  /// Spark does not schedule tasks until this fraction of requested
+  /// executors has registered (spark.scheduler.minRegisteredResourcesRatio;
+  /// 0.8 for YARN, §IV-B).
+  double min_registered_ratio = 0.8;
+
+  /// AM-RM heartbeat interval.  Spark's YARN allocator polls at 250 ms
+  /// (fast path while containers are pending) — which is why Spark's
+  /// per-container acquisition delay is ~1% of the total (Table III)
+  /// while MapReduce's 1 s heartbeat caps Fig. 7-c at one second.
+  SimDuration am_heartbeat = millis(250);
+
+  // --- execution model (filled by the workload generator) ----------------
+  /// Median busy time of the query after the first task starts.
+  SimDuration execution_median = seconds(18);
+  double execution_sigma = 0.45;
+  /// Stages in the query plan.  Later stages dispatch further task waves
+  /// mid-execution ("Got assigned task" lines keep appearing), which is
+  /// why SDchecker keys on the *first* task only — the paper explicitly
+  /// omits in-execution scheduling, as it overlaps task runtime (§IV-B).
+  std::int32_t num_stages = 2;
+  /// Cluster-wide I/O *control* units added while the input scan is in
+  /// flight (self-interference of large inputs, Fig. 5: `in` degrades
+  /// strongly with huge inputs).
+  double scan_io_units = 0.6;
+  /// I/O *transfer* units of the scan — small, because replicated reads
+  /// spread over the cluster rarely collide with a given localization
+  /// download (Fig. 5: `out` degrades only mildly).
+  double scan_transfer_units = 0.03;
+  /// Duration of the scan phase.
+  SimDuration scan_duration = seconds(8);
+  /// CPU interference units this app exerts while running (Kmeans > 0).
+  double cpu_units_while_running = 0.0;
+
+  /// Completion callback (ground truth for the harness).
+  std::function<void(const JobRecord&)> on_complete;
+};
+
+}  // namespace sdc::spark

@@ -1,0 +1,93 @@
+#include "spark/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sdc::spark {
+namespace {
+
+/// interference_multiplier^exponent, the standard coupling shape.
+double coupled(double multiplier, double exponent) {
+  return std::pow(multiplier, exponent);
+}
+
+SimDuration stretch(SimDuration d, double factor) {
+  return static_cast<SimDuration>(static_cast<double>(d) * factor);
+}
+
+}  // namespace
+
+SimDuration SparkCostModel::driver_init(
+    const cluster::InterferenceModel& interference, Rng& rng) const {
+  const double factor =
+      interference.cpu_multiplier() *
+      coupled(interference.io_control_multiplier(), config_.driver_init_io_exp);
+  return stretch(
+      rng.lognormal_duration(config_.driver_init_median, config_.driver_init_sigma),
+      factor);
+}
+
+SimDuration SparkCostModel::register_to_alloc(Rng& rng) const {
+  return rng.lognormal_duration(config_.register_to_alloc_median, 0.4);
+}
+
+SimDuration SparkCostModel::user_init(
+    std::int32_t files_opened, bool parallel,
+    const cluster::InterferenceModel& interference, Rng& rng) const {
+  if (files_opened <= 0) return 0;
+  const double factor =
+      coupled(interference.cpu_multiplier(), config_.user_init_cpu_exp) *
+      coupled(interference.io_control_multiplier(), config_.user_init_io_exp);
+  std::vector<SimDuration> costs;
+  costs.reserve(static_cast<std::size_t>(files_opened));
+  for (std::int32_t i = 0; i < files_opened; ++i) {
+    costs.push_back(stretch(
+        rng.lognormal_duration(config_.per_file_init_median,
+                               config_.per_file_init_sigma),
+        factor));
+  }
+  if (!parallel) {
+    SimDuration total = 0;
+    for (SimDuration c : costs) total += c;
+    return total;
+  }
+  // Futures on a width-W pool: greedy longest-processing-time makespan is
+  // a good model of the actual thread pool's behaviour.
+  const auto width = static_cast<std::size_t>(
+      std::max<std::int32_t>(1, config_.parallel_init_width));
+  std::vector<SimDuration> lanes(std::min(width, costs.size()), 0);
+  std::sort(costs.rbegin(), costs.rend());
+  for (SimDuration c : costs) {
+    auto shortest = std::min_element(lanes.begin(), lanes.end());
+    *shortest += c;
+  }
+  const SimDuration makespan = *std::max_element(lanes.begin(), lanes.end());
+  return makespan + config_.parallel_init_overhead;
+}
+
+SimDuration SparkCostModel::executor_registration(
+    const cluster::InterferenceModel& interference, Rng& rng) const {
+  const double factor = interference.cpu_multiplier() *
+                        coupled(interference.io_control_multiplier(),
+                                config_.executor_register_io_exp);
+  return stretch(rng.lognormal_duration(config_.executor_register_median,
+                                        config_.executor_register_sigma),
+                 factor);
+}
+
+SimDuration SparkCostModel::task_dispatch(
+    std::int32_t registered_executors,
+    const cluster::InterferenceModel& interference, Rng& rng) const {
+  const double factor =
+      interference.cpu_multiplier() *
+      coupled(interference.io_control_multiplier(), config_.task_dispatch_io_exp);
+  SimDuration total = rng.lognormal_duration(config_.task_dispatch_median,
+                                             config_.task_dispatch_sigma);
+  for (std::int32_t i = 0; i < registered_executors; ++i) {
+    total += rng.lognormal_duration(config_.per_executor_dispatch_median, 0.35);
+  }
+  return stretch(total, factor);
+}
+
+}  // namespace sdc::spark

@@ -1,0 +1,111 @@
+// The simulated Spark driver (YARN AppMaster, paper Fig. 1).
+//
+// Lifecycle, with the Table-I log messages it emits:
+//   boot (FIRST_LOG, msg 9) -> driver init -> REGISTER with RM (msg 10,
+//   fires RMAppImpl ACCEPTED->RUNNING) -> START_ALLO (msg 11) -> batched
+//   container requests -> launches executors as containers are acquired
+//   -> END_ALLO when every requested container arrived (msg 12).
+// Concurrently the *user* program initializes (RDDs + broadcast variables,
+// one per opened file); tasks are not scheduled until user init is done
+// AND >= 80% of executors registered (paper §IV-B) — the executor-delay
+// anatomy of Fig. 10.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "logging/logger.hpp"
+#include "spark/app_config.hpp"
+#include "spark/cost_model.hpp"
+#include "spark/executor.hpp"
+#include "yarn/resource_manager.hpp"
+
+namespace sdc::spark {
+
+class SparkDriver final : public yarn::AmProtocol {
+ public:
+  /// Created by the submission's on_am_started callback at the driver
+  /// process's boot instant; logs FIRST_LOG immediately.
+  SparkDriver(cluster::Cluster& cluster, yarn::ResourceManager& rm,
+              logging::LogBundle& logs, SparkAppConfig config,
+              ApplicationId app, ContainerId am_container, NodeId node,
+              SimTime first_log_time, Rng rng,
+              const SparkCostModel* cost_model = nullptr);
+
+  SparkDriver(const SparkDriver&) = delete;
+  SparkDriver& operator=(const SparkDriver&) = delete;
+
+  // yarn::AmProtocol
+  void on_containers_acquired(
+      const std::vector<yarn::Allocation>& acquired) override;
+
+  /// Executor-facing: backend registered with the scheduler.
+  void on_executor_registered(SparkExecutor& executor);
+
+  /// Executor-facing: samples the registration delay from the shared cost
+  /// model (keeps all in-application calibration points in one place).
+  [[nodiscard]] SimDuration registration_delay(Rng& rng) const;
+
+  [[nodiscard]] const ApplicationId& app() const noexcept { return app_; }
+  [[nodiscard]] const SparkAppConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] std::int32_t executors_launched() const noexcept {
+    return executors_launched_;
+  }
+  [[nodiscard]] std::int32_t executors_registered() const noexcept {
+    return executors_registered_;
+  }
+  [[nodiscard]] std::int32_t containers_requested() const noexcept {
+    return containers_requested_;
+  }
+
+ private:
+  void register_with_rm();
+  void request_executors();
+  void begin_user_init();
+  void launch_executor(const yarn::Allocation& allocation);
+  void on_executor_started(const yarn::Allocation& allocation, SimTime at);
+  void on_executor_failed(const yarn::Allocation& allocation, SimTime at);
+  void maybe_schedule_tasks();
+  void dispatch_first_tasks();
+  /// Assigns one task per registered executor for `stage`; returns the
+  /// next free task id.
+  std::int64_t dispatch_stage_tasks(std::int32_t stage, std::int64_t first_tid);
+  void start_execution();
+  void finish_job();
+
+  cluster::Cluster& cluster_;
+  yarn::ResourceManager& rm_;
+  logging::LogBundle& logs_;
+  SparkAppConfig config_;
+  SparkCostModel default_cost_model_;
+  const SparkCostModel& cost_;
+  ApplicationId app_;
+  ContainerId am_container_;
+  NodeId node_;
+  logging::Logger logger_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<SparkExecutor>> executors_;
+  std::vector<yarn::Allocation> launched_;
+  std::int32_t containers_requested_ = 0;
+  std::int32_t containers_acquired_ = 0;
+  std::int32_t executors_launched_ = 0;
+  std::int32_t executors_registered_ = 0;
+  std::int32_t executors_failed_ = 0;
+  bool end_allo_logged_ = false;
+  bool user_init_done_ = false;
+  bool tasks_scheduled_ = false;
+  bool finished_ = false;
+  SimTime first_task_time_ = kNoTime;
+  std::int64_t next_tid_ = 0;
+  JobRecord record_;
+};
+
+}  // namespace sdc::spark

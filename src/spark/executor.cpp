@@ -1,0 +1,61 @@
+#include "spark/executor.hpp"
+
+#include "spark/driver.hpp"
+
+namespace sdc::spark {
+namespace {
+
+constexpr std::string_view kBackendClass =
+    "org.apache.spark.executor.CoarseGrainedExecutorBackend";
+constexpr std::string_view kExecutorClass = "org.apache.spark.executor.Executor";
+
+std::string executor_stream_name(const ContainerId& id) {
+  return "executor-" + id.str() + ".log";
+}
+
+}  // namespace
+
+SparkExecutor::SparkExecutor(cluster::Cluster& cluster,
+                             logging::LogBundle& logs, SparkDriver& driver,
+                             ContainerId container, NodeId node,
+                             std::int32_t executor_id, SimTime first_log_time,
+                             Rng rng)
+    : cluster_(cluster),
+      driver_(driver),
+      container_(container),
+      node_(node),
+      executor_id_(executor_id),
+      first_log_time_(first_log_time),
+      logger_(&logs, executor_stream_name(container),
+              cluster.config().epoch_base_ms),
+      rng_(rng) {
+  // FIRST_LOG (Table I message 13): the very first line of the executor's
+  // log file; SDchecker binds the stream to the container via the id
+  // embedded in the second line.
+  logger_.info(first_log_time_, std::string(kBackendClass),
+               "Started daemon with process name: " +
+                   std::to_string(20000 + executor_id_) + "@" +
+                   node_.hostname());
+  logger_.info(first_log_time_, std::string(kBackendClass),
+               "Connecting to driver for container " + container_.str());
+  // Registration with the driver after backend setup (RPC env, block
+  // manager); the delay model lives in the driver's cost model so the
+  // calibration point stays in one place.
+  cluster_.engine().schedule_after(driver_.registration_delay(rng_), [this] {
+    registered_ = true;
+    logger_.info(cluster_.engine().now(), std::string(kBackendClass),
+                 "Successfully registered with driver");
+    driver_.on_executor_registered(*this);
+  });
+}
+
+void SparkExecutor::assign_task(std::int64_t tid) {
+  // FIRST_TASK (Table I message 14) when tid is this app's first task.
+  logger_.info(cluster_.engine().now(), std::string(kBackendClass),
+               "Got assigned task " + std::to_string(tid));
+  logger_.info(cluster_.engine().now(), std::string(kExecutorClass),
+               "Running task 0.0 in stage 0.0 (TID " + std::to_string(tid) +
+                   ")");
+}
+
+}  // namespace sdc::spark

@@ -1,0 +1,59 @@
+// A simulated Spark executor backend: boots inside a YARN container, logs
+// its first line (Table I message 13), registers with the driver, idles
+// until the first task arrives (message 14), then runs its task slice.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "logging/logger.hpp"
+
+namespace sdc::spark {
+
+class SparkDriver;
+
+class SparkExecutor {
+ public:
+  /// Created by the driver at the instant the executor process boots
+  /// (`first_log_time`); writes the FIRST_LOG lines immediately and starts
+  /// the registration timer.
+  SparkExecutor(cluster::Cluster& cluster, logging::LogBundle& logs,
+                SparkDriver& driver, ContainerId container, NodeId node,
+                std::int32_t executor_id, SimTime first_log_time, Rng rng);
+
+  SparkExecutor(const SparkExecutor&) = delete;
+  SparkExecutor& operator=(const SparkExecutor&) = delete;
+
+  /// Driver-facing: a task arrived (already RPC-delayed by the driver).
+  /// Logs "Got assigned task <tid>" — the end of the total scheduling
+  /// delay when this is the application's first task.
+  void assign_task(std::int64_t tid);
+
+  [[nodiscard]] const ContainerId& container() const noexcept {
+    return container_;
+  }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] std::int32_t executor_id() const noexcept {
+    return executor_id_;
+  }
+  [[nodiscard]] bool registered() const noexcept { return registered_; }
+  [[nodiscard]] SimTime first_log_time() const noexcept {
+    return first_log_time_;
+  }
+
+ private:
+  cluster::Cluster& cluster_;
+  SparkDriver& driver_;
+  ContainerId container_;
+  NodeId node_;
+  std::int32_t executor_id_;
+  SimTime first_log_time_;
+  logging::Logger logger_;
+  Rng rng_;
+  bool registered_ = false;
+};
+
+}  // namespace sdc::spark

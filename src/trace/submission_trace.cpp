@@ -1,0 +1,39 @@
+#include "trace/submission_trace.hpp"
+
+#include <cmath>
+
+namespace sdc::trace {
+
+std::vector<Submission> generate_trace(const TraceConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Submission> out;
+  out.reserve(static_cast<std::size_t>(config.count));
+  SimTime t = config.start;
+  for (std::int32_t i = 0; i < config.count; ++i) {
+    out.push_back(Submission{t, i});
+    // Lognormal gaps with the configured mean: median = mean / e^(s^2/2).
+    const double sigma = config.burstiness_sigma;
+    const double median = static_cast<double>(config.mean_interarrival) /
+                          std::exp(sigma * sigma / 2.0);
+    t += static_cast<SimDuration>(rng.lognormal(median, sigma));
+  }
+  return out;
+}
+
+std::vector<Submission> long_trace(std::uint64_t seed) {
+  TraceConfig config;
+  config.count = 2000;
+  config.mean_interarrival = seconds(4);
+  config.seed = seed;
+  return generate_trace(config);
+}
+
+std::vector<Submission> short_trace(std::uint64_t seed) {
+  TraceConfig config;
+  config.count = 200;
+  config.mean_interarrival = seconds(5);
+  config.seed = seed;
+  return generate_trace(config);
+}
+
+}  // namespace sdc::trace

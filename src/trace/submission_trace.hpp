@@ -1,0 +1,43 @@
+// Synthetic query-submission traces (substitute for the paper's two
+// google-trace subsets, §IV-A): bursty lognormal inter-arrivals whose
+// burstiness mimics production submission patterns.  Two canonical
+// instances: the *long* trace (2,000 queries, overall-delay study) and
+// the *short* trace (200 queries, per-component studies).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace sdc::trace {
+
+struct Submission {
+  SimTime at = 0;
+  /// Workload selector, cycled through TPC-H queries by the harness.
+  std::int32_t workload_index = 0;
+};
+
+struct TraceConfig {
+  std::int32_t count = 200;
+  /// Mean inter-arrival between submissions.
+  SimDuration mean_interarrival = seconds(4);
+  /// Lognormal sigma of inter-arrivals; > 1 produces the bursty,
+  /// heavy-tailed gaps seen in the google trace.
+  double burstiness_sigma = 1.1;
+  /// First submission time (lets interference generators warm up first).
+  SimTime start = seconds(5);
+  std::uint64_t seed = 7;
+};
+
+/// Generates a reproducible submission trace.
+[[nodiscard]] std::vector<Submission> generate_trace(const TraceConfig& config);
+
+/// The paper's long trace: 2,000 queries (overall scheduling delays).
+[[nodiscard]] std::vector<Submission> long_trace(std::uint64_t seed = 7);
+
+/// The paper's short trace: 200 queries (per-component studies).
+[[nodiscard]] std::vector<Submission> short_trace(std::uint64_t seed = 7);
+
+}  // namespace sdc::trace

@@ -1,0 +1,52 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdc::workloads {
+
+MrAppConfig make_dfsio(std::int32_t num_maps, SimDuration duration) {
+  MrAppConfig config;
+  config.name = "dfsio-write";
+  config.num_maps = num_maps;
+  config.num_reduces = 0;
+  config.task_resource = {1, 1024};
+  config.map_duration_median = duration;
+  config.map_duration_sigma = 0.10;
+  config.io_units_per_map = 1.0;
+  return config;
+}
+
+spark::SparkAppConfig make_kmeans(SimDuration duration) {
+  spark::SparkAppConfig config;
+  config.name = "hibench-kmeans";
+  config.kind = spark::AppKind::kKmeans;
+  config.num_executors = 4;
+  // Nominal YARN shape; physical CPU pressure is modelled via cpu units
+  // because the paper oversubscribes vcores (4 executors x 16 vcores).
+  config.executor_resource = {2, 2048};
+  config.input_mb = 1024;
+  config.files_opened = 1;
+  config.execution_median = duration;
+  config.execution_sigma = 0.08;
+  config.scan_io_units = 0.0;
+  config.cpu_units_while_running = 1.0;
+  return config;
+}
+
+MrAppConfig make_mr_wordcount_for_load(double load_fraction,
+                                       std::int32_t cluster_vcores,
+                                       SimDuration map_duration) {
+  MrAppConfig config;
+  config.name = "mr-wordcount-load";
+  config.task_resource = {1, 1024};
+  const double target = std::clamp(load_fraction, 0.0, 1.0) *
+                        static_cast<double>(cluster_vcores);
+  config.num_maps = std::max(1, static_cast<std::int32_t>(std::lround(target)));
+  config.num_reduces = 0;
+  config.map_duration_median = map_duration;
+  config.map_duration_sigma = 0.25;
+  return config;
+}
+
+}  // namespace sdc::workloads

@@ -1,0 +1,33 @@
+// Interference and load generators (paper §IV-C, §IV-E).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/hdfs.hpp"
+#include "spark/app_config.hpp"
+#include "workloads/mr_app.hpp"
+
+namespace sdc::workloads {
+
+/// dfsIO: MapReduce job whose maps each write 20 GB into HDFS, saturating
+/// disks + network.  `num_maps` sets the interference intensity (Fig. 12
+/// sweeps 0 / 20 / 50 / 100).  Maps run for `duration` so the pressure
+/// covers the whole measurement window.
+[[nodiscard]] MrAppConfig make_dfsio(std::int32_t num_maps,
+                                     SimDuration duration);
+
+/// HiBench Kmeans: iterative Spark job configured with 4 executors x 16
+/// vcores to overload node CPUs (Fig. 13 sweeps 0 / 4 / 8 / 16 parallel
+/// apps).  YARN vcore accounting stays nominal (2 vcores) because the
+/// paper deliberately oversubscribes physical CPUs; the pressure is
+/// expressed through the interference model's CPU units.
+[[nodiscard]] spark::SparkAppConfig make_kmeans(SimDuration duration);
+
+/// MapReduce wordcount sized to occupy roughly `load_fraction` of the
+/// cluster's vcores when all maps run (Table II / Fig. 7 load control via
+/// input size: one map per HDFS block).
+[[nodiscard]] MrAppConfig make_mr_wordcount_for_load(
+    double load_fraction, std::int32_t cluster_vcores,
+    SimDuration map_duration = seconds(25));
+
+}  // namespace sdc::workloads

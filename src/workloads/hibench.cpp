@@ -1,0 +1,92 @@
+#include "workloads/hibench.hpp"
+
+#include <algorithm>
+
+namespace sdc::workloads {
+namespace {
+
+/// Shared execution-model arithmetic (same shape as the TPC-H builder).
+void fill_execution(spark::SparkAppConfig& config, double complexity,
+                    const ExecutionModelConfig& model) {
+  const double scan_bw = model.scan_bw_mbps_per_executor *
+                         static_cast<double>(std::max(1, config.num_executors));
+  config.scan_duration =
+      static_cast<SimDuration>(config.input_mb / scan_bw * 1e6);
+  config.execution_median = static_cast<SimDuration>(
+      static_cast<double>(model.base_query_median + config.scan_duration) *
+      complexity);
+  config.execution_sigma = model.execution_sigma;
+  config.scan_io_units = model.io_units_per_input_gb * config.input_mb / 1024.0;
+  config.scan_transfer_units =
+      model.transfer_units_per_input_gb * config.input_mb / 1024.0;
+}
+
+}  // namespace
+
+spark::SparkAppConfig make_terasort(double input_mb,
+                                    std::int32_t num_executors,
+                                    const ExecutionModelConfig& model) {
+  spark::SparkAppConfig config;
+  config.name = "hibench-terasort";
+  config.kind = spark::AppKind::kSparkSql;  // SQL-shaped logging
+  config.num_executors = num_executors;
+  config.input_mb = input_mb;
+  config.files_opened = 1;  // one giant input
+  fill_execution(config, /*complexity=*/1.1, model);
+  // Sort shuffles everything: the scan channel pressure doubles.
+  config.scan_io_units *= 2.0;
+  config.num_stages = 2;  // sample + sort
+  config.input_file = "terasort-input";
+  return config;
+}
+
+spark::SparkAppConfig make_pagerank(double input_mb,
+                                    std::int32_t num_executors,
+                                    std::int32_t iterations,
+                                    const ExecutionModelConfig& model) {
+  spark::SparkAppConfig config;
+  config.name = "hibench-pagerank";
+  config.kind = spark::AppKind::kSparkSql;
+  config.num_executors = num_executors;
+  config.input_mb = input_mb;
+  config.files_opened = 1;  // the edge list
+  fill_execution(config, /*complexity=*/0.5 + 0.25 * iterations, model);
+  config.num_stages = std::max(2, iterations);
+  // Iterations revisit cached partitions: scan pressure only on iter 1.
+  config.scan_duration = std::min<SimDuration>(config.scan_duration,
+                                               config.execution_median / 4);
+  config.cpu_units_while_running = 0.25;  // iterative compute leans on CPUs
+  config.input_file = "pagerank-edges";
+  return config;
+}
+
+spark::SparkAppConfig make_bayes(double input_mb, std::int32_t num_executors,
+                                 const ExecutionModelConfig& model) {
+  spark::SparkAppConfig config;
+  config.name = "hibench-bayes";
+  config.kind = spark::AppKind::kSparkSql;
+  config.num_executors = num_executors;
+  config.input_mb = input_mb;
+  config.files_opened = 4;  // corpus + dictionary + model side files
+  fill_execution(config, /*complexity=*/0.9, model);
+  config.num_stages = 3;
+  config.input_file = "bayes-corpus";
+  return config;
+}
+
+spark::SparkAppConfig make_interactive_scan(double input_mb,
+                                            std::int32_t num_executors,
+                                            const ExecutionModelConfig& model) {
+  spark::SparkAppConfig config;
+  config.name = "hibench-scan";
+  config.kind = spark::AppKind::kSparkSql;
+  config.num_executors = num_executors;
+  config.input_mb = input_mb;
+  config.files_opened = 2;  // table + partition index
+  fill_execution(config, /*complexity=*/0.35, model);
+  config.num_stages = 1;  // single-wave scan+filter
+  config.input_file = "scan-table";
+  return config;
+}
+
+}  // namespace sdc::workloads

@@ -1,0 +1,39 @@
+// HiBench-style workload catalog (the paper draws Kmeans from HiBench
+// [24]).  Each builder produces a SparkAppConfig whose structural knobs —
+// opened files, stage depth, executor shape, scan intensity — match the
+// benchmark's published character, so mixed-workload scenarios exercise
+// the scheduler the way a real shared cluster does.
+#pragma once
+
+#include <cstdint>
+
+#include "spark/app_config.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc::workloads {
+
+/// TeraSort: single huge input, shallow 2-stage DAG, scan-dominated.
+[[nodiscard]] spark::SparkAppConfig make_terasort(
+    double input_mb, std::int32_t num_executors,
+    const ExecutionModelConfig& model = {});
+
+/// PageRank: one edge-list input, deeply iterative DAG (many stages),
+/// CPU-leaning execution.
+[[nodiscard]] spark::SparkAppConfig make_pagerank(
+    double input_mb, std::int32_t num_executors, std::int32_t iterations = 8,
+    const ExecutionModelConfig& model = {});
+
+/// Naive Bayes training: several model/feature files opened at init
+/// (between wordcount's 1 and TPC-H's 8), moderate depth.
+[[nodiscard]] spark::SparkAppConfig make_bayes(
+    double input_mb, std::int32_t num_executors,
+    const ExecutionModelConfig& model = {});
+
+/// Short interactive aggregation ("scan" in HiBench SQL): tiny query on
+/// a pre-partitioned table — the "tiny and short" job class the paper's
+/// introduction motivates.
+[[nodiscard]] spark::SparkAppConfig make_interactive_scan(
+    double input_mb, std::int32_t num_executors,
+    const ExecutionModelConfig& model = {});
+
+}  // namespace sdc::workloads

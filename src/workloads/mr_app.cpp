@@ -1,0 +1,171 @@
+#include "workloads/mr_app.hpp"
+
+#include <cstdio>
+
+namespace sdc::workloads {
+namespace {
+
+constexpr std::string_view kMrAmClass =
+    "org.apache.hadoop.mapreduce.v2.app.MRAppMaster";
+constexpr std::string_view kRmAllocatorClass =
+    "org.apache.hadoop.mapreduce.v2.app.rm.RMContainerAllocator";
+constexpr std::string_view kYarnChildClass = "org.apache.hadoop.mapred.YarnChild";
+
+std::string mr_am_stream(const ApplicationId& app) {
+  return "mram-" + app.str() + ".log";
+}
+
+std::string mr_task_stream(const ContainerId& id) {
+  return "mrtask-" + id.str() + ".log";
+}
+
+std::string attempt_id(const ApplicationId& app) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "appattempt_%lld_%04d_000001",
+                static_cast<long long>(app.cluster_ts), app.id);
+  return buf;
+}
+
+}  // namespace
+
+MrApp::MrApp(cluster::Cluster& cluster, yarn::ResourceManager& rm,
+             logging::LogBundle& logs, MrAppConfig config, ApplicationId app,
+             ContainerId am_container, NodeId node, SimTime first_log_time,
+             Rng rng)
+    : cluster_(cluster),
+      rm_(rm),
+      logs_(logs),
+      config_(std::move(config)),
+      app_(app),
+      am_container_(am_container),
+      node_(node),
+      logger_(&logs, mr_am_stream(app), cluster.config().epoch_base_ms),
+      rng_(rng) {
+  tasks_total_ = config_.num_maps + config_.num_reduces;
+  record_.app = app_;
+  record_.name = config_.name;
+  record_.kind = spark::AppKind::kMapReduce;
+  record_.executors_requested = tasks_total_;
+  logger_.info(first_log_time, std::string(kMrAmClass),
+               "Created MRAppMaster for application " + attempt_id(app_));
+  // MR AM initialization (job setup, split computation) before the first
+  // allocate heartbeat.
+  cluster_.engine().schedule_after(rng_.lognormal_duration(millis(1300), 0.25),
+                                   [this] { register_with_rm(); });
+}
+
+void MrApp::register_with_rm() {
+  logger_.info(cluster_.engine().now(), std::string(kMrAmClass),
+               "Registering with the ResourceManager");
+  rm_.register_attempt(app_, this);
+  if (config_.num_maps > 0) {
+    yarn::ContainerAsk map_ask{config_.task_resource, config_.num_maps,
+                               yarn::InstanceType::kMrMapTask};
+    // One map per input block; maps prefer nodes holding their replicas.
+    const std::string file = config_.input_file.empty()
+                                 ? "mr-input-" + config_.name
+                                 : config_.input_file;
+    auto& blocks = cluster_.blocks();
+    blocks.register_file(file, config_.num_maps);
+    map_ask.preferred_nodes = blocks.nodes_with_replicas(file);
+    rm_.request_containers(app_, std::move(map_ask));
+  }
+  if (config_.num_reduces > 0) {
+    rm_.request_containers(
+        app_, yarn::ContainerAsk{config_.task_resource, config_.num_reduces,
+                                 yarn::InstanceType::kMrReduceTask});
+  }
+  if (tasks_total_ == 0) {
+    cluster_.engine().schedule_after(millis(50), [this] { maybe_finish(); });
+  }
+}
+
+void MrApp::on_containers_acquired(
+    const std::vector<yarn::Allocation>& acquired) {
+  if (finished_) return;
+  for (const yarn::Allocation& allocation : acquired) {
+    logger_.info(cluster_.engine().now(), std::string(kRmAllocatorClass),
+                 "Assigned container " + allocation.id.str() + " to " +
+                     (allocation.type == yarn::InstanceType::kMrMapTask
+                          ? "map"
+                          : "reduce"));
+    const bool is_map = allocation.type == yarn::InstanceType::kMrMapTask;
+    const std::int32_t index = is_map ? maps_granted_++ : reduces_granted_++;
+    launch_task(allocation, is_map, index);
+  }
+}
+
+void MrApp::launch_task(const yarn::Allocation& allocation, bool is_map,
+                        std::int32_t task_index) {
+  yarn::LaunchSpec spec;
+  spec.id = allocation.id;
+  spec.resource = allocation.resource;
+  spec.type = allocation.type;
+  spec.localization_mb = config_.task_localization_mb;
+  spec.package_key = "mr-task-pkg";
+  spec.docker = config_.docker;
+  spec.opportunistic = allocation.opportunistic;
+  spec.on_process_started = [this, allocation, is_map, task_index](SimTime at) {
+    on_task_started(allocation, is_map, task_index, at);
+  };
+  yarn::NodeManager& nm = rm_.node_manager(allocation.node);
+  cluster_.engine().schedule_after(
+      rm_.sample_rpc(),
+      [&nm, spec = std::move(spec)] { nm.start_container(spec); });
+}
+
+void MrApp::on_task_started(const yarn::Allocation& allocation, bool is_map,
+                            std::int32_t task_index, SimTime at) {
+  if (finished_) return;
+  auto task_logger = std::make_unique<logging::Logger>(
+      &logs_, mr_task_stream(allocation.id),
+      cluster_.config().epoch_base_ms);
+  task_logger->info(at, std::string(kYarnChildClass), "YarnChild starting");
+  task_logger->info(at, std::string(kYarnChildClass),
+                    "Executing with tokens for container " +
+                        allocation.id.str());
+  task_loggers_.push_back(std::move(task_logger));
+  if (first_task_time_ == kNoTime) {
+    first_task_time_ = at;
+    record_.first_task_at = at;
+  }
+  const SimDuration duration =
+      is_map ? rng_.lognormal_duration(config_.map_duration_median,
+                                       config_.map_duration_sigma)
+             : rng_.lognormal_duration(config_.reduce_duration_median,
+                                       config_.reduce_duration_sigma);
+  if (is_map && config_.io_units_per_map > 0) {
+    cluster_.interference().add_io_units(config_.io_units_per_map);
+  }
+  const double io_units = is_map ? config_.io_units_per_map : 0.0;
+  (void)task_index;
+  cluster_.engine().schedule_after(duration, [this, allocation, io_units] {
+    if (io_units > 0) cluster_.interference().remove_io_units(io_units);
+    on_task_done(allocation);
+  });
+}
+
+void MrApp::on_task_done(const yarn::Allocation& allocation) {
+  rm_.node_manager(allocation.node).finish_container(allocation.id);
+  ++tasks_completed_;
+  maybe_finish();
+}
+
+void MrApp::maybe_finish() {
+  if (finished_ || tasks_completed_ < tasks_total_) return;
+  finished_ = true;
+  logger_.info(cluster_.engine().now(), std::string(kMrAmClass),
+               "Job finished successfully, unregistering");
+  rm_.unregister_attempt(app_);
+  record_.executors_launched = tasks_completed_;
+  record_.finished_at = cluster_.engine().now();
+  const ContainerId am = am_container_;
+  const NodeId node = node_;
+  auto& rm = rm_;
+  cluster_.engine().schedule_after(millis(25), [&rm, am, node] {
+    rm.node_manager(node).finish_container(am);
+  });
+  if (config_.on_complete) config_.on_complete(record_);
+}
+
+}  // namespace sdc::workloads

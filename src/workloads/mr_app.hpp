@@ -1,0 +1,97 @@
+// A simulated MapReduce application on YARN.
+//
+// Used three ways in the evaluation:
+//   * MapReduce wordcount as the cluster-load generator (its map fan-out
+//     quickly occupies the cluster — Table II, Fig. 7-b/c),
+//   * dfsIO as the I/O interference generator (each map writes 20 GB to
+//     HDFS, adding one I/O unit while it runs — Fig. 12),
+//   * the mrm / mrsm / mrsr instance types of the launching-delay study
+//     (Fig. 9-a).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "logging/logger.hpp"
+#include "spark/app_config.hpp"
+#include "yarn/resource_manager.hpp"
+
+namespace sdc::workloads {
+
+struct MrAppConfig {
+  std::string name = "mr-wordcount";
+  std::int32_t num_maps = 8;
+  std::int32_t num_reduces = 1;
+  /// HDFS input name; maps prefer nodes holding its block replicas.
+  /// Empty = derived from the app name.
+  std::string input_file;
+  cluster::Resource task_resource{1, 2048};
+  SimDuration map_duration_median = seconds(20);
+  double map_duration_sigma = 0.30;
+  SimDuration reduce_duration_median = seconds(10);
+  double reduce_duration_sigma = 0.30;
+  /// Cluster I/O units each running map exerts (1.0 for dfsIO).
+  double io_units_per_map = 0.0;
+  double am_localization_mb = 200.0;
+  double task_localization_mb = 200.0;
+  SimDuration am_heartbeat = millis(1000);
+  bool docker = false;
+  std::function<void(const spark::JobRecord&)> on_complete;
+};
+
+/// The MR AppMaster plus its task bookkeeping.  Tasks request containers
+/// in one batch (maps + reduces), run for sampled durations and exit.
+class MrApp final : public yarn::AmProtocol {
+ public:
+  MrApp(cluster::Cluster& cluster, yarn::ResourceManager& rm,
+        logging::LogBundle& logs, MrAppConfig config, ApplicationId app,
+        ContainerId am_container, NodeId node, SimTime first_log_time,
+        Rng rng);
+
+  MrApp(const MrApp&) = delete;
+  MrApp& operator=(const MrApp&) = delete;
+
+  void on_containers_acquired(
+      const std::vector<yarn::Allocation>& acquired) override;
+
+  [[nodiscard]] const ApplicationId& app() const noexcept { return app_; }
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] std::int32_t tasks_completed() const noexcept {
+    return tasks_completed_;
+  }
+
+ private:
+  void register_with_rm();
+  void launch_task(const yarn::Allocation& allocation, bool is_map,
+                   std::int32_t task_index);
+  void on_task_started(const yarn::Allocation& allocation, bool is_map,
+                       std::int32_t task_index, SimTime at);
+  void on_task_done(const yarn::Allocation& allocation);
+  void maybe_finish();
+
+  cluster::Cluster& cluster_;
+  yarn::ResourceManager& rm_;
+  logging::LogBundle& logs_;
+  MrAppConfig config_;
+  ApplicationId app_;
+  ContainerId am_container_;
+  NodeId node_;
+  logging::Logger logger_;
+  Rng rng_;
+  std::vector<std::unique_ptr<logging::Logger>> task_loggers_;
+  std::int32_t maps_granted_ = 0;
+  std::int32_t reduces_granted_ = 0;
+  std::int32_t tasks_completed_ = 0;
+  std::int32_t tasks_total_ = 0;
+  SimTime first_task_time_ = kNoTime;
+  bool finished_ = false;
+  spark::JobRecord record_;
+};
+
+}  // namespace sdc::workloads

@@ -1,0 +1,76 @@
+#include "workloads/tpch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace sdc::workloads {
+namespace {
+
+/// Rough relative weights of the 22 TPC-H queries (multi-join analytics
+/// like Q7/Q8/Q9 are the heavy tail; selective single-table scans like
+/// Q1/Q6 are the cheap end).
+constexpr double kComplexity[kTpchQueryCount] = {
+    0.80, 0.55, 0.95, 0.70, 1.05, 0.45, 1.30, 1.35, 1.60, 0.90, 0.60,
+    0.75, 0.85, 0.65, 0.70, 0.80, 1.10, 1.25, 0.95, 1.00, 1.40, 0.85,
+};
+
+SimDuration scaled(SimDuration d, double f) {
+  return static_cast<SimDuration>(static_cast<double>(d) * f);
+}
+
+void fill_execution_model(spark::SparkAppConfig& config, double complexity,
+                          const ExecutionModelConfig& model) {
+  const double scan_bw = model.scan_bw_mbps_per_executor *
+                         static_cast<double>(std::max(1, config.num_executors));
+  const double scan_secs = config.input_mb / scan_bw;
+  config.scan_duration = static_cast<SimDuration>(scan_secs * 1e6);
+  config.execution_median =
+      scaled(model.base_query_median + config.scan_duration, complexity);
+  config.execution_sigma = model.execution_sigma;
+  config.scan_io_units =
+      model.io_units_per_input_gb * config.input_mb / 1024.0;
+  config.scan_transfer_units =
+      model.transfer_units_per_input_gb * config.input_mb / 1024.0;
+  // Multi-join queries run deeper stage DAGs (scan -> join -> aggregate).
+  config.num_stages = complexity > 1.0 ? 4 : 3;
+}
+
+}  // namespace
+
+double tpch_query_complexity(std::int32_t q) {
+  if (q < 1 || q > kTpchQueryCount) {
+    throw std::out_of_range("TPC-H query index must be 1..22, got " +
+                            std::to_string(q));
+  }
+  return kComplexity[q - 1];
+}
+
+spark::SparkAppConfig make_tpch_query(std::int32_t query, double input_mb,
+                                      std::int32_t num_executors,
+                                      const ExecutionModelConfig& model) {
+  spark::SparkAppConfig config;
+  config.name = "tpch-q" + std::to_string(query);
+  config.kind = spark::AppKind::kSparkSql;
+  config.num_executors = num_executors;
+  config.input_mb = input_mb;
+  config.files_opened = kTpchTableCount;
+  fill_execution_model(config, tpch_query_complexity(query), model);
+  return config;
+}
+
+spark::SparkAppConfig make_spark_wordcount(double input_mb,
+                                           std::int32_t num_executors,
+                                           const ExecutionModelConfig& model) {
+  spark::SparkAppConfig config;
+  config.name = "spark-wordcount";
+  config.kind = spark::AppKind::kWordCount;
+  config.num_executors = num_executors;
+  config.input_mb = input_mb;
+  config.files_opened = 1;
+  fill_execution_model(config, /*complexity=*/0.6, model);
+  config.num_stages = 2;  // map + reduce
+  return config;
+}
+
+}  // namespace sdc::workloads

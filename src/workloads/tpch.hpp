@@ -1,0 +1,56 @@
+// TPC-H on Spark-SQL workload model (paper §IV-A: Hive-populated TPC-H
+// tables in HDFS, queried through Spark-SQL).
+//
+// Each of the 22 queries carries a relative complexity factor (join
+// depth, aggregation width); execution time is
+//     complexity * (fixed query cost + input scan time)
+// with the scan parallelized across executors.  Every query opens the 8
+// TPC-H tables during user initialization — the Fig. 11 "8 opened files"
+// that make Spark-SQL's executor delay longer than wordcount's.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "spark/app_config.hpp"
+
+namespace sdc::workloads {
+
+/// Execution-model constants shared by the query builders.
+struct ExecutionModelConfig {
+  /// Per-executor effective HDFS scan bandwidth, MB/s.
+  double scan_bw_mbps_per_executor = 40.0;
+  /// Fixed (input-independent) query cost median (shuffles, aggregation,
+  /// result collection — present even for tiny inputs).
+  SimDuration base_query_median = micros(6'500'000);
+  /// Lognormal sigma of the sampled execution time.
+  double execution_sigma = 0.45;
+  /// Cluster I/O *control* units per GB of input while the scan is in
+  /// flight (Fig. 5 self-interference coupling on in-application paths).
+  double io_units_per_input_gb = 0.30;
+  /// I/O *transfer* units per GB of input (token: replicated reads barely
+  /// collide with localization downloads).
+  double transfer_units_per_input_gb = 0.015;
+};
+
+inline constexpr std::int32_t kTpchQueryCount = 22;
+inline constexpr std::int32_t kTpchTableCount = 8;
+
+/// Relative runtime factor of TPC-H query `q` (1-based, 1..22).
+[[nodiscard]] double tpch_query_complexity(std::int32_t q);
+
+/// Builds a Spark-SQL TPC-H application config.  `query` is 1..22;
+/// `input_mb` the dataset size; the remaining structural fields
+/// (executors, docker, ...) keep their defaults and can be adjusted by
+/// the caller afterwards.  `rng` only picks nothing here — execution time
+/// is sampled later by the driver from the filled-in median/sigma.
+[[nodiscard]] spark::SparkAppConfig make_tpch_query(
+    std::int32_t query, double input_mb, std::int32_t num_executors,
+    const ExecutionModelConfig& model = {});
+
+/// Builds a Spark wordcount application config (1 opened file).
+[[nodiscard]] spark::SparkAppConfig make_spark_wordcount(
+    double input_mb, std::int32_t num_executors,
+    const ExecutionModelConfig& model = {});
+
+}  // namespace sdc::workloads

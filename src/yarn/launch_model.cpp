@@ -1,0 +1,58 @@
+#include "yarn/launch_model.hpp"
+
+namespace sdc::yarn {
+
+std::string_view instance_code(InstanceType type) {
+  switch (type) {
+    case InstanceType::kSparkDriver:
+      return "spm";
+    case InstanceType::kSparkExecutor:
+      return "spe";
+    case InstanceType::kMrMaster:
+      return "mrm";
+    case InstanceType::kMrMapTask:
+      return "mrsm";
+    case InstanceType::kMrReduceTask:
+      return "mrsr";
+  }
+  return "?";
+}
+
+SimDuration LaunchModel::base_median(InstanceType type) const {
+  switch (type) {
+    case InstanceType::kSparkDriver:
+      return config_.spark_driver_median;
+    case InstanceType::kSparkExecutor:
+      return config_.spark_executor_median;
+    case InstanceType::kMrMaster:
+      return config_.mr_master_median;
+    case InstanceType::kMrMapTask:
+      return config_.mr_map_median;
+    case InstanceType::kMrReduceTask:
+      return config_.mr_reduce_median;
+  }
+  return millis(700);
+}
+
+SimDuration LaunchModel::sample(InstanceType type, bool docker,
+                                double cpu_multiplier, double io_multiplier,
+                                Rng& rng, bool warm_jvm) const {
+  SimDuration jvm = rng.lognormal_duration(base_median(type), config_.jvm_sigma);
+  jvm = static_cast<SimDuration>(static_cast<double>(jvm) * cpu_multiplier);
+  if (warm_jvm) {
+    jvm = static_cast<SimDuration>(static_cast<double>(jvm) *
+                                   config_.warm_jvm_factor);
+  }
+  if (!docker) return jvm;
+  SimDuration overhead = rng.lognormal_duration(config_.docker_overhead_median,
+                                                config_.docker_sigma);
+  if (rng.chance(config_.docker_cold_prob)) {
+    overhead += rng.lognormal_duration(config_.docker_cold_extra_median,
+                                       config_.docker_cold_sigma);
+  }
+  overhead =
+      static_cast<SimDuration>(static_cast<double>(overhead) * io_multiplier);
+  return jvm + overhead;
+}
+
+}  // namespace sdc::yarn

@@ -1,0 +1,62 @@
+// Container launch-delay cost model (paper §IV-C, Fig. 9).
+//
+// "Launching delay" spans the NodeManager invoking the launch script to
+// the launched process writing its first log line — dominated by JVM
+// start (classloading, -verbose banner).  Medians calibrated to Fig. 9-a:
+// ~700 ms for Spark driver/executor, slightly longer for MapReduce
+// instances.  Docker adds an image-load + mount overhead with a long tail
+// (Fig. 9-b: +350 ms median, +658 ms at p95; 2.65 GB image).
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "yarn/types.hpp"
+
+namespace sdc::yarn {
+
+struct LaunchModelConfig {
+  SimDuration spark_driver_median = millis(700);
+  SimDuration spark_executor_median = millis(690);
+  SimDuration mr_master_median = millis(930);
+  SimDuration mr_map_median = millis(860);
+  SimDuration mr_reduce_median = millis(880);
+  double jvm_sigma = 0.28;
+
+  /// Docker image load + rootfs mount overhead.
+  SimDuration docker_overhead_median = millis(340);
+  double docker_sigma = 0.42;
+  /// Probability of a cold image-cache path (long-tail I/O).
+  double docker_cold_prob = 0.06;
+  SimDuration docker_cold_extra_median = millis(900);
+  double docker_cold_sigma = 0.5;
+
+  /// Fraction of the JVM-start cost that remains when launching from a
+  /// pre-warmed JVM pool (§V-B "JVM reuse"): classes loaded, JIT warm.
+  double warm_jvm_factor = 0.25;
+};
+
+class LaunchModel {
+ public:
+  explicit LaunchModel(LaunchModelConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const LaunchModelConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Median JVM-start time for an instance type (no interference, no
+  /// Docker).
+  [[nodiscard]] SimDuration base_median(InstanceType type) const;
+
+  /// Samples one launch delay.  `cpu_multiplier` stretches the JVM phase
+  /// (launching is CPU-intensive, §IV-E); `io_multiplier` stretches the
+  /// Docker image-load portion only; `warm_jvm` launches from a pre-warmed
+  /// pool at a fraction of the JVM-start cost.
+  [[nodiscard]] SimDuration sample(InstanceType type, bool docker,
+                                   double cpu_multiplier, double io_multiplier,
+                                   Rng& rng, bool warm_jvm = false) const;
+
+ private:
+  LaunchModelConfig config_;
+};
+
+}  // namespace sdc::yarn

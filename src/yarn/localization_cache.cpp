@@ -1,0 +1,34 @@
+#include "yarn/localization_cache.hpp"
+
+namespace sdc::yarn {
+
+bool LocalizationCache::lookup(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return true;
+}
+
+void LocalizationCache::insert(const std::string& key, double size_mb) {
+  if (size_mb > config_.capacity_mb) return;  // cannot ever fit
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (used_mb_ + size_mb > config_.capacity_mb && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_mb_ -= victim.size_mb;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{key, size_mb});
+  index_[key] = lru_.begin();
+  used_mb_ += size_mb;
+}
+
+}  // namespace sdc::yarn

@@ -1,0 +1,70 @@
+// Per-node localization cache service — the paper's proposed future work
+// (§V-B): "design a new caching service on each slave node [so that] the
+// recent most used localization files will be cached on local nodes in
+// dedicated storage class, eliminating the effects of network
+// interference."
+//
+// Packages are keyed by a content signature (here: the package key the
+// framework ships with the launch context).  A hit serves the package
+// from the node-local dedicated tier — a small fixed cost plus a fast
+// read that is immune to cluster I/O interference, which is the entire
+// point of the design.  Misses fall through to HDFS and then insert, with
+// LRU eviction under a byte budget.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace sdc::yarn {
+
+struct LocalizationCacheConfig {
+  /// Dedicated-tier capacity per node (SSD/RAM-disk slice), MB.
+  double capacity_mb = 16 * 1024.0;
+  /// Dedicated-tier read bandwidth, MB/s (local SSD, uncontended).
+  double read_bw_mbps = 2000.0;
+  /// Fixed per-hit cost (symlink setup, permissions).
+  double hit_overhead_ms = 60.0;
+};
+
+class LocalizationCache {
+ public:
+  explicit LocalizationCache(LocalizationCacheConfig config = {})
+      : config_(config) {}
+
+  /// True if `key` is currently cached; refreshes its LRU position.
+  [[nodiscard]] bool lookup(const std::string& key);
+
+  /// Inserts `key` of `size_mb`, evicting least-recently-used entries
+  /// until it fits.  Packages larger than the capacity are not cached.
+  void insert(const std::string& key, double size_mb);
+
+  /// Time (ms) to serve `size_mb` from the dedicated tier.
+  [[nodiscard]] double hit_time_ms(double size_mb) const {
+    return config_.hit_overhead_ms + size_mb / config_.read_bw_mbps * 1000.0;
+  }
+
+  [[nodiscard]] double used_mb() const noexcept { return used_mb_; }
+  [[nodiscard]] std::size_t entries() const noexcept { return index_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] const LocalizationCacheConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    double size_mb;
+  };
+
+  LocalizationCacheConfig config_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  double used_mb_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sdc::yarn

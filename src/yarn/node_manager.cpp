@@ -1,0 +1,268 @@
+#include "yarn/node_manager.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace sdc::yarn {
+namespace {
+
+std::string nm_stream_name(const NodeId& node) {
+  return "nm-" + node.hostname() + ".log";
+}
+
+constexpr std::string_view kLocalizationServiceClass =
+    "org.apache.hadoop.yarn.server.nodemanager.containermanager.localizer."
+    "ResourceLocalizationService";
+constexpr std::string_view kContainerSchedulerClass =
+    "org.apache.hadoop.yarn.server.nodemanager.containermanager.scheduler."
+    "ContainerScheduler";
+
+}  // namespace
+
+NodeManager::NodeManager(cluster::Cluster& cluster, cluster::Node& node,
+                         logging::LogBundle& logs, const YarnConfig& config,
+                         const LaunchModel& launch_model, Rng rng,
+                         std::int64_t clock_skew_ms)
+    : cluster_(cluster),
+      node_(node),
+      config_(config),
+      launch_model_(launch_model),
+      logger_(&logs, nm_stream_name(node.id()),
+              cluster.config().epoch_base_ms, clock_skew_ms),
+      rng_(rng) {
+  if (config.enable_localization_cache) {
+    cache_.emplace(config.localization_cache);
+  }
+}
+
+void NodeManager::set_rm_hooks(
+    std::function<void(const ContainerId&)> on_running,
+    std::function<void(const ContainerId&)> on_finished) {
+  rm_on_running_ = std::move(on_running);
+  rm_on_finished_ = std::move(on_finished);
+}
+
+NodeManager::ContainerRec& NodeManager::rec(const ContainerId& id) {
+  const auto it = containers_.find(id);
+  if (it == containers_.end()) {
+    throw std::invalid_argument("NodeManager: unknown container " + id.str());
+  }
+  return it->second;
+}
+
+void NodeManager::log_transition(const ContainerId& id, ContainerRec& rec,
+                                 NmContainerState to) {
+  const NmContainerState from = rec.sm.state();
+  rec.sm.transition(to);
+  logger_.info(cluster_.engine().now(), std::string(kNmContainerImplClass),
+               render_nm_container_transition(id.str(), from, to));
+}
+
+void NodeManager::start_container(LaunchSpec spec) {
+  const ContainerId id = spec.id;
+  if (finished_before_start_.erase(id) > 0) {
+    // The application finished while this start RPC was in flight.
+    if (!spec.opportunistic) node_.release(spec.resource);
+    return;
+  }
+  auto [it, inserted] = containers_.try_emplace(id);
+  if (!inserted) {
+    throw std::invalid_argument("NodeManager: duplicate container " + id.str());
+  }
+  ContainerRec& container = it->second;
+  container.spec = std::move(spec);
+  if (!container.spec.opportunistic) {
+    // Guaranteed: the scheduler reserved this node's resources at grant
+    // time; the NM just runs it.
+    container.resources_held = true;
+  } else {
+    // Opportunistic: grab resources if the node happens to have room.
+    container.resources_held = node_.try_allocate(container.spec.resource);
+    if (!container.resources_held) {
+      logger_.info(cluster_.engine().now(),
+                   std::string(kContainerSchedulerClass),
+                   "Opportunistic container " + id.str() +
+                       " will be queued, node resources exhausted");
+    }
+  }
+  // Tiny internal dispatch latency before the localizer picks it up.
+  cluster_.engine().schedule_after(
+      rng_.lognormal_duration(millis(2), 0.4),
+      [this, id] { begin_localization(id); });
+}
+
+void NodeManager::begin_localization(const ContainerId& id) {
+  const auto it = containers_.find(id);
+  if (it == containers_.end()) return;  // killed before localization
+  ContainerRec& container = it->second;
+  log_transition(id, container, NmContainerState::kLocalizing);
+  // The §V-B caching service: a hit is served from the node-local
+  // dedicated tier, immune to cluster I/O interference (only the mild CPU
+  // effect on the client path remains).
+  if (cache_ && cache_->lookup(container.spec.package_key)) {
+    const double ms = cache_->hit_time_ms(container.spec.localization_mb) *
+                      cluster_.interference().cpu_localization_multiplier();
+    logger_.info(cluster_.engine().now(),
+                 std::string(kLocalizationServiceClass),
+                 "Serving resources for container " + id.str() +
+                     " from the local cache (key=" +
+                     container.spec.package_key + ")");
+    cluster_.engine().schedule_after(
+        rng_.lognormal_duration(static_cast<SimDuration>(ms * 1000.0), 0.25),
+        [this, id] { on_localized(id); });
+    return;
+  }
+  const auto& interference = cluster_.interference();
+  const double io_mult = interference.io_transfer_multiplier() *
+                         interference.cpu_localization_multiplier();
+  const SimDuration overhead =
+      rng_.lognormal_duration(config_.localization_overhead_median,
+                              config_.localization_overhead_sigma);
+  const SimDuration transfer = cluster_.hdfs().sample_transfer(
+      container.spec.localization_mb, io_mult, rng_);
+  logger_.info(cluster_.engine().now(), std::string(kLocalizationServiceClass),
+               "Downloading public resources for container " + id.str());
+  node_.add_io_flow();
+  container.io_flow_active = true;
+  if (cache_) {
+    cache_->insert(container.spec.package_key,
+                   container.spec.localization_mb);
+  }
+  cluster_.engine().schedule_after(overhead + transfer,
+                                   [this, id] { on_localized(id); });
+}
+
+void NodeManager::on_localized(const ContainerId& id) {
+  const auto it = containers_.find(id);
+  if (it == containers_.end()) return;  // killed mid-localization
+  ContainerRec& container = it->second;
+  node_.remove_io_flow();
+  container.io_flow_active = false;
+  log_transition(id, container, NmContainerState::kScheduled);
+  if (container.spec.opportunistic && !container.resources_held) {
+    // Try once more (resources may have freed during localization) before
+    // waiting at the node — Fig. 7-b's queuing delay.
+    if (node_.try_allocate(container.spec.resource)) {
+      container.resources_held = true;
+    } else {
+      node_.enqueue_opportunistic();
+      opportunistic_queue_.push_back(id);
+      return;
+    }
+  }
+  dispatch(id, rng_.lognormal_duration(config_.guaranteed_queue_median,
+                                       config_.guaranteed_queue_sigma));
+}
+
+void NodeManager::dispatch(const ContainerId& id, SimDuration queue_delay) {
+  cluster_.engine().schedule_after(queue_delay,
+                                   [this, id] { run_container(id); });
+}
+
+void NodeManager::run_container(const ContainerId& id) {
+  const auto it = containers_.find(id);
+  if (it == containers_.end()) return;  // killed while queued
+  ContainerRec& container = it->second;
+  log_transition(id, container, NmContainerState::kRunning);
+  if (rm_on_running_) rm_on_running_(id);
+  const auto& interference = cluster_.interference();
+  // JVM start is CPU-intensive *and* loads classes from local jars, so it
+  // stretches under both CPU load and heavy disk activity (§IV-E) — but
+  // the CPU effect is sub-linear (fork/exec and early JIT hold locks less
+  // than steady-state execution; Fig. 13-a shows out-app barely moving).
+  const double jvm_factor =
+      std::pow(interference.cpu_multiplier(), 0.6) *
+      std::pow(interference.io_control_multiplier(), 0.5);
+  const SimDuration launch = launch_model_.sample(
+      container.spec.type, container.spec.docker, jvm_factor,
+      interference.io_transfer_multiplier(), rng_, container.spec.warm_jvm);
+  if (container.spec.failure_probability > 0 &&
+      rng_.chance(container.spec.failure_probability)) {
+    // Launch failure: the process dies part-way through boot; the NM
+    // reaps it and reports a failed exit (no instance first-log exists).
+    const SimDuration died_after = static_cast<SimDuration>(
+        static_cast<double>(launch) * rng_.uniform(0.2, 0.9));
+    cluster_.engine().schedule_after(died_after, [this, id] {
+      const auto cit = containers_.find(id);
+      if (cit == containers_.end()) return;
+      ContainerRec& failed = cit->second;
+      log_transition(id, failed, NmContainerState::kExitedWithFailure);
+      logger_.warn(cluster_.engine().now(),
+                   std::string(kNmContainerImplClass),
+                   "Container " + id.str() +
+                       " exited with a non-zero exit code (launch failure)");
+      log_transition(id, failed, NmContainerState::kDone);
+      if (failed.resources_held) node_.release(failed.spec.resource);
+      if (rm_on_finished_) rm_on_finished_(id);
+      auto on_failed = failed.spec.on_launch_failed;
+      containers_.erase(id);
+      try_dispatch_queued();
+      if (on_failed) on_failed(cluster_.engine().now());
+    });
+    return;
+  }
+  auto on_started = container.spec.on_process_started;
+  if (on_started) {
+    cluster_.engine().schedule_after(launch, [this, on_started] {
+      on_started(cluster_.engine().now());
+    });
+  }
+}
+
+void NodeManager::finish_container(const ContainerId& id) {
+  if (!containers_.contains(id)) {
+    finished_before_start_.insert(id);
+    return;
+  }
+  ContainerRec& container = rec(id);
+  if (container.sm.state() == NmContainerState::kRunning) {
+    log_transition(id, container, NmContainerState::kExitedWithSuccess);
+    log_transition(id, container, NmContainerState::kDone);
+  } else {
+    // Killed before it ever ran (e.g. the application finished while the
+    // container was still localizing or queued).
+    logger_.info(cluster_.engine().now(), std::string(kContainerSchedulerClass),
+                 "Container " + id.str() +
+                     " cleaned up before launch (application finished)");
+    if (container.io_flow_active) {
+      node_.remove_io_flow();
+      container.io_flow_active = false;
+    }
+    for (auto qit = opportunistic_queue_.begin();
+         qit != opportunistic_queue_.end(); ++qit) {
+      if (*qit == id) {
+        opportunistic_queue_.erase(qit);
+        node_.dequeue_opportunistic();
+        break;
+      }
+    }
+  }
+  if (container.resources_held) {
+    node_.release(container.spec.resource);
+  }
+  if (rm_on_finished_) rm_on_finished_(id);
+  containers_.erase(id);
+  try_dispatch_queued();
+}
+
+void NodeManager::try_dispatch_queued() {
+  while (!opportunistic_queue_.empty()) {
+    const ContainerId id = opportunistic_queue_.front();
+    const auto it = containers_.find(id);
+    if (it == containers_.end()) {  // finished while queued (defensive)
+      opportunistic_queue_.pop_front();
+      node_.dequeue_opportunistic();
+      continue;
+    }
+    ContainerRec& container = it->second;
+    if (!node_.try_allocate(container.spec.resource)) return;  // still full
+    container.resources_held = true;
+    opportunistic_queue_.pop_front();
+    node_.dequeue_opportunistic();
+    // Small dispatch cost once resources free up.
+    dispatch(id, rng_.lognormal_duration(millis(10), 0.4));
+  }
+}
+
+}  // namespace sdc::yarn

@@ -1,0 +1,108 @@
+// Simulated NodeManager: runs the ContainerImpl lifecycle on one node and
+// emits the NM-side log lines SDchecker mines (Table I rows 6-8).
+//
+// Lifecycle of one container:
+//
+//   NEW -> LOCALIZING            (localization service starts downloading)
+//   LOCALIZING -> SCHEDULED      (package localized; Table I row 6->7 is
+//                                 the localization delay, Fig. 8)
+//   SCHEDULED -> RUNNING         (NM container scheduler dispatches the
+//                                 launch script; the gap is the queuing
+//                                 delay — ~100 ms guaranteed, up to tens
+//                                 of seconds for opportunistic containers
+//                                 on a busy node, Fig. 7-b)
+//   RUNNING -> process first log (JVM boot; the launching delay, Fig. 9)
+//   RUNNING -> EXITED_WITH_SUCCESS -> DONE on completion.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "logging/logger.hpp"
+#include "yarn/config.hpp"
+#include "yarn/launch_model.hpp"
+#include "yarn/localization_cache.hpp"
+#include "yarn/state_machine.hpp"
+#include "yarn/types.hpp"
+
+namespace sdc::yarn {
+
+class NodeManager {
+ public:
+  NodeManager(cluster::Cluster& cluster, cluster::Node& node,
+              logging::LogBundle& logs, const YarnConfig& config,
+              const LaunchModel& launch_model, Rng rng,
+              std::int64_t clock_skew_ms = 0);
+
+  /// RM / AM-facing: begins the container lifecycle.  The caller is
+  /// responsible for modelling the RPC delay before this call.  For
+  /// guaranteed containers the node's resources were already reserved by
+  /// the scheduler at grant time.
+  void start_container(LaunchSpec spec);
+
+  /// Framework-facing: the process inside the container exited cleanly.
+  /// Releases node resources and may dispatch queued opportunistic
+  /// containers.
+  void finish_container(const ContainerId& id);
+
+  /// Hooks back to the RM, set by the harness after construction (keeps
+  /// NM free of an RM dependency).
+  void set_rm_hooks(std::function<void(const ContainerId&)> on_running,
+                    std::function<void(const ContainerId&)> on_finished);
+
+  [[nodiscard]] const cluster::Node& node() const noexcept { return node_; }
+  [[nodiscard]] cluster::Node& node() noexcept { return node_; }
+  [[nodiscard]] const logging::Logger& logger() const noexcept {
+    return logger_;
+  }
+  /// Containers currently tracked (not yet DONE).
+  [[nodiscard]] std::size_t live_containers() const noexcept {
+    return containers_.size();
+  }
+
+  /// The node-local localization cache (§V-B future-work service), or
+  /// nullptr when yarn.enable_localization_cache is off.
+  [[nodiscard]] const LocalizationCache* localization_cache() const noexcept {
+    return cache_ ? &*cache_ : nullptr;
+  }
+
+ private:
+  struct ContainerRec {
+    LaunchSpec spec;
+    StateMachine<NmContainerState> sm{NmContainerState::kNew, "ContainerImpl"};
+    bool resources_held = false;
+    bool io_flow_active = false;
+  };
+
+  void log_transition(const ContainerId& id, ContainerRec& rec,
+                      NmContainerState to);
+  void begin_localization(const ContainerId& id);
+  void on_localized(const ContainerId& id);
+  void dispatch(const ContainerId& id, SimDuration queue_delay);
+  void run_container(const ContainerId& id);
+  void try_dispatch_queued();
+
+  [[nodiscard]] ContainerRec& rec(const ContainerId& id);
+
+  cluster::Cluster& cluster_;
+  cluster::Node& node_;
+  const YarnConfig& config_;
+  const LaunchModel& launch_model_;
+  logging::Logger logger_;
+  Rng rng_;
+  std::optional<LocalizationCache> cache_;
+  std::map<ContainerId, ContainerRec> containers_;
+  /// Containers finished (killed) before their start RPC arrived; the
+  /// late-arriving start is then dropped instead of leaking a lifecycle.
+  std::set<ContainerId> finished_before_start_;
+  std::deque<ContainerId> opportunistic_queue_;
+  std::function<void(const ContainerId&)> rm_on_running_;
+  std::function<void(const ContainerId&)> rm_on_finished_;
+};
+
+}  // namespace sdc::yarn

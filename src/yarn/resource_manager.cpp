@@ -1,0 +1,456 @@
+#include "yarn/resource_manager.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace sdc::yarn {
+namespace {
+
+constexpr std::string_view kClientRmServiceClass =
+    "org.apache.hadoop.yarn.server.resourcemanager.ClientRMService";
+
+std::unique_ptr<SchedulerPolicy> make_scheduler(const YarnConfig& config,
+                                                Rng rng) {
+  switch (config.scheduler) {
+    case SchedulerKind::kCapacity:
+      return std::make_unique<CapacityScheduler>(config.locality_fast_path);
+    case SchedulerKind::kFair:
+      return std::make_unique<FairScheduler>(config.locality_fast_path);
+    case SchedulerKind::kOpportunistic:
+      return std::make_unique<OpportunisticScheduler>(rng);
+    case SchedulerKind::kSampling:
+      return std::make_unique<OpportunisticScheduler>(
+          rng, config.sampling_probe_width);
+  }
+  return std::make_unique<CapacityScheduler>();
+}
+
+}  // namespace
+
+ResourceManager::ResourceManager(cluster::Cluster& cluster,
+                                 logging::LogBundle& logs, YarnConfig config,
+                                 std::uint64_t seed)
+    : cluster_(cluster),
+      config_(config),
+      launch_model_(),
+      logger_(&logs, "rm.log", cluster.config().epoch_base_ms),
+      rng_(seed),
+      scheduler_(make_scheduler(config, rng_.fork(0x5ced))) {}
+
+ResourceManager::~ResourceManager() {
+  for (auto& task : nm_heartbeat_tasks_) task.cancel();
+  for (auto& [_, app] : apps_) app.am_heartbeat_task.cancel();
+}
+
+void ResourceManager::attach_node_managers(std::vector<NodeManager*> nms) {
+  nms_ = std::move(nms);
+  nm_by_node_.clear();
+  for (NodeManager* nm : nms_) {
+    nm_by_node_[nm->node().id()] = nm;
+    nm->set_rm_hooks(
+        [this](const ContainerId& id) { on_container_running(id); },
+        [this](const ContainerId& id) { on_container_finished(id); });
+  }
+}
+
+void ResourceManager::start() {
+  if (started_) return;
+  started_ = true;
+  // Spread NM heartbeats evenly over the interval (real clusters converge
+  // to roughly uniform phases); tiny jitter keeps runs realistic while the
+  // seed keeps them reproducible.
+  const auto n = static_cast<std::int64_t>(nms_.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    NodeManager* nm = nms_[static_cast<std::size_t>(i)];
+    const SimTime phase =
+        cluster_.engine().now() + (i + 1) * config_.nm_heartbeat / (n + 1) +
+        rng_.uniform_int(0, 2000);
+    nm_heartbeat_tasks_.push_back(sim::PeriodicTask::start(
+        cluster_.engine(), phase, config_.nm_heartbeat, [this, nm] {
+          on_node_heartbeat(*nm);
+          return true;
+        }));
+  }
+}
+
+ApplicationId ResourceManager::submit(AppSubmission submission) {
+  const ApplicationId id{cluster_.config().epoch_base_ms, next_app_seq_++};
+  auto [it, inserted] = apps_.try_emplace(id);
+  assert(inserted);
+  RmApp& rm_app = it->second;
+  rm_app.id = id;
+  rm_app.submission = std::move(submission);
+  ++live_apps_;
+
+  logger_.info(cluster_.engine().now(), std::string(kClientRmServiceClass),
+               "Application with id " + std::to_string(id.id) +
+                   " submitted by user sdchecker: " + id.str());
+  // NEW -> NEW_SAVING -> SUBMITTED -> ACCEPTED with state-store and
+  // admission latencies in the low milliseconds.
+  auto& engine = cluster_.engine();
+  engine.schedule_after(sample_rpc(), [this, id] {
+    RmApp& a = app(id);
+    log_app_transition(a, RmAppState::kNewSaving);
+    cluster_.engine().schedule_after(
+        rng_.lognormal_duration(millis(3), 0.5), [this, id] {
+          RmApp& a2 = app(id);
+          log_app_transition(a2, RmAppState::kSubmitted);
+          cluster_.engine().schedule_after(
+              rng_.lognormal_duration(millis(5), 0.5), [this, id] {
+                RmApp& a3 = app(id);
+                log_app_transition(a3, RmAppState::kAccepted);
+                // Admission done: queue the (guaranteed) AM container ask.
+                scheduler_->enqueue(PendingAsk{
+                    id, a3.submission.am_resource, 1, a3.submission.am_type,
+                    /*am=*/true});
+              });
+        });
+  });
+  return id;
+}
+
+void ResourceManager::register_attempt(const ApplicationId& app_id,
+                                       AmProtocol* am) {
+  RmApp& a = app(app_id);
+  a.am = am;
+  log_app_transition(a, RmAppState::kRunning);
+  // AM heartbeat channel: random phase, fixed interval.
+  const SimDuration interval = a.submission.am_heartbeat;
+  const SimTime first = cluster_.engine().now() +
+                        rng_.uniform_int(interval / 10, interval);
+  a.am_heartbeat_task = sim::PeriodicTask::start(
+      cluster_.engine(), first, interval, [this, app_id] {
+        const auto it = apps_.find(app_id);
+        if (it == apps_.end() || it->second.finished) return false;
+        on_am_heartbeat(it->second);
+        return true;
+      });
+}
+
+void ResourceManager::request_containers(const ApplicationId& app_id,
+                                         ContainerAsk ask) {
+  RmApp& a = app(app_id);
+  if (a.finished) return;
+  const bool distributed =
+      config_.scheduler == SchedulerKind::kOpportunistic ||
+      config_.scheduler == SchedulerKind::kSampling;
+  if (distributed) {
+    // Direct allocator RPC: decisions in microseconds, allocation and
+    // acquisition complete within the same call (paper Fig. 7-a: ~80x
+    // faster than the centralized path).  A short service-queue delay
+    // dominates the latency.
+    const SimDuration service_delay = rng_.lognormal_duration(
+        config_.opportunistic_service_median,
+        config_.opportunistic_service_sigma);
+    cluster_.engine().schedule_after(sample_rpc() + service_delay, [this,
+                                                                    app_id,
+                                                                    ask] {
+      const auto it = apps_.find(app_id);
+      if (it == apps_.end() || it->second.finished) return;
+      RmApp& a2 = it->second;
+      PendingAsk pending{app_id, ask.resource, ask.count, ask.type,
+                         /*am=*/false};
+      auto nodes = cluster_.nodes();
+      const std::vector<Grant> grants =
+          scheduler_->assign_immediate(pending, nodes);
+      std::vector<Allocation> acquired;
+      acquired.reserve(grants.size());
+      SimDuration offset = 0;
+      for (const Grant& grant : grants) {
+        offset += micros(60);  // cheap per-container decision
+        const ContainerId cid{app_id, a2.current_attempt, a2.next_container_seq++};
+        auto [cit, ok] = containers_.try_emplace(cid);
+        assert(ok);
+        RmContainer& c = cit->second;
+        c.id = cid;
+        c.node = grant.node;
+        c.resource = grant.resource;
+        c.type = grant.type;
+        c.opportunistic = true;
+        const SimDuration at = offset;
+        cluster_.engine().schedule_after(at, [this, cid] {
+          RmContainer& rc = container(cid);
+          log_container_transition(rc, RmContainerState::kAllocated);
+          ++containers_allocated_;
+          logger_.info(cluster_.engine().now(),
+                       std::string(kOpportunisticSchedulerClass),
+                       "Allocated opportunistic container " + cid.str() +
+                           " on host " + rc.node.str());
+          log_container_transition(rc, RmContainerState::kAcquired);
+        });
+        acquired.push_back(
+            Allocation{cid, grant.node, grant.resource, grant.type, true});
+      }
+      // Response returns to the AM after the decisions plus one RPC hop.
+      cluster_.engine().schedule_after(
+          offset + sample_rpc(), [this, app_id, acquired] {
+            const auto it2 = apps_.find(app_id);
+            if (it2 == apps_.end() || it2->second.finished) return;
+            if (it2->second.am) it2->second.am->on_containers_acquired(acquired);
+          });
+    });
+    return;
+  }
+  // Centralized: the ask rides the next AM heartbeat.
+  a.outbox.push_back(ask);
+}
+
+void ResourceManager::unregister_attempt(const ApplicationId& app_id) {
+  RmApp& a = app(app_id);
+  if (a.finished) return;
+  a.finished = true;
+  a.am_heartbeat_task.cancel();
+  if (live_apps_ > 0) --live_apps_;
+  log_app_transition(a, RmAppState::kFinalSaving);
+  // Reclaim containers that never ran (e.g. the SPARK-21562 over-request
+  // leftovers): ALLOCATED/ACQUIRED -> RELEASED.
+  for (auto& [cid, c] : containers_) {
+    if (cid.app != app_id) continue;
+    const RmContainerState s = c.sm.state();
+    if (s == RmContainerState::kAllocated || s == RmContainerState::kAcquired) {
+      log_container_transition(c, RmContainerState::kReleased);
+      if (!c.opportunistic && !c.am) {
+        // Guaranteed grants reserved node resources at allocation time.
+        node_manager(c.node).node().release(c.resource);
+      }
+    }
+  }
+  cluster_.engine().schedule_after(
+      rng_.lognormal_duration(millis(4), 0.5), [this, app_id] {
+        log_app_transition(app(app_id), RmAppState::kFinished);
+      });
+}
+
+void ResourceManager::on_container_running(const ContainerId& id) {
+  const auto it = containers_.find(id);
+  if (it == containers_.end()) return;
+  if (it->second.sm.state() == RmContainerState::kAcquired) {
+    log_container_transition(it->second, RmContainerState::kRunning);
+  }
+}
+
+void ResourceManager::on_container_finished(const ContainerId& id) {
+  const auto it = containers_.find(id);
+  if (it == containers_.end()) return;
+  if (it->second.sm.state() == RmContainerState::kRunning) {
+    log_container_transition(it->second, RmContainerState::kCompleted);
+  }
+}
+
+NodeManager& ResourceManager::node_manager(const NodeId& node) {
+  const auto it = nm_by_node_.find(node);
+  if (it == nm_by_node_.end()) {
+    throw std::invalid_argument("ResourceManager: unknown node " + node.str());
+  }
+  return *it->second;
+}
+
+SimDuration ResourceManager::sample_rpc() {
+  return rng_.lognormal_duration(config_.rpc_median, config_.rpc_sigma);
+}
+
+void ResourceManager::log_app_transition(RmApp& app, RmAppState to) {
+  const RmAppState from = app.sm.state();
+  app.sm.transition(to);
+  logger_.info(cluster_.engine().now(), std::string(kRmAppImplClass),
+               render_rm_app_transition(app.id.str(), from, to));
+}
+
+void ResourceManager::log_container_transition(RmContainer& container,
+                                               RmContainerState to) {
+  const RmContainerState from = container.sm.state();
+  container.sm.transition(to);
+  logger_.info(cluster_.engine().now(), std::string(kRmContainerImplClass),
+               render_rm_container_transition(container.id.str(), from, to));
+}
+
+void ResourceManager::on_node_heartbeat(NodeManager& nm) {
+  const std::vector<Grant> grants = scheduler_->assign_on_heartbeat(
+      nm.node(), config_.max_assign_per_heartbeat, cluster_.engine().now());
+  process_grants(grants);
+}
+
+void ResourceManager::process_grants(const std::vector<Grant>& grants) {
+  auto& engine = cluster_.engine();
+  for (const Grant& grant : grants) {
+    const auto ait = apps_.find(grant.app);
+    if (ait == apps_.end() || ait->second.finished) continue;
+    RmApp& a = ait->second;
+    const ContainerId cid{grant.app, a.current_attempt, a.next_container_seq++};
+    auto [cit, ok] = containers_.try_emplace(cid);
+    assert(ok);
+    RmContainer& c = cit->second;
+    c.id = cid;
+    c.node = grant.node;
+    c.resource = grant.resource;
+    c.type = grant.type;
+    c.am = grant.am;
+    c.opportunistic = grant.opportunistic;
+    // Serial decision pipeline: each allocation consumes decision_time of
+    // the scheduler thread; this bounds cluster-wide allocation throughput
+    // (Table II).
+    const SimTime alloc_at =
+        std::max(engine.now(), alloc_pipeline_free_) + config_.decision_time;
+    alloc_pipeline_free_ = alloc_at;
+    engine.schedule_at(alloc_at, [this, cid] { commit_allocation(cid); });
+  }
+}
+
+void ResourceManager::commit_allocation(const ContainerId& cid) {
+  RmContainer& c = container(cid);
+  log_container_transition(c, RmContainerState::kAllocated);
+  ++containers_allocated_;
+  logger_.info(cluster_.engine().now(), std::string(kCapacitySchedulerClass),
+               "Assigned container " + cid.str() + " of capacity " +
+                   c.resource.str() + " on host " + c.node.str());
+  const auto ait = apps_.find(cid.app);
+  if (ait == apps_.end()) return;
+  RmApp& a = ait->second;
+  if (c.am) {
+    // The RM's ApplicationMasterLauncher acquires and dispatches the AM
+    // container directly (no AM heartbeat exists yet).
+    cluster_.engine().schedule_after(
+        rng_.lognormal_duration(config_.am_dispatch_median, 0.4),
+        [this, cid] { dispatch_am_container(cid); });
+  } else {
+    a.awaiting_acquire.push_back(cid);
+  }
+}
+
+void ResourceManager::dispatch_am_container(const ContainerId& cid) {
+  RmContainer& c = container(cid);
+  log_container_transition(c, RmContainerState::kAcquired);
+  const auto ait = apps_.find(cid.app);
+  if (ait == apps_.end() || ait->second.finished) return;
+  RmApp& a = ait->second;
+  LaunchSpec spec;
+  spec.id = cid;
+  spec.resource = c.resource;
+  spec.type = c.type;
+  spec.localization_mb = a.submission.am_localization_mb;
+  spec.package_key = a.submission.am_package_key;
+  spec.docker = a.submission.docker;
+  spec.warm_jvm = a.submission.warm_jvm;
+  spec.opportunistic = false;
+  spec.failure_probability = a.submission.am_failure_prob;
+  const ApplicationId app_id = cid.app;
+  const NodeId node_id = c.node;
+  auto on_started = a.submission.on_am_started;
+  spec.on_process_started = [on_started, app_id, cid, node_id](SimTime t) {
+    if (on_started) on_started(app_id, cid, node_id, t);
+  };
+  spec.on_launch_failed = [this, app_id](SimTime) {
+    on_am_launch_failed(app_id);
+  };
+  NodeManager& nm = node_manager(c.node);
+  cluster_.engine().schedule_after(
+      sample_rpc(), [&nm, spec = std::move(spec)] { nm.start_container(spec); });
+}
+
+void ResourceManager::on_am_launch_failed(const ApplicationId& app_id) {
+  const auto it = apps_.find(app_id);
+  if (it == apps_.end() || it->second.finished) return;
+  RmApp& a = it->second;
+  char attempt_text[96];
+  std::snprintf(attempt_text, sizeof(attempt_text), "appattempt_%lld_%04d_%06d",
+                static_cast<long long>(app_id.cluster_ts), app_id.id,
+                a.current_attempt);
+  logger_.warn(cluster_.engine().now(),
+               "org.apache.hadoop.yarn.server.resourcemanager.rmapp.attempt."
+               "RMAppAttemptImpl",
+               std::string(attempt_text) + " State change from LAUNCHED to "
+                                           "FAILED (AM container exited)");
+  if (a.current_attempt >= a.submission.max_am_attempts) {
+    fail_application(app_id);
+    return;
+  }
+  // Next attempt: container numbering restarts at 1 within the attempt.
+  ++a.current_attempt;
+  a.next_container_seq = 1;
+  scheduler_->enqueue(PendingAsk{app_id, a.submission.am_resource, 1,
+                                 a.submission.am_type, /*am=*/true});
+}
+
+void ResourceManager::fail_application(const ApplicationId& app_id) {
+  const auto it = apps_.find(app_id);
+  if (it == apps_.end() || it->second.finished) return;
+  RmApp& a = it->second;
+  a.finished = true;
+  a.am_heartbeat_task.cancel();
+  if (live_apps_ > 0) --live_apps_;
+  log_app_transition(a, RmAppState::kFinalSaving);
+  cluster_.engine().schedule_after(
+      rng_.lognormal_duration(millis(4), 0.5), [this, app_id] {
+        log_app_transition(app(app_id), RmAppState::kFinished);
+      });
+}
+
+void ResourceManager::on_am_heartbeat(RmApp& a) {
+  // 1. Flush asks that were waiting to ride this heartbeat.  Each task
+  //    container gets its own independently-sampled locality wait, so a
+  //    batch spreads over several scheduling opportunities (Fig. 6-b).
+  while (!a.outbox.empty()) {
+    const ContainerAsk ask = a.outbox.front();
+    a.outbox.pop_front();
+    for (std::int32_t i = 0; i < ask.count; ++i) {
+      const SimTime eligible =
+          cluster_.engine().now() +
+          rng_.lognormal_duration(config_.locality_wait_median,
+                                  config_.locality_wait_sigma);
+      PendingAsk pending{a.id, ask.resource, 1, ask.type,
+                         /*am=*/false, eligible};
+      if (!ask.preferred_nodes.empty()) {
+        // Each container prefers a replica subset, like one input split.
+        const std::size_t width =
+            std::min<std::size_t>(3, ask.preferred_nodes.size());
+        for (std::size_t p = 0; p < width; ++p) {
+          pending.preferred_nodes.push_back(
+              ask.preferred_nodes[static_cast<std::size_t>(rng_.uniform_int(
+                  0,
+                  static_cast<std::int64_t>(ask.preferred_nodes.size()) - 1))]);
+        }
+      }
+      scheduler_->enqueue(std::move(pending));
+    }
+  }
+  // 2. Pick up allocations: ALLOCATED -> ACQUIRED (Fig. 7-c interval).
+  if (a.awaiting_acquire.empty() || a.am == nullptr) return;
+  std::vector<Allocation> acquired;
+  while (!a.awaiting_acquire.empty()) {
+    const ContainerId cid = a.awaiting_acquire.front();
+    a.awaiting_acquire.pop_front();
+    RmContainer& c = container(cid);
+    log_container_transition(c, RmContainerState::kAcquired);
+    acquired.push_back(Allocation{cid, c.node, c.resource, c.type, false});
+  }
+  // Response reaches the AM after one RPC hop.
+  const ApplicationId app_id = a.id;
+  cluster_.engine().schedule_after(sample_rpc(), [this, app_id, acquired] {
+    const auto it = apps_.find(app_id);
+    if (it == apps_.end() || it->second.finished || it->second.am == nullptr)
+      return;
+    it->second.am->on_containers_acquired(acquired);
+  });
+}
+
+ResourceManager::RmApp& ResourceManager::app(const ApplicationId& id) {
+  const auto it = apps_.find(id);
+  if (it == apps_.end()) {
+    throw std::invalid_argument("ResourceManager: unknown app " + id.str());
+  }
+  return it->second;
+}
+
+ResourceManager::RmContainer& ResourceManager::container(
+    const ContainerId& id) {
+  const auto it = containers_.find(id);
+  if (it == containers_.end()) {
+    throw std::invalid_argument("ResourceManager: unknown container " +
+                                id.str());
+  }
+  return it->second;
+}
+
+}  // namespace sdc::yarn

@@ -1,0 +1,180 @@
+// Simulated ResourceManager.
+//
+// Owns the RMAppImpl / RMContainerImpl state machines (and their log
+// lines), the pluggable scheduler policy, NodeManager heartbeat loops and
+// AM heartbeat channels.  The two-level protocol follows §II-A:
+//
+//   client --submit--> RM: NEW -> NEW_SAVING -> SUBMITTED -> ACCEPTED
+//   RM schedules the AM container (always guaranteed), dispatches it to a
+//     NodeManager, the framework's driver boots and registers:
+//     ACCEPTED -> RUNNING on ATTEMPT_REGISTERED.
+//   AM --allocate(asks)--> RM: asks ride AM heartbeats (centralized) or a
+//     direct allocator RPC (opportunistic); grants are logged NEW ->
+//     ALLOCATED when the serial decision pipeline emits them and
+//     ALLOCATED -> ACQUIRED when the AM's next heartbeat picks them up —
+//     the container acquisition delay of Fig. 7-c, capped by the
+//     heartbeat interval.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "logging/logger.hpp"
+#include "simcore/engine.hpp"
+#include "yarn/config.hpp"
+#include "yarn/launch_model.hpp"
+#include "yarn/node_manager.hpp"
+#include "yarn/scheduler.hpp"
+#include "yarn/state_machine.hpp"
+#include "yarn/types.hpp"
+
+namespace sdc::yarn {
+
+/// Implemented by framework AppMasters (Spark driver, MR master) to
+/// receive containers acquired on their heartbeat.
+class AmProtocol {
+ public:
+  virtual ~AmProtocol() = default;
+  virtual void on_containers_acquired(const std::vector<Allocation>& acquired) = 0;
+};
+
+/// Everything the RM needs to admit an application and boot its AM.
+struct AppSubmission {
+  std::string name = "app";
+  cluster::Resource am_resource = cluster::kAmResource;
+  InstanceType am_type = InstanceType::kSparkDriver;
+  /// Localization package for the AM container (Spark jar + configs).
+  double am_localization_mb = 500.0;
+  /// Cache key of the AM package (see LaunchSpec::package_key).
+  std::string am_package_key = "spark-default-pkg";
+  bool docker = false;
+  /// Launch the AM from a pre-warmed JVM (§V-B "JVM reuse").
+  bool warm_jvm = false;
+  /// AM-RM heartbeat interval (1 s is the MapReduce default the paper
+  /// identifies as the acquisition-delay cap).
+  SimDuration am_heartbeat = millis(1000);
+  /// Probability that an AM *launch* fails; the RM then starts a new
+  /// application attempt (up to max_am_attempts), like YARN's
+  /// yarn.resourcemanager.am.max-attempts.
+  double am_failure_prob = 0.0;
+  std::int32_t max_am_attempts = 2;
+  /// Invoked when the AM process boots on its node (its FIRST_LOG time).
+  std::function<void(ApplicationId, ContainerId, NodeId, SimTime)>
+      on_am_started;
+};
+
+class ResourceManager {
+ public:
+  ResourceManager(cluster::Cluster& cluster, logging::LogBundle& logs,
+                  YarnConfig config, std::uint64_t seed);
+  ~ResourceManager();
+
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  /// Wires the per-node NodeManagers (one per cluster worker, same order).
+  void attach_node_managers(std::vector<NodeManager*> nms);
+
+  /// Starts NodeManager heartbeat loops; call once after attaching NMs.
+  void start();
+
+  /// Admits an application; returns its cluster-wide ID.  State-machine
+  /// progression and AM scheduling proceed asynchronously.
+  ApplicationId submit(AppSubmission submission);
+
+  // --- AM-facing protocol -------------------------------------------------
+  /// The driver registered (first AM-RM heartbeat): ACCEPTED -> RUNNING.
+  void register_attempt(const ApplicationId& app, AmProtocol* am);
+  /// Batch container ask.  Centralized: rides the next AM heartbeat.
+  /// Opportunistic: direct allocator RPC, grants return in milliseconds.
+  void request_containers(const ApplicationId& app, ContainerAsk ask);
+  /// The driver is done: RUNNING -> FINAL_SAVING -> FINISHED; containers
+  /// still ALLOCATED/ACQUIRED are reclaimed (-> RELEASED).
+  void unregister_attempt(const ApplicationId& app);
+
+  // --- NM hooks -----------------------------------------------------------
+  void on_container_running(const ContainerId& id);
+  void on_container_finished(const ContainerId& id);
+
+  // --- lookups / stats ----------------------------------------------------
+  [[nodiscard]] NodeManager& node_manager(const NodeId& node);
+  [[nodiscard]] const YarnConfig& config() const noexcept { return config_; }
+  [[nodiscard]] SchedulerPolicy& scheduler() noexcept { return *scheduler_; }
+  [[nodiscard]] const LaunchModel& launch_model() const noexcept {
+    return launch_model_;
+  }
+  /// One sampled RPC hop (used by frameworks for AM->NM start calls).
+  [[nodiscard]] SimDuration sample_rpc();
+  [[nodiscard]] std::int64_t containers_allocated() const noexcept {
+    return containers_allocated_;
+  }
+  [[nodiscard]] std::size_t live_apps() const noexcept { return live_apps_; }
+
+ private:
+  struct RmContainer {
+    ContainerId id;
+    NodeId node;
+    cluster::Resource resource;
+    InstanceType type = InstanceType::kSparkExecutor;
+    bool am = false;
+    bool opportunistic = false;
+    StateMachine<RmContainerState> sm{RmContainerState::kNew,
+                                      "RMContainerImpl"};
+  };
+  struct RmApp {
+    ApplicationId id;
+    AppSubmission submission;
+    StateMachine<RmAppState> sm{RmAppState::kNew, "RMAppImpl"};
+    AmProtocol* am = nullptr;
+    std::int32_t current_attempt = 1;
+    std::int64_t next_container_seq = 1;
+    /// Containers ALLOCATED but not yet picked up by an AM heartbeat.
+    std::deque<ContainerId> awaiting_acquire;
+    /// Asks waiting to ride the next AM heartbeat (centralized path).
+    std::deque<ContainerAsk> outbox;
+    sim::PeriodicTask am_heartbeat_task;
+    bool finished = false;
+  };
+
+  void log_app_transition(RmApp& app, RmAppState to);
+  void log_container_transition(RmContainer& container, RmContainerState to);
+  void on_node_heartbeat(NodeManager& nm);
+  /// Runs grants through the serial decision pipeline; logs ALLOCATED.
+  void process_grants(const std::vector<Grant>& grants);
+  void commit_allocation(const ContainerId& id);
+  void dispatch_am_container(const ContainerId& id);
+  /// AM launch failed: start the next attempt or fail the application.
+  void on_am_launch_failed(const ApplicationId& app_id);
+  /// ACCEPTED -> FINAL_SAVING -> FINISHED without ever running (all AM
+  /// attempts exhausted).
+  void fail_application(const ApplicationId& app_id);
+  void on_am_heartbeat(RmApp& app);
+  RmApp& app(const ApplicationId& id);
+  RmContainer& container(const ContainerId& id);
+
+  cluster::Cluster& cluster_;
+  YarnConfig config_;
+  LaunchModel launch_model_;
+  logging::Logger logger_;
+  Rng rng_;
+  std::unique_ptr<SchedulerPolicy> scheduler_;
+  std::vector<NodeManager*> nms_;
+  std::map<NodeId, NodeManager*> nm_by_node_;
+  std::map<ApplicationId, RmApp> apps_;
+  std::map<ContainerId, RmContainer> containers_;
+  std::vector<sim::PeriodicTask> nm_heartbeat_tasks_;
+  /// Serial allocation pipeline: next time the decision loop is free.
+  SimTime alloc_pipeline_free_ = 0;
+  std::int32_t next_app_seq_ = 1;
+  std::int64_t containers_allocated_ = 0;
+  std::size_t live_apps_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace sdc::yarn

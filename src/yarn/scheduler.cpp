@@ -1,0 +1,170 @@
+#include "yarn/scheduler.hpp"
+
+#include <algorithm>
+
+namespace sdc::yarn {
+
+void CapacityScheduler::enqueue(PendingAsk ask) {
+  if (ask.remaining <= 0) return;
+  queue_.push_back(ask);
+}
+
+std::vector<Grant> CapacityScheduler::assign_on_heartbeat(
+    cluster::Node& node, std::int32_t max_assign, SimTime now) {
+  std::vector<Grant> grants;
+  std::int32_t budget = max_assign;
+  for (auto it = queue_.begin(); it != queue_.end() && budget > 0;) {
+    PendingAsk& ask = *it;
+    if (ask.eligible_at > now) {
+      // Locality wait not yet elapsed: the fast path lets a *preferred*
+      // node's heartbeat take the ask anyway (node-local assignment).
+      const bool preferred =
+          locality_fast_path_ &&
+          std::find(ask.preferred_nodes.begin(), ask.preferred_nodes.end(),
+                    node.id()) != ask.preferred_nodes.end();
+      if (!preferred) {
+        ++it;
+        continue;
+      }
+    }
+    while (ask.remaining > 0 && budget > 0 && node.try_allocate(ask.resource)) {
+      grants.push_back(Grant{ask.app, node.id(), ask.resource, ask.type,
+                             ask.am, /*opportunistic=*/false});
+      --ask.remaining;
+      --budget;
+    }
+    if (ask.remaining == 0) {
+      it = queue_.erase(it);
+    } else {
+      // Node cannot fit this shape; later (possibly smaller) asks may
+      // still fit — keep scanning FIFO order.
+      ++it;
+    }
+  }
+  return grants;
+}
+
+std::vector<Grant> CapacityScheduler::assign_immediate(
+    const PendingAsk& /*ask*/, std::vector<cluster::Node*>& /*nodes*/) {
+  return {};  // Centralized scheduler has no immediate path.
+}
+
+std::int64_t CapacityScheduler::pending_containers() const {
+  std::int64_t n = 0;
+  for (const auto& ask : queue_) n += ask.remaining;
+  return n;
+}
+
+void FairScheduler::enqueue(PendingAsk ask) {
+  if (ask.remaining <= 0) return;
+  queue_.push_back(ask);
+}
+
+std::vector<Grant> FairScheduler::assign_on_heartbeat(cluster::Node& node,
+                                                      std::int32_t max_assign,
+                                                      SimTime now) {
+  std::vector<Grant> grants;
+  std::int32_t budget = max_assign;
+  while (budget > 0) {
+    // Pick the eligible ask whose application holds the fewest granted
+    // containers (deficit round-robin); AM asks always go first.
+    auto best = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->remaining <= 0) continue;
+      if (it->eligible_at > now) {
+        const bool preferred =
+            locality_fast_path_ &&
+            std::find(it->preferred_nodes.begin(), it->preferred_nodes.end(),
+                      node.id()) != it->preferred_nodes.end();
+        if (!preferred) continue;
+      }
+      if (!node.available().fits(it->resource)) continue;
+      if (best == queue_.end()) {
+        best = it;
+        continue;
+      }
+      const auto score = [this](const PendingAsk& ask) {
+        return std::make_pair(!ask.am, granted_[ask.app]);
+      };
+      if (score(*it) < score(*best)) best = it;
+    }
+    if (best == queue_.end()) break;
+    if (!node.try_allocate(best->resource)) break;
+    grants.push_back(Grant{best->app, node.id(), best->resource, best->type,
+                           best->am, /*opportunistic=*/false});
+    ++granted_[best->app];
+    --budget;
+    if (--best->remaining == 0) queue_.erase(best);
+  }
+  return grants;
+}
+
+std::vector<Grant> FairScheduler::assign_immediate(
+    const PendingAsk& /*ask*/, std::vector<cluster::Node*>& /*nodes*/) {
+  return {};  // centralized: no immediate path
+}
+
+std::int64_t FairScheduler::pending_containers() const {
+  std::int64_t n = 0;
+  for (const auto& ask : queue_) n += ask.remaining;
+  return n;
+}
+
+std::int64_t FairScheduler::granted_to(const ApplicationId& app) const {
+  const auto it = granted_.find(app);
+  return it == granted_.end() ? 0 : it->second;
+}
+
+void OpportunisticScheduler::enqueue(PendingAsk ask) {
+  // Only guaranteed (AM) demand queues centrally; opportunistic asks must
+  // use assign_immediate.
+  guaranteed_.enqueue(ask);
+}
+
+std::vector<Grant> OpportunisticScheduler::assign_on_heartbeat(
+    cluster::Node& node, std::int32_t max_assign, SimTime now) {
+  return guaranteed_.assign_on_heartbeat(node, max_assign, now);
+}
+
+cluster::Node* OpportunisticScheduler::pick_node(
+    std::vector<cluster::Node*>& nodes, const cluster::Resource& ask) {
+  cluster::Node* best = nullptr;
+  for (std::int32_t probe = 0; probe < probe_width_; ++probe) {
+    cluster::Node* candidate = nodes[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1))];
+    if (best == nullptr) {
+      best = candidate;
+      continue;
+    }
+    // Prefer the shorter opportunistic queue; break ties by free vcores
+    // after the prospective allocation.
+    const auto score = [&ask](const cluster::Node& node) {
+      return std::make_pair(node.queued_opportunistic(),
+                            -(node.available().vcores - ask.vcores));
+    };
+    if (score(*candidate) < score(*best)) best = candidate;
+  }
+  return best;
+}
+
+std::vector<Grant> OpportunisticScheduler::assign_immediate(
+    const PendingAsk& ask, std::vector<cluster::Node*>& nodes) {
+  std::vector<Grant> grants;
+  if (nodes.empty()) return grants;
+  grants.reserve(static_cast<std::size_t>(ask.remaining));
+  for (std::int32_t i = 0; i < ask.remaining; ++i) {
+    // probe_width == 1: random node choice with no view of global load —
+    // the design choice the paper blames for the 53 s queuing tail
+    // (Fig. 7-b).  probe_width > 1: Sparrow-style least-loaded-of-d.
+    const cluster::Node* node = pick_node(nodes, ask.resource);
+    grants.push_back(Grant{ask.app, node->id(), ask.resource, ask.type,
+                           /*am=*/false, /*opportunistic=*/true});
+  }
+  return grants;
+}
+
+std::int64_t OpportunisticScheduler::pending_containers() const {
+  return guaranteed_.pending_containers();
+}
+
+}  // namespace sdc::yarn

@@ -1,0 +1,187 @@
+// Scheduler policies of the ResourceManager (paper §IV-C).
+//
+// Two concrete policies, matching the paper's Hadoop-3.0 deployment:
+//
+//   * CapacityScheduler — centralized.  Demand queues at the RM; grants
+//     happen when NodeManager heartbeats arrive and the node has free
+//     capacity, up to an assign-multiple batch per heartbeat.  Node
+//     resources are reserved at grant time.
+//   * OpportunisticScheduler — distributed.  Non-AM asks are granted
+//     *immediately* on the allocate call by picking nodes uniformly at
+//     random with NO capacity check; containers queue at the chosen
+//     NodeManager when it is busy (the Fig. 7-b queuing-delay pathology).
+//     AM containers remain guaranteed and take the centralized path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "yarn/types.hpp"
+
+namespace sdc::yarn {
+
+/// One queued unit of demand (a batch ask, possibly partially satisfied).
+struct PendingAsk {
+  ApplicationId app;
+  cluster::Resource resource;
+  std::int32_t remaining = 1;
+  InstanceType type = InstanceType::kSparkExecutor;
+  bool am = false;
+  /// Delay-scheduling (locality wait): the Capacity Scheduler will not
+  /// grant this ask before this time — task asks carry HDFS block
+  /// locality preferences and YARN holds them back a little hoping for a
+  /// local node.  0 = immediately eligible (AM containers).
+  SimTime eligible_at = 0;
+  /// Nodes holding replicas of the ask's input blocks; with the locality
+  /// fast path enabled, a preferred node's heartbeat grants immediately.
+  std::vector<NodeId> preferred_nodes;
+};
+
+/// One scheduler decision: which app gets a container where.
+struct Grant {
+  ApplicationId app;
+  NodeId node;
+  cluster::Resource resource;
+  InstanceType type = InstanceType::kSparkExecutor;
+  bool am = false;
+  bool opportunistic = false;
+};
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual SchedulerKind kind() const = 0;
+
+  /// Adds demand to the centralized queue (always used for AM asks; used
+  /// for all asks under the Capacity Scheduler).
+  virtual void enqueue(PendingAsk ask) = 0;
+
+  /// Called when `node`'s heartbeat arrives at simulation time `now`;
+  /// returns up to `max_assign` grants that fit the node (reserving its
+  /// resources).  Asks whose locality wait has not elapsed are skipped.
+  virtual std::vector<Grant> assign_on_heartbeat(cluster::Node& node,
+                                                 std::int32_t max_assign,
+                                                 SimTime now) = 0;
+
+  /// Immediate (distributed) path; only meaningful for the opportunistic
+  /// scheduler, which returns one grant per requested container.  The
+  /// Capacity Scheduler returns empty (callers then enqueue instead).
+  virtual std::vector<Grant> assign_immediate(
+      const PendingAsk& ask, std::vector<cluster::Node*>& nodes) = 0;
+
+  /// Containers still waiting in the centralized queue.
+  [[nodiscard]] virtual std::int64_t pending_containers() const = 0;
+};
+
+/// Centralized FIFO capacity scheduler.  With `locality_fast_path` a
+/// heartbeat from a node in an ask's preferred set grants immediately,
+/// even before the locality wait elapses — true delay-scheduling [5]
+/// semantics (off by default; the paper's testbed measurements behave
+/// like the slow path, see bench_optimizations).
+class CapacityScheduler final : public SchedulerPolicy {
+ public:
+  explicit CapacityScheduler(bool locality_fast_path = false)
+      : locality_fast_path_(locality_fast_path) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "CapacityScheduler";
+  }
+  [[nodiscard]] SchedulerKind kind() const override {
+    return SchedulerKind::kCapacity;
+  }
+  void enqueue(PendingAsk ask) override;
+  std::vector<Grant> assign_on_heartbeat(cluster::Node& node,
+                                         std::int32_t max_assign,
+                                         SimTime now) override;
+  std::vector<Grant> assign_immediate(
+      const PendingAsk& ask, std::vector<cluster::Node*>& nodes) override;
+  [[nodiscard]] std::int64_t pending_containers() const override;
+
+ private:
+  std::deque<PendingAsk> queue_;
+  bool locality_fast_path_;
+};
+
+/// Centralized fair-share scheduler: at every heartbeat, grants go to the
+/// application currently holding the fewest granted containers (deficit
+/// round-robin), instead of FIFO order.  Same locality-wait semantics as
+/// the Capacity Scheduler.  Under a mixed tenancy this equalizes per-app
+/// allocation delay at the cost of delaying early heavy askers.
+class FairScheduler final : public SchedulerPolicy {
+ public:
+  explicit FairScheduler(bool locality_fast_path = false)
+      : locality_fast_path_(locality_fast_path) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "FairScheduler";
+  }
+  [[nodiscard]] SchedulerKind kind() const override {
+    return SchedulerKind::kFair;
+  }
+  void enqueue(PendingAsk ask) override;
+  std::vector<Grant> assign_on_heartbeat(cluster::Node& node,
+                                         std::int32_t max_assign,
+                                         SimTime now) override;
+  std::vector<Grant> assign_immediate(
+      const PendingAsk& ask, std::vector<cluster::Node*>& nodes) override;
+  [[nodiscard]] std::int64_t pending_containers() const override;
+
+  /// Containers granted so far to `app` (fair-share bookkeeping).
+  [[nodiscard]] std::int64_t granted_to(const ApplicationId& app) const;
+
+ private:
+  std::deque<PendingAsk> queue_;
+  std::map<ApplicationId, std::int64_t> granted_;
+  bool locality_fast_path_;
+};
+
+/// Distributed opportunistic scheduler (Mercury-style, Hadoop 3.0's
+/// OpportunisticContainerAllocator).  With `probe_width` > 1 it becomes a
+/// Sparrow-style sampler: each container probes that many random nodes
+/// and lands on the least-loaded one (by queued opportunistic containers,
+/// then by free vcores) — trading a little probing latency for far
+/// shorter node queues under load.
+class OpportunisticScheduler final : public SchedulerPolicy {
+ public:
+  explicit OpportunisticScheduler(Rng rng, std::int32_t probe_width = 1)
+      : rng_(rng), probe_width_(probe_width < 1 ? 1 : probe_width) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "OpportunisticScheduler";
+  }
+  [[nodiscard]] SchedulerKind kind() const override {
+    return SchedulerKind::kOpportunistic;
+  }
+  void enqueue(PendingAsk ask) override;
+  std::vector<Grant> assign_on_heartbeat(cluster::Node& node,
+                                         std::int32_t max_assign,
+                                         SimTime now) override;
+  std::vector<Grant> assign_immediate(
+      const PendingAsk& ask, std::vector<cluster::Node*>& nodes) override;
+  [[nodiscard]] std::int64_t pending_containers() const override;
+
+  [[nodiscard]] std::int32_t probe_width() const noexcept {
+    return probe_width_;
+  }
+
+ private:
+  /// Picks the target node for one container among `probe_width_` random
+  /// candidates.
+  [[nodiscard]] cluster::Node* pick_node(
+      std::vector<cluster::Node*>& nodes, const cluster::Resource& ask);
+
+  // AM (guaranteed) demand still flows through a centralized queue.
+  CapacityScheduler guaranteed_;
+  Rng rng_;
+  std::int32_t probe_width_;
+};
+
+}  // namespace sdc::yarn

@@ -1,0 +1,186 @@
+#include "yarn/state_machine.hpp"
+
+namespace sdc::yarn {
+
+std::string_view name(RmAppState s) {
+  switch (s) {
+    case RmAppState::kNew:
+      return "NEW";
+    case RmAppState::kNewSaving:
+      return "NEW_SAVING";
+    case RmAppState::kSubmitted:
+      return "SUBMITTED";
+    case RmAppState::kAccepted:
+      return "ACCEPTED";
+    case RmAppState::kRunning:
+      return "RUNNING";
+    case RmAppState::kFinalSaving:
+      return "FINAL_SAVING";
+    case RmAppState::kFinished:
+      return "FINISHED";
+  }
+  return "?";
+}
+
+std::string_view name(RmContainerState s) {
+  switch (s) {
+    case RmContainerState::kNew:
+      return "NEW";
+    case RmContainerState::kAllocated:
+      return "ALLOCATED";
+    case RmContainerState::kAcquired:
+      return "ACQUIRED";
+    case RmContainerState::kRunning:
+      return "RUNNING";
+    case RmContainerState::kCompleted:
+      return "COMPLETED";
+    case RmContainerState::kReleased:
+      return "RELEASED";
+  }
+  return "?";
+}
+
+std::string_view name(NmContainerState s) {
+  switch (s) {
+    case NmContainerState::kNew:
+      return "NEW";
+    case NmContainerState::kLocalizing:
+      return "LOCALIZING";
+    case NmContainerState::kScheduled:
+      return "SCHEDULED";
+    case NmContainerState::kRunning:
+      return "RUNNING";
+    case NmContainerState::kExitedWithSuccess:
+      return "EXITED_WITH_SUCCESS";
+    case NmContainerState::kExitedWithFailure:
+      return "EXITED_WITH_FAILURE";
+    case NmContainerState::kDone:
+      return "DONE";
+  }
+  return "?";
+}
+
+std::string_view rm_app_event(RmAppState from, RmAppState to) {
+  if (from == RmAppState::kNew && to == RmAppState::kNewSaving)
+    return "START";
+  if (from == RmAppState::kNewSaving && to == RmAppState::kSubmitted)
+    return "APP_NEW_SAVED";
+  if (from == RmAppState::kSubmitted && to == RmAppState::kAccepted)
+    return "APP_ACCEPTED";
+  if (from == RmAppState::kAccepted && to == RmAppState::kRunning)
+    return "ATTEMPT_REGISTERED";
+  if (from == RmAppState::kRunning && to == RmAppState::kFinalSaving)
+    return "ATTEMPT_UNREGISTERED";
+  if (from == RmAppState::kAccepted && to == RmAppState::kFinalSaving)
+    return "ATTEMPT_FAILED";
+  if (from == RmAppState::kFinalSaving && to == RmAppState::kFinished)
+    return "APP_UPDATE_SAVED";
+  return "UNKNOWN";
+}
+
+bool is_legal_transition(RmAppState from, RmAppState to) {
+  switch (from) {
+    case RmAppState::kNew:
+      return to == RmAppState::kNewSaving;
+    case RmAppState::kNewSaving:
+      return to == RmAppState::kSubmitted;
+    case RmAppState::kSubmitted:
+      return to == RmAppState::kAccepted;
+    case RmAppState::kAccepted:
+      // ACCEPTED -> FINAL_SAVING covers applications whose AM attempts all
+      // failed before registering (YARN's ACCEPTED -> FAILED analog).
+      return to == RmAppState::kRunning || to == RmAppState::kFinalSaving;
+    case RmAppState::kRunning:
+      return to == RmAppState::kFinalSaving;
+    case RmAppState::kFinalSaving:
+      return to == RmAppState::kFinished;
+    case RmAppState::kFinished:
+      return false;
+  }
+  return false;
+}
+
+bool is_legal_transition(RmContainerState from, RmContainerState to) {
+  switch (from) {
+    case RmContainerState::kNew:
+      return to == RmContainerState::kAllocated;
+    case RmContainerState::kAllocated:
+      // Unacquired allocations can be reclaimed (RELEASED) — the path the
+      // SPARK-21562 over-request bug leaves in the logs.
+      return to == RmContainerState::kAcquired ||
+             to == RmContainerState::kReleased;
+    case RmContainerState::kAcquired:
+      return to == RmContainerState::kRunning ||
+             to == RmContainerState::kReleased;
+    case RmContainerState::kRunning:
+      return to == RmContainerState::kCompleted ||
+             to == RmContainerState::kReleased;
+    case RmContainerState::kCompleted:
+    case RmContainerState::kReleased:
+      return false;
+  }
+  return false;
+}
+
+bool is_legal_transition(NmContainerState from, NmContainerState to) {
+  switch (from) {
+    case NmContainerState::kNew:
+      return to == NmContainerState::kLocalizing;
+    case NmContainerState::kLocalizing:
+      return to == NmContainerState::kScheduled;
+    case NmContainerState::kScheduled:
+      return to == NmContainerState::kRunning;
+    case NmContainerState::kRunning:
+      return to == NmContainerState::kExitedWithSuccess ||
+             to == NmContainerState::kExitedWithFailure;
+    case NmContainerState::kExitedWithSuccess:
+    case NmContainerState::kExitedWithFailure:
+      return to == NmContainerState::kDone;
+    case NmContainerState::kDone:
+      return false;
+  }
+  return false;
+}
+
+IllegalTransition::IllegalTransition(std::string_view machine,
+                                     std::string_view from,
+                                     std::string_view to)
+    : std::logic_error("illegal " + std::string(machine) + " transition " +
+                       std::string(from) + " -> " + std::string(to)) {}
+
+std::string render_rm_app_transition(const std::string& app_id,
+                                     RmAppState from, RmAppState to) {
+  std::string out = app_id;
+  out += " State change from ";
+  out += name(from);
+  out += " to ";
+  out += name(to);
+  out += " on event = ";
+  out += rm_app_event(from, to);
+  return out;
+}
+
+std::string render_rm_container_transition(const std::string& container_id,
+                                           RmContainerState from,
+                                           RmContainerState to) {
+  std::string out = container_id;
+  out += " Container Transitioned from ";
+  out += name(from);
+  out += " to ";
+  out += name(to);
+  return out;
+}
+
+std::string render_nm_container_transition(const std::string& container_id,
+                                           NmContainerState from,
+                                           NmContainerState to) {
+  std::string out = "Container ";
+  out += container_id;
+  out += " transitioned from ";
+  out += name(from);
+  out += " to ";
+  out += name(to);
+  return out;
+}
+
+}  // namespace sdc::yarn

@@ -1,0 +1,130 @@
+// The three logged state machines SDchecker mines (paper §III-A):
+//
+//   RMAppImpl        (ResourceManager)  — application lifecycle
+//   RMContainerImpl  (ResourceManager)  — container allocation lifecycle
+//   ContainerImpl    (NodeManager)      — container execution lifecycle
+//
+// Each transition is validated against the legal-transition table and
+// rendered as the exact log line the real daemon would emit; this is the
+// contract between the simulator and the log miner.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sdc::yarn {
+
+/// RMAppImpl states (YARN's RMAppState).
+enum class RmAppState {
+  kNew,
+  kNewSaving,
+  kSubmitted,
+  kAccepted,
+  kRunning,
+  kFinalSaving,
+  kFinished,
+};
+
+/// RMContainerImpl states (YARN's RMContainerState).
+enum class RmContainerState {
+  kNew,
+  kAllocated,
+  kAcquired,
+  kRunning,
+  kCompleted,
+  kReleased,
+};
+
+/// NodeManager ContainerImpl states (paper Table I rows 6-8).
+enum class NmContainerState {
+  kNew,
+  kLocalizing,
+  kScheduled,
+  kRunning,
+  kExitedWithSuccess,
+  kExitedWithFailure,
+  kDone,
+};
+
+std::string_view name(RmAppState s);
+std::string_view name(RmContainerState s);
+std::string_view name(NmContainerState s);
+
+/// YARN event names attached to RMAppImpl transitions (the paper keys on
+/// `ATTEMPT_REGISTERED` to mark AppMaster registration).
+std::string_view rm_app_event(RmAppState from, RmAppState to);
+
+[[nodiscard]] bool is_legal_transition(RmAppState from, RmAppState to);
+[[nodiscard]] bool is_legal_transition(RmContainerState from,
+                                       RmContainerState to);
+[[nodiscard]] bool is_legal_transition(NmContainerState from,
+                                       NmContainerState to);
+
+/// Thrown when a simulated daemon attempts an illegal state transition —
+/// always a bug in the simulator, never a recoverable condition.
+class IllegalTransition : public std::logic_error {
+ public:
+  IllegalTransition(std::string_view machine, std::string_view from,
+                    std::string_view to);
+};
+
+/// Tracks current state and validates transitions.  `Enum` is one of the
+/// three state enums above.  Transition side effects (log emission) are
+/// the caller's responsibility so that timing stays in the daemons.
+template <typename Enum>
+class StateMachine {
+ public:
+  explicit StateMachine(Enum initial, std::string machine_name)
+      : state_(initial), machine_(std::move(machine_name)) {}
+
+  [[nodiscard]] Enum state() const noexcept { return state_; }
+
+  /// Moves to `to`, throwing IllegalTransition if the edge is not legal.
+  void transition(Enum to) {
+    if (!is_legal_transition(state_, to)) {
+      throw IllegalTransition(machine_, name(state_), name(to));
+    }
+    state_ = to;
+  }
+
+ private:
+  Enum state_;
+  std::string machine_;
+};
+
+/// Fully qualified logger names, as they appear in real YARN logs.
+inline constexpr std::string_view kRmAppImplClass =
+    "org.apache.hadoop.yarn.server.resourcemanager.rmapp.RMAppImpl";
+inline constexpr std::string_view kRmContainerImplClass =
+    "org.apache.hadoop.yarn.server.resourcemanager.rmcontainer.RMContainerImpl";
+inline constexpr std::string_view kNmContainerImplClass =
+    "org.apache.hadoop.yarn.server.nodemanager.containermanager.container."
+    "ContainerImpl";
+inline constexpr std::string_view kCapacitySchedulerClass =
+    "org.apache.hadoop.yarn.server.resourcemanager.scheduler.capacity."
+    "CapacityScheduler";
+inline constexpr std::string_view kOpportunisticSchedulerClass =
+    "org.apache.hadoop.yarn.server.resourcemanager.scheduler.distributed."
+    "OpportunisticContainerAllocatorAMService";
+
+/// Renders the RMAppImpl transition line, e.g.
+/// `application_..._0001 State change from SUBMITTED to ACCEPTED on event =
+///  APP_ACCEPTED`.
+std::string render_rm_app_transition(const std::string& app_id,
+                                     RmAppState from, RmAppState to);
+
+/// Renders the RMContainerImpl transition line, e.g.
+/// `container_... Container Transitioned from NEW to ALLOCATED`.
+std::string render_rm_container_transition(const std::string& container_id,
+                                           RmContainerState from,
+                                           RmContainerState to);
+
+/// Renders the NodeManager ContainerImpl transition line, e.g.
+/// `Container container_... transitioned from LOCALIZING to SCHEDULED`.
+std::string render_nm_container_transition(const std::string& container_id,
+                                           NmContainerState from,
+                                           NmContainerState to);
+
+}  // namespace sdc::yarn

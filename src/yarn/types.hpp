@@ -1,0 +1,92 @@
+// Shared protocol types of the two-level scheduler (paper §II-A).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/resource.hpp"
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+
+namespace sdc::yarn {
+
+/// What kind of process a container will run; determines the launch-delay
+/// model (paper Fig. 9-a: spm / spe / mrm / mrsm / mrsr).
+enum class InstanceType {
+  kSparkDriver,    // spm
+  kSparkExecutor,  // spe
+  kMrMaster,       // mrm
+  kMrMapTask,      // mrsm
+  kMrReduceTask,   // mrsr
+};
+
+/// Short code used in logs and reports (matches the paper's x-axis labels).
+std::string_view instance_code(InstanceType type);
+
+/// Which scheduler the ResourceManager runs (paper §IV-C; §II-A lists the
+/// Capacity and Fair schedulers as the centralized options).
+enum class SchedulerKind {
+  kCapacity,       // centralized FIFO (Hadoop Capacity Scheduler)
+  kFair,           // centralized fair-share (Hadoop Fair Scheduler)
+  kOpportunistic,  // distributed / opportunistic (Mercury-style, Hadoop 3.0)
+  /// Distributed with Sparrow-style power-of-d-choices probing: still no
+  /// global view, but each container samples d nodes and picks the least
+  /// loaded — the literature's fix for the random-placement queuing
+  /// pathology the paper measures in Fig. 7-b.
+  kSampling,
+};
+
+/// A batch resource ask from an AppMaster (or from the RM itself for the
+/// AM container).
+struct ContainerAsk {
+  cluster::Resource resource;
+  std::int32_t count = 1;
+  InstanceType type = InstanceType::kSparkExecutor;
+  /// Data-locality preference: nodes holding replicas of the task's input
+  /// blocks.  Empty = no preference.  Used by the delay-scheduling fast
+  /// path (yarn.locality_fast_path) to grant on a preferred node's
+  /// heartbeat without waiting out the locality delay.
+  std::vector<NodeId> preferred_nodes;
+};
+
+/// One granted container, as delivered to the AM on a heartbeat.
+struct Allocation {
+  ContainerId id;
+  NodeId node;
+  cluster::Resource resource;
+  InstanceType type = InstanceType::kSparkExecutor;
+  bool opportunistic = false;
+};
+
+/// Everything a NodeManager needs to run one container.
+struct LaunchSpec {
+  ContainerId id;
+  cluster::Resource resource;
+  InstanceType type = InstanceType::kSparkExecutor;
+  /// Size of the localization package (jars, configs, `-f` files), MB.
+  double localization_mb = 500.0;
+  /// Content signature of the package — the localization-cache key
+  /// (identical packages across applications hit the node-local cache
+  /// when the §V-B caching service is enabled).
+  std::string package_key = "default-pkg";
+  /// Launch inside a Docker container (paper Fig. 9-b).
+  bool docker = false;
+  /// Launch from a pre-warmed JVM pool (§V-B "JVM reuse" optimization).
+  bool warm_jvm = false;
+  /// Opportunistic containers queue at the node when it is busy.
+  bool opportunistic = false;
+  /// Probability that the launch fails (bad node disk, image pull error,
+  /// JVM OOM at boot).  Sampled once when the NM runs the launch script;
+  /// a failed container logs RUNNING -> EXITED_WITH_FAILURE and never
+  /// produces an instance first-log line.
+  double failure_probability = 0.0;
+  /// Invoked when the launched process has booted — the instant the
+  /// process writes its first log line.  Receives that simulation time.
+  std::function<void(SimTime)> on_process_started;
+  /// Invoked instead of on_process_started when the launch fails.
+  std::function<void(SimTime)> on_launch_failed;
+};
+
+}  // namespace sdc::yarn

@@ -1,0 +1,134 @@
+// AM attempt retry tests: an AppMaster launch failure starts a second
+// application attempt (new attempt number in every container id), up to
+// the configured maximum.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "sdchecker/compare.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc {
+namespace {
+
+harness::ScenarioResult run_with_am_failures(double prob,
+                                             std::uint64_t seed = 1101,
+                                             int jobs = 10) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = seed;
+  scenario.extra_horizon = seconds(600);
+  for (int i = 0; i < jobs; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1 + 8 * i);
+    plan.app = workloads::make_tpch_query(1 + i % 22, 2048, 2);
+    plan.app.am_failure_prob = prob;
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  return harness::run_scenario(scenario);
+}
+
+TEST(AmRetry, SecondAttemptCarriesAttemptNumberTwo) {
+  const auto result = run_with_am_failures(0.5);
+  // Some apps needed a second attempt: their logs show _02_ containers
+  // and an RMAppAttemptImpl FAILED line.
+  std::size_t attempt_failed_lines = 0;
+  std::size_t attempt2_containers = 0;
+  for (const auto& name : result.logs.stream_names()) {
+    for (const auto& line : result.logs.lines(name)) {
+      if (line.find("RMAppAttemptImpl") != std::string::npos &&
+          line.find("FAILED") != std::string::npos) {
+        ++attempt_failed_lines;
+      }
+      if (line.find("_02_000001 Container Transitioned from NEW to ALLOCATED") !=
+          std::string::npos) {
+        ++attempt2_containers;
+      }
+    }
+  }
+  EXPECT_GT(attempt_failed_lines, 0u);
+  EXPECT_GT(attempt2_containers, 0u);
+}
+
+TEST(AmRetry, RetriedAppsStillCompleteAndDecompose) {
+  const auto result = run_with_am_failures(0.5, 1102);
+  // p=0.5 with max 2 attempts: expect most of the 10 jobs to finish.
+  EXPECT_GE(result.jobs.size(), 6u);
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  for (const auto& job : result.jobs) {
+    const auto& delays = analysis.delays.at(job.app);
+    ASSERT_TRUE(delays.total && delays.am && delays.driver) << job.app.str();
+    EXPECT_EQ(*delays.in_app + *delays.out_app, *delays.total);
+  }
+}
+
+TEST(AmRetry, RetriedAppsPayLargerAmDelay) {
+  const auto result = run_with_am_failures(0.6, 1103, 20);
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  SampleSet retried;
+  SampleSet direct;
+  for (const auto& [app, timeline] : analysis.timelines) {
+    const auto& delays = analysis.delays.at(app);
+    if (!delays.am) continue;  // app failed outright
+    bool has_attempt2 = false;
+    for (const auto& [cid, _] : timeline.containers) {
+      if (cid.attempt == 2) has_attempt2 = true;
+    }
+    (has_attempt2 ? retried : direct)
+        .add(static_cast<double>(*delays.am) / 1000.0);
+  }
+  ASSERT_GT(retried.size(), 0u);
+  ASSERT_GT(direct.size(), 0u);
+  // A failed first attempt costs a localization+partial-launch round plus
+  // the retry scheduling before the driver can register.
+  EXPECT_GT(retried.mean(), direct.mean() + 0.6);
+}
+
+TEST(AmRetry, ExhaustedAttemptsFailTheApplication) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 1104;
+  scenario.extra_horizon = seconds(120);  // cap quickly: the job can't run
+  harness::SparkSubmissionPlan plan;
+  plan.at = seconds(1);
+  plan.app = workloads::make_tpch_query(1, 1024, 2);
+  plan.app.am_failure_prob = 1.0;  // every AM launch fails
+  scenario.spark_jobs.push_back(std::move(plan));
+  const auto result = harness::run_scenario(scenario);
+  EXPECT_TRUE(result.hit_time_cap);  // the job never completed
+  EXPECT_TRUE(result.jobs.empty());
+  // The RM gave up after max attempts: FINAL_SAVING/FINISHED without an
+  // ATTEMPT_REGISTERED, and exactly two failed attempts.
+  std::size_t failed_attempts = 0;
+  bool finished = false;
+  bool registered = false;
+  for (const auto& line : result.logs.lines("rm.log")) {
+    if (line.find("RMAppAttemptImpl") != std::string::npos &&
+        line.find("FAILED") != std::string::npos) {
+      ++failed_attempts;
+    }
+    if (line.find("to FINISHED") != std::string::npos) finished = true;
+    if (line.find("ATTEMPT_REGISTERED") != std::string::npos) registered = true;
+  }
+  EXPECT_EQ(failed_attempts, 2u);
+  EXPECT_TRUE(finished);
+  EXPECT_FALSE(registered);
+}
+
+TEST(AmRetry, FailedAmContainerHasNoLaunchingDelay) {
+  const auto result = run_with_am_failures(0.6, 1105, 8);
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  for (const auto& [app, delays] : analysis.delays) {
+    for (const auto& container : delays.containers) {
+      if (!container.is_am) continue;
+      const auto& timeline = analysis.timelines.at(app);
+      const auto it = timeline.containers.find(container.id);
+      ASSERT_NE(it, timeline.containers.end());
+      if (it->second.has(checker::EventKind::kNmFailed)) {
+        // The attempt-1 AM died mid-launch: no first log to measure to.
+        EXPECT_FALSE(container.launching.has_value());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdc

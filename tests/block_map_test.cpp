@@ -1,0 +1,141 @@
+// Tests for the HDFS block-placement map and the locality fast path it
+// enables in the Capacity Scheduler.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/block_map.hpp"
+#include "harness/scenario.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "workloads/tpch.hpp"
+#include "yarn/scheduler.hpp"
+
+namespace sdc {
+namespace {
+
+// --- BlockMap ----------------------------------------------------------------
+
+TEST(BlockMap, ReplicationOnDistinctNodes) {
+  cluster::BlockMap blocks(25, 3, 1);
+  blocks.register_file("f", 40);
+  ASSERT_TRUE(blocks.has_file("f"));
+  ASSERT_EQ(blocks.locations("f").size(), 40u);
+  for (const auto& location : blocks.locations("f")) {
+    ASSERT_EQ(location.replicas.size(), 3u);
+    std::set<NodeId> distinct(location.replicas.begin(),
+                              location.replicas.end());
+    EXPECT_EQ(distinct.size(), 3u);
+    for (const NodeId& node : location.replicas) {
+      EXPECT_GE(node.index, 1);
+      EXPECT_LE(node.index, 25);
+    }
+  }
+}
+
+TEST(BlockMap, ReplicationClampedToClusterSize) {
+  cluster::BlockMap blocks(2, 3, 1);
+  blocks.register_file("f", 1);
+  EXPECT_EQ(blocks.locations("f")[0].replicas.size(), 2u);
+  EXPECT_EQ(blocks.replication(), 2);
+}
+
+TEST(BlockMap, RegistrationIsIdempotent) {
+  cluster::BlockMap blocks(10, 3, 2);
+  blocks.register_file("f", 5);
+  const auto before = blocks.locations("f");
+  blocks.register_file("f", 99);  // must keep original placement
+  const auto& after = blocks.locations("f");
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].replicas, before[i].replicas);
+  }
+  EXPECT_EQ(blocks.file_count(), 1u);
+}
+
+TEST(BlockMap, NodesWithReplicasDedupes) {
+  cluster::BlockMap blocks(5, 3, 3);
+  blocks.register_file("big", 50);  // 150 replicas over 5 nodes
+  const auto nodes = blocks.nodes_with_replicas("big");
+  EXPECT_EQ(nodes.size(), 5u);  // every node holds something
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i - 1], nodes[i]);  // ordered
+  }
+}
+
+TEST(BlockMap, UnknownFileAndOutOfRangeBlock) {
+  cluster::BlockMap blocks(10, 3, 4);
+  EXPECT_FALSE(blocks.has_file("missing"));
+  EXPECT_TRUE(blocks.locations("missing").empty());
+  EXPECT_TRUE(blocks.nodes_with_replicas("missing").empty());
+  blocks.register_file("f", 2);
+  EXPECT_TRUE(blocks.replicas_of_block("f", -1).empty());
+  EXPECT_TRUE(blocks.replicas_of_block("f", 2).empty());
+  EXPECT_EQ(blocks.replicas_of_block("f", 1).size(), 3u);
+}
+
+TEST(BlockMap, DeterministicForSeed) {
+  cluster::BlockMap a(25, 3, 7);
+  cluster::BlockMap b(25, 3, 7);
+  a.register_file("x", 10);
+  b.register_file("x", 10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.locations("x")[i].replicas, b.locations("x")[i].replicas);
+  }
+}
+
+// --- locality fast path in the scheduler ------------------------------------------
+
+TEST(LocalityFastPath, PreferredNodeGrantsBeforeEligibility) {
+  yarn::CapacityScheduler scheduler(/*locality_fast_path=*/true);
+  yarn::PendingAsk ask{ApplicationId{1, 1}, {1, 128}, 1,
+                       yarn::InstanceType::kMrMapTask, false};
+  ask.eligible_at = seconds(100);
+  ask.preferred_nodes = {NodeId{3}};
+  scheduler.enqueue(ask);
+  cluster::Node other(NodeId{1}, cluster::kNodeCapacity);
+  cluster::Node preferred(NodeId{3}, cluster::kNodeCapacity);
+  // A non-preferred node heartbeats early: nothing.
+  EXPECT_TRUE(scheduler.assign_on_heartbeat(other, 16, millis(10)).empty());
+  // The preferred node heartbeats early: granted immediately.
+  const auto grants = scheduler.assign_on_heartbeat(preferred, 16, millis(20));
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].node, preferred.id());
+}
+
+TEST(LocalityFastPath, DisabledPathIgnoresPreferences) {
+  yarn::CapacityScheduler scheduler(/*locality_fast_path=*/false);
+  yarn::PendingAsk ask{ApplicationId{1, 1}, {1, 128}, 1,
+                       yarn::InstanceType::kMrMapTask, false};
+  ask.eligible_at = seconds(100);
+  ask.preferred_nodes = {NodeId{3}};
+  scheduler.enqueue(ask);
+  cluster::Node preferred(NodeId{3}, cluster::kNodeCapacity);
+  EXPECT_TRUE(scheduler.assign_on_heartbeat(preferred, 16, millis(20)).empty());
+  EXPECT_EQ(scheduler.assign_on_heartbeat(preferred, 16, seconds(100)).size(),
+            1u);
+}
+
+TEST(LocalityFastPath, EndToEndCutsAllocationDelay) {
+  const auto alloc_median = [](bool fast_path) {
+    harness::ScenarioConfig scenario;
+    scenario.seed = 401;
+    scenario.yarn.locality_fast_path = fast_path;
+    for (int i = 0; i < 8; ++i) {
+      harness::SparkSubmissionPlan plan;
+      plan.at = seconds(1 + 8 * i);
+      plan.app = workloads::make_tpch_query(1 + i, 2048, 4);
+      scenario.spark_jobs.push_back(std::move(plan));
+    }
+    const auto analysis =
+        checker::SdChecker().analyze(harness::run_scenario(scenario).logs);
+    return analysis.aggregate.alloc.median();
+  };
+  const double slow = alloc_median(false);
+  const double fast = alloc_median(true);
+  // A 2 GB dataset has 16 blocks; with 3-way replication most of the 25
+  // nodes hold a replica, so nearly every container takes the fast path.
+  EXPECT_LT(fast, slow * 0.5);
+}
+
+}  // namespace
+}  // namespace sdc

@@ -1,0 +1,239 @@
+// Unit tests for src/cluster: resource arithmetic, node accounting,
+// interference curves, HDFS transfer model, cluster aggregation.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/hdfs.hpp"
+#include "cluster/interference.hpp"
+#include "cluster/node.hpp"
+#include "cluster/resource.hpp"
+#include "simcore/engine.hpp"
+
+namespace sdc::cluster {
+namespace {
+
+// --- Resource ----------------------------------------------------------------
+
+TEST(Resource, Arithmetic) {
+  const Resource a{4, 1024};
+  const Resource b{2, 512};
+  EXPECT_EQ(a + b, (Resource{6, 1536}));
+  EXPECT_EQ(a - b, (Resource{2, 512}));
+  Resource c = a;
+  c += b;
+  EXPECT_EQ(c, (Resource{6, 1536}));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Resource, FitsRequiresBothDimensions) {
+  const Resource cap{8, 4096};
+  EXPECT_TRUE(cap.fits({8, 4096}));
+  EXPECT_TRUE(cap.fits({1, 1}));
+  EXPECT_FALSE(cap.fits({9, 1}));
+  EXPECT_FALSE(cap.fits({1, 5000}));
+}
+
+TEST(Resource, StrFormat) {
+  EXPECT_EQ((Resource{8, 4096}).str(), "<vcores:8, memory:4096MB>");
+}
+
+// --- Node ---------------------------------------------------------------------
+
+TEST(Node, AllocateAndRelease) {
+  Node node(NodeId{1}, Resource{8, 8192});
+  EXPECT_TRUE(node.try_allocate({4, 4096}));
+  EXPECT_EQ(node.used(), (Resource{4, 4096}));
+  EXPECT_EQ(node.available(), (Resource{4, 4096}));
+  EXPECT_TRUE(node.try_allocate({4, 4096}));
+  EXPECT_FALSE(node.try_allocate({1, 1}));
+  node.release({4, 4096});
+  EXPECT_TRUE(node.try_allocate({2, 1024}));
+}
+
+TEST(Node, CpuUtilization) {
+  Node node(NodeId{1}, Resource{10, 1000});
+  EXPECT_DOUBLE_EQ(node.cpu_utilization(), 0.0);
+  ASSERT_TRUE(node.try_allocate({5, 100}));
+  EXPECT_DOUBLE_EQ(node.cpu_utilization(), 0.5);
+}
+
+TEST(Node, IoFlowCounterNeverNegative) {
+  Node node(NodeId{1}, kNodeCapacity);
+  node.remove_io_flow();
+  EXPECT_EQ(node.io_flows(), 0);
+  node.add_io_flow();
+  node.add_io_flow();
+  EXPECT_EQ(node.io_flows(), 2);
+  node.remove_io_flow();
+  EXPECT_EQ(node.io_flows(), 1);
+}
+
+TEST(Node, OpportunisticQueueCounter) {
+  Node node(NodeId{1}, kNodeCapacity);
+  node.enqueue_opportunistic();
+  node.enqueue_opportunistic();
+  EXPECT_EQ(node.queued_opportunistic(), 2);
+  node.dequeue_opportunistic();
+  node.dequeue_opportunistic();
+  node.dequeue_opportunistic();
+  EXPECT_EQ(node.queued_opportunistic(), 0);
+}
+
+// --- InterferenceModel ---------------------------------------------------------
+
+TEST(Interference, IdleClusterHasUnitMultipliers) {
+  InterferenceModel model;
+  EXPECT_DOUBLE_EQ(model.io_transfer_multiplier(), 1.0);
+  EXPECT_DOUBLE_EQ(model.io_control_multiplier(), 1.0);
+  EXPECT_DOUBLE_EQ(model.cpu_multiplier(), 1.0);
+  EXPECT_DOUBLE_EQ(model.cpu_localization_multiplier(), 1.0);
+  EXPECT_DOUBLE_EQ(model.execution_multiplier(), 1.0);
+}
+
+TEST(Interference, MultipliersMonotoneInLoad) {
+  InterferenceModel model;
+  double prev_io = 1.0;
+  double prev_cpu = 1.0;
+  for (double units : {5.0, 20.0, 50.0, 100.0}) {
+    InterferenceModel m;
+    m.add_io_units(units);
+    m.add_cpu_units(units);
+    EXPECT_GT(m.io_transfer_multiplier(), prev_io);
+    EXPECT_GT(m.cpu_multiplier(), prev_cpu);
+    prev_io = m.io_transfer_multiplier();
+    prev_cpu = m.cpu_multiplier();
+  }
+}
+
+TEST(Interference, CalibrationAnchorsMatchPaperBands) {
+  // Fig. 12-b anchor: raw transfer multiplier at 100 dfsIO maps; the
+  // *measured* localization slowdown (~9.4x median in the paper) is
+  // diluted by the fixed localization overhead and the elevated
+  // trace baseline, so the raw curve sits higher.
+  InterferenceModel io_heavy;
+  io_heavy.add_io_units(100);
+  EXPECT_NEAR(io_heavy.io_transfer_multiplier(), 12.5, 2.0);
+  // Fig. 12-c anchor: raw control multiplier; the measured executor
+  // slowdown lands in the paper's 2.5-3.5x band after window-start shift.
+  EXPECT_GE(io_heavy.io_control_multiplier(), 3.3);
+  EXPECT_LE(io_heavy.io_control_multiplier(), 5.0);
+  // Fig. 13-b/c: driver 2.9x / executor 2.4x at 16 Kmeans apps.
+  InterferenceModel cpu_heavy;
+  cpu_heavy.add_cpu_units(16);
+  EXPECT_GE(cpu_heavy.cpu_multiplier(), 2.0);
+  EXPECT_LE(cpu_heavy.cpu_multiplier(), 3.2);
+  // Fig. 13-d: localization only ~1.4x under CPU load.
+  EXPECT_GE(cpu_heavy.cpu_localization_multiplier(), 1.2);
+  EXPECT_LE(cpu_heavy.cpu_localization_multiplier(), 1.6);
+}
+
+TEST(Interference, RemoveClampsAtZero) {
+  InterferenceModel model;
+  model.add_io_units(3);
+  model.remove_io_units(10);
+  EXPECT_DOUBLE_EQ(model.transfer_units(), 0.0);
+  EXPECT_DOUBLE_EQ(model.control_units(), 0.0);
+  EXPECT_DOUBLE_EQ(model.io_transfer_multiplier(), 1.0);
+  model.add_cpu_units(1);
+  model.remove_cpu_units(5);
+  EXPECT_DOUBLE_EQ(model.cpu_units(), 0.0);
+}
+
+TEST(Interference, ScanUnitsHitControlChannelHarderThanTransfer) {
+  // The Fig. 5 mechanism: input scans degrade in-application (control)
+  // paths strongly but localization (transfer) only mildly.
+  InterferenceModel model;
+  model.add_scan_units(/*control=*/60.0, /*transfer=*/3.0);
+  EXPECT_GT(model.io_control_multiplier(), 2.5);
+  EXPECT_LT(model.io_transfer_multiplier(), 2.0);
+  model.remove_scan_units(60.0, 3.0);
+  EXPECT_DOUBLE_EQ(model.io_control_multiplier(), 1.0);
+  EXPECT_DOUBLE_EQ(model.io_transfer_multiplier(), 1.0);
+}
+
+TEST(Interference, DfsioHitsBothChannels) {
+  InterferenceModel model;
+  model.add_io_units(100);
+  EXPECT_DOUBLE_EQ(model.transfer_units(), 100.0);
+  EXPECT_DOUBLE_EQ(model.control_units(), 100.0);
+}
+
+// --- HdfsModel ------------------------------------------------------------------
+
+TEST(Hdfs, ZeroSizeIsFree) {
+  HdfsModel hdfs;
+  EXPECT_EQ(hdfs.expected_transfer(0, 1.0), 0);
+  EXPECT_EQ(hdfs.block_count(0), 0);
+}
+
+TEST(Hdfs, CalibrationAnchorsMatchFig8) {
+  HdfsModel hdfs;
+  // ~0.5 s for the default 500 MB package.
+  const double t500 = to_seconds(hdfs.expected_transfer(500, 1.0));
+  EXPECT_NEAR(t500, 0.5, 0.2);
+  // ~23 s for an 8 GB localized file.
+  const double t8g = to_seconds(hdfs.expected_transfer(8 * 1024, 1.0));
+  EXPECT_NEAR(t8g, 23.0, 4.0);
+}
+
+TEST(Hdfs, TransferMonotoneInSizeAndContention) {
+  HdfsModel hdfs;
+  SimDuration prev = 0;
+  for (double mb : {100.0, 500.0, 2048.0, 8192.0}) {
+    const SimDuration t = hdfs.expected_transfer(mb, 1.0);
+    EXPECT_GT(t, prev);
+    prev = t;
+    EXPECT_GT(hdfs.expected_transfer(mb, 5.0), t);
+  }
+}
+
+TEST(Hdfs, SampleCentersOnExpected) {
+  HdfsModel hdfs;
+  Rng rng(3);
+  double sum = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    sum += to_seconds(hdfs.sample_transfer(1024, 1.0, rng));
+  }
+  const double mean = sum / n;
+  const double expected = to_seconds(hdfs.expected_transfer(1024, 1.0));
+  EXPECT_NEAR(mean, expected, expected * 0.15);
+}
+
+TEST(Hdfs, BlockCountCeils) {
+  HdfsModel hdfs;  // 128 MB blocks
+  EXPECT_EQ(hdfs.block_count(1), 1);
+  EXPECT_EQ(hdfs.block_count(128), 1);
+  EXPECT_EQ(hdfs.block_count(129), 2);
+  EXPECT_EQ(hdfs.block_count(2048), 16);
+}
+
+// --- Cluster ---------------------------------------------------------------------
+
+TEST(Cluster, BuildsConfiguredWorkerCount) {
+  sim::Engine engine;
+  ClusterConfig config;
+  config.worker_nodes = 5;
+  Cluster cluster(engine, config);
+  EXPECT_EQ(cluster.node_count(), 5u);
+  EXPECT_EQ(cluster.node(0).id().index, 1);
+  EXPECT_EQ(cluster.node(4).id().index, 5);
+  EXPECT_EQ(cluster.nodes().size(), 5u);
+}
+
+TEST(Cluster, AggregateUtilization) {
+  sim::Engine engine;
+  ClusterConfig config;
+  config.worker_nodes = 2;
+  config.node_capacity = {10, 1000};
+  Cluster cluster(engine, config);
+  EXPECT_DOUBLE_EQ(cluster.cluster_cpu_utilization(), 0.0);
+  ASSERT_TRUE(cluster.node(0).try_allocate({10, 100}));
+  EXPECT_DOUBLE_EQ(cluster.cluster_cpu_utilization(), 0.5);
+  EXPECT_EQ(cluster.total_capacity(), (Resource{20, 2000}));
+  EXPECT_EQ(cluster.total_used(), (Resource{10, 100}));
+}
+
+}  // namespace
+}  // namespace sdc::cluster

@@ -1,0 +1,91 @@
+// Tests for the run-comparison facility (sdchecker diff).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/scenario.hpp"
+#include "sdchecker/compare.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc::checker {
+namespace {
+
+AnalysisResult run(bool jvm_reuse, std::uint64_t seed = 1201, int jobs = 10) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = seed;
+  for (int i = 0; i < jobs; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1 + 7 * i);
+    plan.app = workloads::make_tpch_query(1 + i % 22, 2048, 4);
+    plan.app.jvm_reuse = jvm_reuse;
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  return SdChecker().analyze(harness::run_scenario(scenario).logs);
+}
+
+TEST(Compare, IdenticalRunsShowNoSignificantMovement) {
+  const auto a = run(false);
+  const auto b = run(false);
+  const ComparisonResult comparison = compare(a, b);
+  EXPECT_EQ(comparison.apps_a, 10u);
+  EXPECT_EQ(comparison.apps_b, 10u);
+  EXPECT_TRUE(comparison.significant(0.01).empty());
+  for (const MetricDelta& delta : comparison.metrics) {
+    if (delta.median_ratio) EXPECT_DOUBLE_EQ(*delta.median_ratio, 1.0);
+  }
+}
+
+TEST(Compare, DetectsTheJvmReuseImprovement) {
+  const auto before = run(false);
+  const auto after = run(true);
+  const ComparisonResult comparison = compare(before, after);
+  const auto moved = comparison.significant(0.10);
+  ASSERT_FALSE(moved.empty());
+  // Driver delay and launching must be among the movers, both shrinking.
+  bool driver_moved = false;
+  bool launching_moved = false;
+  for (const MetricDelta* delta : moved) {
+    if (delta->metric == "driver") {
+      driver_moved = true;
+      EXPECT_LT(*delta->median_ratio, 0.7);
+    }
+    if (delta->metric == "launching") {
+      launching_moved = true;
+      EXPECT_LT(*delta->median_ratio, 0.5);
+    }
+    // Nothing should have gotten dramatically *worse*.
+    EXPECT_LT(*delta->median_ratio, 1.5);
+  }
+  EXPECT_TRUE(driver_moved);
+  EXPECT_TRUE(launching_moved);
+  // Largest movement first.
+  for (std::size_t i = 1; i < moved.size(); ++i) {
+    EXPECT_GE(std::abs(*moved[i - 1]->median_ratio - 1.0),
+              std::abs(*moved[i]->median_ratio - 1.0));
+  }
+}
+
+TEST(Compare, RenderedTableContainsBothSides) {
+  const auto a = run(false, 1202, 4);
+  const auto b = run(true, 1202, 4);
+  const std::string text = compare(a, b).render_text("base", "opt");
+  EXPECT_NE(text.find("base median"), std::string::npos);
+  EXPECT_NE(text.find("opt median"), std::string::npos);
+  EXPECT_NE(text.find("driver"), std::string::npos);
+  EXPECT_NE(text.find("x"), std::string::npos);  // a ratio cell
+}
+
+TEST(Compare, HandlesEmptySides) {
+  const AnalysisResult empty;
+  const auto full = run(false, 1203, 3);
+  const ComparisonResult comparison = compare(empty, full);
+  EXPECT_EQ(comparison.apps_a, 0u);
+  EXPECT_TRUE(comparison.significant().empty());  // no ratios computable
+  for (const MetricDelta& delta : comparison.metrics) {
+    EXPECT_FALSE(delta.median_a.has_value());
+  }
+  (void)comparison.render_text();
+}
+
+}  // namespace
+}  // namespace sdc::checker

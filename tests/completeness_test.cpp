@@ -1,0 +1,67 @@
+// Tests for the per-message completeness diagnostic.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc::checker {
+namespace {
+
+harness::ScenarioResult small_run() {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 1501;
+  for (int i = 0; i < 3; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1 + 8 * i);
+    plan.app = workloads::make_tpch_query(1 + i, 2048, 2);
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  return harness::run_scenario(scenario);
+}
+
+TEST(Completeness, FullCorpusIsComplete) {
+  const auto analysis = SdChecker().analyze(small_run().logs);
+  for (const auto& row : analysis.completeness()) {
+    EXPECT_EQ(row.apps_missing, 0u)
+        << event_name(row.kind) << " missing unexpectedly";
+  }
+  EXPECT_TRUE(analysis.render_completeness().empty());
+}
+
+TEST(Completeness, ReportsFourteenRows) {
+  const AnalysisResult empty;
+  const auto rows = empty.completeness();
+  ASSERT_EQ(rows.size(), 14u);
+  EXPECT_EQ(table1_number(rows.front().kind), 1);
+  EXPECT_EQ(table1_number(rows.back().kind), 14);
+}
+
+TEST(Completeness, DetectsMissingDaemonLogs) {
+  const auto run = small_run();
+  // Drop every NodeManager file, as if they were never collected.
+  logging::LogBundle partial;
+  for (const auto& name : run.logs.stream_names()) {
+    if (name.rfind("nm-", 0) == 0) continue;
+    for (const auto& line : run.logs.lines(name)) partial.append(name, line);
+  }
+  const auto analysis = SdChecker().analyze(partial);
+  std::size_t missing_localizing = 0;
+  std::size_t missing_submitted = 0;
+  for (const auto& row : analysis.completeness()) {
+    if (row.kind == EventKind::kNmLocalizing) {
+      missing_localizing = row.apps_missing;
+    }
+    if (row.kind == EventKind::kAppSubmitted) {
+      missing_submitted = row.apps_missing;
+    }
+  }
+  EXPECT_EQ(missing_localizing, 3u);  // the NM footprint is gone
+  EXPECT_EQ(missing_submitted, 0u);   // RM events unaffected
+  const std::string report = analysis.render_completeness();
+  EXPECT_NE(report.find("LOCALIZING"), std::string::npos);
+  EXPECT_NE(report.find("message  6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdc::checker

@@ -1,0 +1,101 @@
+// Tests for the plot-ready CSV exports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "harness/scenario.hpp"
+#include "sdchecker/export.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc::checker {
+namespace {
+
+AnalysisResult analyzed_run(int jobs = 3) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 61;
+  for (int i = 0; i < jobs; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1 + 8 * i);
+    plan.app = workloads::make_tpch_query(1 + i, 2048, 2);
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  return SdChecker().analyze(harness::run_scenario(scenario).logs);
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t n = 0;
+  for (char c : text) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+TEST(Export, DelaysCsvOneRowPerApp) {
+  const auto analysis = analyzed_run(3);
+  const std::string csv = delays_csv(analysis);
+  EXPECT_EQ(count_lines(csv), 1u + analysis.delays.size());
+  EXPECT_EQ(csv.find("app,total_ms,am_ms"), 0u);
+  EXPECT_NE(csv.find("application_1499100000000_0001,"), std::string::npos);
+  // Fully-populated rows have no empty cells: count commas per row = 10.
+  std::istringstream stream(csv);
+  std::string row;
+  std::getline(stream, row);  // header
+  while (std::getline(stream, row)) {
+    EXPECT_EQ(std::count(row.begin(), row.end(), ','), 10) << row;
+    EXPECT_EQ(row.find(",,"), std::string::npos) << row;
+  }
+}
+
+TEST(Export, ContainersCsvCoversEveryContainer) {
+  const auto analysis = analyzed_run(2);
+  const std::string csv = containers_csv(analysis);
+  std::size_t expected = 0;
+  for (const auto& [app, delays] : analysis.delays) {
+    expected += delays.containers.size();
+  }
+  EXPECT_EQ(count_lines(csv), 1u + expected);
+  EXPECT_NE(csv.find(",1,"), std::string::npos);  // the AM rows
+}
+
+TEST(Export, EventsCsvHasTable1Numbers) {
+  const auto analysis = analyzed_run(1);
+  const std::string csv = events_csv(analysis);
+  EXPECT_EQ(csv.find("app,container,table1,event,epoch_ms"), 0u);
+  EXPECT_NE(csv.find(",1,SUBMITTED,"), std::string::npos);
+  EXPECT_NE(csv.find(",14,FIRST_TASK,"), std::string::npos);
+  EXPECT_NE(csv.find(",9,DRV_FIRST_LOG,"), std::string::npos);
+}
+
+TEST(Export, CdfCsvMonotone) {
+  SampleSet samples;
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) samples.add(rng.uniform(0, 50));
+  const std::string csv = cdf_csv(samples, 20);
+  EXPECT_EQ(count_lines(csv), 21u);
+  std::istringstream stream(csv);
+  std::string row;
+  std::getline(stream, row);
+  double prev_value = -1;
+  double prev_p = -1;
+  while (std::getline(stream, row)) {
+    const auto comma = row.find(',');
+    const double value = std::stod(row.substr(0, comma));
+    const double p = std::stod(row.substr(comma + 1));
+    EXPECT_GE(value, prev_value);
+    EXPECT_GE(p, prev_p);
+    prev_value = value;
+    prev_p = p;
+  }
+  EXPECT_DOUBLE_EQ(prev_p, 1.0);
+}
+
+TEST(Export, EmptyAnalysisGivesHeadersOnly) {
+  AnalysisResult empty;
+  EXPECT_EQ(count_lines(delays_csv(empty)), 1u);
+  EXPECT_EQ(count_lines(containers_csv(empty)), 1u);
+  EXPECT_EQ(count_lines(events_csv(empty)), 1u);
+}
+
+}  // namespace
+}  // namespace sdc::checker

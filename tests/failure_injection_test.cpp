@@ -1,0 +1,128 @@
+// Failure-injection tests: executor launch failures, driver-side
+// replacement, and SDchecker's view of the failed containers.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc {
+namespace {
+
+harness::ScenarioResult run_with_failures(double failure_prob,
+                                          std::uint64_t seed = 601,
+                                          int jobs = 6) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = seed;
+  scenario.extra_horizon = seconds(8 * 3600);
+  for (int i = 0; i < jobs; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1 + 9 * i);
+    plan.app = workloads::make_tpch_query(1 + i, 2048, 4);
+    plan.app.executor_failure_prob = failure_prob;
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  return harness::run_scenario(scenario);
+}
+
+TEST(FailureInjection, JobsCompleteDespiteLaunchFailures) {
+  const auto result = run_with_failures(0.3);
+  ASSERT_EQ(result.jobs.size(), 6u);
+  std::int32_t total_failures = 0;
+  for (const auto& job : result.jobs) {
+    EXPECT_EQ(job.executors_launched, 4) << job.app.str();
+    EXPECT_GT(job.finished_at, job.first_task_at);
+    total_failures += job.executors_failed;
+  }
+  // With p=0.3 over ~24 launches, failures are essentially certain.
+  EXPECT_GT(total_failures, 0);
+}
+
+TEST(FailureInjection, FailedContainersLogExitedWithFailure) {
+  const auto result = run_with_failures(0.5, 602, 4);
+  std::size_t failure_lines = 0;
+  for (const auto& name : result.logs.stream_names()) {
+    if (name.rfind("nm-", 0) != 0) continue;
+    for (const auto& line : result.logs.lines(name)) {
+      if (line.find("to EXITED_WITH_FAILURE") != std::string::npos) {
+        ++failure_lines;
+      }
+    }
+  }
+  std::int32_t reported = 0;
+  for (const auto& job : result.jobs) reported += job.executors_failed;
+  EXPECT_EQ(failure_lines, static_cast<std::size_t>(reported));
+  EXPECT_GT(reported, 0);
+}
+
+TEST(FailureInjection, SdcheckerSeesFailedContainersWithoutFirstLog) {
+  const auto result = run_with_failures(0.5, 603, 4);
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  std::size_t failed_containers = 0;
+  for (const auto& [app, timeline] : analysis.timelines) {
+    for (const auto& [cid, container] : timeline.containers) {
+      if (container.has(checker::EventKind::kNmFailed)) {
+        ++failed_containers;
+        // A launch failure means the process never wrote a line.
+        EXPECT_FALSE(container.has(checker::EventKind::kExecutorFirstLog));
+        EXPECT_TRUE(container.has(checker::EventKind::kNmRunning));
+      }
+    }
+  }
+  EXPECT_GT(failed_containers, 0u);
+  // Failures are not over-request anomalies: the detector stays quiet.
+  EXPECT_TRUE(
+      analysis.anomalies_of(checker::AnomalyType::kNeverUsedContainer).empty());
+}
+
+TEST(FailureInjection, DecompositionStillResolvesTotals) {
+  const auto result = run_with_failures(0.4, 604, 5);
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  ASSERT_EQ(analysis.delays.size(), 5u);
+  for (const auto& [app, delays] : analysis.delays) {
+    ASSERT_TRUE(delays.total.has_value()) << app.str();
+    ASSERT_TRUE(delays.in_app && delays.out_app);
+    EXPECT_EQ(*delays.in_app + *delays.out_app, *delays.total);
+    EXPECT_TRUE(analysis.graph_for(app).validate().empty());
+  }
+}
+
+TEST(FailureInjection, FailuresLengthenSchedulingDelay) {
+  // Replacement containers restart the allocation+localization+launch
+  // pipeline, so heavy failure rates push the total delay tail out.
+  const auto clean = run_with_failures(0.0, 605, 8);
+  const auto flaky = run_with_failures(0.6, 605, 8);
+  const auto delays_of = [](const harness::ScenarioResult& r) {
+    SampleSet set;
+    for (const auto& job : r.jobs) {
+      set.add(to_seconds(job.first_task_at - job.submitted_at));
+    }
+    return set;
+  };
+  EXPECT_GT(delays_of(flaky).p95(), delays_of(clean).p95());
+}
+
+TEST(FailureInjection, ResourcesReleasedAfterFailures) {
+  // After everything drains, no node may hold residual allocations.
+  harness::ScenarioConfig scenario;
+  scenario.seed = 606;
+  harness::SparkSubmissionPlan plan;
+  plan.at = seconds(1);
+  plan.app = workloads::make_tpch_query(1, 1024, 4);
+  plan.app.executor_failure_prob = 0.5;
+  scenario.spark_jobs.push_back(std::move(plan));
+  const auto result = harness::run_scenario(scenario);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  // Ground truth says completed; the logs' final NM lines are DONE/RELEASED.
+  std::size_t done_lines = 0;
+  for (const auto& name : result.logs.stream_names()) {
+    for (const auto& line : result.logs.lines(name)) {
+      if (line.find("to DONE") != std::string::npos) ++done_lines;
+    }
+  }
+  // AM + 4 executors + any failed attempts all reached DONE.
+  EXPECT_GE(done_lines, 5u);
+}
+
+}  // namespace
+}  // namespace sdc

@@ -1,0 +1,102 @@
+// Tests for the scenario harness itself: completion detection, time caps,
+// skew plumbing, ground-truth bookkeeping.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "logging/timestamp.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc::harness {
+namespace {
+
+ScenarioConfig one_job(std::uint64_t seed = 71) {
+  ScenarioConfig scenario;
+  scenario.seed = seed;
+  SparkSubmissionPlan plan;
+  plan.at = seconds(1);
+  plan.app = workloads::make_tpch_query(1, 1024, 2);
+  scenario.spark_jobs.push_back(std::move(plan));
+  return scenario;
+}
+
+TEST(Harness, EmptyScenarioTerminates) {
+  ScenarioConfig scenario;
+  scenario.seed = 1;
+  const ScenarioResult result = run_scenario(scenario);
+  EXPECT_TRUE(result.jobs.empty());
+  EXPECT_FALSE(result.hit_time_cap);
+  // RM log exists even with no jobs? No submissions -> no log lines.
+  EXPECT_EQ(result.logs.total_lines(), 0u);
+}
+
+TEST(Harness, HitTimeCapReportedWhenJobsCannotFinish) {
+  ScenarioConfig scenario = one_job();
+  // An absurdly small horizon: the job cannot finish.
+  scenario.extra_horizon = seconds(2);
+  const ScenarioResult result = run_scenario(scenario);
+  EXPECT_TRUE(result.hit_time_cap);
+  EXPECT_TRUE(result.jobs.empty());
+}
+
+TEST(Harness, GroundTruthFieldsFilled) {
+  const ScenarioResult result = run_scenario(one_job());
+  ASSERT_EQ(result.jobs.size(), 1u);
+  const spark::JobRecord& job = result.jobs[0];
+  EXPECT_EQ(job.submitted_at, seconds(1));
+  EXPECT_GT(job.first_task_at, 0);
+  EXPECT_GT(job.finished_at, job.first_task_at);
+  EXPECT_EQ(job.executors_requested, 2);
+  EXPECT_EQ(job.executors_launched, 2);
+  EXPECT_GT(result.containers_allocated, 0);
+  EXPECT_GT(result.events_executed, 100u);
+}
+
+TEST(Harness, JobsSortedByApplicationId) {
+  ScenarioConfig scenario;
+  scenario.seed = 72;
+  // Second submission finishes first (tiny job, earlier completion is
+  // possible); output must still be app-id ordered.
+  for (int i = 0; i < 4; ++i) {
+    SparkSubmissionPlan plan;
+    plan.at = seconds(1 + i);
+    plan.app = workloads::make_tpch_query(1 + i, 512, 2);
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  const ScenarioResult result = run_scenario(scenario);
+  ASSERT_EQ(result.jobs.size(), 4u);
+  for (std::size_t i = 1; i < result.jobs.size(); ++i) {
+    EXPECT_LT(result.jobs[i - 1].app, result.jobs[i].app);
+  }
+}
+
+TEST(Harness, NmClockSkewAppliesPerNodeIndex) {
+  ScenarioConfig scenario = one_job(73);
+  scenario.nm_clock_skew_ms.assign(25, 5000);  // every NM 5 s fast
+  const ScenarioResult skewed = run_scenario(scenario);
+  const ScenarioResult normal = run_scenario(one_job(73));
+  // Find one NM line present in both runs and compare stamps.
+  for (const auto& name : normal.logs.stream_names()) {
+    if (name.rfind("nm-", 0) != 0) continue;
+    const auto& normal_lines = normal.logs.lines(name);
+    const auto& skewed_lines = skewed.logs.lines(name);
+    if (normal_lines.empty()) continue;
+    ASSERT_EQ(normal_lines.size(), skewed_lines.size());
+    const auto t_normal = logging::parse_epoch_ms(normal_lines[0].substr(0, 23));
+    const auto t_skewed = logging::parse_epoch_ms(skewed_lines[0].substr(0, 23));
+    ASSERT_TRUE(t_normal && t_skewed);
+    EXPECT_EQ(*t_skewed - *t_normal, 5000);
+    return;  // one stream is enough
+  }
+  FAIL() << "no NM stream found";
+}
+
+TEST(Harness, EventCountsIdenticalAcrossRepeatedRuns) {
+  const ScenarioResult a = run_scenario(one_job(74));
+  const ScenarioResult b = run_scenario(one_job(74));
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.containers_allocated, b.containers_allocated);
+}
+
+}  // namespace
+}  // namespace sdc::harness

@@ -1,0 +1,83 @@
+// Tests for the HiBench-style workload catalog: structural knobs and a
+// mixed-zoo integration run.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "workloads/hibench.hpp"
+
+namespace sdc::workloads {
+namespace {
+
+TEST(HiBench, TerasortShape) {
+  const auto config = make_terasort(50 * 1024, 8);
+  EXPECT_EQ(config.files_opened, 1);
+  EXPECT_EQ(config.num_stages, 2);
+  EXPECT_GT(config.scan_io_units, 20.0);  // shuffle-heavy
+  EXPECT_EQ(config.input_file, "terasort-input");
+}
+
+TEST(HiBench, PagerankShape) {
+  const auto config = make_pagerank(4096, 4, 10);
+  EXPECT_EQ(config.num_stages, 10);
+  EXPECT_GT(config.cpu_units_while_running, 0.0);
+  // Iterations grow the runtime.
+  EXPECT_GT(make_pagerank(4096, 4, 12).execution_median,
+            make_pagerank(4096, 4, 4).execution_median);
+}
+
+TEST(HiBench, BayesBetweenWordcountAndSql) {
+  const auto config = make_bayes(2048, 4);
+  EXPECT_GT(config.files_opened, 1);
+  EXPECT_LT(config.files_opened, 8);
+}
+
+TEST(HiBench, InteractiveScanIsTinyAndShort) {
+  const auto scan = make_interactive_scan(256, 2);
+  EXPECT_EQ(scan.num_stages, 1);
+  EXPECT_LT(scan.execution_median, seconds(5));
+}
+
+TEST(HiBench, MixedZooRunsCleanThroughSdchecker) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 901;
+  scenario.extra_horizon = seconds(8 * 3600);
+  int at = 0;
+  const auto submit = [&](spark::SparkAppConfig app) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(2 + 10 * at++);
+    plan.app = std::move(app);
+    scenario.spark_jobs.push_back(std::move(plan));
+  };
+  submit(make_terasort(8 * 1024, 6));
+  submit(make_pagerank(2048, 4, 6));
+  submit(make_bayes(2048, 4));
+  submit(make_interactive_scan(256, 2));
+  const auto result = harness::run_scenario(scenario);
+  ASSERT_EQ(result.jobs.size(), 4u);
+  EXPECT_FALSE(result.hit_time_cap);
+
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  ASSERT_EQ(analysis.delays.size(), 4u);
+  for (const auto& [app, delays] : analysis.delays) {
+    ASSERT_TRUE(delays.total && delays.in_app && delays.out_app) << app.str();
+    EXPECT_EQ(*delays.in_app + *delays.out_app, *delays.total);
+    EXPECT_TRUE(analysis.graph_for(app).validate().empty());
+  }
+  // The interactive scan spends proportionally the most time scheduling —
+  // the paper's headline about tiny-and-short jobs.
+  double scan_ratio = 0;
+  double terasort_ratio = 0;
+  for (const auto& job : result.jobs) {
+    const auto& delays = analysis.delays.at(job.app);
+    const double ratio =
+        static_cast<double>(*delays.total) /
+        (static_cast<double>(to_millis(job.finished_at - job.submitted_at)));
+    if (job.name == "hibench-scan") scan_ratio = ratio;
+    if (job.name == "hibench-terasort") terasort_ratio = ratio;
+  }
+  EXPECT_GT(scan_ratio, terasort_ratio);
+}
+
+}  // namespace
+}  // namespace sdc::workloads

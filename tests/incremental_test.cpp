@@ -1,0 +1,137 @@
+// Tests for the streaming analyzer: equivalence with batch analysis,
+// event parking until stream binding, interleaved feeding, partial views.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "logging/timestamp.hpp"
+#include "sdchecker/incremental.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc::checker {
+namespace {
+
+harness::ScenarioResult small_run(int jobs = 4, std::uint64_t seed = 301) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = seed;
+  for (int i = 0; i < jobs; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1 + 7 * i);
+    plan.app = workloads::make_tpch_query(1 + i, 2048, 2);
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  return harness::run_scenario(scenario);
+}
+
+TEST(Incremental, MatchesBatchAnalysisExactly) {
+  const auto run = small_run();
+  // Batch.
+  const AnalysisResult batch = SdChecker().analyze(run.logs);
+  // Streaming: feed stream by stream, in file order.
+  IncrementalAnalyzer analyzer;
+  for (const auto& name : run.logs.stream_names()) {
+    analyzer.feed_all(name, run.logs.lines(name));
+  }
+  const AnalysisResult streamed = analyzer.snapshot();
+
+  ASSERT_EQ(streamed.delays.size(), batch.delays.size());
+  for (const auto& [app, batch_delays] : batch.delays) {
+    const Delays& live = streamed.delays.at(app);
+    EXPECT_EQ(live.total, batch_delays.total) << app.str();
+    EXPECT_EQ(live.am, batch_delays.am);
+    EXPECT_EQ(live.driver, batch_delays.driver);
+    EXPECT_EQ(live.executor, batch_delays.executor);
+    EXPECT_EQ(live.alloc, batch_delays.alloc);
+    EXPECT_EQ(live.containers.size(), batch_delays.containers.size());
+  }
+  EXPECT_EQ(streamed.lines_total, batch.lines_total);
+  EXPECT_EQ(streamed.lines_unparsed, batch.lines_unparsed);
+  EXPECT_EQ(streamed.events_total, batch.events_total);
+  EXPECT_EQ(analyzer.events_pending(), 0u);
+}
+
+TEST(Incremental, InterleavedRoundRobinFeedMatchesToo) {
+  const auto run = small_run(3, 302);
+  const AnalysisResult batch = SdChecker().analyze(run.logs);
+
+  // Round-robin across streams: one line at a time, preserving per-stream
+  // order but interleaving streams maximally.
+  IncrementalAnalyzer analyzer;
+  const auto names = run.logs.stream_names();
+  std::vector<std::size_t> cursor(names.size(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const auto& lines = run.logs.lines(names[i]);
+      if (cursor[i] < lines.size()) {
+        analyzer.feed(names[i], lines[cursor[i]++]);
+        progressed = true;
+      }
+    }
+  }
+  const AnalysisResult streamed = analyzer.snapshot();
+  ASSERT_EQ(streamed.delays.size(), batch.delays.size());
+  for (const auto& [app, batch_delays] : batch.delays) {
+    EXPECT_EQ(streamed.delays.at(app).total, batch_delays.total);
+    EXPECT_EQ(streamed.delays.at(app).in_app, batch_delays.in_app);
+  }
+}
+
+TEST(Incremental, EventsParkUntilStreamBinds) {
+  IncrementalAnalyzer analyzer;
+  const std::string first =
+      "2017-07-03 16:40:00,000 INFO  org.apache.spark.deploy.yarn."
+      "ApplicationMaster: Registered signal handlers for [TERM]";
+  const std::string reg =
+      "2017-07-03 16:40:03,000 INFO  org.apache.spark.deploy.yarn."
+      "ApplicationMaster: Registering the ApplicationMaster with the "
+      "ResourceManager";
+  const std::string binder =
+      "2017-07-03 16:40:03,100 INFO  org.apache.spark.deploy.yarn."
+      "ApplicationMaster: ApplicationAttemptId: appattempt_1499100000000_"
+      "0009_000001";
+  analyzer.feed("driver.log", first);
+  analyzer.feed("driver.log", reg);
+  // FIRST_LOG + REGISTER are parked: no id seen yet.
+  EXPECT_EQ(analyzer.events_pending(), 2u);
+  EXPECT_TRUE(analyzer.timelines().empty());
+  analyzer.feed("driver.log", binder);
+  EXPECT_EQ(analyzer.events_pending(), 0u);
+  ASSERT_EQ(analyzer.timelines().size(), 1u);
+  const AppTimeline& timeline = analyzer.timelines().begin()->second;
+  EXPECT_EQ(timeline.ts(EventKind::kDriverFirstLog), 1'499'100'000'000);
+  EXPECT_EQ(timeline.ts(EventKind::kDriverRegister), 1'499'100'003'000);
+  const Delays delays = analyzer.delays_for(timeline.app);
+  EXPECT_EQ(delays.driver, 3000);
+}
+
+TEST(Incremental, PartialViewGrowsMonotonically) {
+  const auto run = small_run(1, 303);
+  // Feed the RM log only: am should resolve, total should not.
+  IncrementalAnalyzer analyzer;
+  analyzer.feed_all("rm.log", run.logs.lines("rm.log"));
+  ASSERT_EQ(analyzer.timelines().size(), 1u);
+  const ApplicationId app = analyzer.timelines().begin()->first;
+  const Delays rm_only = analyzer.delays_for(app);
+  EXPECT_TRUE(rm_only.am.has_value());
+  EXPECT_FALSE(rm_only.total.has_value());
+  EXPECT_FALSE(rm_only.driver.has_value());
+  // Now the rest arrives; everything fills in.
+  for (const auto& name : run.logs.stream_names()) {
+    if (name != "rm.log") analyzer.feed_all(name, run.logs.lines(name));
+  }
+  const Delays full = analyzer.delays_for(app);
+  EXPECT_EQ(full.am, rm_only.am);  // already-seen intervals are stable
+  EXPECT_TRUE(full.total.has_value());
+  EXPECT_TRUE(full.driver.has_value());
+}
+
+TEST(Incremental, UnknownAppQueryReturnsEmptyDelays) {
+  IncrementalAnalyzer analyzer;
+  const Delays delays = analyzer.delays_for(ApplicationId{1, 42});
+  EXPECT_FALSE(delays.total.has_value());
+  EXPECT_EQ(delays.app.id, 42);
+}
+
+}  // namespace
+}  // namespace sdc::checker

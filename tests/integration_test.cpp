@@ -1,0 +1,213 @@
+// End-to-end integration tests: simulate -> (optionally write/read log
+// files) -> mine with SDchecker -> check decompositions against the
+// simulator's ground truth and the paper's structural invariants.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "harness/scenario.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "trace/submission_trace.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc {
+namespace {
+
+harness::ScenarioConfig small_trace_scenario(std::int32_t jobs,
+                                             std::uint64_t seed = 42) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = seed;
+  trace::TraceConfig trace_config;
+  trace_config.count = jobs;
+  trace_config.mean_interarrival = seconds(5);
+  trace_config.seed = seed;
+  for (const auto& submission : trace::generate_trace(trace_config)) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = submission.at;
+    plan.app = workloads::make_tpch_query(
+        1 + submission.workload_index % workloads::kTpchQueryCount, 2048, 4);
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  return scenario;
+}
+
+TEST(Integration, SdcheckerMatchesGroundTruthTotals) {
+  const auto result = harness::run_scenario(small_trace_scenario(12));
+  ASSERT_EQ(result.jobs.size(), 12u);
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  ASSERT_EQ(analysis.delays.size(), 12u);
+
+  for (const spark::JobRecord& job : result.jobs) {
+    const auto it = analysis.delays.find(job.app);
+    ASSERT_NE(it, analysis.delays.end()) << job.app.str();
+    const checker::Delays& delays = it->second;
+    ASSERT_TRUE(delays.total.has_value());
+    // Ground truth at microsecond precision vs logs at millisecond
+    // precision: agreement within 2 ms (one rounding on each endpoint)
+    // plus 1 ms for the RPC between the driver's submit call and the RM's
+    // SUBMITTED transition is not guaranteed; allow the RM-side admission
+    // latency (~10 ms) as slack.
+    const double truth_ms =
+        static_cast<double>(job.first_task_at - job.submitted_at) / 1000.0;
+    EXPECT_NEAR(static_cast<double>(*delays.total), truth_ms, 30.0)
+        << job.app.str();
+  }
+}
+
+TEST(Integration, StructuralInvariantsHoldForEveryApp) {
+  const auto result = harness::run_scenario(small_trace_scenario(15, 7));
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  for (const auto& [app, delays] : analysis.delays) {
+    ASSERT_TRUE(delays.total && delays.am && delays.cf && delays.cl &&
+                delays.driver && delays.executor && delays.in_app &&
+                delays.out_app && delays.alloc)
+        << app.str();
+    EXPECT_GE(*delays.am, 0);
+    EXPECT_GE(*delays.driver, 0);
+    EXPECT_GE(*delays.executor, 0);
+    EXPECT_LE(*delays.am, *delays.total);
+    EXPECT_LE(*delays.cf, *delays.cl);
+    EXPECT_LE(*delays.cl, *delays.total);
+    EXPECT_EQ(*delays.in_app + *delays.out_app, *delays.total);
+    // Driver delay is inside the AM delay window.
+    EXPECT_LE(*delays.driver, *delays.am);
+    // 4 executors worth of per-container samples.
+    EXPECT_EQ(delays.worker_localizations().size(), 4u);
+    EXPECT_EQ(delays.worker_launchings().size(), 4u);
+    for (const std::int64_t acquisition : delays.worker_acquisitions()) {
+      EXPECT_GE(acquisition, 0);
+      EXPECT_LE(acquisition, 1100);  // heartbeat cap + slack (Fig. 7-c)
+    }
+  }
+}
+
+TEST(Integration, SchedulingGraphsValidateClean) {
+  const auto result = harness::run_scenario(small_trace_scenario(8, 3));
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  for (const auto& [app, timeline] : analysis.timelines) {
+    const auto graph = analysis.graph_for(app);
+    EXPECT_TRUE(graph.validate().empty()) << app.str();
+  }
+  EXPECT_TRUE(analysis.anomalies.empty());
+}
+
+TEST(Integration, DirectoryRoundTripGivesSameAnalysis) {
+  const auto result = harness::run_scenario(small_trace_scenario(5, 9));
+  const auto dir =
+      std::filesystem::temp_directory_path() / "sdc-integration-roundtrip";
+  std::filesystem::remove_all(dir);
+  result.logs.write_to_directory(dir);
+
+  const auto from_memory = checker::SdChecker().analyze(result.logs);
+  const auto from_disk = checker::SdChecker().analyze_directory(dir);
+  ASSERT_EQ(from_memory.delays.size(), from_disk.delays.size());
+  for (const auto& [app, mem_delays] : from_memory.delays) {
+    const auto& disk_delays = from_disk.delays.at(app);
+    EXPECT_EQ(mem_delays.total, disk_delays.total);
+    EXPECT_EQ(mem_delays.driver, disk_delays.driver);
+    EXPECT_EQ(mem_delays.executor, disk_delays.executor);
+    EXPECT_EQ(mem_delays.alloc, disk_delays.alloc);
+  }
+  EXPECT_EQ(from_memory.lines_total, from_disk.lines_total);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Integration, ParallelAnalysisMatchesSerial) {
+  const auto result = harness::run_scenario(small_trace_scenario(6, 13));
+  const auto serial = checker::SdChecker({.threads = 1}).analyze(result.logs);
+  const auto parallel = checker::SdChecker({.threads = 4}).analyze(result.logs);
+  ASSERT_EQ(serial.delays.size(), parallel.delays.size());
+  for (const auto& [app, s] : serial.delays) {
+    const auto& p = parallel.delays.at(app);
+    EXPECT_EQ(s.total, p.total);
+    EXPECT_EQ(s.in_app, p.in_app);
+  }
+}
+
+TEST(Integration, BugDetectionEndToEnd) {
+  // §V-A: over-requesting Spark on the opportunistic scheduler leaves
+  // allocated-but-never-used containers that SDchecker must flag.
+  harness::ScenarioConfig scenario;
+  scenario.seed = 17;
+  scenario.yarn.scheduler = yarn::SchedulerKind::kOpportunistic;
+  for (int i = 0; i < 4; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1 + 8 * i);
+    plan.app = workloads::make_tpch_query(1 + i, 2048, 4);
+    plan.app.over_request_factor = 1.5;  // asks 6, uses 4
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  const auto result = harness::run_scenario(scenario);
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  const auto findings =
+      analysis.anomalies_of(checker::AnomalyType::kNeverUsedContainer);
+  EXPECT_EQ(findings.size(), 8u);  // 2 surplus containers x 4 apps
+}
+
+TEST(Integration, ClockSkewSurfacesAsNegativeIntervalsNotCrashes) {
+  harness::ScenarioConfig scenario = small_trace_scenario(4, 21);
+  // Skew every NM clock 2 s into the past: localization intervals stay
+  // internally consistent (same clock) but RM->NM edges go backwards.
+  scenario.nm_clock_skew_ms.assign(25, -2000);
+  const auto result = harness::run_scenario(scenario);
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  ASSERT_EQ(analysis.delays.size(), 4u);
+  // Per-container NM-internal delays remain sane.
+  for (const auto& [app, delays] : analysis.delays) {
+    for (const std::int64_t loc : delays.worker_localizations()) {
+      EXPECT_GE(loc, 0);
+    }
+  }
+  // The graphs are no longer temporally consistent.
+  std::size_t violating_apps = 0;
+  for (const auto& [app, timeline] : analysis.timelines) {
+    if (!analysis.graph_for(app).validate().empty()) ++violating_apps;
+  }
+  EXPECT_EQ(violating_apps, analysis.timelines.size());
+}
+
+TEST(Integration, InterferenceAppsDoNotBreakVictimAnalysis) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 23;
+  {
+    harness::MrSubmissionPlan dfsio;
+    dfsio.at = 0;
+    dfsio.app = workloads::make_dfsio(30, seconds(90));
+    scenario.mr_jobs.push_back(std::move(dfsio));
+  }
+  for (int i = 0; i < 3; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(20 + 10 * i);
+    plan.app = workloads::make_tpch_query(2 + i, 2048, 4);
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  const auto result = harness::run_scenario(scenario);
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  // 4 applications total (dfsIO MR app + 3 queries).
+  EXPECT_EQ(analysis.timelines.size(), 4u);
+  std::size_t sql_apps_with_full_decomposition = 0;
+  for (const auto& [app, delays] : analysis.delays) {
+    if (delays.driver && delays.executor && delays.total) {
+      ++sql_apps_with_full_decomposition;
+    }
+  }
+  EXPECT_GE(sql_apps_with_full_decomposition, 3u);
+}
+
+TEST(Integration, AggregateReportRendersAllMetrics) {
+  const auto result = harness::run_scenario(small_trace_scenario(6, 31));
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  const std::string text = analysis.aggregate.render_text();
+  for (const char* metric :
+       {"total", "am", "driver", "executor", "in-app", "out-app", "alloc",
+        "acquisition", "localization", "queuing", "launching"}) {
+    EXPECT_NE(text.find(metric), std::string::npos) << metric;
+  }
+  const std::string csv = analysis.aggregate.render_csv();
+  EXPECT_NE(csv.find("metric,n,median_s"), std::string::npos);
+  EXPECT_NE(csv.find("total,6,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdc

@@ -1,0 +1,99 @@
+// Tests for the JSON writer and the analysis JSON export.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/json.hpp"
+#include "harness/scenario.hpp"
+#include "sdchecker/export.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc {
+namespace {
+
+TEST(JsonWriter, ObjectsArraysAndCommas) {
+  json::Writer w;
+  w.begin_object();
+  w.field("a", std::int64_t{1});
+  w.field("b", "two");
+  w.key("c").begin_array().value(std::int64_t{3}).value(std::int64_t{4}).end_array();
+  w.key("d").begin_object().field("e", true).end_object();
+  w.key("f").null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"a":1,"b":"two","c":[3,4],"d":{"e":true},"f":null})");
+}
+
+TEST(JsonWriter, OptionalValues) {
+  json::Writer w;
+  w.begin_object();
+  w.field("present", std::optional<std::int64_t>{42});
+  w.field("absent", std::optional<std::int64_t>{});
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"present":42,"absent":null})");
+}
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  EXPECT_EQ(json::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(json::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, DoubleFormatting) {
+  json::Writer w;
+  w.begin_array();
+  w.value(1.5);
+  w.value(std::nan(""));
+  w.end_array();
+  EXPECT_EQ(w.str(), "[1.5,null]");
+}
+
+TEST(JsonWriter, NestedArraysOfObjects) {
+  json::Writer w;
+  w.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    w.begin_object().field("i", static_cast<std::int64_t>(i)).end_object();
+  }
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"i":0},{"i":1}])");
+}
+
+TEST(AnalysisJson, StructureAndContent) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 501;
+  harness::SparkSubmissionPlan plan;
+  plan.at = seconds(1);
+  plan.app = workloads::make_tpch_query(1, 1024, 2);
+  scenario.spark_jobs.push_back(std::move(plan));
+  const auto analysis =
+      checker::SdChecker().analyze(harness::run_scenario(scenario).logs);
+  const std::string text = checker::analysis_json(analysis);
+
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_EQ(text.back(), '}');
+  EXPECT_NE(text.find("\"summary\":{"), std::string::npos);
+  EXPECT_NE(text.find("\"aggregate\":{"), std::string::npos);
+  EXPECT_NE(text.find("\"apps\":["), std::string::npos);
+  EXPECT_NE(text.find("\"app\":\"application_1499100000000_0001\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"total_ms\":"), std::string::npos);
+  EXPECT_NE(text.find("\"is_am\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"anomalies\":[]"), std::string::npos);
+  // Balanced braces/brackets (rough structural sanity).
+  std::int64_t depth = 0;
+  for (const char c : text) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(AnalysisJson, EmptyAnalysis) {
+  checker::AnalysisResult empty;
+  const std::string text = checker::analysis_json(empty);
+  EXPECT_NE(text.find("\"apps\":[]"), std::string::npos);
+  EXPECT_NE(text.find("\"applications\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdc

@@ -1,0 +1,166 @@
+// Tests for the implemented §V-B optimizations: the localization caching
+// service, JVM reuse, and the heartbeat trade-off.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/tpch.hpp"
+#include "yarn/launch_model.hpp"
+#include "yarn/localization_cache.hpp"
+
+namespace sdc {
+namespace {
+
+// --- LocalizationCache unit tests -------------------------------------------
+
+TEST(LocalizationCache, MissThenHit) {
+  yarn::LocalizationCache cache;
+  EXPECT_FALSE(cache.lookup("pkg-a"));
+  cache.insert("pkg-a", 500);
+  EXPECT_TRUE(cache.lookup("pkg-a"));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.used_mb(), 500);
+}
+
+TEST(LocalizationCache, LruEviction) {
+  yarn::LocalizationCacheConfig config;
+  config.capacity_mb = 1000;
+  yarn::LocalizationCache cache(config);
+  cache.insert("a", 400);
+  cache.insert("b", 400);
+  EXPECT_TRUE(cache.lookup("a"));  // refresh a: b is now LRU
+  cache.insert("c", 400);          // evicts b
+  EXPECT_TRUE(cache.lookup("a"));
+  EXPECT_FALSE(cache.lookup("b"));
+  EXPECT_TRUE(cache.lookup("c"));
+  EXPECT_LE(cache.used_mb(), 1000);
+}
+
+TEST(LocalizationCache, OversizedPackageNeverCached) {
+  yarn::LocalizationCacheConfig config;
+  config.capacity_mb = 1000;
+  yarn::LocalizationCache cache(config);
+  cache.insert("huge", 2000);
+  EXPECT_FALSE(cache.lookup("huge"));
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(LocalizationCache, ReinsertRefreshesWithoutDoubleCounting) {
+  yarn::LocalizationCache cache;
+  cache.insert("a", 300);
+  cache.insert("a", 300);
+  EXPECT_DOUBLE_EQ(cache.used_mb(), 300);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(LocalizationCache, HitTimeScalesWithSize) {
+  yarn::LocalizationCache cache;
+  EXPECT_LT(cache.hit_time_ms(500), cache.hit_time_ms(5000));
+  // 500 MB at 2 GB/s + 60 ms overhead = ~310 ms.
+  EXPECT_NEAR(cache.hit_time_ms(500), 310.0, 5.0);
+}
+
+// --- warm JVM launch ----------------------------------------------------------
+
+TEST(WarmJvm, LaunchFractionApplied) {
+  yarn::LaunchModel model;
+  Rng cold_rng(5);
+  Rng warm_rng(5);
+  const SimDuration cold = model.sample(yarn::InstanceType::kSparkExecutor,
+                                        false, 1.0, 1.0, cold_rng, false);
+  const SimDuration warm = model.sample(yarn::InstanceType::kSparkExecutor,
+                                        false, 1.0, 1.0, warm_rng, true);
+  EXPECT_NEAR(static_cast<double>(warm) / static_cast<double>(cold),
+              model.config().warm_jvm_factor, 1e-5);
+}
+
+// --- end-to-end ------------------------------------------------------------------
+
+harness::ScenarioConfig sql_jobs(int count, std::uint64_t seed) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = seed;
+  for (int i = 0; i < count; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1 + 8 * i);
+    plan.app = workloads::make_tpch_query(1 + i % 22, 2048, 4);
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  return scenario;
+}
+
+TEST(CacheIntegration, RepeatedPackagesHitAfterWarmup) {
+  harness::ScenarioConfig scenario = sql_jobs(8, 31);
+  scenario.yarn.enable_localization_cache = true;
+  const auto result = harness::run_scenario(scenario);
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  // With 25 nodes and 8 x 5 containers, later containers repeatedly land
+  // on already-warm nodes: their localization must be far below the
+  // ~0.6 s HDFS path.
+  std::size_t fast = 0;
+  std::size_t total = 0;
+  for (const auto& [app, delays] : analysis.delays) {
+    for (const std::int64_t loc : delays.worker_localizations()) {
+      ++total;
+      if (loc < 450) ++fast;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(fast, total / 4);  // a meaningful share of cache hits
+  // And the NM logs show the cache-serving message.
+  bool cache_line_seen = false;
+  for (const auto& name : result.logs.stream_names()) {
+    for (const auto& line : result.logs.lines(name)) {
+      if (line.find("from the local cache") != std::string::npos) {
+        cache_line_seen = true;
+      }
+    }
+  }
+  EXPECT_TRUE(cache_line_seen);
+}
+
+TEST(CacheIntegration, DisabledCacheKeepsHdfsPath) {
+  harness::ScenarioConfig scenario = sql_jobs(4, 32);
+  scenario.yarn.enable_localization_cache = false;
+  const auto result = harness::run_scenario(scenario);
+  for (const auto& name : result.logs.stream_names()) {
+    for (const auto& line : result.logs.lines(name)) {
+      EXPECT_EQ(line.find("from the local cache"), std::string::npos);
+    }
+  }
+}
+
+TEST(JvmReuseIntegration, CutsDriverAndLaunchDelays) {
+  harness::ScenarioConfig cold = sql_jobs(8, 33);
+  harness::ScenarioConfig warm = sql_jobs(8, 33);
+  for (auto& plan : warm.spark_jobs) plan.app.jvm_reuse = true;
+  const auto cold_analysis =
+      checker::SdChecker().analyze(harness::run_scenario(cold).logs);
+  const auto warm_analysis =
+      checker::SdChecker().analyze(harness::run_scenario(warm).logs);
+  EXPECT_LT(warm_analysis.aggregate.driver.median(),
+            cold_analysis.aggregate.driver.median() * 0.6);
+  EXPECT_LT(warm_analysis.aggregate.launching.median(),
+            cold_analysis.aggregate.launching.median() * 0.5);
+  EXPECT_LT(warm_analysis.aggregate.total.median(),
+            cold_analysis.aggregate.total.median());
+}
+
+TEST(HeartbeatTradeoff, AcquisitionTracksInterval) {
+  const auto acquisition_for = [](SimDuration interval) {
+    harness::ScenarioConfig scenario = sql_jobs(8, 34);
+    for (auto& plan : scenario.spark_jobs) plan.app.am_heartbeat = interval;
+    const auto analysis =
+        checker::SdChecker().analyze(harness::run_scenario(scenario).logs);
+    return analysis.aggregate.acquisition;
+  };
+  const SampleSet fast = acquisition_for(millis(200));
+  const SampleSet slow = acquisition_for(millis(1600));
+  EXPECT_LT(fast.p95(), 0.35);
+  EXPECT_GT(slow.median(), fast.median() * 3);
+  EXPECT_LT(slow.max(), 1.8);  // still capped by its own interval + slack
+}
+
+}  // namespace
+}  // namespace sdc

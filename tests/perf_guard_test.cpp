@@ -1,0 +1,72 @@
+// Performance guards: coarse ceilings that catch order-of-magnitude
+// regressions in the hot paths (parser, miner, engine).  Thresholds are
+// deliberately loose (10x headroom on a slow CI box).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "harness/scenario.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "simcore/engine.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+TEST(PerfGuard, MinerHandles30kLinesQuickly) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 701;
+  for (int i = 0; i < 280; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1) + seconds(4) * i;
+    plan.app = workloads::make_tpch_query(1 + i % 22, 2048, 4);
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  const auto sim = harness::run_scenario(scenario);
+  ASSERT_GT(sim.logs.total_lines(), 25'000u);
+
+  const auto start = Clock::now();
+  const auto analysis = checker::SdChecker({.threads = 2}).analyze(sim.logs);
+  const double elapsed = seconds_since(start);
+  EXPECT_EQ(analysis.timelines.size(), 280u);
+  // ~30k lines in, say, well under 2 s even on a slow box (measured ~20 ms).
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(PerfGuard, EngineSustainsHundredsOfThousandsOfEventsPerSecond) {
+  sim::Engine engine;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 200'000; ++i) {
+    engine.schedule_at(millis(i % 10'000), [&sum] { ++sum; });
+  }
+  const auto start = Clock::now();
+  engine.run();
+  const double elapsed = seconds_since(start);
+  EXPECT_EQ(sum, 200'000u);
+  EXPECT_LT(elapsed, 2.0);  // measured ~70 ms
+}
+
+TEST(PerfGuard, EndToEndScenarioUnderASecondPerHundredJobs) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 702;
+  for (int i = 0; i < 100; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1) + seconds(4) * i;
+    plan.app = workloads::make_tpch_query(1 + i % 22, 2048, 4);
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  const auto start = Clock::now();
+  const auto sim = harness::run_scenario(scenario);
+  const double elapsed = seconds_since(start);
+  EXPECT_EQ(sim.jobs.size(), 100u);
+  EXPECT_LT(elapsed, 5.0);  // measured ~30 ms
+}
+
+}  // namespace
+}  // namespace sdc

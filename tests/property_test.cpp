@@ -1,0 +1,214 @@
+// Property-based tests (parameterized sweeps).
+//
+// 1. Scenario sweep: across executors x input size x scheduler x docker x
+//    parallel-init, every completed app must satisfy the decomposition
+//    invariants and produce a temporally consistent scheduling graph.
+// 2. Parser robustness: deterministic corruption of valid log lines must
+//    never crash the parser and never produce an event with an invalid id.
+// 3. Log-level determinism: identical scenario seeds yield byte-identical
+//    log bundles.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "harness/scenario.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc {
+namespace {
+
+struct SweepParam {
+  std::int32_t executors;
+  double input_mb;
+  yarn::SchedulerKind scheduler;
+  bool docker;
+  bool parallel_init;
+
+  friend std::ostream& operator<<(std::ostream& os, const SweepParam& p) {
+    const char* kind = p.scheduler == yarn::SchedulerKind::kCapacity ? "cap"
+                       : p.scheduler == yarn::SchedulerKind::kFair  ? "fair"
+                       : p.scheduler == yarn::SchedulerKind::kSampling
+                           ? "smp"
+                           : "opp";
+    return os << "exec" << p.executors << "_in" << p.input_mb << "_" << kind
+              << (p.docker ? "_docker" : "") << (p.parallel_init ? "_par" : "");
+  }
+};
+
+class ScenarioSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ScenarioSweep, DecompositionInvariantsHold) {
+  const SweepParam& param = GetParam();
+  harness::ScenarioConfig scenario;
+  scenario.seed = 1234;
+  scenario.yarn.scheduler = param.scheduler;
+  for (int i = 0; i < 3; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1 + 12 * i);
+    plan.app = workloads::make_tpch_query(1 + i * 5, param.input_mb,
+                                          param.executors);
+    plan.app.docker = param.docker;
+    plan.app.parallel_init = param.parallel_init;
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  const auto result = harness::run_scenario(scenario);
+  ASSERT_EQ(result.jobs.size(), 3u);
+  ASSERT_FALSE(result.hit_time_cap);
+
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  ASSERT_EQ(analysis.delays.size(), 3u);
+  for (const auto& [app, delays] : analysis.delays) {
+    ASSERT_TRUE(delays.total && delays.am && delays.driver && delays.executor &&
+                delays.in_app && delays.out_app && delays.cf && delays.cl)
+        << app.str();
+    EXPECT_GT(*delays.total, 0);
+    EXPECT_GT(*delays.am, 0);
+    EXPECT_GT(*delays.driver, 0);
+    EXPECT_GT(*delays.executor, 0);
+    EXPECT_GE(*delays.out_app, 0);
+    EXPECT_EQ(*delays.in_app + *delays.out_app, *delays.total);
+    EXPECT_LE(*delays.am, *delays.total);
+    EXPECT_LE(*delays.driver, *delays.am);
+    EXPECT_LE(*delays.cf, *delays.cl);
+    EXPECT_GE(*delays.cl_minus_cf, 0);
+    EXPECT_EQ(delays.worker_launchings().size(),
+              static_cast<std::size_t>(param.executors));
+    for (const std::int64_t v : delays.worker_localizations()) EXPECT_GE(v, 0);
+    for (const std::int64_t v : delays.worker_queuings()) EXPECT_GE(v, 0);
+    for (const std::int64_t v : delays.worker_launchings()) EXPECT_GT(v, 0);
+    EXPECT_TRUE(analysis.graph_for(app).validate().empty());
+  }
+  // No anomalies on a healthy run without over-requesting.
+  EXPECT_TRUE(
+      analysis.anomalies_of(checker::AnomalyType::kNeverUsedContainer).empty());
+  EXPECT_TRUE(
+      analysis.anomalies_of(checker::AnomalyType::kNegativeInterval).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExecutorSweep, ScenarioSweep,
+    ::testing::Values(SweepParam{2, 2048, yarn::SchedulerKind::kCapacity,
+                                 false, false},
+                      SweepParam{4, 2048, yarn::SchedulerKind::kCapacity,
+                                 false, false},
+                      SweepParam{8, 2048, yarn::SchedulerKind::kCapacity,
+                                 false, false},
+                      SweepParam{16, 2048, yarn::SchedulerKind::kCapacity,
+                                 false, false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    InputSweep, ScenarioSweep,
+    ::testing::Values(SweepParam{4, 20, yarn::SchedulerKind::kCapacity, false,
+                                 false},
+                      SweepParam{4, 20 * 1024, yarn::SchedulerKind::kCapacity,
+                                 false, false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ModeSweep, ScenarioSweep,
+    ::testing::Values(SweepParam{4, 2048, yarn::SchedulerKind::kOpportunistic,
+                                 false, false},
+                      SweepParam{4, 2048, yarn::SchedulerKind::kFair, false,
+                                 false},
+                      SweepParam{4, 2048, yarn::SchedulerKind::kSampling,
+                                 false, false},
+                      SweepParam{4, 2048, yarn::SchedulerKind::kCapacity, true,
+                                 false},
+                      SweepParam{4, 2048, yarn::SchedulerKind::kCapacity,
+                                 false, true},
+                      SweepParam{8, 512, yarn::SchedulerKind::kOpportunistic,
+                                 true, true}));
+
+// --- parser corruption property ---------------------------------------------
+
+class ParserCorruption : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserCorruption, NeverCrashesNeverFabricatesIds) {
+  // Generate a healthy run once, then corrupt its lines deterministically.
+  static const harness::ScenarioResult base = [] {
+    harness::ScenarioConfig scenario;
+    scenario.seed = 5;
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1);
+    plan.app = workloads::make_tpch_query(1, 1024, 2);
+    scenario.spark_jobs.push_back(std::move(plan));
+    return harness::run_scenario(scenario);
+  }();
+
+  Rng rng(GetParam());
+  logging::LogBundle corrupted;
+  for (const auto& name : base.logs.stream_names()) {
+    for (std::string line : base.logs.lines(name)) {
+      const double roll = rng.uniform(0, 1);
+      if (roll < 0.10 && !line.empty()) {
+        // Truncate at a random point.
+        line.resize(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1)));
+      } else if (roll < 0.20 && !line.empty()) {
+        // Flip a random byte to a random printable char.
+        line[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(line.size()) - 1))] =
+            static_cast<char>(rng.uniform_int(32, 126));
+      } else if (roll < 0.25) {
+        // Interleave garbage.
+        corrupted.append(name, "!!! interleaved write from another thread");
+      }
+      corrupted.append(name, std::move(line));
+    }
+  }
+  const auto analysis = checker::SdChecker().analyze(corrupted);
+  // Every surviving event carries structurally valid ids.
+  for (const auto& [app, timeline] : analysis.timelines) {
+    EXPECT_GT(app.id, 0);
+    for (const auto& [cid, _] : timeline.containers) {
+      EXPECT_EQ(cid.app.cluster_ts, app.cluster_ts);
+    }
+  }
+  // Decomposition never throws; aggregates render.
+  (void)analysis.aggregate.render_text();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserCorruption,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+// --- determinism ---------------------------------------------------------------
+
+TEST(Determinism, IdenticalSeedsGiveByteIdenticalLogs) {
+  const auto run = [] {
+    harness::ScenarioConfig scenario;
+    scenario.seed = 77;
+    for (int i = 0; i < 3; ++i) {
+      harness::SparkSubmissionPlan plan;
+      plan.at = seconds(1 + 4 * i);
+      plan.app = workloads::make_tpch_query(1 + i, 2048, 4);
+      scenario.spark_jobs.push_back(std::move(plan));
+    }
+    return harness::run_scenario(scenario);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.logs.stream_names(), b.logs.stream_names());
+  for (const auto& name : a.logs.stream_names()) {
+    ASSERT_EQ(a.logs.lines(name), b.logs.lines(name)) << name;
+  }
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(Determinism, DifferentSeedsGiveDifferentDelays) {
+  const auto total_for_seed = [](std::uint64_t seed) {
+    harness::ScenarioConfig scenario;
+    scenario.seed = seed;
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1);
+    plan.app = workloads::make_tpch_query(1, 2048, 4);
+    scenario.spark_jobs.push_back(std::move(plan));
+    const auto result = harness::run_scenario(scenario);
+    const auto analysis = checker::SdChecker().analyze(result.logs);
+    return *analysis.delays.begin()->second.total;
+  };
+  EXPECT_NE(total_for_seed(1), total_for_seed(2));
+}
+
+}  // namespace
+}  // namespace sdc

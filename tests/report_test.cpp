@@ -1,0 +1,105 @@
+// Tests for the aggregate report: folding rules, rendering, CSV.
+#include <gtest/gtest.h>
+
+#include "sdchecker/report.hpp"
+
+namespace sdc::checker {
+namespace {
+
+Delays make_delays(std::int64_t total_ms) {
+  Delays delays;
+  delays.app = ApplicationId{1, 1};
+  delays.total = total_ms;
+  delays.am = total_ms / 3;
+  delays.driver = total_ms / 4;
+  delays.executor = total_ms / 2;
+  delays.in_app = *delays.driver + *delays.executor;
+  delays.out_app = *delays.total - *delays.in_app;
+  delays.alloc = 1500;
+  ContainerDelays am;
+  am.id = ContainerId{{1, 1}, 1, 1};
+  am.is_am = true;
+  am.acquisition = 10;
+  am.localization = 600;
+  am.launching = 700;
+  ContainerDelays worker;
+  worker.id = ContainerId{{1, 1}, 1, 2};
+  worker.acquisition = 120;
+  worker.localization = 650;
+  worker.queuing = 80;
+  worker.launching = 720;
+  delays.containers.push_back(am);
+  delays.containers.push_back(worker);
+  return delays;
+}
+
+TEST(AggregateReport, FoldsPerAppAndPerContainerMetrics) {
+  AggregateReport report;
+  report.add(make_delays(10'000));
+  report.add(make_delays(20'000));
+  EXPECT_EQ(report.app_count(), 2u);
+  EXPECT_EQ(report.total.size(), 2u);
+  EXPECT_NEAR(report.total.mean(), 15.0, 1e-9);
+  // Worker containers only in the per-container sets: 1 worker per app.
+  EXPECT_EQ(report.acquisition.size(), 2u);
+  EXPECT_NEAR(report.acquisition.mean(), 0.120, 1e-9);
+  EXPECT_EQ(report.queuing.size(), 2u);
+}
+
+TEST(AggregateReport, AmContainerExcludedFromPerContainerStats) {
+  AggregateReport report;
+  report.add(make_delays(10'000));
+  // AM acquisition was 10 ms, worker 120 ms; only the worker counts.
+  EXPECT_DOUBLE_EQ(report.acquisition.min(), 0.120);
+}
+
+TEST(AggregateReport, MissingFieldsSkipped) {
+  AggregateReport report;
+  Delays sparse;
+  sparse.total = 5000;  // everything else missing
+  report.add(sparse);
+  EXPECT_EQ(report.total.size(), 1u);
+  EXPECT_EQ(report.driver.size(), 0u);
+  EXPECT_EQ(report.alloc.size(), 0u);
+}
+
+TEST(AggregateReport, TextRenderingHandlesEmptyMetrics) {
+  AggregateReport report;
+  Delays sparse;
+  sparse.total = 5000;
+  report.add(sparse);
+  const std::string text = report.render_text();
+  EXPECT_NE(text.find("total"), std::string::npos);
+  EXPECT_NE(text.find("5.000s"), std::string::npos);
+  EXPECT_NE(text.find("-"), std::string::npos);  // empty metrics dashed
+}
+
+TEST(AggregateReport, CsvIsParseable) {
+  AggregateReport report;
+  report.add(make_delays(12'345));
+  const std::string csv = report.render_csv();
+  EXPECT_EQ(csv.find("metric,n,median_s,p95_s,mean_s,stddev_s\n"), 0u);
+  EXPECT_NE(csv.find("total,1,12.3450"), std::string::npos);
+  // One line per metric plus header.
+  std::size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1u + report.metrics().size());
+}
+
+TEST(AggregateReport, MetricsListStable) {
+  AggregateReport report;
+  const auto metrics = report.metrics();
+  ASSERT_EQ(metrics.size(), 15u);
+  EXPECT_EQ(metrics.front().first, "total");
+  EXPECT_EQ(metrics.back().first, "exec-idle");
+}
+
+TEST(FmtHelpers, Rendering) {
+  EXPECT_EQ(fmt::secs(17.2), "17.20s");
+  EXPECT_EQ(fmt::pct(0.413), "41.3%");
+}
+
+}  // namespace
+}  // namespace sdc::checker

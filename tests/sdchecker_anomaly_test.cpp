@@ -1,0 +1,130 @@
+// Tests for the anomaly detector: the SPARK-21562 never-used-container
+// signature, broken chains, and clock-skew findings.
+#include <gtest/gtest.h>
+
+#include "logging/log_bundle.hpp"
+#include "logging/timestamp.hpp"
+#include "sdchecker/sdchecker.hpp"
+
+namespace sdc::checker {
+namespace {
+
+constexpr std::int64_t kEpoch = 1'499'100'000'000;
+
+std::string line(std::int64_t offset_ms, const std::string& cls,
+                 const std::string& message) {
+  return logging::format_epoch_ms(kEpoch + offset_ms) + " INFO  " + cls + ": " +
+         message;
+}
+
+const std::string kRmContainer =
+    "org.apache.hadoop.yarn.server.resourcemanager.rmcontainer.RMContainerImpl";
+const std::string kRmApp =
+    "org.apache.hadoop.yarn.server.resourcemanager.rmapp.RMAppImpl";
+const std::string kNmContainer =
+    "org.apache.hadoop.yarn.server.nodemanager.containermanager.container."
+    "ContainerImpl";
+
+void rmc(logging::LogBundle& bundle, std::int64_t t, const std::string& cid,
+         const std::string& from, const std::string& to) {
+  bundle.append("rm.log", line(t, kRmContainer,
+                               cid + " Container Transitioned from " + from +
+                                   " to " + to));
+}
+
+void nmc(logging::LogBundle& bundle, std::int64_t t, const std::string& cid,
+         const std::string& from, const std::string& to) {
+  bundle.append("nm-node01.cluster.log",
+                line(t, kNmContainer, "Container " + cid +
+                                          " transitioned from " + from +
+                                          " to " + to));
+}
+
+TEST(Anomaly, NeverUsedContainerDetected) {
+  logging::LogBundle bundle;
+  const std::string used = "container_1499100000000_0001_01_000002";
+  const std::string unused = "container_1499100000000_0001_01_000003";
+  rmc(bundle, 100, used, "NEW", "ALLOCATED");
+  rmc(bundle, 200, used, "ALLOCATED", "ACQUIRED");
+  nmc(bundle, 300, used, "NEW", "LOCALIZING");
+  nmc(bundle, 800, used, "LOCALIZING", "SCHEDULED");
+  nmc(bundle, 900, used, "SCHEDULED", "RUNNING");
+  // The over-requested container: RM states only.
+  rmc(bundle, 110, unused, "NEW", "ALLOCATED");
+  rmc(bundle, 210, unused, "ALLOCATED", "ACQUIRED");
+  rmc(bundle, 30'000, unused, "ACQUIRED", "RELEASED");
+
+  const AnalysisResult result = SdChecker().analyze(bundle);
+  const auto findings = result.anomalies_of(AnomalyType::kNeverUsedContainer);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0]->entity, unused);
+  EXPECT_NE(findings[0]->detail.find("over-requested"), std::string::npos);
+}
+
+TEST(Anomaly, AmContainerNeverFlaggedAsUnused) {
+  logging::LogBundle bundle;
+  const std::string am = "container_1499100000000_0001_01_000001";
+  rmc(bundle, 100, am, "NEW", "ALLOCATED");
+  rmc(bundle, 120, am, "ALLOCATED", "ACQUIRED");
+  const AnalysisResult result = SdChecker().analyze(bundle);
+  EXPECT_TRUE(result.anomalies_of(AnomalyType::kNeverUsedContainer).empty());
+}
+
+TEST(Anomaly, ContainerWithNmActivityNotFlagged) {
+  // A container the app killed during localization has NM events — it was
+  // *used*, just short-lived; must not trip the bug detector.
+  logging::LogBundle bundle;
+  const std::string cid = "container_1499100000000_0001_01_000002";
+  rmc(bundle, 100, cid, "NEW", "ALLOCATED");
+  rmc(bundle, 200, cid, "ALLOCATED", "ACQUIRED");
+  nmc(bundle, 300, cid, "NEW", "LOCALIZING");
+  const AnalysisResult result = SdChecker().analyze(bundle);
+  EXPECT_TRUE(result.anomalies_of(AnomalyType::kNeverUsedContainer).empty());
+}
+
+TEST(Anomaly, BrokenChainsReported) {
+  logging::LogBundle bundle;
+  const std::string cid = "container_1499100000000_0001_01_000002";
+  // SCHEDULED without LOCALIZING; ACQUIRED without ALLOCATED.
+  rmc(bundle, 200, cid, "ALLOCATED", "ACQUIRED");
+  nmc(bundle, 700, cid, "LOCALIZING", "SCHEDULED");
+  nmc(bundle, 800, cid, "SCHEDULED", "RUNNING");
+  const AnalysisResult result = SdChecker().analyze(bundle);
+  const auto findings = result.anomalies_of(AnomalyType::kMissingEvent);
+  ASSERT_EQ(findings.size(), 2u);
+}
+
+TEST(Anomaly, AppChainBreakReported) {
+  logging::LogBundle bundle;
+  bundle.append("rm.log",
+                line(100, kRmApp,
+                     "application_1499100000000_0001 State change from "
+                     "ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"));
+  const AnalysisResult result = SdChecker().analyze(bundle);
+  const auto findings = result.anomalies_of(AnomalyType::kMissingEvent);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0]->entity, "app");
+}
+
+TEST(Anomaly, NegativeIntervalFlagsClockSkew) {
+  logging::LogBundle bundle;
+  const std::string cid = "container_1499100000000_0001_01_000002";
+  rmc(bundle, 500, cid, "NEW", "ALLOCATED");
+  rmc(bundle, 400, cid, "ALLOCATED", "ACQUIRED");  // skewed RM clock
+  const AnalysisResult result = SdChecker().analyze(bundle);
+  const auto findings = result.anomalies_of(AnomalyType::kNegativeInterval);
+  ASSERT_GE(findings.size(), 1u);
+  EXPECT_NE(findings[0]->detail.find("acquisition"), std::string::npos);
+  EXPECT_NE(findings[0]->detail.find("skew"), std::string::npos);
+}
+
+TEST(Anomaly, TypeNames) {
+  EXPECT_EQ(anomaly_type_name(AnomalyType::kNeverUsedContainer),
+            "never-used-container");
+  EXPECT_EQ(anomaly_type_name(AnomalyType::kMissingEvent), "missing-event");
+  EXPECT_EQ(anomaly_type_name(AnomalyType::kNegativeInterval),
+            "negative-interval");
+}
+
+}  // namespace
+}  // namespace sdc::checker

@@ -1,0 +1,207 @@
+// Shape-regression tests: miniature versions of each paper experiment
+// asserting the *direction* of every headline finding, so calibration
+// changes cannot silently flip a conclusion.  (The full-size experiments
+// live in bench/; these use small job counts to stay fast.)
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc {
+namespace {
+
+/// Runs `jobs` SQL queries with a tweak applied to each config.
+template <typename Tweak>
+checker::AggregateReport run_sql(std::uint64_t seed, int jobs, Tweak tweak,
+                                 yarn::SchedulerKind scheduler =
+                                     yarn::SchedulerKind::kCapacity) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = seed;
+  scenario.yarn.scheduler = scheduler;
+  scenario.extra_horizon = seconds(8 * 3600);
+  for (int i = 0; i < jobs; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1 + 8 * i);
+    plan.app = workloads::make_tpch_query(1 + i % 22, 2048, 4);
+    tweak(plan.app, i);
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  const auto result = harness::run_scenario(scenario);
+  const auto analysis = checker::SdChecker().analyze(result.logs);
+  return analysis.aggregate;
+}
+
+// --- Fig. 4 headline: Spark causes most of the delay -------------------------
+
+TEST(Shape, InApplicationDominatesTotal) {
+  const auto report = run_sql(201, 10, [](auto&, int) {});
+  EXPECT_GT(report.in_app.median(), report.out_app.median() * 1.5);
+}
+
+// --- Fig. 5: larger inputs -> larger absolute delay ---------------------------
+
+TEST(Shape, LargerInputLargerDelay) {
+  const auto small = run_sql(202, 8, [](spark::SparkAppConfig& app, int) {
+    app = workloads::make_tpch_query(1, 20, 4);
+  });
+  const auto big = run_sql(202, 8, [](spark::SparkAppConfig& app, int) {
+    app = workloads::make_tpch_query(1, 60 * 1024, 4);
+  });
+  EXPECT_GT(big.total.median(), small.total.median() * 1.2);
+}
+
+// --- Fig. 6: more executors -> bigger Cl-Cf spread ----------------------------
+
+TEST(Shape, MoreExecutorsWiderClCf) {
+  const auto few = run_sql(203, 8, [](spark::SparkAppConfig& app, int) {
+    app.num_executors = 4;
+  });
+  const auto many = run_sql(203, 8, [](spark::SparkAppConfig& app, int) {
+    app.num_executors = 16;
+  });
+  EXPECT_GT(many.cl_minus_cf.median(), few.cl_minus_cf.median());
+}
+
+// --- Fig. 7-a: distributed allocation is much faster --------------------------
+
+TEST(Shape, DistributedAllocationOrdersOfMagnitudeFaster) {
+  const auto centralized = run_sql(204, 8, [](auto&, int) {});
+  const auto distributed = run_sql(204, 8, [](auto&, int) {},
+                                   yarn::SchedulerKind::kOpportunistic);
+  EXPECT_GT(centralized.alloc.median(), distributed.alloc.median() * 20);
+}
+
+// --- Fig. 8: bigger localized files -> longer localization --------------------
+
+TEST(Shape, LocalizationScalesWithPackage) {
+  const auto small = run_sql(205, 6, [](spark::SparkAppConfig& app, int) {
+    app.extra_localized_mb = 0;
+  });
+  const auto big = run_sql(205, 6, [](spark::SparkAppConfig& app, int) {
+    app.extra_localized_mb = 7680;
+  });
+  EXPECT_GT(big.localization.median(), small.localization.median() * 10);
+}
+
+// --- Fig. 9-b: Docker adds launch overhead ------------------------------------
+
+TEST(Shape, DockerSlowerLaunch) {
+  const auto plain = run_sql(206, 10, [](spark::SparkAppConfig& app, int) {
+    app.docker = false;
+  });
+  const auto docker = run_sql(206, 10, [](spark::SparkAppConfig& app, int) {
+    app.docker = true;
+  });
+  EXPECT_GT(docker.launching.median(), plain.launching.median() + 0.15);
+}
+
+// --- Fig. 11: SQL executor delay > wordcount; parallel init helps ---------------
+
+TEST(Shape, SqlExecutorDelayExceedsWordcount) {
+  const auto sql = run_sql(207, 10, [](auto&, int) {});
+  const auto wordcount = run_sql(207, 10, [](spark::SparkAppConfig& app, int i) {
+    app = workloads::make_spark_wordcount(2048, 4);
+    app.name += std::to_string(i);
+  });
+  EXPECT_GT(sql.executor.median(), wordcount.executor.median() * 1.3);
+  // Driver delays nearly identical (same SparkContext code).
+  EXPECT_NEAR(sql.driver.median(), wordcount.driver.median(),
+              sql.driver.median() * 0.3);
+}
+
+TEST(Shape, ParallelInitShortensExecutorDelay) {
+  const auto serial = run_sql(208, 10, [](spark::SparkAppConfig& app, int) {
+    app.parallel_init = false;
+  });
+  const auto parallel = run_sql(208, 10, [](spark::SparkAppConfig& app, int) {
+    app.parallel_init = true;
+  });
+  EXPECT_LT(parallel.executor.median(), serial.executor.median() - 1.0);
+}
+
+// --- Figs. 12/13 fingerprints ---------------------------------------------------
+
+TEST(Shape, IoInterferenceHitsLocalizationHardest) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 209;
+  scenario.extra_horizon = seconds(8 * 3600);
+  harness::MrSubmissionPlan dfsio;
+  dfsio.at = 0;
+  dfsio.app = workloads::make_dfsio(80, seconds(240));
+  scenario.mr_jobs.push_back(std::move(dfsio));
+  for (int i = 0; i < 6; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(30 + 10 * i);
+    plan.app = workloads::make_tpch_query(1 + i, 2048, 4);
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  const auto sim = harness::run_scenario(scenario);
+  const auto loaded = checker::SdChecker().analyze(sim.logs);
+  // Victims only — the dfsIO app's own (early, small-package) map
+  // localizations must not dilute the measurement.
+  SampleSet localization;
+  SampleSet driver;
+  for (const auto& job : sim.jobs) {
+    if (job.kind != spark::AppKind::kSparkSql) continue;
+    const auto it = loaded.delays.find(job.app);
+    if (it == loaded.delays.end()) continue;
+    if (it->second.driver) {
+      driver.add(static_cast<double>(*it->second.driver) / 1000.0);
+    }
+    for (const std::int64_t loc : it->second.worker_localizations()) {
+      localization.add(static_cast<double>(loc) / 1000.0);
+    }
+  }
+  const auto idle = run_sql(209, 6, [](auto&, int) {});
+  const double loc_slowdown =
+      localization.median() / idle.localization.median();
+  const double driver_slowdown = driver.median() / idle.driver.median();
+  EXPECT_GT(loc_slowdown, 4.0);               // transfers hammered
+  EXPECT_GT(loc_slowdown, driver_slowdown);   // ... harder than CPU paths
+}
+
+TEST(Shape, CpuInterferenceHitsInAppHardest) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 210;
+  scenario.extra_horizon = seconds(8 * 3600);
+  for (int i = 0; i < 16; ++i) {
+    harness::SparkSubmissionPlan kmeans;
+    kmeans.at = millis(200) * i;
+    kmeans.app = workloads::make_kmeans(seconds(240));
+    scenario.spark_jobs.push_back(std::move(kmeans));
+  }
+  for (int i = 0; i < 6; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(30 + 10 * i);
+    plan.app = workloads::make_tpch_query(1 + i, 2048, 4);
+    plan.app.name = "victim-" + plan.app.name;
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  const auto sim = harness::run_scenario(scenario);
+  const auto loaded = checker::SdChecker().analyze(sim.logs);
+  // Victims only (exclude the Kmeans apps themselves).
+  SampleSet driver;
+  SampleSet localization;
+  for (const auto& job : sim.jobs) {
+    if (job.name.rfind("victim-", 0) != 0) continue;
+    const auto it = loaded.delays.find(job.app);
+    if (it == loaded.delays.end()) continue;
+    if (it->second.driver) {
+      driver.add(static_cast<double>(*it->second.driver) / 1000.0);
+    }
+    for (const std::int64_t loc : it->second.worker_localizations()) {
+      localization.add(static_cast<double>(loc) / 1000.0);
+    }
+  }
+  const auto idle = run_sql(210, 6, [](auto&, int) {});
+  const double driver_slowdown = driver.median() / idle.driver.median();
+  const double loc_slowdown =
+      localization.median() / idle.localization.median();
+  EXPECT_GT(driver_slowdown, 1.6);           // JVM paths hammered
+  EXPECT_GT(driver_slowdown, loc_slowdown);  // ... harder than transfers
+}
+
+}  // namespace
+}  // namespace sdc

@@ -1,0 +1,83 @@
+// Tests for the submission-trace generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/submission_trace.hpp"
+
+namespace sdc::trace {
+namespace {
+
+TEST(Trace, CountAndOrdering) {
+  TraceConfig config;
+  config.count = 100;
+  const auto submissions = generate_trace(config);
+  ASSERT_EQ(submissions.size(), 100u);
+  for (std::size_t i = 1; i < submissions.size(); ++i) {
+    EXPECT_GE(submissions[i].at, submissions[i - 1].at);
+  }
+  EXPECT_EQ(submissions.front().at, config.start);
+  EXPECT_EQ(submissions.front().workload_index, 0);
+  EXPECT_EQ(submissions.back().workload_index, 99);
+}
+
+TEST(Trace, DeterministicForSeed) {
+  TraceConfig config;
+  config.count = 50;
+  config.seed = 77;
+  const auto a = generate_trace(config);
+  const auto b = generate_trace(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].at, b[i].at);
+}
+
+TEST(Trace, DifferentSeedsDiffer) {
+  TraceConfig a_config;
+  a_config.count = 50;
+  a_config.seed = 1;
+  TraceConfig b_config = a_config;
+  b_config.seed = 2;
+  const auto a = generate_trace(a_config);
+  const auto b = generate_trace(b_config);
+  int same = 0;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    if (a[i].at == b[i].at) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Trace, MeanInterarrivalRoughlyHonored) {
+  TraceConfig config;
+  config.count = 4000;
+  config.mean_interarrival = seconds(4);
+  const auto submissions = generate_trace(config);
+  const double span_s =
+      to_seconds(submissions.back().at - submissions.front().at);
+  const double mean_gap = span_s / static_cast<double>(config.count - 1);
+  EXPECT_NEAR(mean_gap, 4.0, 1.0);
+}
+
+TEST(Trace, BurstinessCreatesHeavyGaps) {
+  TraceConfig config;
+  config.count = 2000;
+  config.mean_interarrival = seconds(4);
+  config.burstiness_sigma = 1.1;
+  const auto submissions = generate_trace(config);
+  double max_gap = 0;
+  std::size_t sub_second_gaps = 0;
+  for (std::size_t i = 1; i < submissions.size(); ++i) {
+    const double gap = to_seconds(submissions[i].at - submissions[i - 1].at);
+    max_gap = std::max(max_gap, gap);
+    if (gap < 1.0) ++sub_second_gaps;
+  }
+  EXPECT_GT(max_gap, 20.0);          // heavy tail
+  EXPECT_GT(sub_second_gaps, 200u);  // bursts
+}
+
+TEST(Trace, CanonicalTraceSizes) {
+  EXPECT_EQ(long_trace().size(), 2000u);
+  EXPECT_EQ(short_trace().size(), 200u);
+}
+
+}  // namespace
+}  // namespace sdc::trace

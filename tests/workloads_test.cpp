@@ -1,0 +1,174 @@
+// Tests for the workload builders and the MapReduce application model.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/mr_app.hpp"
+#include "workloads/tpch.hpp"
+
+namespace sdc::workloads {
+namespace {
+
+// --- TPC-H builders ---------------------------------------------------------
+
+TEST(Tpch, QueryComplexityBounds) {
+  for (int q = 1; q <= kTpchQueryCount; ++q) {
+    const double c = tpch_query_complexity(q);
+    EXPECT_GT(c, 0.3) << "q" << q;
+    EXPECT_LT(c, 2.0) << "q" << q;
+  }
+  EXPECT_THROW((void)tpch_query_complexity(0), std::out_of_range);
+  EXPECT_THROW((void)tpch_query_complexity(23), std::out_of_range);
+}
+
+TEST(Tpch, ConfigShape) {
+  const auto config = make_tpch_query(7, 2048, 4);
+  EXPECT_EQ(config.name, "tpch-q7");
+  EXPECT_EQ(config.kind, spark::AppKind::kSparkSql);
+  EXPECT_EQ(config.files_opened, kTpchTableCount);
+  EXPECT_EQ(config.num_executors, 4);
+  EXPECT_DOUBLE_EQ(config.input_mb, 2048);
+  EXPECT_GT(config.execution_median, 0);
+  EXPECT_GT(config.scan_io_units, 0);
+}
+
+TEST(Tpch, ExecutionScalesWithInput) {
+  const auto small = make_tpch_query(1, 20, 4);
+  const auto medium = make_tpch_query(1, 2048, 4);
+  const auto large = make_tpch_query(1, 200 * 1024, 4);
+  EXPECT_LT(small.execution_median, medium.execution_median);
+  EXPECT_LT(medium.execution_median, large.execution_median);
+  // Fig. 5 self-interference: 200 GB input exerts serious I/O pressure.
+  EXPECT_GT(large.scan_io_units, 50.0);
+  EXPECT_LT(small.scan_io_units, 0.01);
+}
+
+TEST(Tpch, MoreExecutorsShortenScan) {
+  const auto narrow = make_tpch_query(1, 8192, 2);
+  const auto wide = make_tpch_query(1, 8192, 16);
+  EXPECT_GT(narrow.scan_duration, wide.scan_duration);
+}
+
+TEST(Tpch, WordcountShape) {
+  const auto config = make_spark_wordcount(1024, 4);
+  EXPECT_EQ(config.files_opened, 1);
+  EXPECT_EQ(config.kind, spark::AppKind::kWordCount);
+}
+
+// --- interference generators --------------------------------------------------
+
+TEST(Generators, DfsioShape) {
+  const auto config = make_dfsio(100, seconds(300));
+  EXPECT_EQ(config.num_maps, 100);
+  EXPECT_EQ(config.num_reduces, 0);
+  EXPECT_DOUBLE_EQ(config.io_units_per_map, 1.0);
+  EXPECT_EQ(config.map_duration_median, seconds(300));
+}
+
+TEST(Generators, KmeansShape) {
+  const auto config = make_kmeans(seconds(120));
+  EXPECT_EQ(config.kind, spark::AppKind::kKmeans);
+  EXPECT_DOUBLE_EQ(config.cpu_units_while_running, 1.0);
+  EXPECT_EQ(config.num_executors, 4);
+  EXPECT_DOUBLE_EQ(config.scan_io_units, 0.0);
+}
+
+TEST(Generators, WordcountLoadSizing) {
+  const auto pct40 = make_mr_wordcount_for_load(0.4, 800);
+  EXPECT_EQ(pct40.num_maps, 320);
+  const auto pct100 = make_mr_wordcount_for_load(1.0, 800);
+  EXPECT_EQ(pct100.num_maps, 800);
+  const auto clamped = make_mr_wordcount_for_load(1.7, 800);
+  EXPECT_EQ(clamped.num_maps, 800);
+  const auto floor = make_mr_wordcount_for_load(0.0, 800);
+  EXPECT_EQ(floor.num_maps, 1);
+}
+
+// --- MrApp lifecycle -------------------------------------------------------------
+
+TEST(MrApp, RunsToCompletionAndLogsTasks) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 21;
+  harness::MrSubmissionPlan plan;
+  plan.at = seconds(1);
+  plan.app.name = "mr-test";
+  plan.app.num_maps = 6;
+  plan.app.num_reduces = 2;
+  plan.app.map_duration_median = seconds(3);
+  plan.app.reduce_duration_median = seconds(2);
+  scenario.mr_jobs.push_back(std::move(plan));
+  const auto result = harness::run_scenario(scenario);
+
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_EQ(result.jobs[0].kind, spark::AppKind::kMapReduce);
+  EXPECT_EQ(result.jobs[0].executors_launched, 8);
+  EXPECT_FALSE(result.hit_time_cap);
+  // 1 AM + 8 tasks allocated.
+  EXPECT_EQ(result.containers_allocated, 9);
+  // Each task logs a YarnChild stream.
+  std::size_t task_streams = 0;
+  for (const auto& name : result.logs.stream_names()) {
+    if (name.rfind("mrtask-", 0) == 0) ++task_streams;
+  }
+  EXPECT_EQ(task_streams, 8u);
+}
+
+TEST(MrApp, DfsioRaisesAndReleasesIoUnits) {
+  // The dfsIO app must exert I/O pressure only while its maps run; after
+  // the scenario everything returns to idle.  We validate indirectly via
+  // a second app's localization time being longer when overlapped.
+  harness::ScenarioConfig interfered;
+  interfered.seed = 5;
+  {
+    harness::MrSubmissionPlan dfsio;
+    dfsio.at = 0;
+    dfsio.app = make_dfsio(60, seconds(120));
+    interfered.mr_jobs.push_back(std::move(dfsio));
+    harness::SparkSubmissionPlan victim;
+    victim.at = seconds(30);
+    victim.app = workloads::make_tpch_query(1, 1024, 4);
+    interfered.spark_jobs.push_back(std::move(victim));
+  }
+  harness::ScenarioConfig baseline;
+  baseline.seed = 5;
+  {
+    harness::SparkSubmissionPlan victim;
+    victim.at = seconds(30);
+    victim.app = workloads::make_tpch_query(1, 1024, 4);
+    baseline.spark_jobs.push_back(std::move(victim));
+  }
+  const auto with_io = harness::run_scenario(interfered);
+  const auto without_io = harness::run_scenario(baseline);
+  ASSERT_EQ(with_io.jobs.size(), 2u);
+  ASSERT_EQ(without_io.jobs.size(), 1u);
+  // Find the victim job in each run (the spark-sql one).
+  const auto find_sql = [](const harness::ScenarioResult& r) {
+    for (const auto& job : r.jobs) {
+      if (job.kind == spark::AppKind::kSparkSql) return job;
+    }
+    throw std::runtime_error("victim not found");
+  };
+  const auto victim_io = find_sql(with_io);
+  const auto victim_idle = find_sql(without_io);
+  const auto delay = [](const spark::JobRecord& j) {
+    return j.first_task_at - j.submitted_at;
+  };
+  EXPECT_GT(delay(victim_io), delay(victim_idle));
+}
+
+TEST(MrApp, ZeroTaskJobStillCompletes) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = 9;
+  harness::MrSubmissionPlan plan;
+  plan.at = seconds(1);
+  plan.app.num_maps = 0;
+  plan.app.num_reduces = 0;
+  scenario.mr_jobs.push_back(std::move(plan));
+  const auto result = harness::run_scenario(scenario);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_EQ(result.jobs[0].executors_launched, 0);
+  EXPECT_FALSE(result.hit_time_cap);
+}
+
+}  // namespace
+}  // namespace sdc::workloads

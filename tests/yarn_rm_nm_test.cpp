@@ -1,0 +1,341 @@
+// Behavioural tests of ResourceManager + NodeManager through small
+// simulations with a hand-written AppMaster (no Spark layer): protocol
+// ordering, log emission, resource accounting, heartbeat-bounded
+// acquisition, opportunistic queuing, and the never-used-container path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "logging/log_bundle.hpp"
+#include "logging/timestamp.hpp"
+#include "simcore/engine.hpp"
+#include "yarn/node_manager.hpp"
+#include "yarn/resource_manager.hpp"
+
+namespace sdc::yarn {
+namespace {
+
+/// Minimal test AM: registers immediately when its process starts,
+/// requests `want` executors, starts every acquired container (up to
+/// `launch_cap`), finishes containers after `task_duration`, and
+/// unregisters when all launched containers completed.
+class TestAm final : public AmProtocol {
+ public:
+  struct Config {
+    std::int32_t want = 2;
+    std::int32_t launch_cap = 1'000'000;  // launch everything by default
+    cluster::Resource resource{8, 4096};
+    SimDuration task_duration = seconds(2);
+    bool opportunistic_expected = false;
+  };
+
+  TestAm(cluster::Cluster& cluster, ResourceManager& rm, Config config,
+         ApplicationId app, ContainerId am_container, NodeId node)
+      : cluster_(cluster),
+        rm_(rm),
+        config_(config),
+        app_(app),
+        am_container_(am_container),
+        node_(node) {
+    rm_.register_attempt(app_, this);
+    rm_.request_containers(
+        app_, ContainerAsk{config_.resource, config_.want,
+                           InstanceType::kSparkExecutor});
+  }
+
+  void on_containers_acquired(
+      const std::vector<Allocation>& acquired) override {
+    for (const Allocation& allocation : acquired) {
+      acquired_.push_back(allocation);
+      if (launched_ >= config_.launch_cap) continue;
+      ++launched_;
+      LaunchSpec spec;
+      spec.id = allocation.id;
+      spec.resource = allocation.resource;
+      spec.type = allocation.type;
+      spec.opportunistic = allocation.opportunistic;
+      spec.on_process_started = [this, allocation](SimTime) {
+        ++started_;
+        cluster_.engine().schedule_after(config_.task_duration,
+                                         [this, allocation] {
+                                           rm_.node_manager(allocation.node)
+                                               .finish_container(allocation.id);
+                                           ++completed_;
+                                           maybe_finish();
+                                         });
+      };
+      NodeManager& nm = rm_.node_manager(allocation.node);
+      cluster_.engine().schedule_after(
+          millis(1), [&nm, spec = std::move(spec)] { nm.start_container(spec); });
+    }
+    maybe_finish();
+  }
+
+  void maybe_finish() {
+    const std::int32_t expected =
+        std::min(config_.want, config_.launch_cap);
+    if (finished_ || completed_ < expected) return;
+    finished_ = true;
+    rm_.unregister_attempt(app_);
+    const ContainerId am = am_container_;
+    const NodeId node = node_;
+    auto& rm = rm_;
+    cluster_.engine().schedule_after(millis(10), [&rm, am, node] {
+      rm.node_manager(node).finish_container(am);
+    });
+  }
+
+  std::vector<Allocation> acquired_;
+  std::int32_t launched_ = 0;
+  std::int32_t started_ = 0;
+  std::int32_t completed_ = 0;
+  bool finished_ = false;
+
+ private:
+  cluster::Cluster& cluster_;
+  ResourceManager& rm_;
+  Config config_;
+  ApplicationId app_;
+  ContainerId am_container_;
+  NodeId node_;
+};
+
+/// Fixture wiring a small cluster + RM + NMs and a TestAm factory.
+class YarnSimTest : public ::testing::Test {
+ protected:
+  void build(YarnConfig yarn_config, std::int32_t nodes = 4) {
+    cluster_config_.worker_nodes = nodes;
+    cluster_ = std::make_unique<cluster::Cluster>(engine_, cluster_config_);
+    rm_ = std::make_unique<ResourceManager>(*cluster_, logs_, yarn_config, 99);
+    for (std::size_t i = 0; i < cluster_->node_count(); ++i) {
+      nms_.push_back(std::make_unique<NodeManager>(
+          *cluster_, cluster_->node(i), logs_, rm_->config(),
+          rm_->launch_model(), Rng(1000 + i)));
+    }
+    std::vector<NodeManager*> ptrs;
+    for (auto& nm : nms_) ptrs.push_back(nm.get());
+    rm_->attach_node_managers(ptrs);
+    rm_->start();
+  }
+
+  ApplicationId submit_test_app(TestAm::Config am_config) {
+    AppSubmission submission;
+    submission.name = "test-app";
+    submission.on_am_started = [this, am_config](ApplicationId app,
+                                                 ContainerId am_container,
+                                                 NodeId node, SimTime) {
+      ams_.push_back(std::make_unique<TestAm>(*cluster_, *rm_, am_config, app,
+                                              am_container, node));
+    };
+    return rm_->submit(std::move(submission));
+  }
+
+  /// Runs until all submitted test apps finished (or `cap`).
+  void run_to_completion(SimTime cap = seconds(300)) {
+    SimTime t = 0;
+    const auto all_done = [this] {
+      if (ams_.empty()) return false;
+      for (const auto& am : ams_) {
+        if (!am->finished_) return false;
+      }
+      return true;
+    };
+    while (!all_done() && t < cap) {
+      t += seconds(5);
+      engine_.run(t);
+    }
+    engine_.run(engine_.now() + seconds(2));
+  }
+
+  /// Counts lines containing `needle` in stream `stream`.
+  std::size_t count_lines(const std::string& stream,
+                          const std::string& needle) const {
+    std::size_t n = 0;
+    for (const auto& line : logs_.lines(stream)) {
+      if (line.find(needle) != std::string::npos) ++n;
+    }
+    return n;
+  }
+
+  sim::Engine engine_;
+  cluster::ClusterConfig cluster_config_;
+  logging::LogBundle logs_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<ResourceManager> rm_;
+  std::vector<std::unique_ptr<NodeManager>> nms_;
+  std::vector<std::unique_ptr<TestAm>> ams_;
+};
+
+TEST_F(YarnSimTest, SingleAppFullLifecycle) {
+  build(YarnConfig{});
+  submit_test_app({});
+  run_to_completion();
+  ASSERT_EQ(ams_.size(), 1u);
+  EXPECT_TRUE(ams_[0]->finished_);
+  EXPECT_EQ(ams_[0]->started_, 2);
+  EXPECT_EQ(ams_[0]->completed_, 2);
+
+  // RM log has the full app state chain.
+  EXPECT_EQ(count_lines("rm.log", "State change from NEW_SAVING to SUBMITTED"),
+            1u);
+  EXPECT_EQ(count_lines("rm.log", "State change from SUBMITTED to ACCEPTED"),
+            1u);
+  EXPECT_EQ(count_lines("rm.log",
+                        "State change from ACCEPTED to RUNNING on event = "
+                        "ATTEMPT_REGISTERED"),
+            1u);
+  EXPECT_EQ(count_lines("rm.log", "State change from FINAL_SAVING to FINISHED"),
+            1u);
+  // Three containers: AM + 2 executors, each ALLOCATED and ACQUIRED.
+  EXPECT_EQ(count_lines("rm.log", "Transitioned from NEW to ALLOCATED"), 3u);
+  EXPECT_EQ(count_lines("rm.log", "Transitioned from ALLOCATED to ACQUIRED"),
+            3u);
+}
+
+TEST_F(YarnSimTest, ResourcesFullyReleasedAfterCompletion) {
+  build(YarnConfig{});
+  submit_test_app({});
+  run_to_completion();
+  for (std::size_t i = 0; i < cluster_->node_count(); ++i) {
+    EXPECT_EQ(cluster_->node(i).used(), (cluster::Resource{0, 0}))
+        << "node " << i;
+    EXPECT_EQ(cluster_->node(i).io_flows(), 0) << "node " << i;
+  }
+  for (const auto& nm : nms_) EXPECT_EQ(nm->live_containers(), 0u);
+}
+
+TEST_F(YarnSimTest, NmLogsFullContainerChain) {
+  build(YarnConfig{});
+  submit_test_app({});
+  run_to_completion();
+  std::size_t localizing = 0;
+  std::size_t scheduled = 0;
+  std::size_t running = 0;
+  std::size_t exited = 0;
+  for (const auto& name : logs_.stream_names()) {
+    if (name.rfind("nm-", 0) != 0) continue;
+    localizing += count_lines(name, "from NEW to LOCALIZING");
+    scheduled += count_lines(name, "from LOCALIZING to SCHEDULED");
+    running += count_lines(name, "from SCHEDULED to RUNNING");
+    exited += count_lines(name, "from RUNNING to EXITED_WITH_SUCCESS");
+  }
+  EXPECT_EQ(localizing, 3u);
+  EXPECT_EQ(scheduled, 3u);
+  EXPECT_EQ(running, 3u);
+  EXPECT_EQ(exited, 3u);
+}
+
+TEST_F(YarnSimTest, OverRequestLeavesReleasedContainers) {
+  // The SPARK-21562 shape: ask for 6, launch only 2; under the
+  // opportunistic scheduler the surplus stays ACQUIRED until unregister
+  // reclaims it (-> RELEASED), with no NM activity.
+  YarnConfig config;
+  config.scheduler = SchedulerKind::kOpportunistic;
+  build(config);
+  TestAm::Config am;
+  am.want = 6;
+  am.launch_cap = 2;
+  submit_test_app(am);
+  run_to_completion();
+  ASSERT_EQ(ams_.size(), 1u);
+  EXPECT_EQ(static_cast<int>(ams_[0]->acquired_.size()), 6);
+  EXPECT_EQ(ams_[0]->launched_, 2);
+  EXPECT_EQ(count_lines("rm.log", "Transitioned from ACQUIRED to RELEASED"),
+            4u);
+  for (std::size_t i = 0; i < cluster_->node_count(); ++i) {
+    EXPECT_EQ(cluster_->node(i).used(), (cluster::Resource{0, 0}));
+  }
+}
+
+TEST_F(YarnSimTest, AcquisitionBoundedByAmHeartbeat) {
+  build(YarnConfig{});
+  submit_test_app({});
+  run_to_completion();
+  // Extract ALLOCATED/ACQUIRED timestamps per executor container from the
+  // RM log and check the gap is within [0, heartbeat + slack].
+  std::map<std::string, std::int64_t> allocated;
+  std::int32_t checked = 0;
+  for (const auto& line : logs_.lines("rm.log")) {
+    const auto pos = line.find("container_");
+    if (pos == std::string::npos) continue;
+    const std::string id = line.substr(pos, line.find(' ', pos) - pos);
+    const auto ts = logging::parse_epoch_ms(line.substr(0, 23));
+    ASSERT_TRUE(ts.has_value());
+    if (line.find("from NEW to ALLOCATED") != std::string::npos) {
+      allocated[id] = *ts;
+    } else if (line.find("from ALLOCATED to ACQUIRED") != std::string::npos) {
+      ASSERT_TRUE(allocated.contains(id)) << id;
+      const std::int64_t gap = *ts - allocated[id];
+      EXPECT_GE(gap, 0);
+      EXPECT_LE(gap, 1100);  // 1 s heartbeat + RPC slack
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 3);
+}
+
+TEST_F(YarnSimTest, OpportunisticContainersQueueOnBusyNode) {
+  // One tiny node, centralized AM + opportunistic executors: the executors
+  // that land on the busy node must wait (SCHEDULED -> RUNNING gap).
+  YarnConfig config;
+  config.scheduler = SchedulerKind::kOpportunistic;
+  build(config, /*nodes=*/1);
+  // Fill most of the node so only one executor fits alongside the AM.
+  ASSERT_TRUE(cluster_->node(0).try_allocate({15, 8192}));
+  TestAm::Config am;
+  am.want = 3;
+  am.resource = {8, 4096};
+  am.task_duration = seconds(3);
+  submit_test_app(am);
+  run_to_completion(seconds(600));
+  ASSERT_EQ(ams_.size(), 1u);
+  EXPECT_TRUE(ams_[0]->finished_);
+  EXPECT_EQ(ams_[0]->completed_, 3);
+  EXPECT_GE(count_lines("nm-node01.cluster.log",
+                        "will be queued, node resources exhausted"),
+            1u);
+  cluster_->node(0).release({15, 8192});
+  EXPECT_EQ(cluster_->node(0).used(), (cluster::Resource{0, 0}));
+}
+
+TEST_F(YarnSimTest, TwoAppsShareClusterAndBothFinish) {
+  build(YarnConfig{});
+  submit_test_app({});
+  engine_.schedule_at(seconds(1), [this] {
+    TestAm::Config am;
+    am.want = 3;
+    submit_test_app(am);
+  });
+  run_to_completion();
+  ASSERT_EQ(ams_.size(), 2u);
+  EXPECT_TRUE(ams_[0]->finished_);
+  EXPECT_TRUE(ams_[1]->finished_);
+  EXPECT_EQ(rm_->containers_allocated(), 2 + 1 + 3 + 1);
+}
+
+TEST_F(YarnSimTest, UnknownNodeLookupThrows) {
+  build(YarnConfig{});
+  EXPECT_THROW((void)rm_->node_manager(NodeId{99}), std::invalid_argument);
+}
+
+TEST_F(YarnSimTest, FinishBeforeStartRpcIsDropped) {
+  // A finish racing ahead of the start RPC must not leak a lifecycle:
+  // the NM remembers the finish and drops the late start.
+  build(YarnConfig{});
+  const ContainerId id{{1, 1}, 1, 7};
+  nms_[0]->finish_container(id);  // records, no throw
+  LaunchSpec spec;
+  spec.id = id;
+  spec.resource = {8, 4096};
+  spec.opportunistic = true;  // no pre-reserved resources to release
+  nms_[0]->start_container(spec);
+  engine_.run(engine_.now() + seconds(5));
+  EXPECT_EQ(nms_[0]->live_containers(), 0u);
+  EXPECT_EQ(cluster_->node(0).used(), (cluster::Resource{0, 0}));
+}
+
+}  // namespace
+}  // namespace sdc::yarn

@@ -1,0 +1,162 @@
+// Unit tests for the two scheduler policies.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/node.hpp"
+#include "yarn/scheduler.hpp"
+
+namespace sdc::yarn {
+namespace {
+
+const ApplicationId kApp{1'499'100'000'000, 1};
+const ApplicationId kApp2{1'499'100'000'000, 2};
+
+TEST(CapacityScheduler, FifoAssignmentWithinNodeCapacity) {
+  CapacityScheduler scheduler;
+  scheduler.enqueue(PendingAsk{kApp, {8, 4096}, 3,
+                               InstanceType::kSparkExecutor, false});
+  EXPECT_EQ(scheduler.pending_containers(), 3);
+
+  cluster::Node node(NodeId{1}, {32, 131072});
+  const auto grants = scheduler.assign_on_heartbeat(node, 128, 0);
+  ASSERT_EQ(grants.size(), 3u);
+  EXPECT_EQ(scheduler.pending_containers(), 0);
+  EXPECT_EQ(node.used(), (cluster::Resource{24, 12288}));
+  for (const Grant& g : grants) {
+    EXPECT_EQ(g.app, kApp);
+    EXPECT_EQ(g.node, node.id());
+    EXPECT_FALSE(g.opportunistic);
+  }
+}
+
+TEST(CapacityScheduler, PartialAssignmentLeavesRemainder) {
+  CapacityScheduler scheduler;
+  scheduler.enqueue(PendingAsk{kApp, {8, 4096}, 10,
+                               InstanceType::kSparkExecutor, false});
+  cluster::Node small(NodeId{1}, {16, 131072});  // fits 2 executors
+  const auto grants = scheduler.assign_on_heartbeat(small, 128, 0);
+  EXPECT_EQ(grants.size(), 2u);
+  EXPECT_EQ(scheduler.pending_containers(), 8);
+}
+
+TEST(CapacityScheduler, MaxAssignBatchRespected) {
+  CapacityScheduler scheduler;
+  scheduler.enqueue(PendingAsk{kApp, {1, 128}, 100,
+                               InstanceType::kMrMapTask, false});
+  cluster::Node node(NodeId{1}, {200, 1 << 20});
+  EXPECT_EQ(scheduler.assign_on_heartbeat(node, 16, 0).size(), 16u);
+  EXPECT_EQ(scheduler.pending_containers(), 84);
+}
+
+TEST(CapacityScheduler, SkipsOversizedHeadForLaterAsks) {
+  // FIFO order, but a shape that does not fit must not block smaller asks
+  // behind it on this node.
+  CapacityScheduler scheduler;
+  scheduler.enqueue(PendingAsk{kApp, {64, 4096}, 1,
+                               InstanceType::kSparkExecutor, false});
+  scheduler.enqueue(PendingAsk{kApp2, {2, 1024}, 1,
+                               InstanceType::kMrMapTask, false});
+  cluster::Node node(NodeId{1}, {32, 131072});
+  const auto grants = scheduler.assign_on_heartbeat(node, 128, 0);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].app, kApp2);
+  EXPECT_EQ(scheduler.pending_containers(), 1);  // the big ask still queued
+}
+
+TEST(CapacityScheduler, LocalityWaitDefersEligibility) {
+  CapacityScheduler scheduler;
+  PendingAsk ask{kApp, {1, 128}, 2, InstanceType::kSparkExecutor, false};
+  ask.eligible_at = millis(500);
+  scheduler.enqueue(ask);
+  cluster::Node node(NodeId{1}, cluster::kNodeCapacity);
+  // Before the locality wait elapses: nothing, even with free capacity.
+  EXPECT_TRUE(scheduler.assign_on_heartbeat(node, 128, millis(100)).empty());
+  EXPECT_EQ(scheduler.pending_containers(), 2);
+  // At/after the deadline: granted.
+  EXPECT_EQ(scheduler.assign_on_heartbeat(node, 128, millis(500)).size(), 2u);
+}
+
+TEST(CapacityScheduler, EligibleAsksBypassWaitingOnes) {
+  CapacityScheduler scheduler;
+  PendingAsk waiting{kApp, {1, 128}, 1, InstanceType::kSparkExecutor, false};
+  waiting.eligible_at = seconds(10);
+  scheduler.enqueue(waiting);
+  scheduler.enqueue(
+      PendingAsk{kApp2, {1, 128}, 1, InstanceType::kMrMapTask, false});
+  cluster::Node node(NodeId{1}, cluster::kNodeCapacity);
+  const auto grants = scheduler.assign_on_heartbeat(node, 128, millis(1));
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].app, kApp2);
+}
+
+TEST(CapacityScheduler, NoImmediatePath) {
+  CapacityScheduler scheduler;
+  PendingAsk ask{kApp, {1, 128}, 5, InstanceType::kSparkExecutor, false};
+  std::vector<cluster::Node*> nodes;
+  EXPECT_TRUE(scheduler.assign_immediate(ask, nodes).empty());
+}
+
+TEST(OpportunisticScheduler, ImmediateGrantsIgnoreCapacity) {
+  OpportunisticScheduler scheduler{Rng(1)};
+  cluster::Node busy(NodeId{1}, {1, 128});
+  ASSERT_TRUE(busy.try_allocate({1, 128}));  // completely full
+  std::vector<cluster::Node*> nodes{&busy};
+  PendingAsk ask{kApp, {8, 4096}, 4, InstanceType::kSparkExecutor, false};
+  const auto grants = scheduler.assign_immediate(ask, nodes);
+  ASSERT_EQ(grants.size(), 4u);
+  for (const Grant& g : grants) {
+    EXPECT_TRUE(g.opportunistic);
+    EXPECT_EQ(g.node, busy.id());
+  }
+  // Node resources untouched: queuing happens NM-side.
+  EXPECT_EQ(busy.used(), (cluster::Resource{1, 128}));
+}
+
+TEST(OpportunisticScheduler, SpreadsAcrossNodesRandomly) {
+  OpportunisticScheduler scheduler{Rng(7)};
+  std::vector<cluster::Node> storage;
+  storage.reserve(10);
+  std::vector<cluster::Node*> nodes;
+  for (int i = 0; i < 10; ++i) {
+    storage.emplace_back(NodeId{i + 1}, cluster::kNodeCapacity);
+  }
+  for (auto& n : storage) nodes.push_back(&n);
+  PendingAsk ask{kApp, {1, 128}, 200, InstanceType::kSparkExecutor, false};
+  const auto grants = scheduler.assign_immediate(ask, nodes);
+  ASSERT_EQ(grants.size(), 200u);
+  std::set<std::int32_t> seen;
+  for (const Grant& g : grants) seen.insert(g.node.index);
+  EXPECT_GE(seen.size(), 8u);  // nearly every node hit with 200 picks
+}
+
+TEST(OpportunisticScheduler, AmAsksTakeGuaranteedPath) {
+  OpportunisticScheduler scheduler{Rng(3)};
+  scheduler.enqueue(
+      PendingAsk{kApp, {1, 1024}, 1, InstanceType::kSparkDriver, true});
+  EXPECT_EQ(scheduler.pending_containers(), 1);
+  cluster::Node node(NodeId{1}, cluster::kNodeCapacity);
+  const auto grants = scheduler.assign_on_heartbeat(node, 16, 0);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_TRUE(grants[0].am);
+  EXPECT_FALSE(grants[0].opportunistic);
+}
+
+TEST(OpportunisticScheduler, EmptyNodeListYieldsNothing) {
+  OpportunisticScheduler scheduler{Rng(3)};
+  std::vector<cluster::Node*> nodes;
+  PendingAsk ask{kApp, {1, 128}, 3, InstanceType::kSparkExecutor, false};
+  EXPECT_TRUE(scheduler.assign_immediate(ask, nodes).empty());
+}
+
+TEST(Schedulers, KindAndNames) {
+  CapacityScheduler capacity;
+  OpportunisticScheduler opportunistic{Rng(1)};
+  EXPECT_EQ(capacity.kind(), SchedulerKind::kCapacity);
+  EXPECT_EQ(opportunistic.kind(), SchedulerKind::kOpportunistic);
+  EXPECT_EQ(capacity.name(), "CapacityScheduler");
+  EXPECT_EQ(opportunistic.name(), "OpportunisticScheduler");
+}
+
+}  // namespace
+}  // namespace sdc::yarn

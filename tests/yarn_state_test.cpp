@@ -1,0 +1,179 @@
+// Unit tests for the YARN state machines and their log-line rendering —
+// the contract between the simulator and SDchecker's extractor.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/stats.hpp"
+#include "yarn/launch_model.hpp"
+#include "yarn/scheduler.hpp"
+#include "yarn/state_machine.hpp"
+
+namespace sdc::yarn {
+namespace {
+
+// --- legality tables ----------------------------------------------------------
+
+TEST(StateMachine, RmAppHappyPath) {
+  StateMachine<RmAppState> sm(RmAppState::kNew, "RMAppImpl");
+  sm.transition(RmAppState::kNewSaving);
+  sm.transition(RmAppState::kSubmitted);
+  sm.transition(RmAppState::kAccepted);
+  sm.transition(RmAppState::kRunning);
+  sm.transition(RmAppState::kFinalSaving);
+  sm.transition(RmAppState::kFinished);
+  EXPECT_EQ(sm.state(), RmAppState::kFinished);
+}
+
+TEST(StateMachine, RmAppIllegalJumpThrows) {
+  StateMachine<RmAppState> sm(RmAppState::kNew, "RMAppImpl");
+  EXPECT_THROW(sm.transition(RmAppState::kRunning), IllegalTransition);
+  EXPECT_THROW(sm.transition(RmAppState::kFinished), IllegalTransition);
+  EXPECT_EQ(sm.state(), RmAppState::kNew);  // unchanged after failure
+}
+
+TEST(StateMachine, RmAppFinishedIsTerminal) {
+  StateMachine<RmAppState> sm(RmAppState::kFinished, "RMAppImpl");
+  EXPECT_THROW(sm.transition(RmAppState::kNew), IllegalTransition);
+}
+
+TEST(StateMachine, RmContainerPaths) {
+  // Normal: NEW -> ALLOCATED -> ACQUIRED -> RUNNING -> COMPLETED.
+  StateMachine<RmContainerState> sm(RmContainerState::kNew, "RMContainerImpl");
+  sm.transition(RmContainerState::kAllocated);
+  sm.transition(RmContainerState::kAcquired);
+  sm.transition(RmContainerState::kRunning);
+  sm.transition(RmContainerState::kCompleted);
+  // Never-used (SPARK-21562): ALLOCATED -> RELEASED is legal.
+  StateMachine<RmContainerState> unused(RmContainerState::kAllocated,
+                                        "RMContainerImpl");
+  unused.transition(RmContainerState::kReleased);
+  // Acquired-then-reclaimed: ACQUIRED -> RELEASED is legal.
+  StateMachine<RmContainerState> reclaimed(RmContainerState::kAcquired,
+                                           "RMContainerImpl");
+  reclaimed.transition(RmContainerState::kReleased);
+}
+
+TEST(StateMachine, RmContainerIllegalEdges) {
+  EXPECT_FALSE(is_legal_transition(RmContainerState::kNew,
+                                   RmContainerState::kAcquired));
+  EXPECT_FALSE(is_legal_transition(RmContainerState::kAllocated,
+                                   RmContainerState::kRunning));
+  EXPECT_FALSE(is_legal_transition(RmContainerState::kCompleted,
+                                   RmContainerState::kRunning));
+  EXPECT_FALSE(is_legal_transition(RmContainerState::kReleased,
+                                   RmContainerState::kAllocated));
+}
+
+TEST(StateMachine, NmContainerHappyPath) {
+  StateMachine<NmContainerState> sm(NmContainerState::kNew, "ContainerImpl");
+  sm.transition(NmContainerState::kLocalizing);
+  sm.transition(NmContainerState::kScheduled);
+  sm.transition(NmContainerState::kRunning);
+  sm.transition(NmContainerState::kExitedWithSuccess);
+  sm.transition(NmContainerState::kDone);
+}
+
+TEST(StateMachine, NmContainerCannotSkipLocalization) {
+  EXPECT_FALSE(is_legal_transition(NmContainerState::kNew,
+                                   NmContainerState::kScheduled));
+  EXPECT_FALSE(is_legal_transition(NmContainerState::kLocalizing,
+                                   NmContainerState::kRunning));
+}
+
+// --- event names ----------------------------------------------------------------
+
+TEST(StateMachine, AttemptRegisteredEventName) {
+  EXPECT_EQ(rm_app_event(RmAppState::kAccepted, RmAppState::kRunning),
+            "ATTEMPT_REGISTERED");
+  EXPECT_EQ(rm_app_event(RmAppState::kSubmitted, RmAppState::kAccepted),
+            "APP_ACCEPTED");
+}
+
+// --- rendered log lines -----------------------------------------------------------
+
+TEST(StateMachine, RenderRmAppTransition) {
+  EXPECT_EQ(render_rm_app_transition("application_1499100000000_0001",
+                                     RmAppState::kSubmitted,
+                                     RmAppState::kAccepted),
+            "application_1499100000000_0001 State change from SUBMITTED to "
+            "ACCEPTED on event = APP_ACCEPTED");
+}
+
+TEST(StateMachine, RenderRmContainerTransition) {
+  EXPECT_EQ(render_rm_container_transition(
+                "container_1499100000000_0001_01_000002",
+                RmContainerState::kNew, RmContainerState::kAllocated),
+            "container_1499100000000_0001_01_000002 Container Transitioned "
+            "from NEW to ALLOCATED");
+}
+
+TEST(StateMachine, RenderNmContainerTransition) {
+  EXPECT_EQ(render_nm_container_transition(
+                "container_1499100000000_0001_01_000002",
+                NmContainerState::kLocalizing, NmContainerState::kScheduled),
+            "Container container_1499100000000_0001_01_000002 transitioned "
+            "from LOCALIZING to SCHEDULED");
+}
+
+// --- launch model -------------------------------------------------------------------
+
+TEST(LaunchModel, InstanceCodes) {
+  EXPECT_EQ(instance_code(InstanceType::kSparkDriver), "spm");
+  EXPECT_EQ(instance_code(InstanceType::kSparkExecutor), "spe");
+  EXPECT_EQ(instance_code(InstanceType::kMrMaster), "mrm");
+  EXPECT_EQ(instance_code(InstanceType::kMrMapTask), "mrsm");
+  EXPECT_EQ(instance_code(InstanceType::kMrReduceTask), "mrsr");
+}
+
+TEST(LaunchModel, SparkMediansNearPaperFig9a) {
+  LaunchModel model;
+  Rng rng(31);
+  SampleSet spark;
+  for (int i = 0; i < 4000; ++i) {
+    spark.add(to_seconds(model.sample(InstanceType::kSparkExecutor,
+                                      /*docker=*/false, 1.0, 1.0, rng)));
+  }
+  EXPECT_NEAR(spark.median(), 0.70, 0.08);  // ~700 ms median
+}
+
+TEST(LaunchModel, MapReduceSlowerThanSpark) {
+  LaunchModel model;
+  EXPECT_GT(model.base_median(InstanceType::kMrMaster),
+            model.base_median(InstanceType::kSparkDriver));
+  EXPECT_GT(model.base_median(InstanceType::kMrMapTask),
+            model.base_median(InstanceType::kSparkExecutor));
+}
+
+TEST(LaunchModel, DockerOverheadNearPaperFig9b) {
+  LaunchModel model;
+  Rng rng(37);
+  SampleSet plain;
+  SampleSet docker;
+  for (int i = 0; i < 6000; ++i) {
+    plain.add(to_seconds(
+        model.sample(InstanceType::kSparkExecutor, false, 1.0, 1.0, rng)));
+    docker.add(to_seconds(
+        model.sample(InstanceType::kSparkExecutor, true, 1.0, 1.0, rng)));
+  }
+  const double median_overhead = docker.median() - plain.median();
+  const double p95_overhead = docker.p95() - plain.p95();
+  EXPECT_NEAR(median_overhead, 0.35, 0.10);  // +350 ms median
+  EXPECT_NEAR(p95_overhead, 0.66, 0.30);     // +658 ms p95
+  EXPECT_GT(p95_overhead, median_overhead);  // long-tail effect
+}
+
+TEST(LaunchModel, CpuInterferenceStretchesLaunch) {
+  LaunchModel model;
+  Rng rng1(41);
+  Rng rng2(41);
+  const SimDuration idle =
+      model.sample(InstanceType::kSparkDriver, false, 1.0, 1.0, rng1);
+  const SimDuration loaded =
+      model.sample(InstanceType::kSparkDriver, false, 2.5, 1.0, rng2);
+  EXPECT_NEAR(static_cast<double>(loaded) / static_cast<double>(idle), 2.5,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace sdc::yarn

@@ -1,0 +1,310 @@
+// sdchecker — command-line front end for the SDchecker library.
+//
+//   sdchecker analyze <log_dir> [--threads N] [--csv FILE] [--per-app]
+//       Mine a directory of YARN/Spark log files and print the
+//       scheduling-delay decomposition, aggregate statistics and any
+//       anomalies (never-used containers, broken chains, clock skew).
+//
+//   sdchecker graph <log_dir> <application_id> [--out FILE.dot]
+//       Export the Fig.-3-style scheduling graph of one application.
+//
+//   sdchecker simulate <out_dir> [--jobs N] [--seed S] [--executors E]
+//             [--input-mb MB] [--scheduler capacity|opportunistic]
+//       Generate a synthetic Spark-on-YARN log corpus (useful for demos
+//       and for testing the analyzer without a cluster).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "sdchecker/compare.hpp"
+#include "sdchecker/export.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "sdchecker/timeline.hpp"
+#include "trace/submission_trace.hpp"
+#include "workloads/tpch.hpp"
+
+namespace {
+
+using namespace sdc;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sdchecker analyze <log_dir> [--threads N] [--csv FILE] "
+               "[--per-app]\n"
+               "            [--delays-csv FILE] [--containers-csv FILE] "
+               "[--events-csv FILE] [--json FILE]\n"
+               "  sdchecker timeline <log_dir> <application_id>\n"
+               "  sdchecker diff <log_dir_a> <log_dir_b> [--threshold PCT]\n"
+               "  sdchecker graph <log_dir> <application_id> [--out FILE]\n"
+               "  sdchecker simulate <out_dir> [--jobs N] [--seed S] "
+               "[--executors E]\n"
+               "            [--input-mb MB] [--scheduler "
+               "capacity|opportunistic]\n");
+  return 2;
+}
+
+/// Returns the value following `flag`, if present.
+std::optional<std::string> flag_value(std::vector<std::string>& args,
+                                      const std::string& flag) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) {
+      std::string value = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool flag_present(std::vector<std::string>& args, const std::string& flag) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == flag) {
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+void print_opt(const char* name, const std::optional<std::int64_t>& v) {
+  if (v) {
+    std::printf("    %-13s %9.3fs\n", name, static_cast<double>(*v) / 1000.0);
+  } else {
+    std::printf("    %-13s         -\n", name);
+  }
+}
+
+int cmd_analyze(std::vector<std::string> args) {
+  if (args.empty()) return usage();
+  const std::string dir = args[0];
+  args.erase(args.begin());
+  std::size_t threads = 1;
+  if (const auto t = flag_value(args, "--threads")) {
+    threads = static_cast<std::size_t>(std::strtoul(t->c_str(), nullptr, 10));
+  }
+  const auto csv = flag_value(args, "--csv");
+  const bool per_app = flag_present(args, "--per-app");
+
+  checker::SdChecker sdchecker({.threads = std::max<std::size_t>(1, threads)});
+  checker::AnalysisResult analysis;
+  try {
+    analysis = sdchecker.analyze_directory(dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sdchecker: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("mined %zu lines (%zu unparsable), %zu events, %zu apps\n\n",
+              analysis.lines_total, analysis.lines_unparsed,
+              analysis.events_total, analysis.timelines.size());
+  std::printf("%s\n", analysis.aggregate.render_text().c_str());
+
+  if (per_app) {
+    for (const auto& [app, delays] : analysis.delays) {
+      std::printf("  %s\n", app.str().c_str());
+      print_opt("total", delays.total);
+      print_opt("am", delays.am);
+      print_opt("driver", delays.driver);
+      print_opt("executor", delays.executor);
+      print_opt("in-app", delays.in_app);
+      print_opt("out-app", delays.out_app);
+      print_opt("alloc", delays.alloc);
+    }
+    std::printf("\n");
+  }
+
+  const std::string completeness = analysis.render_completeness();
+  if (!completeness.empty()) {
+    std::printf("incomplete log coverage (a daemon's logs may be missing):\n"
+                "%s\n",
+                completeness.c_str());
+  }
+  if (!analysis.anomalies.empty()) {
+    std::printf("%zu anomalies:\n", analysis.anomalies.size());
+    for (const auto& anomaly : analysis.anomalies) {
+      std::printf("  [%s] %s %s: %s\n",
+                  std::string(checker::anomaly_type_name(anomaly.type)).c_str(),
+                  anomaly.app.str().c_str(), anomaly.entity.c_str(),
+                  anomaly.detail.c_str());
+    }
+  } else {
+    std::printf("no anomalies detected\n");
+  }
+
+  const auto write_file = [](const std::string& path,
+                             const std::string& content) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "sdchecker: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << content;
+    std::printf("written %s\n", path.c_str());
+    return true;
+  };
+  if (csv && !write_file(*csv, analysis.aggregate.render_csv())) return 1;
+  if (const auto path = flag_value(args, "--delays-csv")) {
+    if (!write_file(*path, checker::delays_csv(analysis))) return 1;
+  }
+  if (const auto path = flag_value(args, "--containers-csv")) {
+    if (!write_file(*path, checker::containers_csv(analysis))) return 1;
+  }
+  if (const auto path = flag_value(args, "--events-csv")) {
+    if (!write_file(*path, checker::events_csv(analysis))) return 1;
+  }
+  if (const auto path = flag_value(args, "--json")) {
+    if (!write_file(*path, checker::analysis_json(analysis))) return 1;
+  }
+  return 0;
+}
+
+int cmd_timeline(std::vector<std::string> args) {
+  if (args.size() < 2) return usage();
+  const auto app = ApplicationId::parse(args[1]);
+  if (!app) {
+    std::fprintf(stderr, "sdchecker: '%s' is not an application id\n",
+                 args[1].c_str());
+    return 2;
+  }
+  try {
+    const auto analysis = checker::SdChecker().analyze_directory(args[0]);
+    const auto it = analysis.timelines.find(*app);
+    if (it == analysis.timelines.end()) {
+      std::fprintf(stderr, "sdchecker: no events for %s\n",
+                   args[1].c_str());
+      return 1;
+    }
+    std::printf("%s", checker::render_timeline(it->second).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sdchecker: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_diff(std::vector<std::string> args) {
+  if (args.size() < 2) return usage();
+  double threshold = 0.10;
+  if (const auto t = flag_value(args, "--threshold")) {
+    threshold = std::atof(t->c_str()) / 100.0;
+  }
+  try {
+    const checker::SdChecker sdchecker({.threads = 2});
+    const auto a = sdchecker.analyze_directory(args[0]);
+    const auto b = sdchecker.analyze_directory(args[1]);
+    const auto comparison = checker::compare(a, b);
+    std::printf("A = %s (%zu apps)   B = %s (%zu apps)\n\n", args[0].c_str(),
+                comparison.apps_a, args[1].c_str(), comparison.apps_b);
+    std::printf("%s\n", comparison.render_text().c_str());
+    const auto moved = comparison.significant(threshold);
+    if (moved.empty()) {
+      std::printf("no metric median moved by more than %.0f%%\n",
+                  threshold * 100);
+    } else {
+      std::printf("moved more than %.0f%%:\n", threshold * 100);
+      for (const checker::MetricDelta* delta : moved) {
+        std::printf("  %-14s %.2fx\n", delta->metric.c_str(),
+                    *delta->median_ratio);
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sdchecker: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_graph(std::vector<std::string> args) {
+  if (args.size() < 2) return usage();
+  const std::string dir = args[0];
+  const std::string app_text = args[1];
+  args.erase(args.begin(), args.begin() + 2);
+  const std::string out_path =
+      flag_value(args, "--out").value_or(app_text + ".dot");
+
+  const auto app = ApplicationId::parse(app_text);
+  if (!app) {
+    std::fprintf(stderr, "sdchecker: '%s' is not an application id\n",
+                 app_text.c_str());
+    return 2;
+  }
+  try {
+    const auto analysis = checker::SdChecker().analyze_directory(dir);
+    const auto graph = analysis.graph_for(*app);
+    std::ofstream out(out_path);
+    out << graph.to_dot();
+    std::printf("%zu nodes, %zu edges -> %s\n", graph.nodes().size(),
+                graph.edges().size(), out_path.c_str());
+    const auto violations = graph.validate();
+    for (const auto& violation : violations) {
+      std::printf("  warning: %s\n", violation.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sdchecker: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_simulate(std::vector<std::string> args) {
+  if (args.empty()) return usage();
+  const std::string out_dir = args[0];
+  args.erase(args.begin());
+  const int jobs = std::atoi(flag_value(args, "--jobs").value_or("20").c_str());
+  const auto seed = static_cast<std::uint64_t>(
+      std::strtoull(flag_value(args, "--seed").value_or("42").c_str(), nullptr,
+                    10));
+  const int executors =
+      std::atoi(flag_value(args, "--executors").value_or("4").c_str());
+  const double input_mb =
+      std::atof(flag_value(args, "--input-mb").value_or("2048").c_str());
+  const std::string scheduler =
+      flag_value(args, "--scheduler").value_or("capacity");
+
+  harness::ScenarioConfig scenario;
+  scenario.seed = seed;
+  scenario.yarn.scheduler = scheduler == "opportunistic"
+                                ? yarn::SchedulerKind::kOpportunistic
+                                : yarn::SchedulerKind::kCapacity;
+  trace::TraceConfig trace_config;
+  trace_config.count = jobs;
+  trace_config.seed = seed + 1;
+  for (const auto& submission : trace::generate_trace(trace_config)) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = submission.at;
+    plan.app = workloads::make_tpch_query(
+        1 + submission.workload_index % workloads::kTpchQueryCount, input_mb,
+        executors);
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  const auto result = harness::run_scenario(scenario);
+  result.logs.write_to_directory(out_dir);
+  std::printf("simulated %zu jobs (%llu events), wrote %zu log files "
+              "(%zu lines) to %s\n",
+              result.jobs.size(),
+              static_cast<unsigned long long>(result.events_executed),
+              result.logs.stream_count(), result.logs.total_lines(),
+              out_dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "analyze") return cmd_analyze(std::move(args));
+  if (command == "timeline") return cmd_timeline(std::move(args));
+  if (command == "diff") return cmd_diff(std::move(args));
+  if (command == "graph") return cmd_graph(std::move(args));
+  if (command == "simulate") return cmd_simulate(std::move(args));
+  return usage();
+}
