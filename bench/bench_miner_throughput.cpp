@@ -1,0 +1,342 @@
+// Headline mining-throughput bench for the zero-copy sharded pipeline.
+//
+// Synthesizes a multi-stream log corpus (default 1M lines, override with
+// SDC_MINER_BENCH_LINES) shaped like a real collection run: one dominant
+// RM stream — every application's state machine logs there — plus NM,
+// driver and executor streams.  Three pipeline configurations mine the
+// same on-disk corpus end to end (read + mine):
+//
+//   serial             threads=1, getline-based LogBundle read
+//   per-stream         threads=N, per-file parallelism only (the RM log
+//                      serializes the run — the pre-sharding behaviour)
+//   sharded zero-copy  threads=N, mmap-backed BundleView, intra-stream
+//                      chunks merged by runs
+//
+// Prints MB/s and lines/s per configuration and writes BENCH_miner.json
+// so the trajectory is tracked across PRs.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/json.hpp"
+#include "logging/log_view.hpp"
+#include "logging/timestamp.hpp"
+#include "sdchecker/miner.hpp"
+
+namespace {
+
+using namespace sdc;
+
+constexpr std::int64_t kEpoch = 1'499'100'000'000;
+
+std::size_t corpus_lines() {
+  if (const char* env = std::getenv("SDC_MINER_BENCH_LINES")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 1'000'000;
+}
+
+std::size_t bench_threads() {
+  if (const char* env = std::getenv("SDC_MINER_BENCH_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 8 : std::min<std::size_t>(8, hw);
+}
+
+std::string app_id(int app) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "application_1499100000000_%04d", app);
+  return buf;
+}
+
+std::string container_id(int app, int container) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "container_1499100000000_%04d_01_%06d", app,
+                container);
+  return buf;
+}
+
+/// One dominant RM stream (~70% of lines), 8 NM streams, and paired
+/// driver/executor streams per app — the paper's collection shape.
+logging::LogBundle make_corpus(std::size_t total_lines) {
+  logging::LogBundle bundle;
+  const auto stamp = [](std::int64_t offset_ms) {
+    return logging::format_epoch_ms(kEpoch + offset_ms);
+  };
+  const std::size_t rm_quota = total_lines * 7 / 10;
+  const std::size_t nm_quota = total_lines * 2 / 10;
+  const std::size_t instance_quota = total_lines - rm_quota - nm_quota;
+
+  // RM: per-app state machine transitions plus scheduler noise.
+  std::size_t emitted = 0;
+  std::int64_t t = 0;
+  const std::string rm_app =
+      "org.apache.hadoop.yarn.server.resourcemanager.rmapp.RMAppImpl";
+  const std::string rm_container =
+      "org.apache.hadoop.yarn.server.resourcemanager.rmcontainer."
+      "RMContainerImpl";
+  const std::string rm_client =
+      "org.apache.hadoop.yarn.server.resourcemanager.ClientRMService";
+  for (int app = 1; emitted < rm_quota; ++app) {
+    bundle.append("rm.log", stamp(t) + " INFO  " + rm_app + ": " + app_id(app) +
+                                " State change from NEW_SAVING to SUBMITTED "
+                                "on event = APP_NEW_SAVED");
+    bundle.append("rm.log", stamp(t + 40) + " INFO  " + rm_app + ": " +
+                                app_id(app) +
+                                " State change from SUBMITTED to ACCEPTED on "
+                                "event = APP_ACCEPTED");
+    emitted += 2;
+    for (int c = 1; c <= 3 && emitted < rm_quota; ++c) {
+      const std::string cid = container_id(app, c);
+      bundle.append("rm.log", stamp(t + 100 + c) + " INFO  " + rm_container +
+                                  ": " + cid +
+                                  " Container Transitioned from NEW to "
+                                  "ALLOCATED");
+      bundle.append("rm.log", stamp(t + 200 + c) + " INFO  " + rm_container +
+                                  ": " + cid +
+                                  " Container Transitioned from ALLOCATED to "
+                                  "ACQUIRED");
+      emitted += 2;
+    }
+    // Scheduler noise dominates real RM logs: parseable, non-Table-I.
+    for (int k = 0; k < 24 && emitted < rm_quota; ++k, ++emitted) {
+      bundle.append("rm.log", stamp(t + 300 + k) + " INFO  " + rm_client +
+                                  ": Allocated new applicationId: " +
+                                  std::to_string(app));
+    }
+    t += 400;
+  }
+
+  // NMs: container lifecycle transitions plus localization noise.
+  const std::string nm_container =
+      "org.apache.hadoop.yarn.server.nodemanager.containermanager.container."
+      "ContainerImpl";
+  const std::string nm_local =
+      "org.apache.hadoop.yarn.server.nodemanager.containermanager."
+      "localizer.ResourceLocalizationService";
+  emitted = 0;
+  t = 0;
+  for (int app = 1; emitted < nm_quota; ++app) {
+    for (int c = 1; c <= 3 && emitted < nm_quota; ++c) {
+      const std::string node = "nm-node0" + std::to_string((app + c) % 8 + 1) +
+                               ".cluster.log";
+      const std::string cid = container_id(app, c);
+      bundle.append(node, stamp(t) + " INFO  " + nm_container + ": Container " +
+                              cid + " transitioned from NEW to LOCALIZING");
+      bundle.append(node, stamp(t + 150) + " INFO  " + nm_container +
+                              ": Container " + cid +
+                              " transitioned from LOCALIZING to RUNNING");
+      emitted += 2;
+      for (int k = 0; k < 6 && emitted < nm_quota; ++k, ++emitted) {
+        bundle.append(node, stamp(t + 50 + k) + " INFO  " + nm_local +
+                                ": Downloading public resource " +
+                                std::to_string(k));
+      }
+    }
+    t += 500;
+  }
+
+  // Driver + executor instance logs.  A collection run holds tens of
+  // application instances (not thousands), so cap the file pool and
+  // grow the per-file noise with the corpus instead — otherwise per-file
+  // open/read overhead swamps the read-path measurement.
+  const std::string am = "org.apache.spark.deploy.yarn.ApplicationMaster";
+  const std::string ctx = "org.apache.spark.SparkContext";
+  const std::string backend =
+      "org.apache.spark.executor.CoarseGrainedExecutorBackend";
+  constexpr int kInstanceApps = 24;
+  emitted = 0;
+  for (int app = 1; app <= kInstanceApps && emitted < instance_quota; ++app) {
+    const std::size_t app_quota =
+        std::min(instance_quota - emitted,
+                 (instance_quota + kInstanceApps - 1) / kInstanceApps);
+    const std::size_t app_end = emitted + app_quota;
+    t = 1000 * app;
+    const std::string driver = "driver-" + app_id(app) + ".log";
+    bundle.append(driver, stamp(t) + " INFO  " + am +
+                              ": ApplicationAttemptId: appattempt_"
+                              "1499100000000_" +
+                              std::to_string(app) + "_000001");
+    bundle.append(driver, stamp(t + 100) + " INFO  " + am +
+                              ": Registering the ApplicationMaster");
+    emitted += 2;
+    // ~60% of the app's quota is driver stage chatter...
+    for (std::size_t k = 0; k < app_quota * 6 / 10 && emitted < app_end;
+         ++k, ++emitted) {
+      bundle.append(driver, stamp(t + 200 + static_cast<std::int64_t>(k)) +
+                                " INFO  " + ctx + ": Submitted stage " +
+                                std::to_string(k));
+    }
+    // ...the rest splits across two executor logs.
+    for (int c = 2; c <= 3 && emitted < app_end; ++c) {
+      const std::string exec = "executor-" + container_id(app, c) + ".log";
+      bundle.append(exec, stamp(t + 300) + " INFO  " + backend +
+                              ": Connecting to driver for container " +
+                              container_id(app, c));
+      bundle.append(exec, stamp(t + 900) + " INFO  " + backend +
+                              ": Got assigned task 0");
+      emitted += 2;
+      for (std::size_t k = 0; emitted < app_end && k < app_quota / 5;
+           ++k, ++emitted) {
+        bundle.append(exec, stamp(t + 1000 + static_cast<std::int64_t>(k)) +
+                                " INFO  " + backend + ": Finished task " +
+                                std::to_string(k));
+      }
+    }
+  }
+  return bundle;
+}
+
+struct Variant {
+  std::string name;
+  double seconds = 0;
+  std::size_t events = 0;
+};
+
+double best_of(int reps, const std::function<std::size_t()>& run,
+               std::size_t& events_out) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    events_out = run();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+// Corpus on disk, shared by the experiment and the timed kernels.
+const std::filesystem::path& corpus_dir() {
+  static const std::filesystem::path dir = [] {
+    const auto path =
+        std::filesystem::temp_directory_path() / "sdc_miner_bench_corpus";
+    std::filesystem::remove_all(path);
+    make_corpus(corpus_lines()).write_to_directory(path);
+    return path;
+  }();
+  return dir;
+}
+
+void experiment() {
+  benchutil::print_header("Mining throughput: serial vs per-stream vs "
+                          "sharded zero-copy",
+                          "SDchecker scalability (not a paper figure)");
+  const auto& dir = corpus_dir();
+  const std::size_t threads = bench_threads();
+  const logging::BundleView probe = logging::BundleView::read_from_directory(dir);
+  const std::size_t lines = probe.total_lines();
+  const std::size_t bytes = probe.total_bytes();
+  std::printf("  corpus: %zu streams, %zu lines, %.1f MB (dominant rm.log: "
+              "%zu lines); %zu threads\n",
+              probe.stream_count(), lines,
+              static_cast<double>(bytes) / 1e6,
+              probe.stream("rm.log").line_count(), threads);
+
+  const int reps = lines >= 500'000 ? 3 : 5;
+  std::vector<Variant> variants;
+  {
+    Variant v{"serial", 0, 0};
+    v.seconds = best_of(reps, [&] {
+      checker::LogMiner miner(checker::MinerOptions{1, 0});
+      return miner.mine(logging::LogBundle::read_from_directory(dir))
+          .events.size();
+    }, v.events);
+    variants.push_back(v);
+  }
+  {
+    Variant v{"per-stream", 0, 0};
+    v.seconds = best_of(reps, [&] {
+      checker::LogMiner miner(checker::MinerOptions{threads, 0});
+      return miner.mine(logging::LogBundle::read_from_directory(dir))
+          .events.size();
+    }, v.events);
+    variants.push_back(v);
+  }
+  {
+    Variant v{"sharded-zero-copy", 0, 0};
+    v.seconds = best_of(reps, [&] {
+      checker::LogMiner miner(checker::MinerOptions{threads});
+      return miner.mine_directory(dir).events.size();
+    }, v.events);
+    variants.push_back(v);
+  }
+
+  json::Writer out;
+  out.begin_object();
+  out.field("bench", "miner_throughput");
+  out.field("lines", static_cast<std::int64_t>(lines));
+  out.field("bytes", static_cast<std::int64_t>(bytes));
+  out.field("threads", static_cast<std::int64_t>(threads));
+  out.key("variants");
+  out.begin_array();
+  for (const Variant& v : variants) {
+    const double lps = static_cast<double>(lines) / v.seconds;
+    const double mbps = static_cast<double>(bytes) / 1e6 / v.seconds;
+    std::printf("  %-18s %8.3f s   %10.0f lines/s   %8.1f MB/s   "
+                "(%zu events)\n",
+                v.name.c_str(), v.seconds, lps, mbps, v.events);
+    out.begin_object();
+    out.field("name", v.name);
+    out.field("seconds", v.seconds);
+    out.field("lines_per_s", lps);
+    out.field("mb_per_s", mbps);
+    out.field("events", static_cast<std::int64_t>(v.events));
+    out.end_object();
+  }
+  out.end_array();
+  const double speedup = variants.front().seconds / variants.back().seconds;
+  out.field("sharded_vs_serial_speedup", speedup);
+  out.end_object();
+  std::printf("  sharded zero-copy vs serial: %.2fx\n", speedup);
+
+  std::ofstream json_file("BENCH_miner.json");
+  json_file << out.str() << '\n';
+  std::printf("  wrote BENCH_miner.json\n");
+}
+
+void BM_MineSharded(benchmark::State& state) {
+  const auto& dir = corpus_dir();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const logging::BundleView view = logging::BundleView::read_from_directory(dir);
+  for (auto _ : state) {
+    checker::LogMiner miner(checker::MinerOptions{threads});
+    benchmark::DoNotOptimize(miner.mine(view).events.size());
+  }
+  state.counters["lines/s"] = benchmark::Counter(
+      static_cast<double>(view.total_lines() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MineSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MinePerStreamOnly(benchmark::State& state) {
+  const auto& dir = corpus_dir();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const logging::BundleView view = logging::BundleView::read_from_directory(dir);
+  for (auto _ : state) {
+    checker::LogMiner miner(checker::MinerOptions{threads, 0});
+    benchmark::DoNotOptimize(miner.mine(view).events.size());
+  }
+  state.counters["lines/s"] = benchmark::Counter(
+      static_cast<double>(view.total_lines() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MinePerStreamOnly)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdc::benchutil::bench_main(argc, argv, experiment);
+}

@@ -1,5 +1,6 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -60,35 +61,55 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
-  std::mutex error_mu;
   const std::size_t shards = std::min(n, pool.thread_count());
-  std::atomic<std::size_t> done{0};
+  std::size_t done = 0;
   std::mutex done_mu;
   std::condition_variable done_cv;
 
   for (std::size_t s = 0; s < shards; ++s) {
     pool.submit([&] {
       std::size_t i;
+      std::exception_ptr error;
       while ((i = next.fetch_add(1)) < n) {
         try {
           body(i);
         } catch (...) {
-          std::lock_guard lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
+          if (!error) error = std::current_exception();
         }
       }
-      {
-        std::lock_guard lock(done_mu);
-        ++done;
-      }
+      // Notify while holding the lock: the caller's stack frame — and with
+      // it done_cv itself — may be destroyed the instant the caller
+      // observes done == shards, so an unlocked notify could land on a
+      // dead condition variable.
+      std::lock_guard lock(done_mu);
+      if (error && !first_error) first_error = std::move(error);
+      ++done;
       done_cv.notify_one();
     });
   }
   std::unique_lock lock(done_mu);
   done_cv.wait(lock, [&] { return done == shards; });
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for_chunked(
+    ThreadPool& pool, std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) {
+    const std::size_t shares = 4 * std::max<std::size_t>(pool.thread_count(), 1);
+    grain = (n + shares - 1) / shares;
+  }
+  if (grain < 1) grain = 1;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  parallel_for(pool, chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    body(begin, end);
+  });
 }
 
 }  // namespace sdc

@@ -51,4 +51,13 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body);
 
+/// Runs `body(begin, end)` over [0, n) split into contiguous chunks of at
+/// least `grain` indices (one chunk per worker share otherwise), blocking
+/// until done.  `grain` bounds per-task overhead for cheap loop bodies;
+/// grain = 0 means `n / (4 * threads)` rounded up.  Exceptions are
+/// rethrown as in `parallel_for`.
+void parallel_for_chunked(
+    ThreadPool& pool, std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
 }  // namespace sdc

@@ -60,7 +60,12 @@ LogBundle LogBundle::read_from_directory(const std::filesystem::path& dir) {
     if (!in) throw std::runtime_error("LogBundle: cannot read " + path.string());
     std::string line;
     auto& stream = bundle.streams_[path.filename().string()];
-    while (std::getline(in, line)) stream.push_back(line);
+    while (std::getline(in, line)) {
+      // getline keeps the '\r' of CRLF-terminated logs (files collected
+      // from Windows gateways); strip it so parsing sees clean lines.
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      stream.push_back(line);
+    }
   }
   return bundle;
 }

@@ -1,0 +1,170 @@
+#include "logging/log_view.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SDC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace sdc::logging {
+
+namespace {
+
+std::string_view strip_cr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+#if SDC_HAVE_MMAP
+/// RAII owner for an mmapped region, held via shared_ptr<const void>.
+struct Mapping {
+  void* data = nullptr;
+  std::size_t len = 0;
+  ~Mapping() {
+    if (data != nullptr && len > 0) ::munmap(data, len);
+  }
+};
+#endif
+
+std::string read_whole_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("LogView: cannot read " + path.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+void LogView::split_buffer(std::string_view text) {
+  bytes_ = text.size();
+  lines_.clear();
+  lines_.reserve(std::count(text.begin(), text.end(), '\n') + 1);
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      // Final unterminated line (if any bytes remain).
+      if (start < text.size()) {
+        lines_.push_back(strip_cr(text.substr(start)));
+      }
+      break;
+    }
+    lines_.push_back(strip_cr(text.substr(start, nl - start)));
+    start = nl + 1;
+  }
+}
+
+LogView LogView::from_file(const std::filesystem::path& path) {
+#if SDC_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      const auto len = static_cast<std::size_t>(st.st_size);
+      if (len == 0) {
+        ::close(fd);
+        return LogView{};
+      }
+      void* data = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (data != MAP_FAILED) {
+#if defined(MADV_SEQUENTIAL)
+        ::madvise(data, len, MADV_SEQUENTIAL);
+#endif
+        auto mapping = std::make_shared<Mapping>();
+        mapping->data = data;
+        mapping->len = len;
+        LogView view;
+        view.owner_ = mapping;
+        view.split_buffer(
+            std::string_view(static_cast<const char*>(data), len));
+        return view;
+      }
+    } else {
+      ::close(fd);
+    }
+  }
+  // Fall through to the portable bulk-read path on any mmap failure.
+#endif
+  return from_buffer(read_whole_file(path));
+}
+
+LogView LogView::from_buffer(std::string text) {
+  auto owned = std::make_shared<std::string>(std::move(text));
+  LogView view;
+  view.owner_ = owned;
+  view.split_buffer(*owned);
+  return view;
+}
+
+LogView LogView::from_lines(const std::vector<std::string>& lines) {
+  LogView view;
+  view.lines_.reserve(lines.size());
+  for (const std::string& line : lines) {
+    view.lines_.push_back(strip_cr(line));
+    view.bytes_ += line.size() + 1;  // count the elided newline
+  }
+  return view;
+}
+
+BundleView BundleView::read_from_directory(const std::filesystem::path& dir) {
+  if (!std::filesystem::is_directory(dir)) {
+    throw std::runtime_error("BundleView: not a directory: " + dir.string());
+  }
+  BundleView bundle;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    bundle.streams_.emplace(entry.path().filename().string(),
+                            LogView::from_file(entry.path()));
+  }
+  return bundle;
+}
+
+BundleView BundleView::from_bundle(const LogBundle& bundle) {
+  BundleView view;
+  for (const std::string& name : bundle.stream_names()) {
+    view.streams_.emplace(name, LogView::from_lines(bundle.lines(name)));
+  }
+  return view;
+}
+
+void BundleView::add_stream(const std::string& name, LogView view) {
+  streams_[name] = std::move(view);
+}
+
+std::vector<std::string> BundleView::stream_names() const {
+  std::vector<std::string> out;
+  out.reserve(streams_.size());
+  for (const auto& [name, _] : streams_) out.push_back(name);
+  return out;
+}
+
+const LogView& BundleView::stream(const std::string& name) const {
+  static const LogView kEmpty;
+  const auto it = streams_.find(name);
+  return it == streams_.end() ? kEmpty : it->second;
+}
+
+std::size_t BundleView::total_lines() const {
+  std::size_t n = 0;
+  for (const auto& [_, view] : streams_) n += view.line_count();
+  return n;
+}
+
+std::size_t BundleView::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [_, view] : streams_) n += view.size_bytes();
+  return n;
+}
+
+}  // namespace sdc::logging

@@ -1,0 +1,102 @@
+// Zero-copy read path for the log miner.
+//
+// A `LogView` holds one log stream as a single contiguous byte buffer
+// plus `std::string_view` line slices into it — no per-line
+// `std::string` allocations.  File-backed views mmap the file when the
+// platform allows it (falling back to one bulk read), so mining a
+// multi-GB RM log touches each byte exactly once and the page cache does
+// the rest.  A `BundleView` names a set of streams, mirroring
+// `LogBundle`, and can adapt an in-memory bundle without copying its
+// lines (the bundle must outlive the view).
+//
+// Line splitting matches `std::getline` + CRLF hygiene: lines are split
+// on '\n', a trailing '\r' is stripped (Windows-collected logs), and a
+// final unterminated line still counts.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logging/log_bundle.hpp"
+
+namespace sdc::logging {
+
+/// One log stream: a shared backing buffer and line views into it.
+/// Copyable; copies share the backing buffer.
+class LogView {
+ public:
+  LogView() = default;
+
+  /// Maps (or bulk-reads) one log file.  Throws std::runtime_error on
+  /// I/O failure.
+  static LogView from_file(const std::filesystem::path& path);
+
+  /// Takes ownership of a buffer of raw log text and splits it.
+  static LogView from_buffer(std::string text);
+
+  /// Adapts already-split lines owned elsewhere (e.g. a LogBundle
+  /// stream).  Zero-copy: the caller guarantees `lines` outlives the
+  /// view.  Lines are assumed newline-free; trailing '\r' is stripped.
+  static LogView from_lines(const std::vector<std::string>& lines);
+
+  [[nodiscard]] const std::vector<std::string_view>& lines() const noexcept {
+    return lines_;
+  }
+  [[nodiscard]] std::size_t line_count() const noexcept {
+    return lines_.size();
+  }
+  /// Size of the backing text (bytes mined, incl. newlines for
+  /// file-backed views).
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return bytes_; }
+
+ private:
+  void split_buffer(std::string_view text);
+
+  /// Keeps the backing storage (mmap region, owned string, ...) alive
+  /// for as long as any copy of this view exists.
+  std::shared_ptr<const void> owner_;
+  std::vector<std::string_view> lines_;
+  std::size_t bytes_ = 0;
+};
+
+/// Named collection of `LogView` streams — the zero-copy analogue of
+/// `LogBundle` for the mining path.
+class BundleView {
+ public:
+  BundleView() = default;
+
+  /// Views every regular file in `dir` (non-recursive), one stream per
+  /// file.  Throws std::runtime_error if `dir` is not a directory.
+  static BundleView read_from_directory(const std::filesystem::path& dir);
+
+  /// Zero-copy adapter over an in-memory bundle; `bundle` must outlive
+  /// the returned view.
+  static BundleView from_bundle(const LogBundle& bundle);
+
+  void add_stream(const std::string& name, LogView view);
+
+  /// All stream names in lexicographic order.
+  [[nodiscard]] std::vector<std::string> stream_names() const;
+
+  /// Lines of one stream; empty view if the stream does not exist.
+  [[nodiscard]] const LogView& stream(const std::string& name) const;
+
+  [[nodiscard]] bool has_stream(const std::string& name) const {
+    return streams_.contains(name);
+  }
+  [[nodiscard]] std::size_t stream_count() const noexcept {
+    return streams_.size();
+  }
+  [[nodiscard]] std::size_t total_lines() const;
+  [[nodiscard]] std::size_t total_bytes() const;
+
+ private:
+  std::map<std::string, LogView> streams_;
+};
+
+}  // namespace sdc::logging

@@ -41,6 +41,15 @@ bool two_digits(std::string_view s, std::size_t pos, int& out) {
 
 }  // namespace
 
+std::int64_t epoch_ms_from_civil(std::int64_t year, unsigned month,
+                                 unsigned day, int hour, int minute,
+                                 int second, int millis) {
+  const std::int64_t days = days_from_civil(year, month, day);
+  const std::int64_t millis_of_day =
+      ((hour * 60LL + minute) * 60 + second) * 1000 + millis;
+  return days * 86'400'000 + millis_of_day;
+}
+
 std::string format_epoch_ms(std::int64_t epoch_ms) {
   std::int64_t days = epoch_ms / 86'400'000;
   std::int64_t rem = epoch_ms % 86'400'000;
@@ -82,11 +91,9 @@ std::optional<std::int64_t> parse_epoch_ms(std::string_view text) {
   const std::int64_t year = c1 * 100 + c2;
   if (mo < 1 || mo > 12 || dd < 1 || dd > 31 || hh > 23 || mi > 59 || ss > 59)
     return std::nullopt;
-  const std::int64_t days =
-      days_from_civil(year, static_cast<unsigned>(mo), static_cast<unsigned>(dd));
-  const std::int64_t millis_of_day = ((hh * 60LL + mi) * 60 + ss) * 1000 +
-                                     ms_hi * 10 + ms_lo1;
-  return days * 86'400'000 + millis_of_day;
+  return epoch_ms_from_civil(year, static_cast<unsigned>(mo),
+                             static_cast<unsigned>(dd), hh, mi, ss,
+                             ms_hi * 10 + ms_lo1);
 }
 
 }  // namespace sdc::logging

@@ -20,6 +20,13 @@ inline constexpr std::size_t kTimestampWidth = 23;
 /// Renders epoch milliseconds (UTC) in log4j's default pattern.
 std::string format_epoch_ms(std::int64_t epoch_ms);
 
+/// Epoch milliseconds for a UTC civil date-time.  Pure arithmetic (no
+/// formatting round trip); fields are taken as given — callers validate
+/// ranges before converting.
+std::int64_t epoch_ms_from_civil(std::int64_t year, unsigned month,
+                                 unsigned day, int hour, int minute,
+                                 int second, int millis);
+
 /// Parses a log4j timestamp back to epoch milliseconds; nullopt on any
 /// malformation (wrong width, non-digits, out-of-range fields).
 std::optional<std::int64_t> parse_epoch_ms(std::string_view text);

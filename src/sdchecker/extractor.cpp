@@ -1,5 +1,7 @@
 #include "sdchecker/extractor.hpp"
 
+#include <unordered_map>
+
 #include "common/strings.hpp"
 
 namespace sdc::checker {
@@ -89,151 +91,196 @@ std::optional<Transition> parse_transition(std::string_view message) {
   return out;
 }
 
+namespace {
+
+// --- per-class extractors, dispatched on the short logger-class name --------
+
+std::optional<SchedEvent> extract_rm_app(const ParsedLine& line,
+                                         std::string_view stream,
+                                         std::size_t line_no) {
+  const std::string_view msg = line.message;
+  const auto transition = parse_transition(msg);
+  if (!transition) return std::nullopt;
+  const auto app = find_application_id(msg);
+  if (!app) return std::nullopt;
+  if (transition->to == "SUBMITTED") {
+    return make_event(EventKind::kAppSubmitted, line, stream, line_no, app,
+                      std::nullopt);
+  }
+  if (transition->to == "ACCEPTED") {
+    return make_event(EventKind::kAppAccepted, line, stream, line_no, app,
+                      std::nullopt);
+  }
+  if (transition->to == "RUNNING" && contains(msg, "ATTEMPT_REGISTERED")) {
+    return make_event(EventKind::kAttemptRegistered, line, stream, line_no,
+                      app, std::nullopt);
+  }
+  if (transition->to == "FINISHED") {
+    return make_event(EventKind::kAppFinished, line, stream, line_no, app,
+                      std::nullopt);
+  }
+  return std::nullopt;
+}
+
+std::optional<SchedEvent> extract_rm_container(const ParsedLine& line,
+                                               std::string_view stream,
+                                               std::size_t line_no) {
+  const std::string_view msg = line.message;
+  const auto transition = parse_transition(msg);
+  if (!transition) return std::nullopt;
+  const auto container = find_container_id(msg);
+  if (!container) return std::nullopt;
+  const auto app = std::optional<ApplicationId>(container->app);
+  if (transition->to == "ALLOCATED") {
+    return make_event(EventKind::kContainerAllocated, line, stream, line_no,
+                      app, container);
+  }
+  if (transition->to == "ACQUIRED") {
+    return make_event(EventKind::kContainerAcquired, line, stream, line_no,
+                      app, container);
+  }
+  if (transition->to == "RUNNING") {
+    return make_event(EventKind::kRmContainerRunning, line, stream, line_no,
+                      app, container);
+  }
+  if (transition->to == "COMPLETED") {
+    return make_event(EventKind::kRmContainerCompleted, line, stream, line_no,
+                      app, container);
+  }
+  if (transition->to == "RELEASED") {
+    return make_event(EventKind::kRmContainerReleased, line, stream, line_no,
+                      app, container);
+  }
+  return std::nullopt;
+}
+
+std::optional<SchedEvent> extract_nm_container(const ParsedLine& line,
+                                               std::string_view stream,
+                                               std::size_t line_no) {
+  const std::string_view msg = line.message;
+  const auto transition = parse_transition(msg);
+  if (!transition) return std::nullopt;
+  const auto container = find_container_id(msg);
+  if (!container) return std::nullopt;
+  const auto app = std::optional<ApplicationId>(container->app);
+  if (transition->to == "LOCALIZING") {
+    return make_event(EventKind::kNmLocalizing, line, stream, line_no, app,
+                      container);
+  }
+  if (transition->to == "SCHEDULED") {
+    return make_event(EventKind::kNmScheduled, line, stream, line_no, app,
+                      container);
+  }
+  if (transition->to == "RUNNING") {
+    return make_event(EventKind::kNmRunning, line, stream, line_no, app,
+                      container);
+  }
+  if (transition->to == "EXITED_WITH_SUCCESS") {
+    return make_event(EventKind::kNmExited, line, stream, line_no, app,
+                      container);
+  }
+  if (transition->to == "EXITED_WITH_FAILURE") {
+    return make_event(EventKind::kNmFailed, line, stream, line_no, app,
+                      container);
+  }
+  return std::nullopt;
+}
+
+std::optional<SchedEvent> extract_am_register(const ParsedLine& line,
+                                              std::string_view stream,
+                                              std::size_t line_no) {
+  const std::string_view msg = line.message;
+  if (contains(msg, "Registering the ApplicationMaster") ||
+      contains(msg, "Registering with the ResourceManager")) {
+    // App id is not in this message; the miner binds it stream-wide.
+    return make_event(EventKind::kDriverRegister, line, stream, line_no,
+                      std::nullopt, std::nullopt);
+  }
+  return std::nullopt;
+}
+
+std::optional<SchedEvent> extract_allocator(const ParsedLine& line,
+                                            std::string_view stream,
+                                            std::size_t line_no) {
+  const std::string_view msg = line.message;
+  if (contains(msg, "START_ALLO")) {
+    return make_event(EventKind::kStartAllo, line, stream, line_no,
+                      std::nullopt, std::nullopt);
+  }
+  if (contains(msg, "END_ALLO")) {
+    return make_event(EventKind::kEndAllo, line, stream, line_no,
+                      std::nullopt, std::nullopt);
+  }
+  return std::nullopt;
+}
+
+std::optional<SchedEvent> extract_executor(const ParsedLine& line,
+                                           std::string_view stream,
+                                           std::size_t line_no) {
+  const std::string_view msg = line.message;
+  if (contains(msg, "Got assigned task")) {
+    const std::string_view tid = word_after(msg, "Got assigned task ");
+    (void)tid;
+    return make_event(EventKind::kExecutorFirstTask, line, stream, line_no,
+                      std::nullopt, std::nullopt);
+  }
+  return std::nullopt;
+}
+
+/// Dispatch entry for one diagnostic logger class: the daemon kind it
+/// implies, and the Table-I extractor handling its messages (null for
+/// classes that only classify).
+struct ClassDispatch {
+  StreamKind kind = StreamKind::kUnknown;
+  std::optional<SchedEvent> (*extract)(const ParsedLine&, std::string_view,
+                                       std::size_t) = nullptr;
+};
+
+/// One hash lookup replaces the chained string compares on the miner's
+/// hottest path (every parsed line goes through classify + extract).
+const std::unordered_map<std::string_view, ClassDispatch>& dispatch_table() {
+  static const std::unordered_map<std::string_view, ClassDispatch> kTable = {
+      // ResourceManager classes.
+      {"RMAppImpl", {StreamKind::kResourceManager, &extract_rm_app}},
+      {"RMContainerImpl", {StreamKind::kResourceManager, &extract_rm_container}},
+      {"CapacityScheduler", {StreamKind::kResourceManager, nullptr}},
+      {"ClientRMService", {StreamKind::kResourceManager, nullptr}},
+      {"OpportunisticContainerAllocatorAMService",
+       {StreamKind::kResourceManager, nullptr}},
+      // NodeManager classes.
+      {"ContainerImpl", {StreamKind::kNodeManager, &extract_nm_container}},
+      {"ResourceLocalizationService", {StreamKind::kNodeManager, nullptr}},
+      {"ContainerScheduler", {StreamKind::kNodeManager, nullptr}},
+      // Driver-side classes (Spark driver or MR AppMaster).
+      {"ApplicationMaster", {StreamKind::kDriver, &extract_am_register}},
+      {"MRAppMaster", {StreamKind::kDriver, &extract_am_register}},
+      {"YarnAllocator", {StreamKind::kDriver, &extract_allocator}},
+      {"SparkContext", {StreamKind::kDriver, nullptr}},
+      {"TaskSetManager", {StreamKind::kDriver, nullptr}},
+      {"YarnSchedulerBackend", {StreamKind::kDriver, nullptr}},
+      // Executor-side classes (Spark executor or MR task).
+      {"CoarseGrainedExecutorBackend", {StreamKind::kExecutor, &extract_executor}},
+      {"Executor", {StreamKind::kExecutor, nullptr}},
+      {"YarnChild", {StreamKind::kExecutor, nullptr}},
+  };
+  return kTable;
+}
+
+}  // namespace
+
 StreamKind classify_line(const ParsedLine& line) {
-  const std::string_view cls = short_class_name(line.logger);
-  if (cls == "RMAppImpl" || cls == "RMContainerImpl" ||
-      cls == "CapacityScheduler" || cls == "ClientRMService" ||
-      cls == "OpportunisticContainerAllocatorAMService") {
-    return StreamKind::kResourceManager;
-  }
-  if (cls == "ContainerImpl" || cls == "ResourceLocalizationService" ||
-      cls == "ContainerScheduler") {
-    return StreamKind::kNodeManager;
-  }
-  if (cls == "ApplicationMaster" || cls == "YarnAllocator" ||
-      cls == "MRAppMaster" || cls == "SparkContext" ||
-      cls == "TaskSetManager" || cls == "YarnSchedulerBackend") {
-    return StreamKind::kDriver;
-  }
-  if (cls == "CoarseGrainedExecutorBackend" || cls == "Executor" ||
-      cls == "YarnChild") {
-    return StreamKind::kExecutor;
-  }
-  return StreamKind::kUnknown;
+  const auto& table = dispatch_table();
+  const auto it = table.find(short_class_name(line.logger));
+  return it == table.end() ? StreamKind::kUnknown : it->second.kind;
 }
 
 std::optional<SchedEvent> extract_event(const ParsedLine& line,
                                         std::string_view stream,
                                         std::size_t line_no) {
-  const std::string_view cls = short_class_name(line.logger);
-  const std::string_view msg = line.message;
-
-  if (cls == "RMAppImpl") {
-    const auto transition = parse_transition(msg);
-    if (!transition) return std::nullopt;
-    const auto app = find_application_id(msg);
-    if (!app) return std::nullopt;
-    if (transition->to == "SUBMITTED") {
-      return make_event(EventKind::kAppSubmitted, line, stream, line_no, app,
-                        std::nullopt);
-    }
-    if (transition->to == "ACCEPTED") {
-      return make_event(EventKind::kAppAccepted, line, stream, line_no, app,
-                        std::nullopt);
-    }
-    if (transition->to == "RUNNING" &&
-        contains(msg, "ATTEMPT_REGISTERED")) {
-      return make_event(EventKind::kAttemptRegistered, line, stream, line_no,
-                        app, std::nullopt);
-    }
-    if (transition->to == "FINISHED") {
-      return make_event(EventKind::kAppFinished, line, stream, line_no, app,
-                        std::nullopt);
-    }
-    return std::nullopt;
-  }
-
-  if (cls == "RMContainerImpl") {
-    const auto transition = parse_transition(msg);
-    if (!transition) return std::nullopt;
-    const auto container = find_container_id(msg);
-    if (!container) return std::nullopt;
-    const auto app = std::optional<ApplicationId>(container->app);
-    if (transition->to == "ALLOCATED") {
-      return make_event(EventKind::kContainerAllocated, line, stream, line_no,
-                        app, container);
-    }
-    if (transition->to == "ACQUIRED") {
-      return make_event(EventKind::kContainerAcquired, line, stream, line_no,
-                        app, container);
-    }
-    if (transition->to == "RUNNING") {
-      return make_event(EventKind::kRmContainerRunning, line, stream, line_no,
-                        app, container);
-    }
-    if (transition->to == "COMPLETED") {
-      return make_event(EventKind::kRmContainerCompleted, line, stream,
-                        line_no, app, container);
-    }
-    if (transition->to == "RELEASED") {
-      return make_event(EventKind::kRmContainerReleased, line, stream, line_no,
-                        app, container);
-    }
-    return std::nullopt;
-  }
-
-  if (cls == "ContainerImpl") {
-    const auto transition = parse_transition(msg);
-    if (!transition) return std::nullopt;
-    const auto container = find_container_id(msg);
-    if (!container) return std::nullopt;
-    const auto app = std::optional<ApplicationId>(container->app);
-    if (transition->to == "LOCALIZING") {
-      return make_event(EventKind::kNmLocalizing, line, stream, line_no, app,
-                        container);
-    }
-    if (transition->to == "SCHEDULED") {
-      return make_event(EventKind::kNmScheduled, line, stream, line_no, app,
-                        container);
-    }
-    if (transition->to == "RUNNING") {
-      return make_event(EventKind::kNmRunning, line, stream, line_no, app,
-                        container);
-    }
-    if (transition->to == "EXITED_WITH_SUCCESS") {
-      return make_event(EventKind::kNmExited, line, stream, line_no, app,
-                        container);
-    }
-    if (transition->to == "EXITED_WITH_FAILURE") {
-      return make_event(EventKind::kNmFailed, line, stream, line_no, app,
-                        container);
-    }
-    return std::nullopt;
-  }
-
-  if (cls == "ApplicationMaster" || cls == "MRAppMaster") {
-    if (contains(msg, "Registering the ApplicationMaster") ||
-        contains(msg, "Registering with the ResourceManager")) {
-      // App id is not in this message; the miner binds it stream-wide.
-      return make_event(EventKind::kDriverRegister, line, stream, line_no,
-                        std::nullopt, std::nullopt);
-    }
-    return std::nullopt;
-  }
-
-  if (cls == "YarnAllocator") {
-    if (contains(msg, "START_ALLO")) {
-      return make_event(EventKind::kStartAllo, line, stream, line_no,
-                        std::nullopt, std::nullopt);
-    }
-    if (contains(msg, "END_ALLO")) {
-      return make_event(EventKind::kEndAllo, line, stream, line_no,
-                        std::nullopt, std::nullopt);
-    }
-    return std::nullopt;
-  }
-
-  if (cls == "CoarseGrainedExecutorBackend") {
-    if (contains(msg, "Got assigned task")) {
-      const std::string_view tid = word_after(msg, "Got assigned task ");
-      (void)tid;
-      return make_event(EventKind::kExecutorFirstTask, line, stream, line_no,
-                        std::nullopt, std::nullopt);
-    }
-    return std::nullopt;
-  }
-
-  return std::nullopt;
+  const auto& table = dispatch_table();
+  const auto it = table.find(short_class_name(line.logger));
+  if (it == table.end() || it->second.extract == nullptr) return std::nullopt;
+  return it->second.extract(line, stream, line_no);
 }
 
 }  // namespace sdc::checker

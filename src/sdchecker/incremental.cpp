@@ -69,6 +69,11 @@ void IncrementalAnalyzer::feed_all(const std::string& stream,
   for (const std::string& line : lines) feed(stream, line);
 }
 
+void IncrementalAnalyzer::feed_all(const std::string& stream,
+                                   std::span<const std::string_view> lines) {
+  for (const std::string_view line : lines) feed(stream, line);
+}
+
 void IncrementalAnalyzer::dispatch(StreamState& state, SchedEvent event) {
   if (!event.app) event.app = state.bound_app;
   if (!event.container && state.kind == StreamKind::kExecutor) {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,6 +36,11 @@ class IncrementalAnalyzer {
   /// Feeds a batch of lines for one stream.
   void feed_all(const std::string& stream,
                 const std::vector<std::string>& lines);
+
+  /// Feeds a batch of zero-copy line views (e.g. an mmap-backed
+  /// `logging::LogView`) for one stream.
+  void feed_all(const std::string& stream,
+                std::span<const std::string_view> lines);
 
   /// Live view of the grouped timelines.
   [[nodiscard]] const std::map<ApplicationId, AppTimeline>& timelines()

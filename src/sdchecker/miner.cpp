@@ -6,43 +6,133 @@
 
 namespace sdc::checker {
 
-MinedStream LogMiner::mine_stream(const std::string& name,
-                                  const std::vector<std::string>& lines) const {
-  MinedStream out;
-  out.name = name;
-  out.lines_total = lines.size();
+bool event_order_less(const SchedEvent& a, const SchedEvent& b) {
+  if (a.ts_ms != b.ts_ms) return a.ts_ms < b.ts_ms;
+  if (a.stream != b.stream) return a.stream < b.stream;
+  if (a.line_no != b.line_no) return a.line_no < b.line_no;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+namespace {
+
+/// What one chunk of a stream learned on its own: its events (sorted)
+/// plus the *first-seen* candidates the stitch pass resolves stream-wide.
+struct ChunkOut {
+  std::vector<SchedEvent> events;
+  std::size_t lines_unparsed = 0;
   std::optional<std::int64_t> first_parsed_ts;
+  StreamKind kind = StreamKind::kUnknown;
+  std::optional<ApplicationId> first_app;
+  std::optional<ContainerId> first_container;
+};
+
+/// Mines lines [base_line, base_line + lines.size()) of one stream.
+/// Line numbers are 1-based, so the produced events carry
+/// `base_line + i + 1`.
+ChunkOut mine_chunk(const std::string& name,
+                    std::span<const std::string_view> lines,
+                    std::size_t base_line) {
+  ChunkOut out;
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const auto parsed = parse_line(lines[i]);
     if (!parsed) {
       ++out.lines_unparsed;
       continue;
     }
-    if (!first_parsed_ts) first_parsed_ts = parsed->epoch_ms;
+    if (!out.first_parsed_ts) out.first_parsed_ts = parsed->epoch_ms;
     if (out.kind == StreamKind::kUnknown) {
       out.kind = classify_line(*parsed);
     }
-    // Bind the stream to the first application/container id seen anywhere;
-    // driver and executor logs do not carry ids on every line (Fig. 2).
-    if (!out.bound_container) {
+    // Record the first application/container id seen in this chunk; the
+    // stitch pass binds the stream to the first across chunks (driver
+    // and executor logs do not carry ids on every line — Fig. 2).
+    if (!out.first_container) {
       if (auto container = find_container_id(parsed->message)) {
-        out.bound_container = container;
+        out.first_container = container;
       }
     }
-    if (!out.bound_app) {
+    if (!out.first_app) {
       if (auto app = find_application_id(parsed->message)) {
-        out.bound_app = app;
+        out.first_app = app;
       }
     }
-    if (auto event = extract_event(*parsed, name, i + 1)) {
+    if (auto event = extract_event(*parsed, name, base_line + i + 1)) {
       out.events.push_back(std::move(*event));
     }
+  }
+  // Chunks emit sorted runs; within one stream the order reduces to
+  // (ts, line, kind).
+  std::sort(out.events.begin(), out.events.end(), event_order_less);
+  return out;
+}
+
+/// K-way merges already-sorted runs into one vector, moving the events
+/// (each carries a `std::string stream` — no copies).
+std::vector<SchedEvent> merge_runs(std::vector<std::vector<SchedEvent>> runs) {
+  std::erase_if(runs, [](const auto& run) { return run.empty(); });
+  if (runs.empty()) return {};
+  if (runs.size() == 1) return std::move(runs.front());
+
+  struct Cursor {
+    std::vector<SchedEvent>* run;
+    std::size_t pos;
+  };
+  // Min-heap on the cursor's current event.
+  const auto heap_greater = [](const Cursor& a, const Cursor& b) {
+    return event_order_less((*b.run)[b.pos], (*a.run)[a.pos]);
+  };
+  std::size_t total = 0;
+  std::vector<Cursor> heap;
+  heap.reserve(runs.size());
+  for (auto& run : runs) {
+    total += run.size();
+    heap.push_back(Cursor{&run, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), heap_greater);
+
+  std::vector<SchedEvent> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_greater);
+    Cursor& top = heap.back();
+    out.push_back(std::move((*top.run)[top.pos]));
+    if (++top.pos < top.run->size()) {
+      std::push_heap(heap.begin(), heap.end(), heap_greater);
+    } else {
+      heap.pop_back();
+    }
+  }
+  return out;
+}
+
+/// Resolves the stream-wide values from per-chunk candidates (in chunk
+/// order, i.e. file order), synthesizes FIRST_LOG, merges the chunk
+/// runs, and binds stream-scoped events — semantically identical to a
+/// serial pass over the whole stream.
+MinedStream stitch_stream(const std::string& name, std::size_t lines_total,
+                          std::vector<ChunkOut> chunks) {
+  MinedStream out;
+  out.name = name;
+  out.lines_total = lines_total;
+  std::optional<std::int64_t> first_parsed_ts;
+  for (const ChunkOut& chunk : chunks) {
+    out.lines_unparsed += chunk.lines_unparsed;
+    if (!first_parsed_ts) first_parsed_ts = chunk.first_parsed_ts;
+    if (out.kind == StreamKind::kUnknown) out.kind = chunk.kind;
+    if (!out.bound_container) out.bound_container = chunk.first_container;
+    if (!out.bound_app) out.bound_app = chunk.first_app;
   }
   if (!out.bound_app && out.bound_container) {
     out.bound_app = out.bound_container->app;
   }
-  // Synthesize FIRST_LOG (messages 9/13) from the first parseable line of
-  // instance logs.
+
+  std::vector<std::vector<SchedEvent>> runs;
+  runs.reserve(chunks.size() + 1);
+  for (ChunkOut& chunk : chunks) runs.push_back(std::move(chunk.events));
+  // Synthesize FIRST_LOG (messages 9/13) from the first parseable line
+  // of instance logs — appended as its own single-event run and placed
+  // by the merge (it sorts ahead of any same-line real event via the
+  // kind tiebreak), not front-inserted.
   if (first_parsed_ts &&
       (out.kind == StreamKind::kDriver || out.kind == StreamKind::kExecutor)) {
     SchedEvent first;
@@ -51,8 +141,12 @@ MinedStream LogMiner::mine_stream(const std::string& name,
     first.ts_ms = *first_parsed_ts;
     first.stream = name;
     first.line_no = 1;
-    out.events.insert(out.events.begin(), std::move(first));
+    std::vector<SchedEvent> first_run;
+    first_run.push_back(std::move(first));
+    runs.push_back(std::move(first_run));
   }
+  out.events = merge_runs(std::move(runs));
+
   // Resolve stream-scoped events against the bound ids.
   for (SchedEvent& event : out.events) {
     if (!event.app) event.app = out.bound_app;
@@ -63,39 +157,96 @@ MinedStream LogMiner::mine_stream(const std::string& name,
   return out;
 }
 
-MineResult LogMiner::mine(const logging::LogBundle& bundle) const {
-  const std::vector<std::string> names = bundle.stream_names();
-  std::vector<MinedStream> streams(names.size());
+}  // namespace
 
-  const auto mine_one = [&](std::size_t i) {
-    streams[i] = mine_stream(names[i], bundle.lines(names[i]));
+MinedStream LogMiner::mine_stream(
+    const std::string& name, std::span<const std::string_view> lines) const {
+  std::vector<ChunkOut> chunks;
+  chunks.push_back(mine_chunk(name, lines, 0));
+  return stitch_stream(name, lines.size(), std::move(chunks));
+}
+
+MinedStream LogMiner::mine_stream(const std::string& name,
+                                  const std::vector<std::string>& lines) const {
+  const logging::LogView view = logging::LogView::from_lines(lines);
+  return mine_stream(name, view.lines());
+}
+
+MineResult LogMiner::mine(const logging::BundleView& view) const {
+  const std::vector<std::string> names = view.stream_names();
+
+  // Work list: every stream split into chunks at line boundaries, so all
+  // chunks across all streams feed one parallel loop and a dominant
+  // stream cannot serialize the run.
+  struct ChunkRef {
+    std::size_t stream;
+    std::size_t begin;
+    std::size_t end;
   };
-  if (options_.threads > 1 && names.size() > 1) {
+  std::vector<ChunkRef> refs;
+  std::vector<std::size_t> first_chunk(names.size() + 1, 0);
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    first_chunk[s] = refs.size();
+    const std::size_t n = view.stream(names[s]).line_count();
+    std::size_t chunk_len = n;
+    if (options_.threads > 1 && options_.shard_grain > 0) {
+      const std::size_t target = 4 * options_.threads;
+      chunk_len = std::max(options_.shard_grain, (n + target - 1) / target);
+    }
+    if (chunk_len == 0) chunk_len = 1;
+    std::size_t begin = 0;
+    do {
+      const std::size_t end = std::min(n, begin + chunk_len);
+      refs.push_back(ChunkRef{s, begin, end});
+      begin = end;
+    } while (begin < n);
+  }
+  first_chunk[names.size()] = refs.size();
+
+  std::vector<ChunkOut> outs(refs.size());
+  const auto mine_one = [&](std::size_t c) {
+    const ChunkRef& ref = refs[c];
+    const auto& lines = view.stream(names[ref.stream]).lines();
+    outs[c] = mine_chunk(
+        names[ref.stream],
+        std::span<const std::string_view>(lines).subspan(
+            ref.begin, ref.end - ref.begin),
+        ref.begin);
+  };
+  if (options_.threads > 1 && refs.size() > 1) {
     ThreadPool pool(options_.threads);
-    parallel_for(pool, names.size(), mine_one);
+    parallel_for(pool, refs.size(), mine_one);
   } else {
-    for (std::size_t i = 0; i < names.size(); ++i) mine_one(i);
+    for (std::size_t c = 0; c < refs.size(); ++c) mine_one(c);
   }
 
   MineResult result;
-  for (MinedStream& stream : streams) {
+  result.streams.reserve(names.size());
+  std::vector<std::vector<SchedEvent>> runs;
+  runs.reserve(names.size());
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    std::vector<ChunkOut> chunks(
+        std::make_move_iterator(outs.begin() + first_chunk[s]),
+        std::make_move_iterator(outs.begin() + first_chunk[s + 1]));
+    MinedStream stream = stitch_stream(
+        names[s], view.stream(names[s]).line_count(), std::move(chunks));
     result.lines_total += stream.lines_total;
     result.lines_unparsed += stream.lines_unparsed;
-    result.events.insert(result.events.end(), stream.events.begin(),
-                         stream.events.end());
+    // Per-stream runs are already sorted; move them out (no per-event
+    // copies) and k-way merge instead of re-sorting globally.
+    runs.push_back(std::move(stream.events));
+    result.streams.push_back(std::move(stream));
   }
-  std::sort(result.events.begin(), result.events.end(),
-            [](const SchedEvent& a, const SchedEvent& b) {
-              if (a.ts_ms != b.ts_ms) return a.ts_ms < b.ts_ms;
-              if (a.stream != b.stream) return a.stream < b.stream;
-              return a.line_no < b.line_no;
-            });
-  result.streams = std::move(streams);
+  result.events = merge_runs(std::move(runs));
   return result;
 }
 
+MineResult LogMiner::mine(const logging::LogBundle& bundle) const {
+  return mine(logging::BundleView::from_bundle(bundle));
+}
+
 MineResult LogMiner::mine_directory(const std::filesystem::path& dir) const {
-  return mine(logging::LogBundle::read_from_directory(dir));
+  return mine(logging::BundleView::read_from_directory(dir));
 }
 
 }  // namespace sdc::checker

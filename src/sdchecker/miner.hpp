@@ -5,31 +5,49 @@
 // FIRST_LOG event for driver/executor streams (Table I messages 9/13 —
 // "we use the first log message to mark the successful launching",
 // §III-B), and bind stream-scoped events to the application/container id
-// discovered anywhere in the stream.  Streams are mined in parallel
-// across a thread pool and merged deterministically.
+// discovered anywhere in the stream.
+//
+// Parallelism is two-level: streams are mined concurrently, and each
+// stream is itself split into chunks at line boundaries so one dominant
+// stream (the RM log — every application's state machine logs there)
+// cannot serialize the run.  Chunks record their first-seen candidates
+// (timestamp, kind, ids); a stitch pass resolves the stream-wide values
+// in chunk order, which makes the sharded result identical to a serial
+// pass.  Each chunk emits a sorted event run; runs are combined by k-way
+// merge instead of a global sort.
 #pragma once
 
 #include <cstddef>
 #include <filesystem>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "logging/log_bundle.hpp"
+#include "logging/log_view.hpp"
 #include "sdchecker/events.hpp"
 #include "sdchecker/extractor.hpp"
 
 namespace sdc::checker {
 
 struct MinerOptions {
-  /// Worker threads for per-stream mining; 1 = serial.
+  /// Worker threads for mining; 1 = serial.
   std::size_t threads = 1;
+  /// Minimum lines per intra-stream chunk.  Streams are split into up to
+  /// ~4*threads chunks but never smaller than this, so chunk bookkeeping
+  /// cannot dominate short streams.  0 disables intra-stream sharding
+  /// (one chunk per stream — the pre-sharding behaviour).
+  std::size_t shard_grain = 8192;
 };
 
 /// Per-stream mining outcome (diagnostics and tests).
 struct MinedStream {
   std::string name;
   StreamKind kind = StreamKind::kUnknown;
+  /// Events sorted by (ts, line, kind).  `LogMiner::mine` moves these
+  /// into `MineResult::events`; they stay populated when `mine_stream`
+  /// is called directly.
   std::vector<SchedEvent> events;
   std::size_t lines_total = 0;
   std::size_t lines_unparsed = 0;
@@ -50,15 +68,26 @@ class LogMiner {
   explicit LogMiner(MinerOptions options = {}) : options_(options) {}
 
   [[nodiscard]] MineResult mine(const logging::LogBundle& bundle) const;
+  /// Zero-copy path: mines mmap-backed (or adapted) line views directly.
+  [[nodiscard]] MineResult mine(const logging::BundleView& view) const;
+  /// Mines a directory through the mmap-backed view layer.
   [[nodiscard]] MineResult mine_directory(
       const std::filesystem::path& dir) const;
 
   /// Mines one stream in isolation (exposed for unit tests).
   [[nodiscard]] MinedStream mine_stream(
       const std::string& name, const std::vector<std::string>& lines) const;
+  [[nodiscard]] MinedStream mine_stream(
+      const std::string& name,
+      std::span<const std::string_view> lines) const;
 
  private:
   MinerOptions options_;
 };
+
+/// The deterministic total order of `MineResult::events`: (ts, stream,
+/// line, kind) — the final kind tiebreak places a synthesized FIRST_LOG
+/// ahead of a real event extracted from the same line.
+[[nodiscard]] bool event_order_less(const SchedEvent& a, const SchedEvent& b);
 
 }  // namespace sdc::checker

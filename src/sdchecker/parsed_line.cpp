@@ -1,7 +1,5 @@
 #include "sdchecker/parsed_line.hpp"
 
-#include <cstdio>
-
 #include "logging/timestamp.hpp"
 
 namespace sdc::checker {
@@ -33,11 +31,10 @@ std::optional<std::int64_t> parse_spark_short_ts(std::string_view text) {
       mi < 0 || mi > 59 || ss < 0 || ss > 59) {
     return std::nullopt;
   }
-  // Rebuild through the ISO codec to reuse the civil-date arithmetic.
-  char iso[32];
-  std::snprintf(iso, sizeof(iso), "20%02d-%02d-%02d %02d:%02d:%02d,000", yy,
-                mo, dd, hh, mi, ss);
-  return logging::parse_epoch_ms(iso);
+  // Two-digit years are 2000-based (Spark logs post-date 2000 by far).
+  return logging::epoch_ms_from_civil(2000 + yy, static_cast<unsigned>(mo),
+                                      static_cast<unsigned>(dd), hh, mi, ss,
+                                      0);
 }
 
 }  // namespace

@@ -22,13 +22,18 @@ std::vector<const Anomaly*> AnalysisResult::anomalies_of(
 }
 
 AnalysisResult SdChecker::analyze(const logging::LogBundle& bundle) const {
-  LogMiner miner(MinerOptions{options_.threads});
+  LogMiner miner(MinerOptions{options_.threads, options_.shard_grain});
   return analyze_mined(miner.mine(bundle));
+}
+
+AnalysisResult SdChecker::analyze(const logging::BundleView& view) const {
+  LogMiner miner(MinerOptions{options_.threads, options_.shard_grain});
+  return analyze_mined(miner.mine(view));
 }
 
 AnalysisResult SdChecker::analyze_directory(
     const std::filesystem::path& dir) const {
-  LogMiner miner(MinerOptions{options_.threads});
+  LogMiner miner(MinerOptions{options_.threads, options_.shard_grain});
   return analyze_mined(miner.mine_directory(dir));
 }
 

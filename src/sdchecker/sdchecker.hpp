@@ -26,6 +26,9 @@ namespace sdc::checker {
 struct AnalyzeOptions {
   /// Worker threads for the mining stage (1 = serial).
   std::size_t threads = 1;
+  /// Minimum lines per intra-stream mining chunk (see MinerOptions);
+  /// 0 disables intra-stream sharding.
+  std::size_t shard_grain = 8192;
 };
 
 struct AnalysisResult {
@@ -69,6 +72,8 @@ class SdChecker {
   explicit SdChecker(AnalyzeOptions options = {}) : options_(options) {}
 
   [[nodiscard]] AnalysisResult analyze(const logging::LogBundle& bundle) const;
+  /// Zero-copy path over mmap-backed (or adapted) line views.
+  [[nodiscard]] AnalysisResult analyze(const logging::BundleView& view) const;
   [[nodiscard]] AnalysisResult analyze_directory(
       const std::filesystem::path& dir) const;
 

@@ -3,6 +3,10 @@
 // Spark's default second-precision log4j pattern.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
+#include "logging/log_view.hpp"
 #include "sdchecker/extractor.hpp"
 #include "sdchecker/parsed_line.hpp"
 #include "sdchecker/sdchecker.hpp"
@@ -101,6 +105,48 @@ TEST(RealWorld, MixedFormatsInOneBundle) {
   const AnalysisResult result = SdChecker().analyze(bundle);
   EXPECT_EQ(result.lines_unparsed, 0u);
   EXPECT_EQ(result.events_total, 3u);  // SUBMITTED + FIRST_LOG + FIRST_TASK
+}
+
+// --- CRLF-terminated logs (files collected via Windows gateways) -------------
+
+TEST(RealWorld, CrlfCorpusParsesCleanly) {
+  const auto dir = std::filesystem::temp_directory_path() / "sdc_crlf_corpus";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir / "rm.log", std::ios::binary);
+    out << "2017-07-03 16:40:00,123 INFO  org.apache.hadoop.yarn.server."
+           "resourcemanager.rmapp.RMAppImpl: application_1499100000000_0001 "
+           "State change from NEW_SAVING to SUBMITTED on event = "
+           "APP_NEW_SAVED\r\n";
+    out << "2017-07-03 16:40:00,456 INFO  org.apache.hadoop.yarn.server."
+           "resourcemanager.rmapp.RMAppImpl: application_1499100000000_0001 "
+           "State change from SUBMITTED to ACCEPTED on event = "
+           "APP_ACCEPTED\r\n";
+  }
+  {
+    std::ofstream out(dir / "executor.log", std::ios::binary);
+    out << "17/07/03 16:40:09 INFO CoarseGrainedExecutorBackend: Connecting "
+           "to driver for container container_1499100000000_0001_01_000002"
+           "\r\n";
+    out << "17/07/03 16:40:12 INFO CoarseGrainedExecutorBackend: Got "
+           "assigned task 0\r\n";
+  }
+
+  // getline-based bundle read strips the '\r'.
+  const logging::LogBundle bundle = logging::LogBundle::read_from_directory(dir);
+  for (const std::string& line : bundle.lines("rm.log")) {
+    EXPECT_TRUE(line.empty() || line.back() != '\r');
+  }
+  const AnalysisResult via_bundle = SdChecker().analyze(bundle);
+  EXPECT_EQ(via_bundle.lines_total, 4u);
+  EXPECT_EQ(via_bundle.lines_unparsed, 0u);
+
+  // The mmap-backed view path strips it too and mines identically.
+  const AnalysisResult via_view = SdChecker().analyze_directory(dir);
+  EXPECT_EQ(via_view.lines_unparsed, 0u);
+  EXPECT_EQ(via_view.events_total, via_bundle.events_total);
+  ASSERT_EQ(via_view.timelines.size(), 1u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -41,6 +41,52 @@ TEST(ParseLine, RejectsTruncatedAndGarbage) {
           .has_value());
 }
 
+TEST(ParseLine, TruncatedTimestamps) {
+  // ISO stamp cut mid-field, and a complete stamp with the line cut
+  // right after it.
+  EXPECT_FALSE(parse_line("2017-07-03 16:40:0").has_value());
+  EXPECT_FALSE(parse_line("2017-07-03 16:40:00,12").has_value());
+  EXPECT_FALSE(parse_line("2017-07-03 16:40:00,123 ").has_value());
+  // Spark short stamp cut mid-field.
+  EXPECT_FALSE(parse_line("17/07/03 16:40").has_value());
+  EXPECT_FALSE(parse_line("17/07/03 16:4x:00 INFO X: y").has_value());
+}
+
+TEST(ParseLine, SeventeenCharSparkStampAtExactLineEnd) {
+  // A valid 17-char Spark stamp that IS the whole line (truncated
+  // write): nothing follows, so it must be rejected, not read past.
+  EXPECT_FALSE(parse_line("17/07/03 16:40:00").has_value());
+  // One space more, still no level/class.
+  EXPECT_FALSE(parse_line("17/07/03 16:40:00 ").has_value());
+  // Minimum viable short-stamp line parses.
+  const auto ok = parse_line("17/07/03 16:40:00 INFO X: y");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->logger, "X");
+  EXPECT_EQ(ok->message, "y");
+}
+
+TEST(ParseLine, GarbageLevelTokens) {
+  // Levels are upper-case letter runs; lower-case, digits and
+  // punctuation where the level should be are rejected.
+  EXPECT_FALSE(
+      parse_line("2017-07-03 16:40:00,123 info  a.b.C: msg").has_value());
+  EXPECT_FALSE(
+      parse_line("2017-07-03 16:40:00,123 42  a.b.C: msg").has_value());
+  EXPECT_FALSE(
+      parse_line("2017-07-03 16:40:00,123 [INFO]  a.b.C: msg").has_value());
+  // A level with no text after it at all.
+  EXPECT_FALSE(parse_line("2017-07-03 16:40:00,123 INFO").has_value());
+}
+
+TEST(ParseLine, EmptyLoggerBeforeSeparator) {
+  // A ": " separator at position 0 of the remainder must not yield an
+  // empty logger class.
+  EXPECT_FALSE(
+      parse_line("2017-07-03 16:40:00,123 INFO : message").has_value());
+  EXPECT_FALSE(
+      parse_line("17/07/03 16:40:00 WARN : message").has_value());
+}
+
 TEST(ParseLine, WarnLevel) {
   const auto parsed = parse_line(
       "2017-07-03 16:40:00,000 WARN  a.b.C: something odd");
