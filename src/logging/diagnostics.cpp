@@ -1,0 +1,53 @@
+#include "logging/diagnostics.hpp"
+
+#include <cstdio>
+
+namespace sdc::logging {
+
+std::string_view diagnostic_kind_name(DiagnosticKind kind) {
+  switch (kind) {
+    case DiagnosticKind::kUnreadableFile:
+      return "unreadable-file";
+    case DiagnosticKind::kBinaryGarbage:
+      return "binary-garbage";
+    case DiagnosticKind::kTruncatedLine:
+      return "truncated-line";
+    case DiagnosticKind::kRotationGap:
+      return "rotation-gap";
+    case DiagnosticKind::kTimestampRegression:
+      return "timestamp-regression";
+    case DiagnosticKind::kUnparsableBurst:
+      return "unparsable-burst";
+  }
+  return "?";
+}
+
+DiagnosticCounts count_diagnostics(const std::vector<Diagnostic>& diagnostics) {
+  DiagnosticCounts counts;
+  for (const Diagnostic& diagnostic : diagnostics) counts.add(diagnostic);
+  return counts;
+}
+
+std::string render_diagnostic(const Diagnostic& diagnostic) {
+  std::string out = "[";
+  out += diagnostic_kind_name(diagnostic.kind);
+  out += "] ";
+  out += diagnostic.stream.empty() ? "<bundle>" : diagnostic.stream;
+  if (diagnostic.line_no > 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ":%zu", diagnostic.line_no);
+    out += buf;
+  }
+  if (diagnostic.count > 1) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " (x%zu)", diagnostic.count);
+    out += buf;
+  }
+  if (!diagnostic.detail.empty()) {
+    out += ": ";
+    out += diagnostic.detail;
+  }
+  return out;
+}
+
+}  // namespace sdc::logging

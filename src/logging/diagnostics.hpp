@@ -1,0 +1,90 @@
+// Structured diagnostics for the log-ingestion and mining path.
+//
+// Real RM/NM/driver/executor logs arrive truncated, rotated, interleaved,
+// clock-skewed and occasionally garbled.  Instead of throwing on the
+// first oddity (or silently producing wrong numbers), every stage of the
+// pipeline accumulates typed `Diagnostic` records with per-kind counts,
+// so an analysis can *complete* on a damaged corpus while stating exactly
+// what was dropped or suspect.  The records flow LogBundle/BundleView ->
+// LogMiner -> AnalysisResult -> report/JSON/CLI exit status.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdc::logging {
+
+enum class DiagnosticKind {
+  /// A log file could not be opened or read; its stream was skipped.
+  kUnreadableFile = 0,
+  /// A line is binary garbage (NUL bytes or mostly non-printable).
+  kBinaryGarbage,
+  /// A line was cut mid-write: a valid timestamp prefix with a malformed
+  /// remainder, or a stream that begins/ends mid-line (torn rotation).
+  kTruncatedLine,
+  /// A stream was reassembled from rotated segments (name, name.1, ...).
+  kRotationGap,
+  /// Within one stream, a timestamp jumped backwards by more than the
+  /// skew budget — the daemon's clock stepped (NTP) or writes interleaved.
+  kTimestampRegression,
+  /// A burst of consecutive unparsable lines (multi-line stack traces are
+  /// short; long runs mean a foreign or corrupted section).
+  kUnparsableBurst,
+};
+
+/// Number of DiagnosticKind values (for count arrays).
+inline constexpr std::size_t kDiagnosticKindCount = 6;
+
+/// Short stable name ("unreadable-file", "binary-garbage", ...).
+std::string_view diagnostic_kind_name(DiagnosticKind kind);
+
+/// One finding about one stream (or the bundle, for file-level issues).
+struct Diagnostic {
+  DiagnosticKind kind = DiagnosticKind::kUnreadableFile;
+  /// Stream (file) name the finding is about.
+  std::string stream;
+  /// 1-based first line involved; 0 when not line-scoped.
+  std::size_t line_no = 0;
+  /// Lines / occurrences covered by this record (>= 1).
+  std::size_t count = 1;
+  std::string detail;
+};
+
+/// Per-kind occurrence totals (summed `Diagnostic::count`).
+struct DiagnosticCounts {
+  std::array<std::size_t, kDiagnosticKindCount> by_kind{};
+
+  void bump(DiagnosticKind kind, std::size_t n = 1) {
+    by_kind[static_cast<std::size_t>(kind)] += n;
+  }
+  [[nodiscard]] std::size_t of(DiagnosticKind kind) const {
+    return by_kind[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::size_t total() const {
+    std::size_t n = 0;
+    for (const std::size_t c : by_kind) n += c;
+    return n;
+  }
+  DiagnosticCounts& operator+=(const DiagnosticCounts& other) {
+    for (std::size_t i = 0; i < by_kind.size(); ++i) {
+      by_kind[i] += other.by_kind[i];
+    }
+    return *this;
+  }
+  /// Folds a record's count into the totals.
+  void add(const Diagnostic& diagnostic) {
+    bump(diagnostic.kind, diagnostic.count);
+  }
+};
+
+/// Recomputes totals from a list of records.
+[[nodiscard]] DiagnosticCounts count_diagnostics(
+    const std::vector<Diagnostic>& diagnostics);
+
+/// Renders one record as a single human-readable line (no trailing '\n').
+[[nodiscard]] std::string render_diagnostic(const Diagnostic& diagnostic);
+
+}  // namespace sdc::logging

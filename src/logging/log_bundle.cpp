@@ -45,7 +45,8 @@ void LogBundle::write_to_directory(const std::filesystem::path& dir) const {
   }
 }
 
-LogBundle LogBundle::read_from_directory(const std::filesystem::path& dir) {
+LogBundle LogBundle::read_from_directory(const std::filesystem::path& dir,
+                                         std::vector<Diagnostic>* diagnostics) {
   if (!std::filesystem::is_directory(dir)) {
     throw std::runtime_error("LogBundle: not a directory: " + dir.string());
   }
@@ -57,7 +58,15 @@ LogBundle LogBundle::read_from_directory(const std::filesystem::path& dir) {
   std::sort(files.begin(), files.end());
   for (const auto& path : files) {
     std::ifstream in(path);
-    if (!in) throw std::runtime_error("LogBundle: cannot read " + path.string());
+    if (!in) {
+      if (diagnostics == nullptr) {
+        throw std::runtime_error("LogBundle: cannot read " + path.string());
+      }
+      diagnostics->push_back(Diagnostic{DiagnosticKind::kUnreadableFile,
+                                        path.filename().string(), 0, 1,
+                                        "cannot open for reading; skipped"});
+      continue;
+    }
     std::string line;
     auto& stream = bundle.streams_[path.filename().string()];
     while (std::getline(in, line)) {

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "logging/diagnostics.hpp"
+
 namespace sdc::logging {
 
 /// Ordered collection of named log streams.  Stream names double as file
@@ -41,8 +43,13 @@ class LogBundle {
   void write_to_directory(const std::filesystem::path& dir) const;
 
   /// Reads every regular file in `dir` (non-recursive) as one stream per
-  /// file.  Throws std::runtime_error if `dir` is not a directory.
-  static LogBundle read_from_directory(const std::filesystem::path& dir);
+  /// file.  Throws std::runtime_error if `dir` is not a directory.  With
+  /// `diagnostics`, an unreadable file is recorded as a kUnreadableFile
+  /// diagnostic and skipped; without it, the first unreadable file throws
+  /// (the historical strict behaviour).
+  static LogBundle read_from_directory(const std::filesystem::path& dir,
+                                       std::vector<Diagnostic>* diagnostics =
+                                           nullptr);
 
   /// Merges another bundle's streams into this one (appending on name
   /// collisions); used when mining several runs together.

@@ -117,15 +117,23 @@ LogView LogView::from_lines(const std::vector<std::string>& lines) {
   return view;
 }
 
-BundleView BundleView::read_from_directory(const std::filesystem::path& dir) {
+BundleView BundleView::read_from_directory(const std::filesystem::path& dir,
+                                           std::vector<Diagnostic>* diagnostics) {
   if (!std::filesystem::is_directory(dir)) {
     throw std::runtime_error("BundleView: not a directory: " + dir.string());
   }
   BundleView bundle;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     if (!entry.is_regular_file()) continue;
-    bundle.streams_.emplace(entry.path().filename().string(),
-                            LogView::from_file(entry.path()));
+    try {
+      bundle.streams_.emplace(entry.path().filename().string(),
+                              LogView::from_file(entry.path()));
+    } catch (const std::exception& e) {
+      if (diagnostics == nullptr) throw;
+      diagnostics->push_back(Diagnostic{DiagnosticKind::kUnreadableFile,
+                                        entry.path().filename().string(), 0, 1,
+                                        e.what()});
+    }
   }
   return bundle;
 }

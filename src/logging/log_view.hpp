@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "logging/diagnostics.hpp"
 #include "logging/log_bundle.hpp"
 
 namespace sdc::logging {
@@ -71,8 +72,13 @@ class BundleView {
   BundleView() = default;
 
   /// Views every regular file in `dir` (non-recursive), one stream per
-  /// file.  Throws std::runtime_error if `dir` is not a directory.
-  static BundleView read_from_directory(const std::filesystem::path& dir);
+  /// file.  Throws std::runtime_error if `dir` is not a directory.  With
+  /// `diagnostics`, an unreadable file is recorded as a kUnreadableFile
+  /// diagnostic and skipped; without it, the first unreadable file throws
+  /// (the historical strict behaviour).
+  static BundleView read_from_directory(const std::filesystem::path& dir,
+                                        std::vector<Diagnostic>* diagnostics =
+                                            nullptr);
 
   /// Zero-copy adapter over an in-memory bundle; `bundle` must outlive
   /// the returned view.

@@ -41,6 +41,19 @@ bool two_digits(std::string_view s, std::size_t pos, int& out) {
 
 }  // namespace
 
+bool valid_civil_date(std::int64_t year, unsigned month, unsigned day) {
+  if (month < 1 || month > 12 || day < 1) return false;
+  static constexpr unsigned kDays[12] = {31, 28, 31, 30, 31, 30,
+                                         31, 31, 30, 31, 30, 31};
+  unsigned limit = kDays[month - 1];
+  if (month == 2) {
+    const bool leap =
+        (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    if (leap) limit = 29;
+  }
+  return day <= limit;
+}
+
 std::int64_t epoch_ms_from_civil(std::int64_t year, unsigned month,
                                  unsigned day, int hour, int minute,
                                  int second, int millis) {
@@ -89,8 +102,14 @@ std::optional<std::int64_t> parse_epoch_ms(std::string_view text) {
   if (last < '0' || last > '9') return std::nullopt;
   ms_lo1 = last - '0';
   const std::int64_t year = c1 * 100 + c2;
-  if (mo < 1 || mo > 12 || dd < 1 || dd > 31 || hh > 23 || mi > 59 || ss > 59)
+  if (hh > 23 || mi > 59 || ss > 59) return std::nullopt;
+  // days_from_civil normalizes impossible dates (Feb 31 -> Mar 3), which
+  // would turn a corrupt stamp into a wrong-but-plausible epoch; reject
+  // them instead.
+  if (!valid_civil_date(year, static_cast<unsigned>(mo),
+                        static_cast<unsigned>(dd))) {
     return std::nullopt;
+  }
   return epoch_ms_from_civil(year, static_cast<unsigned>(mo),
                              static_cast<unsigned>(dd), hh, mi, ss,
                              ms_hi * 10 + ms_lo1);

@@ -28,7 +28,14 @@ std::int64_t epoch_ms_from_civil(std::int64_t year, unsigned month,
                                  int second, int millis);
 
 /// Parses a log4j timestamp back to epoch milliseconds; nullopt on any
-/// malformation (wrong width, non-digits, out-of-range fields).
+/// malformation (wrong width, non-digits, out-of-range fields, or an
+/// impossible calendar date such as Feb 31).
 std::optional<std::int64_t> parse_epoch_ms(std::string_view text);
+
+/// True when (year, month, day) names a real proleptic-Gregorian date:
+/// month in [1,12] and day within that month's length (leap-aware).
+/// Parsers use this so Feb 31 is rejected instead of being silently
+/// normalized into a wrong epoch by the days-from-civil arithmetic.
+bool valid_civil_date(std::int64_t year, unsigned month, unsigned day);
 
 }  // namespace sdc::logging

@@ -87,12 +87,19 @@ void detect_anomalies(const AppTimeline& timeline, const Delays& delays,
   check_negative(out, app, "app", "driver delay", delays.driver);
   check_negative(out, app, "app", "executor delay", delays.executor);
   check_negative(out, app, "app", "allocation delay", delays.alloc);
+  // cf/cl (submission -> first/last worker RUNNING) and out-app (YARN-
+  // caused share) are computed in decompose but were historically never
+  // checked — a skewed NM clock surfaces exactly here.
+  check_negative(out, app, "app", "cf (first-container) delay", delays.cf);
+  check_negative(out, app, "app", "cl (last-container) delay", delays.cl);
+  check_negative(out, app, "app", "out-app delay", delays.out_app);
   for (const ContainerDelays& c : delays.containers) {
     const std::string entity = c.id.str();
     check_negative(out, app, entity, "acquisition delay", c.acquisition);
     check_negative(out, app, entity, "localization delay", c.localization);
     check_negative(out, app, entity, "queuing delay", c.queuing);
     check_negative(out, app, entity, "launching delay", c.launching);
+    check_negative(out, app, entity, "executor idle time", c.executor_idle);
   }
 }
 

@@ -97,6 +97,31 @@ std::string analysis_json(const AnalysisResult& result) {
           static_cast<std::int64_t>(result.events_unattributed));
   w.field("applications", static_cast<std::int64_t>(result.timelines.size()));
   w.field("anomalies", static_cast<std::int64_t>(result.anomalies.size()));
+  w.field("diagnostics",
+          static_cast<std::int64_t>(result.diag_counts.total()));
+  w.end_object();
+
+  // Per-kind totals (always all six kinds, zero included, so consumers
+  // can key on a stable schema) plus the individual records.
+  w.key("diagnostics").begin_object();
+  w.key("counts").begin_object();
+  for (std::size_t i = 0; i < logging::kDiagnosticKindCount; ++i) {
+    const auto kind = static_cast<logging::DiagnosticKind>(i);
+    w.field(logging::diagnostic_kind_name(kind),
+            static_cast<std::int64_t>(result.diag_counts.of(kind)));
+  }
+  w.end_object();
+  w.key("records").begin_array();
+  for (const logging::Diagnostic& diagnostic : result.diagnostics) {
+    w.begin_object();
+    w.field("kind", logging::diagnostic_kind_name(diagnostic.kind));
+    w.field("stream", diagnostic.stream);
+    w.field("line", static_cast<std::int64_t>(diagnostic.line_no));
+    w.field("count", static_cast<std::int64_t>(diagnostic.count));
+    w.field("detail", diagnostic.detail);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 
   w.key("aggregate").begin_object();

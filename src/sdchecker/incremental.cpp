@@ -1,5 +1,7 @@
 #include "sdchecker/incremental.hpp"
 
+#include <algorithm>
+
 #include "sdchecker/parsed_line.hpp"
 
 namespace sdc::checker {
@@ -13,8 +15,45 @@ void IncrementalAnalyzer::feed(const std::string& stream,
   const auto parsed = parse_line(line);
   if (!parsed) {
     ++lines_unparsed_;
+    switch (classify_unparsed_line(line)) {
+      case UnparsedClass::kBinaryGarbage:
+        ++state.garbage_count;
+        if (state.garbage_first_line == 0) {
+          state.garbage_first_line = state.line_no;
+        }
+        break;
+      case UnparsedClass::kTruncated:
+        ++state.truncated_count;
+        if (state.truncated_first_line == 0) {
+          state.truncated_first_line = state.line_no;
+        }
+        break;
+      case UnparsedClass::kPlain:
+        break;
+    }
+    if (state.open_run_len == 0) state.open_run_start = state.line_no;
+    ++state.open_run_len;
     return;
   }
+  // A parsed line closes any unparsable run; long runs are bursts.
+  if (state.open_run_len >= options_.unparsable_burst_min) {
+    ++state.burst_count;
+    state.burst_lines += state.open_run_len;
+    if (state.burst_first_line == 0) {
+      state.burst_first_line = state.open_run_start;
+    }
+  }
+  state.open_run_len = 0;
+  if (state.last_parsed_ts &&
+      *state.last_parsed_ts - parsed->epoch_ms > options_.skew_budget_ms) {
+    ++state.regression_count;
+    if (state.regression_first_line == 0) {
+      state.regression_first_line = state.line_no;
+    }
+    state.regression_max_ms = std::max(
+        state.regression_max_ms, *state.last_parsed_ts - parsed->epoch_ms);
+  }
+  state.last_parsed_ts = parsed->epoch_ms;
   if (state.kind == StreamKind::kUnknown) {
     state.kind = classify_line(*parsed);
     // Instance logs synthesize FIRST_LOG from their first *parsed* line;
@@ -112,7 +151,58 @@ AnalysisResult IncrementalAnalyzer::snapshot() const {
   result.lines_unparsed = lines_unparsed_;
   result.events_total = events_total_;
   result.events_unattributed = events_pending();
+  result.diagnostics = diagnostics();
+  result.diag_counts = logging::count_diagnostics(result.diagnostics);
   return result;
+}
+
+std::vector<logging::Diagnostic> IncrementalAnalyzer::diagnostics() const {
+  using logging::Diagnostic;
+  using logging::DiagnosticKind;
+  std::vector<Diagnostic> out;
+  for (const auto& [name, state] : streams_) {
+    if (state.garbage_count > 0) {
+      out.push_back(Diagnostic{DiagnosticKind::kBinaryGarbage, name,
+                               state.garbage_first_line, state.garbage_count,
+                               "line(s) contain NUL or mostly non-printable "
+                               "bytes"});
+    }
+    if (state.truncated_count > 0) {
+      out.push_back(Diagnostic{DiagnosticKind::kTruncatedLine, name,
+                               state.truncated_first_line,
+                               state.truncated_count,
+                               "line(s) cut mid-write: timestamp intact, "
+                               "remainder malformed"});
+    }
+    std::size_t burst_count = state.burst_count;
+    std::size_t burst_lines = state.burst_lines;
+    std::size_t burst_first = state.burst_first_line;
+    if (state.open_run_len >= options_.unparsable_burst_min) {
+      ++burst_count;
+      burst_lines += state.open_run_len;
+      if (burst_first == 0) burst_first = state.open_run_start;
+    }
+    if (burst_count > 0) {
+      out.push_back(Diagnostic{DiagnosticKind::kUnparsableBurst, name,
+                               burst_first, burst_lines,
+                               std::to_string(burst_count) +
+                                   " burst(s) of consecutive unparsable "
+                                   "lines"});
+    }
+    if (state.regression_count > 0) {
+      out.push_back(Diagnostic{
+          DiagnosticKind::kTimestampRegression, name,
+          state.regression_first_line, state.regression_count,
+          "timestamp jumped backwards by up to " +
+              std::to_string(state.regression_max_ms) + " ms (budget " +
+              std::to_string(options_.skew_budget_ms) + " ms)"});
+    }
+  }
+  return out;
+}
+
+logging::DiagnosticCounts IncrementalAnalyzer::diag_counts() const {
+  return logging::count_diagnostics(diagnostics());
 }
 
 std::size_t IncrementalAnalyzer::events_pending() const {

@@ -26,7 +26,10 @@ namespace sdc::checker {
 
 class IncrementalAnalyzer {
  public:
-  IncrementalAnalyzer() = default;
+  /// Only `skew_budget_ms` and `unparsable_burst_min` of the options are
+  /// meaningful here (feeding is inherently serial).
+  explicit IncrementalAnalyzer(MinerOptions options = {})
+      : options_(options) {}
 
   /// Feeds one raw log line belonging to the named stream (file).  Lines
   /// of different streams may interleave arbitrarily; lines within one
@@ -69,6 +72,13 @@ class IncrementalAnalyzer {
   /// application/container id yet.
   [[nodiscard]] std::size_t events_pending() const;
 
+  /// Typed corpus-health findings accumulated so far, one summary record
+  /// per (stream, kind) in stream order — the streaming analogue of
+  /// `MineResult::diagnostics`.  A burst still open at call time (the
+  /// stream currently ends in unparsable lines) is included.
+  [[nodiscard]] std::vector<logging::Diagnostic> diagnostics() const;
+  [[nodiscard]] logging::DiagnosticCounts diag_counts() const;
+
  private:
   struct StreamState {
     StreamKind kind = StreamKind::kUnknown;
@@ -80,6 +90,21 @@ class IncrementalAnalyzer {
     std::optional<ContainerId> bound_container;
     /// Stream-scoped events waiting for the stream to bind.
     std::vector<SchedEvent> parked;
+
+    // Diagnostics bookkeeping (line numbers 1-based).
+    std::size_t garbage_count = 0;
+    std::size_t garbage_first_line = 0;
+    std::size_t truncated_count = 0;
+    std::size_t truncated_first_line = 0;
+    std::size_t burst_count = 0;
+    std::size_t burst_lines = 0;
+    std::size_t burst_first_line = 0;
+    std::size_t open_run_start = 0;
+    std::size_t open_run_len = 0;
+    std::optional<std::int64_t> last_parsed_ts;
+    std::size_t regression_count = 0;
+    std::size_t regression_first_line = 0;
+    std::int64_t regression_max_ms = 0;
   };
 
   /// Resolves (or parks) one stream-scoped event.
@@ -87,6 +112,7 @@ class IncrementalAnalyzer {
   /// Called when a stream just bound; flushes parked events.
   void flush_parked(StreamState& state);
 
+  MinerOptions options_;
   std::map<std::string, StreamState> streams_;
   std::map<ApplicationId, AppTimeline> timelines_;
   std::size_t lines_total_ = 0;

@@ -1,8 +1,10 @@
 #include "sdchecker/miner.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 #include "common/thread_pool.hpp"
+#include "logging/timestamp.hpp"
 
 namespace sdc::checker {
 
@@ -13,10 +15,41 @@ bool event_order_less(const SchedEvent& a, const SchedEvent& b) {
   return static_cast<int>(a.kind) < static_cast<int>(b.kind);
 }
 
+std::optional<RotationSuffix> split_rotation_suffix(std::string_view name) {
+  const std::size_t dot = name.rfind('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 >= name.size()) {
+    return std::nullopt;
+  }
+  const std::string_view digits = name.substr(dot + 1);
+  unsigned long index = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    index = index * 10 + static_cast<unsigned long>(c - '0');
+  }
+  return RotationSuffix{std::string(name.substr(0, dot)), index};
+}
+
 namespace {
 
-/// What one chunk of a stream learned on its own: its events (sorted)
-/// plus the *first-seen* candidates the stitch pass resolves stream-wide.
+using logging::Diagnostic;
+using logging::DiagnosticKind;
+
+/// A maximal run of consecutive unparsable lines (absolute 1-based
+/// `start`).  `first_plain` / `last_plain` record whether the run's
+/// boundary lines were plain failures (not garbage, not timestamp-cut) —
+/// the head/tail-truncation rules only fire on plain boundaries so one
+/// phenomenon is not reported twice.
+struct UnparsedRun {
+  std::size_t start = 0;
+  std::size_t len = 0;
+  bool first_plain = false;
+  bool last_plain = false;
+};
+
+/// What one chunk of a stream learned on its own: its events (sorted),
+/// the *first-seen* candidates the stitch pass resolves stream-wide, and
+/// provisional diagnostic state whose boundary cases (runs and timestamp
+/// jumps spanning a chunk edge) the stitch pass closes.
 struct ChunkOut {
   std::vector<SchedEvent> events;
   std::size_t lines_unparsed = 0;
@@ -24,6 +57,18 @@ struct ChunkOut {
   StreamKind kind = StreamKind::kUnknown;
   std::optional<ApplicationId> first_app;
   std::optional<ContainerId> first_container;
+
+  // Diagnostic bookkeeping (all line numbers absolute, 1-based).
+  std::size_t garbage_count = 0;
+  std::size_t garbage_first_line = 0;
+  std::size_t tscut_count = 0;
+  std::size_t tscut_first_line = 0;
+  std::vector<UnparsedRun> unparsed_runs;
+  std::size_t regression_count = 0;
+  std::size_t regression_first_line = 0;
+  std::int64_t regression_max_ms = 0;
+  std::size_t first_parsed_line = 0;
+  std::optional<std::int64_t> last_parsed_ts;
 };
 
 /// Mines lines [base_line, base_line + lines.size()) of one stream.
@@ -31,15 +76,47 @@ struct ChunkOut {
 /// `base_line + i + 1`.
 ChunkOut mine_chunk(const std::string& name,
                     std::span<const std::string_view> lines,
-                    std::size_t base_line) {
+                    std::size_t base_line, const MinerOptions& options) {
   ChunkOut out;
+  UnparsedRun run;  // run.len == 0 <=> no open run
+  const auto close_run = [&out, &run] {
+    if (run.len > 0) out.unparsed_runs.push_back(run);
+    run = UnparsedRun{};
+  };
   for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t line_no = base_line + i + 1;
     const auto parsed = parse_line(lines[i]);
     if (!parsed) {
       ++out.lines_unparsed;
+      const UnparsedClass fail = classify_unparsed_line(lines[i]);
+      if (fail == UnparsedClass::kBinaryGarbage) {
+        ++out.garbage_count;
+        if (out.garbage_first_line == 0) out.garbage_first_line = line_no;
+      } else if (fail == UnparsedClass::kTruncated) {
+        ++out.tscut_count;
+        if (out.tscut_first_line == 0) out.tscut_first_line = line_no;
+      }
+      if (run.len == 0) {
+        run.start = line_no;
+        run.first_plain = fail == UnparsedClass::kPlain;
+      }
+      ++run.len;
+      run.last_plain = fail == UnparsedClass::kPlain;
       continue;
     }
-    if (!out.first_parsed_ts) out.first_parsed_ts = parsed->epoch_ms;
+    close_run();
+    if (!out.first_parsed_ts) {
+      out.first_parsed_ts = parsed->epoch_ms;
+      out.first_parsed_line = line_no;
+    }
+    if (out.last_parsed_ts &&
+        *out.last_parsed_ts - parsed->epoch_ms > options.skew_budget_ms) {
+      ++out.regression_count;
+      if (out.regression_first_line == 0) out.regression_first_line = line_no;
+      out.regression_max_ms =
+          std::max(out.regression_max_ms, *out.last_parsed_ts - parsed->epoch_ms);
+    }
+    out.last_parsed_ts = parsed->epoch_ms;
     if (out.kind == StreamKind::kUnknown) {
       out.kind = classify_line(*parsed);
     }
@@ -56,10 +133,11 @@ ChunkOut mine_chunk(const std::string& name,
         out.first_app = app;
       }
     }
-    if (auto event = extract_event(*parsed, name, base_line + i + 1)) {
+    if (auto event = extract_event(*parsed, name, line_no)) {
       out.events.push_back(std::move(*event));
     }
   }
+  close_run();
   // Chunks emit sorted runs; within one stream the order reduces to
   // (ts, line, kind).
   std::sort(out.events.begin(), out.events.end(), event_order_less);
@@ -105,15 +183,115 @@ std::vector<SchedEvent> merge_runs(std::vector<std::vector<SchedEvent>> runs) {
   return out;
 }
 
+/// Derives the stream's diagnostics from the merged per-chunk state, in a
+/// fixed order: (rotation pre-diagnostics,) garbage summary, cut-line
+/// summary, head tear, bursts by position, tail tear, regression summary.
+/// Everything here is computed from chunk-order-merged data, so sharded
+/// and serial mining produce identical records.
+void emit_stream_diagnostics(MinedStream& out,
+                             const std::vector<ChunkOut>& chunks,
+                             const MinerOptions& options) {
+  // Fold per-line summaries and merge boundary state across chunks.
+  std::size_t garbage_count = 0, garbage_first = 0;
+  std::size_t tscut_count = 0, tscut_first = 0;
+  std::size_t reg_count = 0, reg_first = 0;
+  std::int64_t reg_max = 0;
+  std::optional<std::int64_t> prev_last_ts;
+  std::vector<UnparsedRun> runs;
+  for (const ChunkOut& chunk : chunks) {
+    garbage_count += chunk.garbage_count;
+    if (garbage_first == 0) garbage_first = chunk.garbage_first_line;
+    tscut_count += chunk.tscut_count;
+    if (tscut_first == 0) tscut_first = chunk.tscut_first_line;
+    // A jump backwards across the chunk boundary is a regression the
+    // chunks could not see on their own.
+    if (chunk.first_parsed_ts && prev_last_ts &&
+        *prev_last_ts - *chunk.first_parsed_ts > options.skew_budget_ms) {
+      ++reg_count;
+      if (reg_first == 0) reg_first = chunk.first_parsed_line;
+      reg_max = std::max(reg_max, *prev_last_ts - *chunk.first_parsed_ts);
+    }
+    if (chunk.regression_count > 0) {
+      reg_count += chunk.regression_count;
+      if (reg_first == 0) reg_first = chunk.regression_first_line;
+      reg_max = std::max(reg_max, chunk.regression_max_ms);
+    }
+    if (chunk.last_parsed_ts) prev_last_ts = chunk.last_parsed_ts;
+    // Unparsable runs touching the chunk edge continue into the next
+    // chunk's leading run; merge adjacent runs.
+    for (const UnparsedRun& run : chunk.unparsed_runs) {
+      if (!runs.empty() && runs.back().start + runs.back().len == run.start) {
+        runs.back().len += run.len;
+        runs.back().last_plain = run.last_plain;
+      } else {
+        runs.push_back(run);
+      }
+    }
+  }
+
+  auto& diags = out.diagnostics;
+  if (garbage_count > 0) {
+    diags.push_back(Diagnostic{DiagnosticKind::kBinaryGarbage, out.name,
+                               garbage_first, garbage_count,
+                               "line(s) contain NUL or mostly non-printable "
+                               "bytes"});
+  }
+  if (tscut_count > 0) {
+    diags.push_back(Diagnostic{DiagnosticKind::kTruncatedLine, out.name,
+                               tscut_first, tscut_count,
+                               "line(s) cut mid-write: timestamp intact, "
+                               "remainder malformed"});
+  }
+  for (const UnparsedRun& run : runs) {
+    if (run.start == 1 && run.first_plain) {
+      diags.push_back(Diagnostic{DiagnosticKind::kTruncatedLine, out.name, 1,
+                                 1,
+                                 "stream begins mid-line (head truncation or "
+                                 "rotation tear)"});
+    }
+  }
+  for (const UnparsedRun& run : runs) {
+    if (run.len >= options.unparsable_burst_min) {
+      diags.push_back(Diagnostic{DiagnosticKind::kUnparsableBurst, out.name,
+                                 run.start, run.len,
+                                 std::to_string(run.len) +
+                                     " consecutive unparsable lines"});
+    }
+  }
+  for (const UnparsedRun& run : runs) {
+    const bool is_tail = run.start + run.len - 1 == out.lines_total;
+    const bool head_already = run.start == 1 && run.len == 1 && run.first_plain;
+    if (is_tail && run.last_plain && !head_already) {
+      diags.push_back(Diagnostic{DiagnosticKind::kTruncatedLine, out.name,
+                                 out.lines_total, 1,
+                                 "stream ends mid-line (tail truncation)"});
+    }
+  }
+  if (reg_count > 0) {
+    diags.push_back(Diagnostic{DiagnosticKind::kTimestampRegression, out.name,
+                               reg_first, reg_count,
+                               "timestamp jumped backwards by up to " +
+                                   std::to_string(reg_max) +
+                                   " ms (budget " +
+                                   std::to_string(options.skew_budget_ms) +
+                                   " ms)"});
+  }
+  out.diag_counts = logging::count_diagnostics(diags);
+}
+
 /// Resolves the stream-wide values from per-chunk candidates (in chunk
 /// order, i.e. file order), synthesizes FIRST_LOG, merges the chunk
-/// runs, and binds stream-scoped events — semantically identical to a
-/// serial pass over the whole stream.
+/// runs, binds stream-scoped events, and derives the stream's
+/// diagnostics — semantically identical to a serial pass over the whole
+/// stream.
 MinedStream stitch_stream(const std::string& name, std::size_t lines_total,
-                          std::vector<ChunkOut> chunks) {
+                          std::vector<ChunkOut> chunks,
+                          const MinerOptions& options,
+                          std::vector<Diagnostic> pre_diagnostics = {}) {
   MinedStream out;
   out.name = name;
   out.lines_total = lines_total;
+  out.diagnostics = std::move(pre_diagnostics);
   std::optional<std::int64_t> first_parsed_ts;
   for (const ChunkOut& chunk : chunks) {
     out.lines_unparsed += chunk.lines_unparsed;
@@ -125,6 +303,7 @@ MinedStream stitch_stream(const std::string& name, std::size_t lines_total,
   if (!out.bound_app && out.bound_container) {
     out.bound_app = out.bound_container->app;
   }
+  emit_stream_diagnostics(out, chunks, options);
 
   std::vector<std::vector<SchedEvent>> runs;
   runs.reserve(chunks.size() + 1);
@@ -157,13 +336,83 @@ MinedStream stitch_stream(const std::string& name, std::size_t lines_total,
   return out;
 }
 
+/// One logical stream to mine: either a single physical stream (lines
+/// alias the view) or a rotated family reassembled in segment order
+/// (lines owned here).
+struct LogicalStream {
+  std::string name;
+  std::vector<std::string_view> owned;
+  std::span<const std::string_view> lines;
+  std::vector<Diagnostic> pre_diagnostics;
+};
+
+/// Groups `view`'s streams into logical streams, reassembling rotated
+/// families (`base`, `base.1`, `base.2`, ... — higher suffix = older,
+/// logrotate order: oldest first, base last).
+std::vector<LogicalStream> group_rotations(const logging::BundleView& view) {
+  struct Member {
+    // Sort key: base members (no suffix) carry index 0 and rank 1 (they
+    // are the newest); suffixed members rank 0 ordered by descending
+    // index.
+    unsigned long index;
+    std::string name;
+  };
+  std::map<std::string, std::vector<Member>> families;
+  for (const std::string& name : view.stream_names()) {
+    if (const auto rotation = split_rotation_suffix(name)) {
+      families[rotation->base].push_back(Member{rotation->index, name});
+    } else {
+      families[name].push_back(Member{0, name});
+    }
+  }
+  std::vector<LogicalStream> out;
+  out.reserve(families.size());
+  for (auto& [base, members] : families) {
+    LogicalStream logical;
+    logical.name = base;
+    if (members.size() == 1 && members.front().name == base) {
+      logical.lines = view.stream(base).lines();
+      out.push_back(std::move(logical));
+      continue;
+    }
+    // Oldest (highest suffix) first; the unsuffixed base — the live,
+    // newest segment — last.
+    std::sort(members.begin(), members.end(),
+              [&base](const Member& a, const Member& b) {
+                const bool a_base = a.name == base;
+                const bool b_base = b.name == base;
+                if (a_base != b_base) return b_base;
+                return a.index > b.index;
+              });
+    std::size_t total = 0;
+    std::string segment_list;
+    for (const Member& member : members) {
+      total += view.stream(member.name).line_count();
+      if (!segment_list.empty()) segment_list += ", ";
+      segment_list += member.name;
+    }
+    logical.owned.reserve(total);
+    for (const Member& member : members) {
+      const auto& lines = view.stream(member.name).lines();
+      logical.owned.insert(logical.owned.end(), lines.begin(), lines.end());
+    }
+    logical.lines = logical.owned;
+    logical.pre_diagnostics.push_back(
+        Diagnostic{DiagnosticKind::kRotationGap, base, 0, members.size(),
+                   "reassembled " + std::to_string(members.size()) +
+                       " rotated segments: " + segment_list});
+    out.push_back(std::move(logical));
+  }
+  return out;
+}
+
 }  // namespace
 
 MinedStream LogMiner::mine_stream(
     const std::string& name, std::span<const std::string_view> lines) const {
   std::vector<ChunkOut> chunks;
-  chunks.push_back(mine_chunk(name, lines, 0));
-  return stitch_stream(name, lines.size(), std::move(chunks));
+  chunks.push_back(mine_chunk(name, lines, 0, options_));
+  return stitch_stream(name, lines.size(), std::move(chunks), options_);
 }
 
 MinedStream LogMiner::mine_stream(const std::string& name,
@@ -173,21 +422,21 @@ MinedStream LogMiner::mine_stream(const std::string& name,
 }
 
 MineResult LogMiner::mine(const logging::BundleView& view) const {
-  const std::vector<std::string> names = view.stream_names();
+  std::vector<LogicalStream> logicals = group_rotations(view);
 
-  // Work list: every stream split into chunks at line boundaries, so all
-  // chunks across all streams feed one parallel loop and a dominant
-  // stream cannot serialize the run.
+  // Work list: every logical stream split into chunks at line boundaries,
+  // so all chunks across all streams feed one parallel loop and a
+  // dominant stream cannot serialize the run.
   struct ChunkRef {
     std::size_t stream;
     std::size_t begin;
     std::size_t end;
   };
   std::vector<ChunkRef> refs;
-  std::vector<std::size_t> first_chunk(names.size() + 1, 0);
-  for (std::size_t s = 0; s < names.size(); ++s) {
+  std::vector<std::size_t> first_chunk(logicals.size() + 1, 0);
+  for (std::size_t s = 0; s < logicals.size(); ++s) {
     first_chunk[s] = refs.size();
-    const std::size_t n = view.stream(names[s]).line_count();
+    const std::size_t n = logicals[s].lines.size();
     std::size_t chunk_len = n;
     if (options_.threads > 1 && options_.shard_grain > 0) {
       const std::size_t target = 4 * options_.threads;
@@ -201,17 +450,15 @@ MineResult LogMiner::mine(const logging::BundleView& view) const {
       begin = end;
     } while (begin < n);
   }
-  first_chunk[names.size()] = refs.size();
+  first_chunk[logicals.size()] = refs.size();
 
   std::vector<ChunkOut> outs(refs.size());
   const auto mine_one = [&](std::size_t c) {
     const ChunkRef& ref = refs[c];
-    const auto& lines = view.stream(names[ref.stream]).lines();
     outs[c] = mine_chunk(
-        names[ref.stream],
-        std::span<const std::string_view>(lines).subspan(
-            ref.begin, ref.end - ref.begin),
-        ref.begin);
+        logicals[ref.stream].name,
+        logicals[ref.stream].lines.subspan(ref.begin, ref.end - ref.begin),
+        ref.begin, options_);
   };
   if (options_.threads > 1 && refs.size() > 1) {
     ThreadPool pool(options_.threads);
@@ -221,17 +468,22 @@ MineResult LogMiner::mine(const logging::BundleView& view) const {
   }
 
   MineResult result;
-  result.streams.reserve(names.size());
+  result.streams.reserve(logicals.size());
   std::vector<std::vector<SchedEvent>> runs;
-  runs.reserve(names.size());
-  for (std::size_t s = 0; s < names.size(); ++s) {
+  runs.reserve(logicals.size());
+  for (std::size_t s = 0; s < logicals.size(); ++s) {
     std::vector<ChunkOut> chunks(
         std::make_move_iterator(outs.begin() + first_chunk[s]),
         std::make_move_iterator(outs.begin() + first_chunk[s + 1]));
     MinedStream stream = stitch_stream(
-        names[s], view.stream(names[s]).line_count(), std::move(chunks));
+        logicals[s].name, logicals[s].lines.size(), std::move(chunks),
+        options_, std::move(logicals[s].pre_diagnostics));
     result.lines_total += stream.lines_total;
     result.lines_unparsed += stream.lines_unparsed;
+    result.diagnostics.insert(result.diagnostics.end(),
+                              stream.diagnostics.begin(),
+                              stream.diagnostics.end());
+    result.diag_counts += stream.diag_counts;
     // Per-stream runs are already sorted; move them out (no per-event
     // copies) and k-way merge instead of re-sorting globally.
     runs.push_back(std::move(stream.events));
@@ -246,7 +498,19 @@ MineResult LogMiner::mine(const logging::LogBundle& bundle) const {
 }
 
 MineResult LogMiner::mine_directory(const std::filesystem::path& dir) const {
-  return mine(logging::BundleView::read_from_directory(dir));
+  std::vector<Diagnostic> io_diagnostics;
+  const logging::BundleView view =
+      logging::BundleView::read_from_directory(dir, &io_diagnostics);
+  MineResult result = mine(view);
+  if (!io_diagnostics.empty()) {
+    for (const Diagnostic& diagnostic : io_diagnostics) {
+      result.diag_counts.add(diagnostic);
+    }
+    result.diagnostics.insert(result.diagnostics.begin(),
+                              std::make_move_iterator(io_diagnostics.begin()),
+                              std::make_move_iterator(io_diagnostics.end()));
+  }
+  return result;
 }
 
 }  // namespace sdc::checker

@@ -7,23 +7,34 @@
 // §III-B), and bind stream-scoped events to the application/container id
 // discovered anywhere in the stream.
 //
+// Robustness: the miner never throws on damaged input.  Rotated segments
+// (`rm.log.1`, `rm.log.2`, ...) are reassembled into one logical stream
+// (oldest suffix first, base last — logrotate order); binary garbage,
+// mid-line truncation, unparsable bursts and backwards timestamp jumps
+// beyond a skew budget are recorded as typed `logging::Diagnostic`
+// records per stream instead of being silently folded into one
+// "unparsed" number.
+//
 // Parallelism is two-level: streams are mined concurrently, and each
 // stream is itself split into chunks at line boundaries so one dominant
 // stream (the RM log — every application's state machine logs there)
 // cannot serialize the run.  Chunks record their first-seen candidates
-// (timestamp, kind, ids); a stitch pass resolves the stream-wide values
-// in chunk order, which makes the sharded result identical to a serial
-// pass.  Each chunk emits a sorted event run; runs are combined by k-way
-// merge instead of a global sort.
+// (timestamp, kind, ids) and provisional boundary state (open unparsable
+// runs, last parsed timestamp); a stitch pass resolves the stream-wide
+// values in chunk order, which makes the sharded result — events *and*
+// diagnostics — identical to a serial pass.  Each chunk emits a sorted
+// event run; runs are combined by k-way merge instead of a global sort.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "logging/diagnostics.hpp"
 #include "logging/log_bundle.hpp"
 #include "logging/log_view.hpp"
 #include "sdchecker/events.hpp"
@@ -39,6 +50,15 @@ struct MinerOptions {
   /// cannot dominate short streams.  0 disables intra-stream sharding
   /// (one chunk per stream — the pre-sharding behaviour).
   std::size_t shard_grain = 8192;
+  /// A within-stream timestamp going backwards by more than this budget
+  /// is reported as a kTimestampRegression diagnostic (NTP step,
+  /// interleaved foreign lines).  Smaller jitter is normal (buffered
+  /// appenders) and ignored.
+  std::int64_t skew_budget_ms = 1000;
+  /// Minimum length of a consecutive unparsable-line run reported as a
+  /// kUnparsableBurst (stack traces are a few lines; long runs mean a
+  /// corrupt or foreign section).
+  std::size_t unparsable_burst_min = 4;
 };
 
 /// Per-stream mining outcome (diagnostics and tests).
@@ -53,6 +73,11 @@ struct MinedStream {
   std::size_t lines_unparsed = 0;
   std::optional<ApplicationId> bound_app;
   std::optional<ContainerId> bound_container;
+  /// Typed findings about this stream's health, in a deterministic order
+  /// (independent of sharding).
+  std::vector<logging::Diagnostic> diagnostics;
+  /// Per-kind totals over `diagnostics`.
+  logging::DiagnosticCounts diag_counts;
 };
 
 struct MineResult {
@@ -61,6 +86,10 @@ struct MineResult {
   std::vector<MinedStream> streams;
   std::size_t lines_total = 0;
   std::size_t lines_unparsed = 0;
+  /// Bundle-level findings (unreadable files) followed by every stream's
+  /// findings in stream order.
+  std::vector<logging::Diagnostic> diagnostics;
+  logging::DiagnosticCounts diag_counts;
 };
 
 class LogMiner {
@@ -70,7 +99,8 @@ class LogMiner {
   [[nodiscard]] MineResult mine(const logging::LogBundle& bundle) const;
   /// Zero-copy path: mines mmap-backed (or adapted) line views directly.
   [[nodiscard]] MineResult mine(const logging::BundleView& view) const;
-  /// Mines a directory through the mmap-backed view layer.
+  /// Mines a directory through the mmap-backed view layer.  Unreadable
+  /// files become kUnreadableFile diagnostics instead of throwing.
   [[nodiscard]] MineResult mine_directory(
       const std::filesystem::path& dir) const;
 
@@ -89,5 +119,14 @@ class LogMiner {
 /// line, kind) — the final kind tiebreak places a synthesized FIRST_LOG
 /// ahead of a real event extracted from the same line.
 [[nodiscard]] bool event_order_less(const SchedEvent& a, const SchedEvent& b);
+
+/// Splits a rotated-segment file name: "rm.log.3" -> {"rm.log", 3}.
+/// Returns nullopt for names without an all-digit final component.
+struct RotationSuffix {
+  std::string base;
+  unsigned long index = 0;
+};
+[[nodiscard]] std::optional<RotationSuffix> split_rotation_suffix(
+    std::string_view name);
 
 }  // namespace sdc::checker

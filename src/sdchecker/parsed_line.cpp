@@ -27,8 +27,14 @@ std::optional<std::int64_t> parse_spark_short_ts(std::string_view text) {
   const int hh = digits(9);
   const int mi = digits(12);
   const int ss = digits(15);
-  if (yy < 0 || mo < 1 || mo > 12 || dd < 1 || dd > 31 || hh < 0 || hh > 23 ||
-      mi < 0 || mi > 59 || ss < 0 || ss > 59) {
+  if (yy < 0 || mo < 0 || dd < 0 || hh < 0 || hh > 23 || mi < 0 || mi > 59 ||
+      ss < 0 || ss > 59) {
+    return std::nullopt;
+  }
+  // Same impossible-date guard as the log4j parser: Feb 31 is corruption,
+  // not a date.
+  if (!logging::valid_civil_date(2000 + yy, static_cast<unsigned>(mo),
+                                 static_cast<unsigned>(dd))) {
     return std::nullopt;
   }
   // Two-digit years are 2000-based (Spark logs post-date 2000 by far).
@@ -80,6 +86,49 @@ std::string_view short_class_name(std::string_view logger) {
   const std::size_t dot = logger.rfind('.');
   if (dot == std::string_view::npos) return logger;
   return logger.substr(dot + 1);
+}
+
+namespace {
+
+/// True when `line` is a strict prefix of the log4j stamp layout
+/// "YYYY-MM-DD HH:MM:SS,mmm" — the signature of a line cut inside its
+/// timestamp.
+bool looks_like_stamp_prefix(std::string_view line) {
+  if (line.empty() || line.size() >= logging::kTimestampWidth) return false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    const char sep = i == 4 || i == 7     ? '-'
+                     : i == 10            ? ' '
+                     : i == 13 || i == 16 ? ':'
+                     : i == 19            ? ','
+                                          : '\0';
+    if (sep != '\0') {
+      if (c != sep) return false;
+    } else if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+UnparsedClass classify_unparsed_line(std::string_view line) {
+  std::size_t nonprint = 0;
+  for (const char c : line) {
+    if (c == '\0') return UnparsedClass::kBinaryGarbage;
+    const auto u = static_cast<unsigned char>(c);
+    if ((u < 0x20 && c != '\t') || u == 0x7f) ++nonprint;
+  }
+  if (line.size() >= 4 && nonprint * 10 > line.size() * 3) {
+    return UnparsedClass::kBinaryGarbage;
+  }
+  if (line.size() >= logging::kTimestampWidth &&
+      logging::parse_epoch_ms(line.substr(0, logging::kTimestampWidth))) {
+    return UnparsedClass::kTruncated;
+  }
+  if (looks_like_stamp_prefix(line)) return UnparsedClass::kTruncated;
+  return UnparsedClass::kPlain;
 }
 
 }  // namespace sdc::checker

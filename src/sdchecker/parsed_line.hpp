@@ -30,4 +30,18 @@ std::optional<ParsedLine> parse_line(std::string_view line);
 /// Table I refers to ("RMAppImpl", "ContainerImpl", ...).
 std::string_view short_class_name(std::string_view logger);
 
+/// Why a line that `parse_line` rejected failed — feeds the typed
+/// diagnostics channel.
+enum class UnparsedClass {
+  /// Does not resemble a log4j line (stack-trace continuation, foreign
+  /// text, empty line).
+  kPlain,
+  /// Binary bytes: a NUL, or mostly non-printable characters.
+  kBinaryGarbage,
+  /// Cut mid-write: an intact (or clearly cut-short) timestamp with a
+  /// malformed remainder.
+  kTruncated,
+};
+UnparsedClass classify_unparsed_line(std::string_view line);
+
 }  // namespace sdc::checker

@@ -22,18 +22,18 @@ std::vector<const Anomaly*> AnalysisResult::anomalies_of(
 }
 
 AnalysisResult SdChecker::analyze(const logging::LogBundle& bundle) const {
-  LogMiner miner(MinerOptions{options_.threads, options_.shard_grain});
+  LogMiner miner(options_.miner_options());
   return analyze_mined(miner.mine(bundle));
 }
 
 AnalysisResult SdChecker::analyze(const logging::BundleView& view) const {
-  LogMiner miner(MinerOptions{options_.threads, options_.shard_grain});
+  LogMiner miner(options_.miner_options());
   return analyze_mined(miner.mine(view));
 }
 
 AnalysisResult SdChecker::analyze_directory(
     const std::filesystem::path& dir) const {
-  LogMiner miner(MinerOptions{options_.threads, options_.shard_grain});
+  LogMiner miner(options_.miner_options());
   return analyze_mined(miner.mine_directory(dir));
 }
 
@@ -83,6 +83,17 @@ std::string AnalysisResult::render_completeness() const {
                   timelines.size());
     out += buf;
   }
+  out += render_diagnostics();
+  return out;
+}
+
+std::string AnalysisResult::render_diagnostics() const {
+  std::string out;
+  for (const logging::Diagnostic& diagnostic : diagnostics) {
+    out += "  ";
+    out += logging::render_diagnostic(diagnostic);
+    out += '\n';
+  }
   return out;
 }
 
@@ -106,6 +117,8 @@ AnalysisResult SdChecker::analyze_mined(MineResult mined) const {
   result.lines_unparsed = mined.lines_unparsed;
   result.events_total = mined.events.size();
   result.events_unattributed = grouped.unattributed;
+  result.diagnostics = std::move(mined.diagnostics);
+  result.diag_counts = mined.diag_counts;
   return result;
 }
 

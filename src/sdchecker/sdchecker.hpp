@@ -29,6 +29,17 @@ struct AnalyzeOptions {
   /// Minimum lines per intra-stream mining chunk (see MinerOptions);
   /// 0 disables intra-stream sharding.
   std::size_t shard_grain = 8192;
+  /// Within-stream backwards timestamp jumps beyond this budget become
+  /// kTimestampRegression diagnostics (see MinerOptions).
+  std::int64_t skew_budget_ms = 1000;
+
+  [[nodiscard]] MinerOptions miner_options() const {
+    MinerOptions options;
+    options.threads = threads;
+    options.shard_grain = shard_grain;
+    options.skew_budget_ms = skew_budget_ms;
+    return options;
+  }
 };
 
 struct AnalysisResult {
@@ -40,11 +51,18 @@ struct AnalysisResult {
   std::vector<Anomaly> anomalies;
   /// Distribution summaries across applications.
   AggregateReport aggregate;
-  /// Mining diagnostics.
+  /// Mining summary counters.
   std::size_t lines_total = 0;
   std::size_t lines_unparsed = 0;
   std::size_t events_total = 0;
   std::size_t events_unattributed = 0;
+  /// Typed corpus-health findings accumulated through the whole mining
+  /// stack (unreadable files, garbage, truncation, rotation, clock
+  /// steps, unparsable bursts) — the analysis *completed*, these say what
+  /// it had to tolerate.
+  std::vector<logging::Diagnostic> diagnostics;
+  /// Per-kind totals over `diagnostics`.
+  logging::DiagnosticCounts diag_counts;
 
   /// Builds the Fig.-3-style scheduling graph for one application.
   [[nodiscard]] SchedulingGraph graph_for(const ApplicationId& app) const;
@@ -63,8 +81,13 @@ struct AnalysisResult {
   };
   [[nodiscard]] std::vector<Completeness> completeness() const;
 
-  /// Renders the non-zero completeness rows ("" when fully complete).
+  /// Renders the non-zero completeness rows, followed by the per-stream
+  /// diagnostics summary ("" when fully complete and clean).
   [[nodiscard]] std::string render_completeness() const;
+
+  /// Renders one line per diagnostic record ("" when the corpus was
+  /// clean).
+  [[nodiscard]] std::string render_diagnostics() const;
 };
 
 class SdChecker {

@@ -58,15 +58,21 @@ PeriodicTask PeriodicTask::start(Engine& engine, SimTime start,
   PeriodicTask task;
   task.stopped_ = std::make_shared<bool>(false);
   auto stopped = task.stopped_;
-  // Self-rescheduling closure; copies of `tick` share `stopped`.
+  // Self-rescheduling closure; copies of `tick` share `stopped`.  The
+  // stored function holds only a weak self-reference — the strong refs
+  // live in the queued engine entries — so the chain frees itself once
+  // no firing is pending (a strong capture here would be a cycle and
+  // leak the closure and everything `body` owns).
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [&engine, interval, body = std::move(body), stopped, tick] {
+  std::weak_ptr<std::function<void()>> weak_tick = tick;
+  *tick = [&engine, interval, body = std::move(body), stopped, weak_tick] {
     if (*stopped) return;
     if (!body()) {
       *stopped = true;
       return;
     }
-    engine.schedule_after(interval, [tick] { (*tick)(); });
+    if (auto self = weak_tick.lock())
+      engine.schedule_after(interval, [self] { (*self)(); });
   };
   engine.schedule_at(start, [tick] { (*tick)(); });
   return task;

@@ -4,6 +4,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <random>
+#include <string>
 
 #include "logging/log_bundle.hpp"
 #include "logging/logger.hpp"
@@ -56,6 +58,61 @@ TEST(Timestamp, ParseRejectsMalformed) {
   EXPECT_FALSE(parse_epoch_ms("2017-07-03 16:40:60,000").has_value());
   EXPECT_FALSE(parse_epoch_ms("2017-07-03 16:40:00,0ab").has_value());
   EXPECT_FALSE(parse_epoch_ms("20X7-07-03 16:40:00,000").has_value());
+}
+
+TEST(Timestamp, ParseRejectsImpossibleCalendarDates) {
+  // Regression: days-from-civil arithmetic silently normalizes Feb 31
+  // into early March, so these used to parse to a wrong (valid-looking)
+  // epoch instead of being rejected.
+  EXPECT_FALSE(parse_epoch_ms("2017-02-31 12:00:00,000").has_value());
+  EXPECT_FALSE(parse_epoch_ms("2017-02-30 12:00:00,000").has_value());
+  EXPECT_FALSE(parse_epoch_ms("2017-04-31 12:00:00,000").has_value());
+  EXPECT_FALSE(parse_epoch_ms("2017-06-31 12:00:00,000").has_value());
+  EXPECT_FALSE(parse_epoch_ms("2017-09-31 12:00:00,000").has_value());
+  EXPECT_FALSE(parse_epoch_ms("2017-11-31 12:00:00,000").has_value());
+  // Feb 29 exists only in leap years.
+  EXPECT_FALSE(parse_epoch_ms("2017-02-29 12:00:00,000").has_value());
+  EXPECT_FALSE(parse_epoch_ms("1900-02-29 12:00:00,000").has_value());
+  EXPECT_TRUE(parse_epoch_ms("2016-02-29 12:00:00,000").has_value());
+  EXPECT_TRUE(parse_epoch_ms("2000-02-29 12:00:00,000").has_value());
+  EXPECT_FALSE(parse_epoch_ms("2017-07-00 12:00:00,000").has_value());
+  EXPECT_FALSE(parse_epoch_ms("2017-00-03 12:00:00,000").has_value());
+}
+
+TEST(Timestamp, ValidCivilDateTable) {
+  EXPECT_TRUE(valid_civil_date(2017, 1, 31));
+  EXPECT_TRUE(valid_civil_date(2017, 12, 31));
+  EXPECT_TRUE(valid_civil_date(2017, 2, 28));
+  EXPECT_FALSE(valid_civil_date(2017, 2, 29));
+  EXPECT_TRUE(valid_civil_date(2016, 2, 29));
+  EXPECT_FALSE(valid_civil_date(2016, 2, 30));
+  EXPECT_FALSE(valid_civil_date(2100, 2, 29));  // century non-leap
+  EXPECT_TRUE(valid_civil_date(2400, 2, 29));   // 400-year leap
+  EXPECT_FALSE(valid_civil_date(2017, 0, 1));
+  EXPECT_FALSE(valid_civil_date(2017, 13, 1));
+  EXPECT_FALSE(valid_civil_date(2017, 4, 31));
+  EXPECT_TRUE(valid_civil_date(2017, 4, 30));
+}
+
+TEST(Timestamp, FormatParseRoundTripProperty) {
+  // format∘parse must be the identity over a deterministic sweep of
+  // instants covering leap years, month lengths and day boundaries —
+  // and every rendered (y, m, d) must satisfy valid_civil_date, so the
+  // parser can never reject what the formatter produces.
+  std::mt19937_64 rng(20170703);
+  std::uniform_int_distribution<std::int64_t> instant(
+      0, 4'102'444'800'000);  // 1970..2100
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t ms = instant(rng);
+    const std::string text = format_epoch_ms(ms);
+    const auto parsed = parse_epoch_ms(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, ms) << text;
+    const auto year = std::stoll(text.substr(0, 4));
+    const auto month = static_cast<unsigned>(std::stoul(text.substr(5, 2)));
+    const auto day = static_cast<unsigned>(std::stoul(text.substr(8, 2)));
+    EXPECT_TRUE(valid_civil_date(year, month, day)) << text;
+  }
 }
 
 // --- record -----------------------------------------------------------------

@@ -144,6 +144,145 @@ TEST(MinerRobustness, FirstLogUsesFileOrderNotMinTimestamp) {
   }
 }
 
+const MinedStream* stream_named(const MineResult& mined,
+                                const std::string& name) {
+  for (const MinedStream& stream : mined.streams) {
+    if (stream.name == name) return &stream;
+  }
+  return nullptr;
+}
+
+TEST(MinerRobustness, RotatedSegmentsReassembledInLogrotateOrder) {
+  // The oldest lines live in the highest suffix; the unsuffixed base is
+  // the newest.  Reassembly must restore the original line order, so
+  // events come out as if the stream had never been rotated — and the
+  // regrouping itself is reported as a rotation-gap diagnostic.
+  const std::string cls =
+      "org.apache.hadoop.yarn.server.resourcemanager.rmapp.RMAppImpl";
+  logging::LogBundle bundle;
+  bundle.append("rm.log.2",
+                line(0, cls,
+                     "application_1499100000000_0001 State change from "
+                     "NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"));
+  bundle.append("rm.log.1",
+                line(200, cls,
+                     "application_1499100000000_0001 State change from "
+                     "SUBMITTED to ACCEPTED on event = APP_ACCEPTED"));
+  bundle.append("rm.log",
+                line(400, cls,
+                     "application_1499100000000_0001 State change from "
+                     "ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"));
+  const auto mined = LogMiner().mine(bundle);
+
+  const MinedStream* rm = stream_named(mined, "rm.log");
+  ASSERT_NE(rm, nullptr);
+  EXPECT_EQ(mined.streams.size(), 1u);  // one logical stream, not three
+  EXPECT_EQ(rm->lines_total, 3u);
+  EXPECT_EQ(rm->diag_counts.of(logging::DiagnosticKind::kRotationGap), 3u);
+  // Correct reassembly keeps time monotonic: no regression diagnostic.
+  EXPECT_EQ(rm->diag_counts.of(logging::DiagnosticKind::kTimestampRegression),
+            0u);
+
+  const AnalysisResult result = SdChecker().analyze(bundle);
+  ASSERT_EQ(result.timelines.size(), 1u);
+  const AppTimeline& timeline = result.timelines.begin()->second;
+  EXPECT_EQ(timeline.ts(EventKind::kAppSubmitted), kEpoch + 0);
+  EXPECT_EQ(timeline.ts(EventKind::kAppAccepted), kEpoch + 200);
+  EXPECT_EQ(timeline.ts(EventKind::kAttemptRegistered), kEpoch + 400);
+}
+
+TEST(MinerRobustness, MidLineTruncationDiagnosedPerStream) {
+  const std::string cls =
+      "org.apache.hadoop.yarn.server.resourcemanager.rmapp.RMAppImpl";
+  logging::LogBundle bundle;
+  bundle.append("rm.log",
+                line(0, cls,
+                     "application_1499100000000_0001 State change from "
+                     "NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"));
+  // The write was cut after the timestamp reached disk.
+  bundle.append("rm.log", logging::format_epoch_ms(kEpoch + 100) + " INF");
+  bundle.append("clean.log", line(50, "com.example.Fine", "all good"));
+
+  const auto mined = LogMiner().mine(bundle);
+  const MinedStream* rm = stream_named(mined, "rm.log");
+  ASSERT_NE(rm, nullptr);
+  EXPECT_EQ(rm->diag_counts.of(logging::DiagnosticKind::kTruncatedLine), 1u);
+  EXPECT_EQ(rm->lines_unparsed, 1u);
+
+  // The clean stream is untouched: no diagnostics, same parse results.
+  const MinedStream* clean = stream_named(mined, "clean.log");
+  ASSERT_NE(clean, nullptr);
+  EXPECT_EQ(clean->diag_counts.total(), 0u);
+  EXPECT_EQ(clean->lines_unparsed, 0u);
+
+  // Event extraction on the valid rm.log line is unchanged.
+  const AnalysisResult result = SdChecker().analyze(bundle);
+  ASSERT_EQ(result.timelines.size(), 1u);
+  EXPECT_EQ(result.timelines.begin()->second.ts(EventKind::kAppSubmitted),
+            kEpoch + 0);
+}
+
+TEST(MinerRobustness, HeadTearDiagnosedAsTruncation) {
+  logging::LogBundle bundle;
+  // The stream begins mid-line: the head was rotated away mid-write.
+  bundle.append("nm.log", "ate change from LOCALIZING to LOCALIZED");
+  bundle.append("nm.log", line(10, "com.example.Nm", "healthy line"));
+  const auto mined = LogMiner().mine(bundle);
+  const MinedStream* nm = stream_named(mined, "nm.log");
+  ASSERT_NE(nm, nullptr);
+  EXPECT_EQ(nm->diag_counts.of(logging::DiagnosticKind::kTruncatedLine), 1u);
+}
+
+TEST(MinerRobustness, GarbageBytesDiagnosedEventsSurvive) {
+  const std::string cls =
+      "org.apache.hadoop.yarn.server.resourcemanager.rmapp.RMAppImpl";
+  logging::LogBundle bundle;
+  bundle.append("rm.log",
+                line(0, cls,
+                     "application_1499100000000_0001 State change from "
+                     "NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"));
+  bundle.append("rm.log", std::string("\x00\x01\xff\xfe garbage", 12));
+  bundle.append("rm.log", std::string("\x00\x00\x00\x00", 4));
+  bundle.append("rm.log",
+                line(300, cls,
+                     "application_1499100000000_0001 State change from "
+                     "SUBMITTED to ACCEPTED on event = APP_ACCEPTED"));
+  const auto mined = LogMiner().mine(bundle);
+  const MinedStream* rm = stream_named(mined, "rm.log");
+  ASSERT_NE(rm, nullptr);
+  EXPECT_EQ(rm->diag_counts.of(logging::DiagnosticKind::kBinaryGarbage), 2u);
+  EXPECT_EQ(rm->lines_unparsed, 2u);
+
+  // Both valid lines still yield their events.
+  const AnalysisResult result = SdChecker().analyze(bundle);
+  ASSERT_EQ(result.timelines.size(), 1u);
+  const AppTimeline& timeline = result.timelines.begin()->second;
+  EXPECT_EQ(timeline.ts(EventKind::kAppSubmitted), kEpoch + 0);
+  EXPECT_EQ(timeline.ts(EventKind::kAppAccepted), kEpoch + 300);
+}
+
+TEST(MinerRobustness, TimestampRegressionBeyondBudgetDiagnosed) {
+  logging::LogBundle bundle;
+  bundle.append("app.log", line(5000, "com.example.A", "later"));
+  bundle.append("app.log", line(0, "com.example.A", "clock stepped back"));
+  MinerOptions options;
+  options.skew_budget_ms = 1000;
+  const auto mined = LogMiner(options).mine(bundle);
+  const MinedStream* app = stream_named(mined, "app.log");
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(
+      app->diag_counts.of(logging::DiagnosticKind::kTimestampRegression), 1u);
+
+  // Jitter within the budget is normal buffered-appender behaviour.
+  logging::LogBundle jitter;
+  jitter.append("app.log", line(500, "com.example.A", "later"));
+  jitter.append("app.log", line(0, "com.example.A", "small jitter"));
+  const auto mined_jitter = LogMiner(options).mine(jitter);
+  EXPECT_EQ(mined_jitter.diag_counts.of(
+                logging::DiagnosticKind::kTimestampRegression),
+            0u);
+}
+
 TEST(MinerRobustness, MergedBundlesFromTwoRunsKeepAppsSeparate) {
   harness::ScenarioConfig a;
   a.seed = 51;

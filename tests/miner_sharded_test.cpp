@@ -66,7 +66,50 @@ void expect_same_events(const MineResult& a, const MineResult& b) {
     EXPECT_EQ(a.streams[s].lines_unparsed, b.streams[s].lines_unparsed);
     EXPECT_EQ(a.streams[s].bound_app, b.streams[s].bound_app);
     EXPECT_EQ(a.streams[s].bound_container, b.streams[s].bound_container);
+    // Diagnostics are part of the sharding-invisibility contract: the
+    // stitch pass must fold per-chunk provisional state into the exact
+    // records a serial pass emits.
+    ASSERT_EQ(a.streams[s].diagnostics.size(), b.streams[s].diagnostics.size())
+        << a.streams[s].name;
+    for (std::size_t d = 0; d < a.streams[s].diagnostics.size(); ++d) {
+      const logging::Diagnostic& x = a.streams[s].diagnostics[d];
+      const logging::Diagnostic& y = b.streams[s].diagnostics[d];
+      EXPECT_EQ(x.kind, y.kind) << a.streams[s].name << " diag " << d;
+      EXPECT_EQ(x.line_no, y.line_no) << a.streams[s].name << " diag " << d;
+      EXPECT_EQ(x.count, y.count) << a.streams[s].name << " diag " << d;
+      EXPECT_EQ(x.detail, y.detail) << a.streams[s].name << " diag " << d;
+    }
   }
+  ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size());
+  for (std::size_t i = 0; i < logging::kDiagnosticKindCount; ++i) {
+    EXPECT_EQ(a.diag_counts.by_kind[i], b.diag_counts.by_kind[i]);
+  }
+}
+
+TEST(ShardedMiner, DamagedCorpusDiagnosticsIdenticalToSerial) {
+  // A stream with garbage, a truncated tail, a long unparsable burst and
+  // a clock step, mined with chunk grain 1 — every diagnostic summary
+  // crosses chunk boundaries and must still match the serial pass.
+  logging::LogBundle bundle;
+  const std::string cls = "com.example.Daemon";
+  for (int i = 0; i < 6; ++i) {
+    bundle.append("sick.log", line(i * 100, cls, "ok " + std::to_string(i)));
+  }
+  bundle.append("sick.log", std::string("\x01\x00\x02 binary", 10));
+  for (int i = 0; i < 5; ++i) {
+    bundle.append("sick.log", "plain unparsable filler " + std::to_string(i));
+  }
+  bundle.append("sick.log", line(5000, cls, "resumes"));
+  bundle.append("sick.log", line(100, cls, "clock stepped back"));
+  bundle.append("sick.log", logging::format_epoch_ms(kEpoch + 200) + " INF");
+  const MineResult serial = LogMiner(MinerOptions{1}).mine(bundle);
+  const MineResult sharded = LogMiner(MinerOptions{4, 1}).mine(bundle);
+  expect_same_events(serial, sharded);
+  using logging::DiagnosticKind;
+  EXPECT_EQ(serial.diag_counts.of(DiagnosticKind::kBinaryGarbage), 1u);
+  EXPECT_GE(serial.diag_counts.of(DiagnosticKind::kUnparsableBurst), 1u);
+  EXPECT_EQ(serial.diag_counts.of(DiagnosticKind::kTimestampRegression), 1u);
+  EXPECT_EQ(serial.diag_counts.of(DiagnosticKind::kTruncatedLine), 1u);
 }
 
 TEST(ShardedMiner, GoldenCorpusIdenticalToSerial) {

@@ -118,6 +118,68 @@ TEST(Anomaly, NegativeIntervalFlagsClockSkew) {
   EXPECT_NE(findings[0]->detail.find("skew"), std::string::npos);
 }
 
+TEST(Anomaly, SkewedCorpusFlagsCfClOutAppAndExecutorIdle) {
+  // A synthetic corpus where the NM and executor clocks run behind the
+  // RM clock.  Historically only total/am/driver/executor/alloc and the
+  // four container phases were checked for negativity; cf, cl, out-app
+  // and executor idle passed through silently.
+  logging::LogBundle bundle;
+  const std::string cid = "container_1499100000000_0001_01_000002";
+
+  // RM (reference clock): submission at +10000.
+  bundle.append("rm.log",
+                line(10'000, kRmApp,
+                     "application_1499100000000_0001 State change from "
+                     "NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"));
+
+  // NM clock is ~5 s behind: the worker reaches RUNNING "before" the app
+  // was submitted -> cf and cl negative.
+  nmc(bundle, 4'000, cid, "NEW", "LOCALIZING");
+  nmc(bundle, 4'500, cid, "LOCALIZING", "SCHEDULED");
+  nmc(bundle, 5'000, cid, "SCHEDULED", "RUNNING");
+
+  // Driver: in-app share of 5 s.
+  const std::string am_cls = "org.apache.spark.deploy.yarn.ApplicationMaster";
+  bundle.append("driver.log", line(0, am_cls, "Registered signal handlers"));
+  bundle.append("driver.log",
+                line(100, am_cls,
+                     "ApplicationAttemptId: appattempt_1499100000000_0001_"
+                     "000001"));
+  bundle.append("driver.log",
+                line(5'000, am_cls, "Registering the ApplicationMaster"));
+
+  // Executor: FIRST_LOG at +10400 but the (skewed) first task stamps
+  // +9000 -> executor idle negative; total (9000-10000) < in-app
+  // (5000-1400) -> out-app negative.
+  const std::string backend =
+      "org.apache.spark.executor.CoarseGrainedExecutorBackend";
+  bundle.append("exec.log", line(10'400, backend, "Started daemon"));
+  bundle.append("exec.log",
+                line(10'450, backend,
+                     "Connecting to driver for container " + cid));
+  bundle.append("exec.log", line(9'000, backend, "Got assigned task 0"));
+
+  const AnalysisResult result = SdChecker().analyze(bundle);
+  const auto findings = result.anomalies_of(AnomalyType::kNegativeInterval);
+  const auto has = [&](const std::string& needle,
+                       const std::string& entity) {
+    for (const Anomaly* anomaly : findings) {
+      if (anomaly->entity == entity &&
+          anomaly->detail.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("cf (first-container)", "app"));
+  EXPECT_TRUE(has("cl (last-container)", "app"));
+  EXPECT_TRUE(has("out-app delay", "app"));
+  EXPECT_TRUE(has("executor idle time", cid));
+  // The pre-existing checks still fire alongside the new ones.
+  EXPECT_TRUE(has("total scheduling delay", "app"));
+  EXPECT_TRUE(has("executor delay", "app"));
+}
+
 TEST(Anomaly, TypeNames) {
   EXPECT_EQ(anomaly_type_name(AnomalyType::kNeverUsedContainer),
             "never-used-container");

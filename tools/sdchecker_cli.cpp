@@ -12,16 +12,26 @@
 //             [--input-mb MB] [--scheduler capacity|opportunistic]
 //       Generate a synthetic Spark-on-YARN log corpus (useful for demos
 //       and for testing the analyzer without a cluster).
+//
+//   sdchecker fuzz <log_dir> [--seed S] [--class NAME]
+//       Smoke-test the analyzer against seeded corpus damage (see
+//       tools/corpus_mutator for the full harness).
+//
+// Exit status: 0 success on a clean corpus, 1 runtime error, 2 usage
+// error, 3 analysis completed but the corpus needed diagnostics
+// (garbage, truncation, rotation gaps, clock steps, ...).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "harness/scenario.hpp"
 #include "sdchecker/compare.hpp"
+#include "sdchecker/corpus_mutator.hpp"
 #include "sdchecker/export.hpp"
 #include "sdchecker/sdchecker.hpp"
 #include "sdchecker/timeline.hpp"
@@ -45,7 +55,11 @@ int usage() {
                "  sdchecker simulate <out_dir> [--jobs N] [--seed S] "
                "[--executors E]\n"
                "            [--input-mb MB] [--scheduler "
-               "capacity|opportunistic]\n");
+               "capacity|opportunistic]\n"
+               "  sdchecker fuzz <log_dir> [--seed S] [--class NAME]\n"
+               "\n"
+               "exit status: 0 clean, 1 error, 2 usage error,\n"
+               "             3 analysis completed with corpus diagnostics\n");
   return 2;
 }
 
@@ -64,13 +78,57 @@ std::optional<std::string> flag_value(std::vector<std::string>& args,
 }
 
 bool flag_present(std::vector<std::string>& args, const std::string& flag) {
-  for (std::size_t i = 0; i < args.size(); ++i) {
+  bool found = false;
+  for (std::size_t i = 0; i < args.size();) {
     if (args[i] == flag) {
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
-      return true;
+      found = true;
+    } else {
+      ++i;
     }
   }
-  return false;
+  return found;
+}
+
+/// Strict tail of argument parsing: once a command has consumed its
+/// flags, what remains must be exactly the expected positionals.  Any
+/// other token — an unknown flag, a known flag whose value is missing,
+/// or a stray positional — is a usage error naming the token
+/// (historically such arguments were silently ignored).  Returns the
+/// positionals, or nullopt after printing the specific error.
+std::optional<std::vector<std::string>> finish_args(
+    std::vector<std::string> args,
+    std::initializer_list<const char*> positional_names,
+    std::initializer_list<const char*> value_flags) {
+  std::vector<std::string> positionals;
+  for (std::string& arg : args) {
+    if (!arg.empty() && arg.front() == '-') {
+      bool wants_value = false;
+      for (const char* flag : value_flags) {
+        if (arg == flag) {
+          wants_value = true;
+          break;
+        }
+      }
+      std::fprintf(stderr,
+                   wants_value ? "sdchecker: flag '%s' requires a value\n"
+                               : "sdchecker: unknown flag '%s'\n",
+                   arg.c_str());
+      return std::nullopt;
+    }
+    positionals.push_back(std::move(arg));
+  }
+  if (positionals.size() < positional_names.size()) {
+    std::fprintf(stderr, "sdchecker: missing <%s>\n",
+                 positional_names.begin()[positionals.size()]);
+    return std::nullopt;
+  }
+  if (positionals.size() > positional_names.size()) {
+    std::fprintf(stderr, "sdchecker: unexpected argument '%s'\n",
+                 positionals[positional_names.size()].c_str());
+    return std::nullopt;
+  }
+  return positionals;
 }
 
 void print_opt(const char* name, const std::optional<std::int64_t>& v) {
@@ -82,15 +140,22 @@ void print_opt(const char* name, const std::optional<std::int64_t>& v) {
 }
 
 int cmd_analyze(std::vector<std::string> args) {
-  if (args.empty()) return usage();
-  const std::string dir = args[0];
-  args.erase(args.begin());
   std::size_t threads = 1;
   if (const auto t = flag_value(args, "--threads")) {
     threads = static_cast<std::size_t>(std::strtoul(t->c_str(), nullptr, 10));
   }
   const auto csv = flag_value(args, "--csv");
+  const auto delays_csv_path = flag_value(args, "--delays-csv");
+  const auto containers_csv_path = flag_value(args, "--containers-csv");
+  const auto events_csv_path = flag_value(args, "--events-csv");
+  const auto json_path = flag_value(args, "--json");
   const bool per_app = flag_present(args, "--per-app");
+  const auto positionals =
+      finish_args(std::move(args), {"log_dir"},
+                  {"--threads", "--csv", "--delays-csv", "--containers-csv",
+                   "--events-csv", "--json"});
+  if (!positionals) return usage();
+  const std::string& dir = (*positionals)[0];
 
   checker::SdChecker sdchecker({.threads = std::max<std::size_t>(1, threads)});
   checker::AnalysisResult analysis;
@@ -122,9 +187,7 @@ int cmd_analyze(std::vector<std::string> args) {
 
   const std::string completeness = analysis.render_completeness();
   if (!completeness.empty()) {
-    std::printf("incomplete log coverage (a daemon's logs may be missing):\n"
-                "%s\n",
-                completeness.c_str());
+    std::printf("log coverage / corpus health:\n%s\n", completeness.c_str());
   }
   if (!analysis.anomalies.empty()) {
     std::printf("%zu anomalies:\n", analysis.anomalies.size());
@@ -150,35 +213,47 @@ int cmd_analyze(std::vector<std::string> args) {
     return true;
   };
   if (csv && !write_file(*csv, analysis.aggregate.render_csv())) return 1;
-  if (const auto path = flag_value(args, "--delays-csv")) {
-    if (!write_file(*path, checker::delays_csv(analysis))) return 1;
+  if (delays_csv_path &&
+      !write_file(*delays_csv_path, checker::delays_csv(analysis))) {
+    return 1;
   }
-  if (const auto path = flag_value(args, "--containers-csv")) {
-    if (!write_file(*path, checker::containers_csv(analysis))) return 1;
+  if (containers_csv_path &&
+      !write_file(*containers_csv_path, checker::containers_csv(analysis))) {
+    return 1;
   }
-  if (const auto path = flag_value(args, "--events-csv")) {
-    if (!write_file(*path, checker::events_csv(analysis))) return 1;
+  if (events_csv_path &&
+      !write_file(*events_csv_path, checker::events_csv(analysis))) {
+    return 1;
   }
-  if (const auto path = flag_value(args, "--json")) {
-    if (!write_file(*path, checker::analysis_json(analysis))) return 1;
+  if (json_path && !write_file(*json_path, checker::analysis_json(analysis))) {
+    return 1;
+  }
+  if (const std::size_t diagnostics = analysis.diag_counts.total();
+      diagnostics > 0) {
+    std::printf("analysis completed with %zu corpus diagnostic(s)\n",
+                diagnostics);
+    return 3;
   }
   return 0;
 }
 
 int cmd_timeline(std::vector<std::string> args) {
-  if (args.size() < 2) return usage();
-  const auto app = ApplicationId::parse(args[1]);
+  const auto positionals =
+      finish_args(std::move(args), {"log_dir", "application_id"}, {});
+  if (!positionals) return usage();
+  const auto app = ApplicationId::parse((*positionals)[1]);
   if (!app) {
     std::fprintf(stderr, "sdchecker: '%s' is not an application id\n",
-                 args[1].c_str());
+                 (*positionals)[1].c_str());
     return 2;
   }
   try {
-    const auto analysis = checker::SdChecker().analyze_directory(args[0]);
+    const auto analysis =
+        checker::SdChecker().analyze_directory((*positionals)[0]);
     const auto it = analysis.timelines.find(*app);
     if (it == analysis.timelines.end()) {
       std::fprintf(stderr, "sdchecker: no events for %s\n",
-                   args[1].c_str());
+                   (*positionals)[1].c_str());
       return 1;
     }
     std::printf("%s", checker::render_timeline(it->second).c_str());
@@ -190,18 +265,22 @@ int cmd_timeline(std::vector<std::string> args) {
 }
 
 int cmd_diff(std::vector<std::string> args) {
-  if (args.size() < 2) return usage();
   double threshold = 0.10;
   if (const auto t = flag_value(args, "--threshold")) {
     threshold = std::atof(t->c_str()) / 100.0;
   }
+  const auto positionals =
+      finish_args(std::move(args), {"log_dir_a", "log_dir_b"},
+                  {"--threshold"});
+  if (!positionals) return usage();
   try {
     const checker::SdChecker sdchecker({.threads = 2});
-    const auto a = sdchecker.analyze_directory(args[0]);
-    const auto b = sdchecker.analyze_directory(args[1]);
+    const auto a = sdchecker.analyze_directory((*positionals)[0]);
+    const auto b = sdchecker.analyze_directory((*positionals)[1]);
     const auto comparison = checker::compare(a, b);
-    std::printf("A = %s (%zu apps)   B = %s (%zu apps)\n\n", args[0].c_str(),
-                comparison.apps_a, args[1].c_str(), comparison.apps_b);
+    std::printf("A = %s (%zu apps)   B = %s (%zu apps)\n\n",
+                (*positionals)[0].c_str(), comparison.apps_a,
+                (*positionals)[1].c_str(), comparison.apps_b);
     std::printf("%s\n", comparison.render_text().c_str());
     const auto moved = comparison.significant(threshold);
     if (moved.empty()) {
@@ -222,12 +301,13 @@ int cmd_diff(std::vector<std::string> args) {
 }
 
 int cmd_graph(std::vector<std::string> args) {
-  if (args.size() < 2) return usage();
-  const std::string dir = args[0];
-  const std::string app_text = args[1];
-  args.erase(args.begin(), args.begin() + 2);
-  const std::string out_path =
-      flag_value(args, "--out").value_or(app_text + ".dot");
+  const auto out_flag = flag_value(args, "--out");
+  const auto positionals =
+      finish_args(std::move(args), {"log_dir", "application_id"}, {"--out"});
+  if (!positionals) return usage();
+  const std::string& dir = (*positionals)[0];
+  const std::string& app_text = (*positionals)[1];
+  const std::string out_path = out_flag.value_or(app_text + ".dot");
 
   const auto app = ApplicationId::parse(app_text);
   if (!app) {
@@ -239,7 +319,16 @@ int cmd_graph(std::vector<std::string> args) {
     const auto analysis = checker::SdChecker().analyze_directory(dir);
     const auto graph = analysis.graph_for(*app);
     std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "sdchecker: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
     out << graph.to_dot();
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "sdchecker: error writing %s\n", out_path.c_str());
+      return 1;
+    }
     std::printf("%zu nodes, %zu edges -> %s\n", graph.nodes().size(),
                 graph.edges().size(), out_path.c_str());
     const auto violations = graph.validate();
@@ -254,19 +343,23 @@ int cmd_graph(std::vector<std::string> args) {
 }
 
 int cmd_simulate(std::vector<std::string> args) {
-  if (args.empty()) return usage();
-  const std::string out_dir = args[0];
-  args.erase(args.begin());
-  const int jobs = std::atoi(flag_value(args, "--jobs").value_or("20").c_str());
+  const auto jobs_flag = flag_value(args, "--jobs");
+  const auto seed_flag = flag_value(args, "--seed");
+  const auto executors_flag = flag_value(args, "--executors");
+  const auto input_mb_flag = flag_value(args, "--input-mb");
+  const auto scheduler_flag = flag_value(args, "--scheduler");
+  const auto positionals =
+      finish_args(std::move(args), {"out_dir"},
+                  {"--jobs", "--seed", "--executors", "--input-mb",
+                   "--scheduler"});
+  if (!positionals) return usage();
+  const std::string& out_dir = (*positionals)[0];
+  const int jobs = std::atoi(jobs_flag.value_or("20").c_str());
   const auto seed = static_cast<std::uint64_t>(
-      std::strtoull(flag_value(args, "--seed").value_or("42").c_str(), nullptr,
-                    10));
-  const int executors =
-      std::atoi(flag_value(args, "--executors").value_or("4").c_str());
-  const double input_mb =
-      std::atof(flag_value(args, "--input-mb").value_or("2048").c_str());
-  const std::string scheduler =
-      flag_value(args, "--scheduler").value_or("capacity");
+      std::strtoull(seed_flag.value_or("42").c_str(), nullptr, 10));
+  const int executors = std::atoi(executors_flag.value_or("4").c_str());
+  const double input_mb = std::atof(input_mb_flag.value_or("2048").c_str());
+  const std::string scheduler = scheduler_flag.value_or("capacity");
 
   harness::ScenarioConfig scenario;
   scenario.seed = seed;
@@ -295,6 +388,45 @@ int cmd_simulate(std::vector<std::string> args) {
   return 0;
 }
 
+int cmd_fuzz(std::vector<std::string> args) {
+  std::uint64_t seed = 42;
+  if (const auto s = flag_value(args, "--seed")) {
+    seed = std::strtoull(s->c_str(), nullptr, 10);
+  }
+  std::vector<checker::MutationClass> classes;
+  while (const auto name = flag_value(args, "--class")) {
+    const auto cls = checker::mutation_class_from_name(*name);
+    if (!cls) {
+      std::fprintf(stderr, "sdchecker: unknown mutation class '%s'\n",
+                   name->c_str());
+      return usage();
+    }
+    classes.push_back(*cls);
+  }
+  if (classes.empty()) classes = checker::all_mutation_classes();
+  const auto positionals =
+      finish_args(std::move(args), {"log_dir"}, {"--seed", "--class"});
+  if (!positionals) return usage();
+
+  logging::LogBundle base;
+  try {
+    base = logging::LogBundle::read_from_directory((*positionals)[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sdchecker: %s\n", e.what());
+    return 1;
+  }
+  const auto results = checker::fuzz_corpus(base, seed, classes);
+  std::printf("%s", checker::render_fuzz_report(results).c_str());
+  for (const auto& result : results) {
+    if (!result.ok) {
+      std::printf("fuzz smoke test FAILED\n");
+      return 1;
+    }
+  }
+  std::printf("fuzz smoke test passed: %zu class(es)\n", results.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -306,5 +438,7 @@ int main(int argc, char** argv) {
   if (command == "diff") return cmd_diff(std::move(args));
   if (command == "graph") return cmd_graph(std::move(args));
   if (command == "simulate") return cmd_simulate(std::move(args));
+  if (command == "fuzz") return cmd_fuzz(std::move(args));
+  std::fprintf(stderr, "sdchecker: unknown command '%s'\n", command.c_str());
   return usage();
 }
