@@ -1,0 +1,76 @@
+#include "common/log_contract.hpp"
+
+namespace sdc::contract {
+namespace {
+
+/// Finds the `{name}` slot starting at `pos`; returns npos when there is
+/// no further well-formed slot.  `*name` receives the slot's name.
+std::size_t find_slot(std::string_view format, std::size_t pos,
+                      std::string_view* name, std::size_t* end) {
+  while (pos < format.size()) {
+    const std::size_t open = format.find('{', pos);
+    if (open == std::string_view::npos) return std::string_view::npos;
+    const std::size_t close = format.find('}', open + 1);
+    if (close == std::string_view::npos) return std::string_view::npos;
+    *name = format.substr(open + 1, close - open - 1);
+    *end = close + 1;
+    return open;
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+std::string render_template(std::string_view format,
+                            std::span<const Placeholder> values) {
+  std::string out;
+  out.reserve(format.size() + 16);
+  std::size_t pos = 0;
+  while (pos < format.size()) {
+    std::string_view name;
+    std::size_t end = 0;
+    const std::size_t open = find_slot(format, pos, &name, &end);
+    if (open == std::string_view::npos) {
+      out.append(format.substr(pos));
+      break;
+    }
+    out.append(format.substr(pos, open - pos));
+    bool replaced = false;
+    for (const Placeholder& value : values) {
+      if (value.name == name) {
+        out.append(value.value);
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      // Unknown slot: keep it verbatim so sdlint can flag it.
+      out.append(format.substr(open, end - open));
+    }
+    pos = end;
+  }
+  return out;
+}
+
+std::string render_template(std::string_view format,
+                            std::initializer_list<Placeholder> values) {
+  return render_template(format,
+                         std::span<const Placeholder>(values.begin(),
+                                                      values.size()));
+}
+
+std::vector<std::string_view> collect_placeholders(std::string_view format) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos < format.size()) {
+    std::string_view name;
+    std::size_t end = 0;
+    const std::size_t open = find_slot(format, pos, &name, &end);
+    if (open == std::string_view::npos) break;
+    out.push_back(name);
+    pos = end;
+  }
+  return out;
+}
+
+}  // namespace sdc::contract

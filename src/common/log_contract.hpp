@@ -1,0 +1,69 @@
+// The emitter side of the simulator/miner log contract.
+//
+// Every scheduling-relevant log line a simulated daemon emits is declared
+// as introspectable `constexpr` data — a message template with named
+// `{placeholder}` slots — instead of being assembled ad hoc at the call
+// site.  The daemons render the templates at runtime; `sdlint` renders
+// the same templates with canonical placeholder values at build/CI time
+// and drives them through the real miner extractor, so a drifted format
+// string is a lint failure instead of a silent "missing event" in the
+// delay decomposition.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdc::contract {
+
+/// One named value substituted into a message template.
+struct Placeholder {
+  std::string_view name;
+  std::string_view value;
+};
+
+/// Renders `format`, replacing each `{name}` with the matching value.
+/// Unknown placeholders are left verbatim (sdlint reports them); a `{`
+/// with no closing `}` is treated as literal text.
+std::string render_template(std::string_view format,
+                            std::span<const Placeholder> values);
+
+/// Convenience overload for brace-init call sites.
+std::string render_template(std::string_view format,
+                            std::initializer_list<Placeholder> values);
+
+/// All `{name}` slots of a template, in order of appearance.
+std::vector<std::string_view> collect_placeholders(std::string_view format);
+
+/// Which synthetic log stream a declared line belongs to — sdlint uses
+/// this to compose per-daemon sample streams for the Table-I coverage
+/// check (the miner classifies streams from content, so the composition
+/// must mirror a real bundle's layout).
+enum class StreamRole {
+  kResourceManager,
+  kNodeManager,
+  kSparkDriver,
+  kSparkExecutor,
+  kMrAppMaster,
+  kMrTask,
+};
+
+/// One declared emitter line that is not a state-machine transition: a
+/// milestone (REGISTER, START_ALLO, FIRST_TASK, log banners) or an
+/// informational line that the extractor must stay silent on.
+struct MilestoneSpec {
+  /// Stable identifier, e.g. "spark.driver.start_allo".
+  std::string_view name;
+  /// Fully qualified logger class, as emitted.
+  std::string_view logger_class;
+  /// Message template with `{placeholder}` slots.
+  std::string_view format;
+  /// `event_name()` of the Table-I / auxiliary event the miner extractor
+  /// must produce from this line, or "" when the line must stay silent.
+  std::string_view emits;
+  /// Stream the line appears in (for sdlint's coverage composition).
+  StreamRole stream;
+};
+
+}  // namespace sdc::contract

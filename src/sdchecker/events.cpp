@@ -53,6 +53,32 @@ std::int32_t table1_number(EventKind kind) {
   return raw >= 1 && raw <= 14 ? raw : 0;
 }
 
+namespace {
+
+constexpr EventKind kAllEventKinds[] = {
+    EventKind::kAppSubmitted,        EventKind::kAppAccepted,
+    EventKind::kAttemptRegistered,   EventKind::kContainerAllocated,
+    EventKind::kContainerAcquired,   EventKind::kNmLocalizing,
+    EventKind::kNmScheduled,         EventKind::kNmRunning,
+    EventKind::kDriverFirstLog,      EventKind::kDriverRegister,
+    EventKind::kStartAllo,           EventKind::kEndAllo,
+    EventKind::kExecutorFirstLog,    EventKind::kExecutorFirstTask,
+    EventKind::kRmContainerRunning,  EventKind::kRmContainerCompleted,
+    EventKind::kRmContainerReleased, EventKind::kNmExited,
+    EventKind::kAppFinished,         EventKind::kNmFailed,
+};
+
+}  // namespace
+
+std::span<const EventKind> all_event_kinds() { return kAllEventKinds; }
+
+std::optional<EventKind> event_from_name(std::string_view name) {
+  for (const EventKind kind : kAllEventKinds) {
+    if (event_name(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
 bool is_container_event(EventKind kind) {
   switch (kind) {
     case EventKind::kContainerAllocated:
@@ -68,9 +94,17 @@ bool is_container_event(EventKind kind) {
     case EventKind::kNmExited:
     case EventKind::kNmFailed:
       return true;
-    default:
+    case EventKind::kAppSubmitted:
+    case EventKind::kAppAccepted:
+    case EventKind::kAttemptRegistered:
+    case EventKind::kDriverFirstLog:
+    case EventKind::kDriverRegister:
+    case EventKind::kStartAllo:
+    case EventKind::kEndAllo:
+    case EventKind::kAppFinished:
       return false;
   }
+  return false;
 }
 
 }  // namespace sdc::checker

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -44,6 +45,14 @@ std::string_view event_name(EventKind kind);
 
 /// Table I message number (1-14), or 0 for auxiliary events.
 std::int32_t table1_number(EventKind kind);
+
+/// Every EventKind, in enumerator order — the vocabulary sdlint checks
+/// coverage against.
+std::span<const EventKind> all_event_kinds();
+
+/// Inverse of event_name() (exact match), for resolving the `emits`
+/// annotations on transition tables and milestone specs.
+std::optional<EventKind> event_from_name(std::string_view name);
 
 /// One extracted scheduling event.
 struct SchedEvent {

@@ -11,16 +11,6 @@ bool contains(std::string_view haystack, std::string_view needle) {
   return haystack.find(needle) != std::string_view::npos;
 }
 
-/// Extracts the token following `marker` up to the next space (or end).
-std::string_view word_after(std::string_view text, std::string_view marker) {
-  const std::size_t pos = text.find(marker);
-  if (pos == std::string_view::npos) return {};
-  std::size_t start = pos + marker.size();
-  std::size_t end = start;
-  while (end < text.size() && text[end] != ' ') ++end;
-  return text.substr(start, end - start);
-}
-
 std::optional<SchedEvent> make_event(EventKind kind, const ParsedLine& line,
                                      std::string_view stream,
                                      std::size_t line_no,
@@ -93,180 +83,177 @@ std::optional<Transition> parse_transition(std::string_view message) {
 
 namespace {
 
-// --- per-class extractors, dispatched on the short logger-class name --------
+// --- the declarative pattern tables -----------------------------------------
 
-std::optional<SchedEvent> extract_rm_app(const ParsedLine& line,
-                                         std::string_view stream,
-                                         std::size_t line_no) {
-  const std::string_view msg = line.message;
-  const auto transition = parse_transition(msg);
-  if (!transition) return std::nullopt;
-  const auto app = find_application_id(msg);
-  if (!app) return std::nullopt;
-  if (transition->to == "SUBMITTED") {
-    return make_event(EventKind::kAppSubmitted, line, stream, line_no, app,
-                      std::nullopt);
+/// Every logger class the classifier recognizes, and the daemon kind it
+/// implies.  Classes with no rules below only classify.
+constexpr ClassKind kClassKinds[] = {
+    // ResourceManager classes.
+    {"RMAppImpl", StreamKind::kResourceManager},
+    {"RMContainerImpl", StreamKind::kResourceManager},
+    {"CapacityScheduler", StreamKind::kResourceManager},
+    {"ClientRMService", StreamKind::kResourceManager},
+    {"RMAppAttemptImpl", StreamKind::kResourceManager},
+    {"OpportunisticContainerAllocatorAMService", StreamKind::kResourceManager},
+    // NodeManager classes.
+    {"ContainerImpl", StreamKind::kNodeManager},
+    {"ResourceLocalizationService", StreamKind::kNodeManager},
+    {"ContainerScheduler", StreamKind::kNodeManager},
+    // Driver-side classes (Spark driver or MR AppMaster).
+    {"ApplicationMaster", StreamKind::kDriver},
+    {"MRAppMaster", StreamKind::kDriver},
+    {"YarnAllocator", StreamKind::kDriver},
+    {"RMContainerAllocator", StreamKind::kDriver},
+    {"SparkContext", StreamKind::kDriver},
+    {"TaskSetManager", StreamKind::kDriver},
+    {"YarnSchedulerBackend", StreamKind::kDriver},
+    // Executor-side classes (Spark executor or MR task).
+    {"CoarseGrainedExecutorBackend", StreamKind::kExecutor},
+    {"Executor", StreamKind::kExecutor},
+    {"YarnChild", StreamKind::kExecutor},
+};
+
+/// The Table-I extraction patterns.  Grouped by class, first match wins
+/// within a class.
+constexpr ExtractorRule kExtractorRules[] = {
+    // RMAppImpl "State change from A to B on event = E" lines.
+    {"RMAppImpl", RuleMatch::kTransitionTo, "SUBMITTED", "",
+     EventKind::kAppSubmitted, RuleId::kApp},
+    {"RMAppImpl", RuleMatch::kTransitionTo, "ACCEPTED", "",
+     EventKind::kAppAccepted, RuleId::kApp},
+    {"RMAppImpl", RuleMatch::kTransitionTo, "RUNNING", "ATTEMPT_REGISTERED",
+     EventKind::kAttemptRegistered, RuleId::kApp},
+    {"RMAppImpl", RuleMatch::kTransitionTo, "FINISHED", "",
+     EventKind::kAppFinished, RuleId::kApp},
+    // RMContainerImpl "Container Transitioned from A to B" lines.
+    {"RMContainerImpl", RuleMatch::kTransitionTo, "ALLOCATED", "",
+     EventKind::kContainerAllocated, RuleId::kContainer},
+    {"RMContainerImpl", RuleMatch::kTransitionTo, "ACQUIRED", "",
+     EventKind::kContainerAcquired, RuleId::kContainer},
+    {"RMContainerImpl", RuleMatch::kTransitionTo, "RUNNING", "",
+     EventKind::kRmContainerRunning, RuleId::kContainer},
+    {"RMContainerImpl", RuleMatch::kTransitionTo, "COMPLETED", "",
+     EventKind::kRmContainerCompleted, RuleId::kContainer},
+    {"RMContainerImpl", RuleMatch::kTransitionTo, "RELEASED", "",
+     EventKind::kRmContainerReleased, RuleId::kContainer},
+    // NM ContainerImpl "transitioned from A to B" lines.
+    {"ContainerImpl", RuleMatch::kTransitionTo, "LOCALIZING", "",
+     EventKind::kNmLocalizing, RuleId::kContainer},
+    {"ContainerImpl", RuleMatch::kTransitionTo, "SCHEDULED", "",
+     EventKind::kNmScheduled, RuleId::kContainer},
+    {"ContainerImpl", RuleMatch::kTransitionTo, "RUNNING", "",
+     EventKind::kNmRunning, RuleId::kContainer},
+    {"ContainerImpl", RuleMatch::kTransitionTo, "EXITED_WITH_SUCCESS", "",
+     EventKind::kNmExited, RuleId::kContainer},
+    {"ContainerImpl", RuleMatch::kTransitionTo, "EXITED_WITH_FAILURE", "",
+     EventKind::kNmFailed, RuleId::kContainer},
+    // REGISTER (Table I message 10): each framework has its own phrasing;
+    // the app id is not in the message — the miner binds it stream-wide.
+    {"ApplicationMaster", RuleMatch::kPhrase,
+     "Registering the ApplicationMaster", "", EventKind::kDriverRegister,
+     RuleId::kNone},
+    {"MRAppMaster", RuleMatch::kPhrase, "Registering with the ResourceManager",
+     "", EventKind::kDriverRegister, RuleId::kNone},
+    // START_ALLO / END_ALLO (Table I messages 11/12).
+    {"YarnAllocator", RuleMatch::kPhrase, "START_ALLO", "",
+     EventKind::kStartAllo, RuleId::kNone},
+    {"YarnAllocator", RuleMatch::kPhrase, "END_ALLO", "", EventKind::kEndAllo,
+     RuleId::kNone},
+    // FIRST_TASK (Table I message 14).
+    {"CoarseGrainedExecutorBackend", RuleMatch::kPhrase, "Got assigned task",
+     "", EventKind::kExecutorFirstTask, RuleId::kNone},
+};
+
+}  // namespace
+
+bool rule_matches(const ExtractorRule& rule, std::string_view message) {
+  switch (rule.match) {
+    case RuleMatch::kTransitionTo: {
+      const auto transition = parse_transition(message);
+      if (!transition || transition->to != rule.token) return false;
+      break;
+    }
+    case RuleMatch::kPhrase:
+      if (!contains(message, rule.token)) return false;
+      break;
   }
-  if (transition->to == "ACCEPTED") {
-    return make_event(EventKind::kAppAccepted, line, stream, line_no, app,
-                      std::nullopt);
-  }
-  if (transition->to == "RUNNING" && contains(msg, "ATTEMPT_REGISTERED")) {
-    return make_event(EventKind::kAttemptRegistered, line, stream, line_no,
-                      app, std::nullopt);
-  }
-  if (transition->to == "FINISHED") {
-    return make_event(EventKind::kAppFinished, line, stream, line_no, app,
-                      std::nullopt);
+  return rule.also.empty() || contains(message, rule.also);
+}
+
+std::optional<SchedEvent> apply_rule(const ExtractorRule& rule,
+                                     const ParsedLine& line,
+                                     std::string_view stream,
+                                     std::size_t line_no) {
+  if (!rule_matches(rule, line.message)) return std::nullopt;
+  switch (rule.id) {
+    case RuleId::kNone:
+      return make_event(rule.emits, line, stream, line_no, std::nullopt,
+                        std::nullopt);
+    case RuleId::kApp: {
+      const auto app = find_application_id(line.message);
+      if (!app) return std::nullopt;
+      return make_event(rule.emits, line, stream, line_no, app, std::nullopt);
+    }
+    case RuleId::kContainer: {
+      const auto container = find_container_id(line.message);
+      if (!container) return std::nullopt;
+      return make_event(rule.emits, line, stream, line_no, container->app,
+                        container);
+    }
   }
   return std::nullopt;
 }
 
-std::optional<SchedEvent> extract_rm_container(const ParsedLine& line,
-                                               std::string_view stream,
-                                               std::size_t line_no) {
-  const std::string_view msg = line.message;
-  const auto transition = parse_transition(msg);
-  if (!transition) return std::nullopt;
-  const auto container = find_container_id(msg);
-  if (!container) return std::nullopt;
-  const auto app = std::optional<ApplicationId>(container->app);
-  if (transition->to == "ALLOCATED") {
-    return make_event(EventKind::kContainerAllocated, line, stream, line_no,
-                      app, container);
-  }
-  if (transition->to == "ACQUIRED") {
-    return make_event(EventKind::kContainerAcquired, line, stream, line_no,
-                      app, container);
-  }
-  if (transition->to == "RUNNING") {
-    return make_event(EventKind::kRmContainerRunning, line, stream, line_no,
-                      app, container);
-  }
-  if (transition->to == "COMPLETED") {
-    return make_event(EventKind::kRmContainerCompleted, line, stream, line_no,
-                      app, container);
-  }
-  if (transition->to == "RELEASED") {
-    return make_event(EventKind::kRmContainerReleased, line, stream, line_no,
-                      app, container);
-  }
-  return std::nullopt;
-}
-
-std::optional<SchedEvent> extract_nm_container(const ParsedLine& line,
-                                               std::string_view stream,
-                                               std::size_t line_no) {
-  const std::string_view msg = line.message;
-  const auto transition = parse_transition(msg);
-  if (!transition) return std::nullopt;
-  const auto container = find_container_id(msg);
-  if (!container) return std::nullopt;
-  const auto app = std::optional<ApplicationId>(container->app);
-  if (transition->to == "LOCALIZING") {
-    return make_event(EventKind::kNmLocalizing, line, stream, line_no, app,
-                      container);
-  }
-  if (transition->to == "SCHEDULED") {
-    return make_event(EventKind::kNmScheduled, line, stream, line_no, app,
-                      container);
-  }
-  if (transition->to == "RUNNING") {
-    return make_event(EventKind::kNmRunning, line, stream, line_no, app,
-                      container);
-  }
-  if (transition->to == "EXITED_WITH_SUCCESS") {
-    return make_event(EventKind::kNmExited, line, stream, line_no, app,
-                      container);
-  }
-  if (transition->to == "EXITED_WITH_FAILURE") {
-    return make_event(EventKind::kNmFailed, line, stream, line_no, app,
-                      container);
-  }
-  return std::nullopt;
-}
-
-std::optional<SchedEvent> extract_am_register(const ParsedLine& line,
-                                              std::string_view stream,
-                                              std::size_t line_no) {
-  const std::string_view msg = line.message;
-  if (contains(msg, "Registering the ApplicationMaster") ||
-      contains(msg, "Registering with the ResourceManager")) {
-    // App id is not in this message; the miner binds it stream-wide.
-    return make_event(EventKind::kDriverRegister, line, stream, line_no,
-                      std::nullopt, std::nullopt);
-  }
-  return std::nullopt;
-}
-
-std::optional<SchedEvent> extract_allocator(const ParsedLine& line,
-                                            std::string_view stream,
-                                            std::size_t line_no) {
-  const std::string_view msg = line.message;
-  if (contains(msg, "START_ALLO")) {
-    return make_event(EventKind::kStartAllo, line, stream, line_no,
-                      std::nullopt, std::nullopt);
-  }
-  if (contains(msg, "END_ALLO")) {
-    return make_event(EventKind::kEndAllo, line, stream, line_no,
-                      std::nullopt, std::nullopt);
-  }
-  return std::nullopt;
-}
-
-std::optional<SchedEvent> extract_executor(const ParsedLine& line,
-                                           std::string_view stream,
-                                           std::size_t line_no) {
-  const std::string_view msg = line.message;
-  if (contains(msg, "Got assigned task")) {
-    const std::string_view tid = word_after(msg, "Got assigned task ");
-    (void)tid;
-    return make_event(EventKind::kExecutorFirstTask, line, stream, line_no,
-                      std::nullopt, std::nullopt);
-  }
-  return std::nullopt;
-}
+namespace {
 
 /// Dispatch entry for one diagnostic logger class: the daemon kind it
-/// implies, and the Table-I extractor handling its messages (null for
-/// classes that only classify).
+/// implies, and its slice of the rule table (empty for classes that only
+/// classify).
 struct ClassDispatch {
   StreamKind kind = StreamKind::kUnknown;
-  std::optional<SchedEvent> (*extract)(const ParsedLine&, std::string_view,
-                                       std::size_t) = nullptr;
+  std::span<const ExtractorRule> rules{};
 };
 
 /// One hash lookup replaces the chained string compares on the miner's
 /// hottest path (every parsed line goes through classify + extract).
+/// Built from the constexpr tables above so sdlint and the hot path can
+/// never disagree.
 const std::unordered_map<std::string_view, ClassDispatch>& dispatch_table() {
-  static const std::unordered_map<std::string_view, ClassDispatch> kTable = {
-      // ResourceManager classes.
-      {"RMAppImpl", {StreamKind::kResourceManager, &extract_rm_app}},
-      {"RMContainerImpl", {StreamKind::kResourceManager, &extract_rm_container}},
-      {"CapacityScheduler", {StreamKind::kResourceManager, nullptr}},
-      {"ClientRMService", {StreamKind::kResourceManager, nullptr}},
-      {"OpportunisticContainerAllocatorAMService",
-       {StreamKind::kResourceManager, nullptr}},
-      // NodeManager classes.
-      {"ContainerImpl", {StreamKind::kNodeManager, &extract_nm_container}},
-      {"ResourceLocalizationService", {StreamKind::kNodeManager, nullptr}},
-      {"ContainerScheduler", {StreamKind::kNodeManager, nullptr}},
-      // Driver-side classes (Spark driver or MR AppMaster).
-      {"ApplicationMaster", {StreamKind::kDriver, &extract_am_register}},
-      {"MRAppMaster", {StreamKind::kDriver, &extract_am_register}},
-      {"YarnAllocator", {StreamKind::kDriver, &extract_allocator}},
-      {"SparkContext", {StreamKind::kDriver, nullptr}},
-      {"TaskSetManager", {StreamKind::kDriver, nullptr}},
-      {"YarnSchedulerBackend", {StreamKind::kDriver, nullptr}},
-      // Executor-side classes (Spark executor or MR task).
-      {"CoarseGrainedExecutorBackend", {StreamKind::kExecutor, &extract_executor}},
-      {"Executor", {StreamKind::kExecutor, nullptr}},
-      {"YarnChild", {StreamKind::kExecutor, nullptr}},
-  };
+  static const std::unordered_map<std::string_view, ClassDispatch> kTable =
+      [] {
+        std::unordered_map<std::string_view, ClassDispatch> table;
+        for (const ClassKind& entry : kClassKinds) {
+          table[entry.klass] = ClassDispatch{entry.kind, {}};
+        }
+        // Rules are grouped by class; record each class's slice.
+        const std::span<const ExtractorRule> rules{kExtractorRules};
+        for (std::size_t i = 0; i < rules.size();) {
+          std::size_t j = i;
+          while (j < rules.size() && rules[j].klass == rules[i].klass) ++j;
+          table[rules[i].klass].rules = rules.subspan(i, j - i);
+          i = j;
+        }
+        return table;
+      }();
   return kTable;
 }
 
 }  // namespace
+
+std::span<const ExtractorRule> extractor_rules() { return kExtractorRules; }
+
+std::span<const ClassKind> class_kinds() { return kClassKinds; }
+
+std::vector<const ExtractorRule*> matching_rules(std::string_view klass,
+                                                 std::string_view message) {
+  std::vector<const ExtractorRule*> out;
+  for (const ExtractorRule& rule : kExtractorRules) {
+    if (rule.klass == klass && rule_matches(rule, message)) {
+      out.push_back(&rule);
+    }
+  }
+  return out;
+}
 
 StreamKind classify_line(const ParsedLine& line) {
   const auto& table = dispatch_table();
@@ -279,8 +266,11 @@ std::optional<SchedEvent> extract_event(const ParsedLine& line,
                                         std::size_t line_no) {
   const auto& table = dispatch_table();
   const auto it = table.find(short_class_name(line.logger));
-  if (it == table.end() || it->second.extract == nullptr) return std::nullopt;
-  return it->second.extract(line, stream, line_no);
+  if (it == table.end()) return std::nullopt;
+  for (const ExtractorRule& rule : it->second.rules) {
+    if (auto event = apply_rule(rule, line, stream, line_no)) return event;
+  }
+  return std::nullopt;
 }
 
 }  // namespace sdc::checker

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "sdchecker/events.hpp"
 #include "sdchecker/parsed_line.hpp"
@@ -28,6 +30,65 @@ enum class StreamKind {
 };
 
 std::string_view stream_kind_name(StreamKind kind);
+
+/// How an ExtractorRule matches a message.
+enum class RuleMatch {
+  kTransitionTo,  // "from A to B" phrasing with B == token
+  kPhrase,        // token appears as a substring
+};
+
+/// Which global id a rule requires in the message (and attaches to the
+/// event).  Rules with kNone produce events the miner binds stream-wide.
+enum class RuleId {
+  kNone,
+  kApp,        // application_... (or embedded in appattempt_...)
+  kContainer,  // container_... (its app id is attached too)
+};
+
+/// One declarative extraction pattern: on lines from logger class `klass`
+/// whose message matches (`match`, `token`, and `also` if non-empty),
+/// emit `emits` carrying the `id` found in the message.  The whole
+/// extractor is this table — sdlint checks it against the emitters'
+/// declared formats.
+struct ExtractorRule {
+  std::string_view klass;  // short logger-class name
+  RuleMatch match;
+  std::string_view token;
+  std::string_view also;  // extra required substring ("" = none)
+  EventKind emits;
+  RuleId id;
+};
+
+/// The full pattern table, in match-priority order (first match wins
+/// within a class).
+std::span<const ExtractorRule> extractor_rules();
+
+/// One diagnostic logger class: the daemon kind its presence implies.
+struct ClassKind {
+  std::string_view klass;
+  StreamKind kind;
+};
+
+/// Every logger class the classifier recognizes.
+std::span<const ClassKind> class_kinds();
+
+/// All rules that would fire on `message` if it appeared on a line from
+/// `klass` — sdlint's ambiguity/orphan probe.  Respects each rule's
+/// match predicate but not id extraction.
+std::vector<const ExtractorRule*> matching_rules(std::string_view klass,
+                                                 std::string_view message);
+
+/// True when `rule`'s match predicate (ignoring id extraction) fires on
+/// the message.
+bool rule_matches(const ExtractorRule& rule, std::string_view message);
+
+/// Runs one rule against a parsed line: match predicate plus required-id
+/// extraction.  Exposed so sdlint can probe rules outside the global
+/// dispatch table.
+std::optional<SchedEvent> apply_rule(const ExtractorRule& rule,
+                                     const ParsedLine& line,
+                                     std::string_view stream,
+                                     std::size_t line_no);
 
 /// Extracts the scheduling event from one parsed line, if it is one of
 /// the identified messages.  `stream` / `line_no` are recorded verbatim.

@@ -1,0 +1,76 @@
+// Check (b): the emitter/extractor log protocol.
+//
+// The simulator's emitters and the miner's extractor form a contract:
+// every scheduling-critical line the simulator declares (a state-machine
+// transition with an `emits` annotation, or a milestone spec) must be
+// matched by exactly one extractor rule that produces exactly the
+// declared event — and every informational line must match none.
+// Conversely, every extractor rule must be exercised by at least one
+// declared line, or it is dead weight that silently rots.
+//
+// The check renders each declared format with canonical placeholder
+// values and probes the real rule table with it.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/log_contract.hpp"
+#include "sdchecker/extractor.hpp"
+#include "sdlint/findings.hpp"
+#include "yarn/state_machine.hpp"
+
+namespace sdc::lint {
+
+/// One declared log line, rendered with canonical placeholder values.
+struct DeclaredLine {
+  /// Where it came from ("spark.driver.start_allo", "RMAppImpl
+  /// ACCEPTED -> RUNNING", ...).
+  std::string name;
+  /// Fully qualified logger class.
+  std::string logger;
+  /// The message with canonical placeholder values substituted.
+  std::string message;
+  /// Miner event name the line must produce ("" = must stay silent).
+  std::string emits;
+};
+
+/// The canonical value substituted for `placeholder`, or empty when the
+/// placeholder is unknown (itself a finding).
+std::string_view canonical_value(std::string_view placeholder,
+                                 std::string_view id_kind = "");
+
+/// Renders `format` with canonical values; unknown placeholders are
+/// reported into `findings` under `subject`.
+std::string render_canonical(std::string_view format, std::string_view subject,
+                             std::string_view id_kind,
+                             std::vector<Finding>& findings);
+
+/// Declared lines from one machine's transition table (every edge).
+void declare_machine_lines(const yarn::MachineDescriptor& machine,
+                           std::vector<DeclaredLine>& lines,
+                           std::vector<Finding>& findings);
+
+/// Declared lines from milestone specs.
+void declare_milestone_lines(std::span<const contract::MilestoneSpec> specs,
+                             std::vector<DeclaredLine>& lines,
+                             std::vector<Finding>& findings);
+
+/// All declared lines of the real simulator (machines + yarn/spark/MR
+/// milestones); render problems are appended to `findings`.
+std::vector<DeclaredLine> declared_lines(std::vector<Finding>& findings);
+
+/// Probes `rules` with every declared line and reports contract
+/// violations (drift, ambiguity, wrong event, missing id, noisy
+/// informational lines, dead rules, unknown logger classes).
+std::vector<Finding> check_contract(
+    std::span<const DeclaredLine> lines,
+    std::span<const checker::ExtractorRule> rules,
+    std::span<const checker::ClassKind> classes);
+
+/// check_contract over the real tables.
+std::vector<Finding> check_real_contract();
+
+}  // namespace sdc::lint

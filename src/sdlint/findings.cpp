@@ -1,0 +1,57 @@
+#include "sdlint/findings.hpp"
+
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace sdc::lint {
+
+Finding make_finding(std::string check, std::string subject,
+                     std::string detail) {
+  return Finding{std::move(check), std::move(subject), std::move(detail)};
+}
+
+bool any_with_prefix(std::span<const Finding> findings,
+                     std::string_view prefix) {
+  for (const Finding& finding : findings) {
+    if (finding.check == prefix) return true;
+    if (finding.check.size() > prefix.size() &&
+        finding.check.compare(0, prefix.size(), prefix) == 0 &&
+        finding.check[prefix.size()] == '.') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string findings_to_json(std::span<const Finding> findings) {
+  json::Writer writer;
+  writer.begin_object();
+  writer.field("count", static_cast<std::int64_t>(findings.size()));
+  writer.key("findings").begin_array();
+  for (const Finding& finding : findings) {
+    writer.begin_object()
+        .field("check", finding.check)
+        .field("subject", finding.subject)
+        .field("detail", finding.detail)
+        .end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  return writer.take();
+}
+
+std::string findings_to_text(std::span<const Finding> findings) {
+  std::string out;
+  for (const Finding& finding : findings) {
+    out += "sdlint: [" + finding.check + "] " + finding.subject + ": " +
+           finding.detail + "\n";
+  }
+  return out;
+}
+
+void append_findings(std::vector<Finding>& into, std::vector<Finding> extra) {
+  for (Finding& finding : extra) into.push_back(std::move(finding));
+}
+
+}  // namespace sdc::lint

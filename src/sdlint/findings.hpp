@@ -1,0 +1,44 @@
+// sdlint's output vocabulary: a flat list of findings, each tagged with
+// the dotted check id that produced it.  Checks never throw on contract
+// violations — they report, and the CLI turns a non-empty report into a
+// non-zero exit.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sdc::lint {
+
+/// One verified violation.
+struct Finding {
+  /// Dotted check id ("machine.unreachable", "contract.drift.no-match",
+  /// "coverage.missing-kind", ...).  Stable — tests and CI key on it.
+  std::string check;
+  /// What the finding is about ("RMAppImpl state FINISHED",
+  /// "rule YarnAllocator/START_ALLO", ...).
+  std::string subject;
+  /// Human sentence explaining the violation.
+  std::string detail;
+};
+
+/// Convenience for the checks.
+Finding make_finding(std::string check, std::string subject,
+                     std::string detail);
+
+/// True when any finding's check id starts with `prefix` (dotted-prefix
+/// semantics: "machine" matches "machine.unreachable").
+bool any_with_prefix(std::span<const Finding> findings,
+                     std::string_view prefix);
+
+/// Machine-readable report: {"findings":[{check,subject,detail}...],
+/// "count":N}.
+std::string findings_to_json(std::span<const Finding> findings);
+
+/// Human-readable diagnostics, one finding per line.
+std::string findings_to_text(std::span<const Finding> findings);
+
+/// Appends `extra` onto `into`.
+void append_findings(std::vector<Finding>& into, std::vector<Finding> extra);
+
+}  // namespace sdc::lint

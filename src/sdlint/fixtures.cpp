@@ -1,0 +1,236 @@
+#include "sdlint/fixtures.hpp"
+
+#include "sdlint/contract_check.hpp"
+#include "yarn/log_contract.hpp"
+#include "sdlint/coverage_check.hpp"
+#include "sdlint/machine_check.hpp"
+#include "sdlint/runner.hpp"
+
+namespace sdc::lint {
+namespace {
+
+using yarn::MachineDescriptor;
+
+// --- broken state machines ---------------------------------------------------
+// A tiny three-state machine (INIT, MID, END) broken a different way per
+// fixture.  State names and edges are static so the descriptors can hand
+// out string_views/spans safely.
+
+constexpr std::string_view kTinyStates[] = {"INIT", "MID", "END"};
+constexpr std::size_t kTinyTerminals[] = {2};
+constexpr std::string_view kTinyFormat =
+    "{id} State change from {from} to {to} on event = {event}";
+constexpr std::string_view kTinyLogger = "sdlint.fixture.TinyMachine";
+
+// INIT -> END only: MID is unreachable, and its outgoing edge is dead.
+constexpr MachineDescriptor::Edge kUnreachableEdges[] = {
+    {0, 2, "FINISH", ""},
+    {1, 2, "NEVER", ""},
+};
+constexpr MachineDescriptor kUnreachableMachine{
+    "TinyMachine", kTinyLogger, kTinyFormat, "application",
+    kTinyStates,   0,           kTinyTerminals, kUnreachableEdges};
+
+// Same (from, event) pair leads to two different states.
+constexpr MachineDescriptor::Edge kNondetEdges[] = {
+    {0, 1, "GO", ""},
+    {0, 2, "GO", ""},
+    {1, 2, "FINISH", ""},
+};
+constexpr MachineDescriptor kNondetMachine{
+    "TinyMachine", kTinyLogger, kTinyFormat, "application",
+    kTinyStates,   0,           kTinyTerminals, kNondetEdges};
+
+// The same edge declared twice.
+constexpr MachineDescriptor::Edge kDuplicateEdges[] = {
+    {0, 1, "GO", ""},
+    {0, 1, "GO_AGAIN", ""},
+    {1, 2, "FINISH", ""},
+};
+constexpr MachineDescriptor kDuplicateMachine{
+    "TinyMachine", kTinyLogger, kTinyFormat, "application",
+    kTinyStates,   0,           kTinyTerminals, kDuplicateEdges};
+
+// END is declared terminal but has a way out.
+constexpr MachineDescriptor::Edge kTerminalOutEdges[] = {
+    {0, 1, "GO", ""},
+    {1, 2, "FINISH", ""},
+    {2, 1, "ZOMBIE", ""},
+};
+constexpr MachineDescriptor kTerminalOutMachine{
+    "TinyMachine", kTinyLogger, kTinyFormat, "application",
+    kTinyStates,   0,           kTinyTerminals, kTerminalOutEdges};
+
+// MID is reachable but has no outgoing edge and is not terminal.
+constexpr MachineDescriptor::Edge kDeadEndEdges[] = {
+    {0, 1, "GO", ""},
+    {0, 2, "FINISH", ""},
+};
+constexpr MachineDescriptor kDeadEndMachine{
+    "TinyMachine", kTinyLogger, kTinyFormat, "application",
+    kTinyStates,   0,           kTinyTerminals, kDeadEndEdges};
+
+// An emits annotation naming an event the miner does not know.
+constexpr MachineDescriptor::Edge kBadEmitEdges[] = {
+    {0, 1, "GO", "NOT_A_REAL_EVENT"},
+    {1, 2, "FINISH", ""},
+};
+constexpr MachineDescriptor kBadEmitMachine{
+    "TinyMachine", kTinyLogger, kTinyFormat, "application",
+    kTinyStates,   0,           kTinyTerminals, kBadEmitEdges};
+
+// --- broken emitter/extractor contracts --------------------------------------
+
+std::vector<Finding> contract_with_lines(std::vector<DeclaredLine> lines) {
+  return check_contract(lines, checker::extractor_rules(),
+                        checker::class_kinds());
+}
+
+/// Format drift: the emitter renamed its marker, the rule still expects
+/// the old one — the miner would silently drop START_ALLO.
+std::vector<Finding> run_contract_drift() {
+  return contract_with_lines(
+      {{"fixture.start-allo-drift",
+        "org.apache.spark.deploy.yarn.YarnAllocator",
+        "SDC BEGIN_ALLO requesting 4 executor containers", "START_ALLO"}});
+}
+
+/// Ambiguity: one line matches two rules of its class.
+std::vector<Finding> run_contract_ambiguous() {
+  return contract_with_lines(
+      {{"fixture.allo-ambiguous",
+        "org.apache.spark.deploy.yarn.YarnAllocator",
+        "SDC START_ALLO after END_ALLO replay", "START_ALLO"}});
+}
+
+/// Wrong event: the only matching rule produces a different kind than
+/// the emitter declares.
+std::vector<Finding> run_contract_wrong_event() {
+  return contract_with_lines(
+      {{"fixture.allo-wrong-kind",
+        "org.apache.spark.deploy.yarn.YarnAllocator",
+        "SDC START_ALLO requesting 4 executor containers", "END_ALLO"}});
+}
+
+/// Missing id: a transition line without the application id the rule
+/// must extract.
+std::vector<Finding> run_contract_no_id() {
+  return contract_with_lines(
+      {{"fixture.submitted-no-id",
+        "org.apache.hadoop.yarn.server.resourcemanager.rmapp.RMAppImpl",
+        "State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED",
+        "SUBMITTED"}});
+}
+
+/// Noisy informational line: declared silent but trips an extractor rule.
+std::vector<Finding> run_contract_noisy() {
+  return contract_with_lines(
+      {{"fixture.noisy-info-line",
+        "org.apache.spark.executor.CoarseGrainedExecutorBackend",
+        "Heartbeat mentions Got assigned task 7 casually", ""}});
+}
+
+/// Orphan rule: with no declared emitter lines at all, every real rule
+/// is dead — the check must notice.
+std::vector<Finding> run_contract_dead_rule() {
+  return contract_with_lines({});
+}
+
+/// Unknown logger class: the emitter logs under a class the classifier
+/// has never heard of.
+std::vector<Finding> run_contract_unknown_class() {
+  return contract_with_lines(
+      {{"fixture.unknown-class", "org.example.NewFangledService",
+        "Something scheduling-critical happened", ""}});
+}
+
+// --- broken coverage ---------------------------------------------------------
+
+/// Dropping the Spark milestones loses REGISTER/START_ALLO/END_ALLO/
+/// FIRST_TASK and both FIRST_LOG anchors.
+std::vector<Finding> run_coverage_missing() {
+  const std::span<const contract::MilestoneSpec> groups[] = {
+      yarn::yarn_milestones(),
+  };
+  return check_coverage(yarn::machine_descriptors(), groups);
+}
+
+// --- fixture table -----------------------------------------------------------
+
+std::vector<Finding> run_machine_unreachable() {
+  return check_machine(kUnreachableMachine);
+}
+std::vector<Finding> run_machine_dead_transition() {
+  return check_machine(kUnreachableMachine);
+}
+std::vector<Finding> run_machine_nondeterministic() {
+  return check_machine(kNondetMachine);
+}
+std::vector<Finding> run_machine_duplicate() {
+  return check_machine(kDuplicateMachine);
+}
+std::vector<Finding> run_machine_terminal_outgoing() {
+  return check_machine(kTerminalOutMachine);
+}
+std::vector<Finding> run_machine_dead_end() {
+  return check_machine(kDeadEndMachine);
+}
+std::vector<Finding> run_machine_unknown_event() {
+  return check_machine(kBadEmitMachine);
+}
+
+constexpr Fixture kFixtures[] = {
+    {"machine-unreachable-state", "machine.unreachable",
+     &run_machine_unreachable},
+    {"machine-dead-transition", "machine.dead-transition",
+     &run_machine_dead_transition},
+    {"machine-nondeterministic", "machine.nondeterministic",
+     &run_machine_nondeterministic},
+    {"machine-duplicate-transition", "machine.duplicate-transition",
+     &run_machine_duplicate},
+    {"machine-terminal-outgoing", "machine.terminal-outgoing",
+     &run_machine_terminal_outgoing},
+    {"machine-dead-end", "machine.dead-end", &run_machine_dead_end},
+    {"machine-unknown-event", "machine.unknown-event",
+     &run_machine_unknown_event},
+    {"contract-format-drift", "contract.no-match", &run_contract_drift},
+    {"contract-ambiguous-line", "contract.ambiguous",
+     &run_contract_ambiguous},
+    {"contract-wrong-event", "contract.wrong-event",
+     &run_contract_wrong_event},
+    {"contract-missing-id", "contract.no-id", &run_contract_no_id},
+    {"contract-noisy-info-line", "contract.noisy", &run_contract_noisy},
+    {"contract-orphan-rule", "contract.dead-rule", &run_contract_dead_rule},
+    {"contract-unknown-class", "contract.unknown-class",
+     &run_contract_unknown_class},
+    {"coverage-missing-kind", "coverage.missing-kind",
+     &run_coverage_missing},
+};
+
+}  // namespace
+
+std::span<const Fixture> fixtures() { return kFixtures; }
+
+std::vector<Finding> run_selftest() {
+  std::vector<Finding> findings;
+  for (const Fixture& fixture : fixtures()) {
+    const std::vector<Finding> fired = fixture.run();
+    if (!any_with_prefix(fired, fixture.expect_check)) {
+      findings.push_back(make_finding(
+          "selftest.silent", std::string(fixture.name),
+          "seeded violation did not trigger " +
+              std::string(fixture.expect_check) + " (got " +
+              std::to_string(fired.size()) + " findings)"));
+    }
+  }
+  // The linter must also pass the real tree, or the gate is useless.
+  const std::vector<Finding> real = run_all_checks().findings;
+  for (const Finding& finding : real) {
+    findings.push_back(make_finding("selftest.dirty", finding.subject,
+                                    "[" + finding.check + "] " +
+                                        finding.detail));
+  }
+  return findings;
+}
+
+}  // namespace sdc::lint

@@ -1,0 +1,32 @@
+// Seeded-violation corpus: deliberately broken tables, one per check,
+// proving each sdlint check actually fires.  `--selftest` (and the gtest
+// suite) runs every fixture and fails if its expected check stays
+// silent, then runs the real tables and fails if anything fires.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "sdlint/findings.hpp"
+
+namespace sdc::lint {
+
+struct Fixture {
+  /// Stable fixture name ("machine-unreachable-state", ...).
+  std::string_view name;
+  /// Dotted check id (or prefix) the fixture must trigger.
+  std::string_view expect_check;
+  /// Runs the relevant check over the broken table.
+  std::vector<Finding> (*run)();
+};
+
+/// Every seeded violation.
+std::span<const Fixture> fixtures();
+
+/// Runs all fixtures: reports "selftest.silent" for any fixture whose
+/// expected check did not fire, and "selftest.dirty" when the real
+/// tables produce findings.  Empty result = the linter provably works.
+std::vector<Finding> run_selftest();
+
+}  // namespace sdc::lint

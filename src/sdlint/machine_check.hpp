@@ -1,0 +1,25 @@
+// Check (a): state-machine well-formedness over the introspectable
+// transition tables the yarn layer exports (yarn::MachineDescriptor).
+//
+// A machine is well-formed when every state is reachable from the
+// initial state, every non-terminal state has a way forward, declared
+// terminal states are actually terminal, no transition is duplicated or
+// nondeterministic (same (from, event) leading to different states), and
+// every `emits` annotation names a real miner event.
+#pragma once
+
+#include <vector>
+
+#include "sdlint/findings.hpp"
+#include "yarn/state_machine.hpp"
+
+namespace sdc::lint {
+
+/// Runs all well-formedness checks on one machine.  Never throws; a
+/// malformed table (out-of-range state index) is itself a finding.
+std::vector<Finding> check_machine(const yarn::MachineDescriptor& machine);
+
+/// Runs check_machine over every registered simulator machine.
+std::vector<Finding> check_all_machines();
+
+}  // namespace sdc::lint

@@ -1,0 +1,17 @@
+#include "sdlint/runner.hpp"
+
+#include "sdlint/contract_check.hpp"
+#include "sdlint/coverage_check.hpp"
+#include "sdlint/machine_check.hpp"
+
+namespace sdc::lint {
+
+Report run_all_checks() {
+  Report report;
+  append_findings(report.findings, check_all_machines());
+  append_findings(report.findings, check_real_contract());
+  append_findings(report.findings, check_real_coverage());
+  return report;
+}
+
+}  // namespace sdc::lint

@@ -1,0 +1,21 @@
+// Entry point tying the three check families together for the CLI and
+// the test suite.
+#pragma once
+
+#include <vector>
+
+#include "sdlint/findings.hpp"
+
+namespace sdc::lint {
+
+struct Report {
+  std::vector<Finding> findings;
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+};
+
+/// Runs every check over the real simulator/miner tables: machine
+/// well-formedness, the emitter/extractor contract, and Table-I graph
+/// coverage through the production miner.
+Report run_all_checks();
+
+}  // namespace sdc::lint

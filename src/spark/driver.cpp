@@ -4,18 +4,13 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/log_contract.hpp"
+#include "spark/log_contract.hpp"
+
 namespace sdc::spark {
 namespace {
 
-constexpr std::string_view kAmClass =
-    "org.apache.spark.deploy.yarn.ApplicationMaster";
-constexpr std::string_view kAllocatorClass =
-    "org.apache.spark.deploy.yarn.YarnAllocator";
-constexpr std::string_view kContextClass = "org.apache.spark.SparkContext";
-constexpr std::string_view kTaskSetClass =
-    "org.apache.spark.scheduler.TaskSetManager";
-constexpr std::string_view kBackendClass =
-    "org.apache.spark.scheduler.cluster.YarnSchedulerBackend";
+using contract::render_template;
 
 std::string driver_stream_name(const ApplicationId& app) {
   return "driver-" + app.str() + ".log";
@@ -66,9 +61,10 @@ SparkDriver::SparkDriver(cluster::Cluster& cluster, yarn::ResourceManager& rm,
   record_.executors_requested = config_.num_executors;
   // FIRST_LOG (Table I message 9): the first lines of the driver's log.
   logger_.info(first_log_time, std::string(kAmClass),
-               "Registered signal handlers for [TERM, HUP, INT]");
+               std::string(kDriverSignalBanner.format));
   logger_.info(first_log_time, std::string(kAmClass),
-               "ApplicationAttemptId: " + attempt_id(app_));
+               render_template(kDriverAttemptId.format,
+                               {{"attempt", attempt_id(app_)}}));
   // Driver initialization (SparkContext, AM setup) — the driver delay.
   // Under JVM reuse (§V-B) the warm-up share of the init is already paid.
   SimDuration init = cost_.driver_init(cluster_.interference(), rng_);
@@ -82,7 +78,7 @@ SparkDriver::SparkDriver(cluster::Cluster& cluster, yarn::ResourceManager& rm,
 void SparkDriver::register_with_rm() {
   // REGISTER (Table I message 10): fires ACCEPTED -> RUNNING at the RM.
   logger_.info(cluster_.engine().now(), std::string(kAmClass),
-               "Registering the ApplicationMaster with the ResourceManager");
+               std::string(kDriverRegisterLine.format));
   rm_.register_attempt(app_, this);
   // Allocator thread spins up shortly after registration...
   cluster_.engine().schedule_after(cost_.register_to_alloc(rng_),
@@ -98,10 +94,9 @@ void SparkDriver::request_executors() {
   // START_ALLO (Table I message 11) — one of the two log lines the paper
   // added to Spark to expose the aggregated allocation delay.
   logger_.info(cluster_.engine().now(), std::string(kAllocatorClass),
-               "SDC START_ALLO requesting " +
-                   std::to_string(containers_requested_) +
-                   " executor containers, each " +
-                   config_.executor_resource.str());
+               render_template(kDriverStartAllo.format,
+                               {{"count", std::to_string(containers_requested_)},
+                                {"resource", config_.executor_resource.str()}}));
   yarn::ContainerAsk ask{config_.executor_resource, containers_requested_,
                          yarn::InstanceType::kSparkExecutor};
   // Locality preferences from the input dataset's block placement
@@ -126,10 +121,10 @@ void SparkDriver::begin_user_init() {
     if (finished_) return;
     user_init_done_ = true;
     logger_.info(cluster_.engine().now(), std::string(kContextClass),
-                 "User application initialized (" +
-                     std::to_string(config_.files_opened) +
-                     " input datasets, parallelInit=" +
-                     (config_.parallel_init ? "true" : "false") + ")");
+                 render_template(
+                     kDriverUserInit.format,
+                     {{"files", std::to_string(config_.files_opened)},
+                      {"parallel", config_.parallel_init ? "true" : "false"}}));
     maybe_schedule_tasks();
   });
 }
@@ -140,8 +135,9 @@ void SparkDriver::on_containers_acquired(
   for (const yarn::Allocation& allocation : acquired) {
     ++containers_acquired_;
     logger_.info(cluster_.engine().now(), std::string(kAllocatorClass),
-                 "Received container " + allocation.id.str() + " on host " +
-                     allocation.node.hostname());
+                 render_template(kDriverReceivedContainer.format,
+                                 {{"container", allocation.id.str()},
+                                  {"host", allocation.node.hostname()}}));
     if (executors_launched_ < config_.num_executors) {
       launch_executor(allocation);
     }
@@ -153,18 +149,20 @@ void SparkDriver::on_containers_acquired(
   if (!end_allo_logged_ && containers_acquired_ >= containers_requested_) {
     end_allo_logged_ = true;
     // END_ALLO (Table I message 12).
-    logger_.info(cluster_.engine().now(), std::string(kAllocatorClass),
-                 "SDC END_ALLO all " + std::to_string(containers_requested_) +
-                     " requested containers allocated");
+    logger_.info(
+        cluster_.engine().now(), std::string(kAllocatorClass),
+        render_template(kDriverEndAllo.format,
+                        {{"count", std::to_string(containers_requested_)}}));
   }
 }
 
 void SparkDriver::launch_executor(const yarn::Allocation& allocation) {
   const std::int32_t executor_id = ++executors_launched_;
   logger_.info(cluster_.engine().now(), std::string(kAllocatorClass),
-               "Launching container " + allocation.id.str() + " on host " +
-                   allocation.node.hostname() + " for executor with ID " +
-                   std::to_string(executor_id));
+               render_template(kDriverLaunchExecutor.format,
+                               {{"container", allocation.id.str()},
+                                {"host", allocation.node.hostname()},
+                                {"executor_id", std::to_string(executor_id)}}));
   launched_.push_back(allocation);
   yarn::LaunchSpec spec;
   spec.id = allocation.id;
@@ -209,9 +207,8 @@ void SparkDriver::on_executor_failed(const yarn::Allocation& allocation,
   ++executors_failed_;
   record_.executors_failed = executors_failed_;
   logger_.warn(cluster_.engine().now(), std::string(kAllocatorClass),
-               "Container " + allocation.id.str() +
-                   " exited with failure before registering, requesting a "
-                   "replacement executor");
+               render_template(kDriverExecutorFailed.format,
+                               {{"container", allocation.id.str()}}));
   // The failed container never produced an executor; make room for the
   // replacement in the launch budget and ask YARN for one more.
   --executors_launched_;
@@ -238,9 +235,12 @@ SimDuration SparkDriver::registration_delay(Rng& rng) const {
 void SparkDriver::on_executor_registered(SparkExecutor& executor) {
   if (finished_) return;
   ++executors_registered_;
-  logger_.info(cluster_.engine().now(), std::string(kBackendClass),
-               "Registered executor " + std::to_string(executor.executor_id()) +
-                   " with container " + executor.container().str());
+  logger_.info(
+      cluster_.engine().now(), std::string(kSchedulerBackendClass),
+      render_template(
+          kDriverExecutorRegistered.format,
+          {{"executor_id", std::to_string(executor.executor_id())},
+           {"container", executor.container().str()}}));
   maybe_schedule_tasks();
 }
 
@@ -270,12 +270,15 @@ std::int64_t SparkDriver::dispatch_stage_tasks(std::int32_t stage,
   std::int64_t tid = first_tid;
   for (const auto& executor : executors_) {
     if (!executor->registered()) continue;
-    logger_.info(cluster_.engine().now(), std::string(kTaskSetClass),
-                 "Starting task " + std::to_string(tid - first_tid) +
-                     ".0 in stage " + std::to_string(stage) + ".0 (TID " +
-                     std::to_string(tid) + ", " +
-                     executor->node().hostname() + ", executor " +
-                     std::to_string(executor->executor_id()) + ")");
+    logger_.info(
+        cluster_.engine().now(), std::string(kTaskSetClass),
+        render_template(
+            kDriverTaskStart.format,
+            {{"index", std::to_string(tid - first_tid)},
+             {"stage", std::to_string(stage)},
+             {"tid", std::to_string(tid)},
+             {"host", executor->node().hostname()},
+             {"executor_id", std::to_string(executor->executor_id())}}));
     SparkExecutor* target = executor.get();
     const std::int64_t this_tid = tid;
     cluster_.engine().schedule_after(
@@ -335,7 +338,7 @@ void SparkDriver::finish_job() {
     cluster_.interference().remove_cpu_units(config_.cpu_units_while_running);
   }
   logger_.info(cluster_.engine().now(), std::string(kAmClass),
-               "Final app status: SUCCEEDED, exitCode: 0");
+               std::string(kDriverFinalStatus.format));
   // Tear down executors' containers, then unregister, then the AM's own
   // container exits.
   for (const yarn::Allocation& allocation : launched_) {

@@ -1,13 +1,13 @@
 #include "spark/executor.hpp"
 
+#include "common/log_contract.hpp"
 #include "spark/driver.hpp"
+#include "spark/log_contract.hpp"
 
 namespace sdc::spark {
 namespace {
 
-constexpr std::string_view kBackendClass =
-    "org.apache.spark.executor.CoarseGrainedExecutorBackend";
-constexpr std::string_view kExecutorClass = "org.apache.spark.executor.Executor";
+using contract::render_template;
 
 std::string executor_stream_name(const ContainerId& id) {
   return "executor-" + id.str() + ".log";
@@ -32,30 +32,32 @@ SparkExecutor::SparkExecutor(cluster::Cluster& cluster,
   // FIRST_LOG (Table I message 13): the very first line of the executor's
   // log file; SDchecker binds the stream to the container via the id
   // embedded in the second line.
-  logger_.info(first_log_time_, std::string(kBackendClass),
-               "Started daemon with process name: " +
-                   std::to_string(20000 + executor_id_) + "@" +
-                   node_.hostname());
-  logger_.info(first_log_time_, std::string(kBackendClass),
-               "Connecting to driver for container " + container_.str());
+  logger_.info(first_log_time_, std::string(kExecutorBackendClass),
+               render_template(kExecutorDaemonBanner.format,
+                               {{"pid", std::to_string(20000 + executor_id_)},
+                                {"host", node_.hostname()}}));
+  logger_.info(first_log_time_, std::string(kExecutorBackendClass),
+               render_template(kExecutorConnect.format,
+                               {{"container", container_.str()}}));
   // Registration with the driver after backend setup (RPC env, block
   // manager); the delay model lives in the driver's cost model so the
   // calibration point stays in one place.
   cluster_.engine().schedule_after(driver_.registration_delay(rng_), [this] {
     registered_ = true;
-    logger_.info(cluster_.engine().now(), std::string(kBackendClass),
-                 "Successfully registered with driver");
+    logger_.info(cluster_.engine().now(), std::string(kExecutorBackendClass),
+                 std::string(kExecutorRegistered.format));
     driver_.on_executor_registered(*this);
   });
 }
 
 void SparkExecutor::assign_task(std::int64_t tid) {
   // FIRST_TASK (Table I message 14) when tid is this app's first task.
-  logger_.info(cluster_.engine().now(), std::string(kBackendClass),
-               "Got assigned task " + std::to_string(tid));
+  logger_.info(cluster_.engine().now(), std::string(kExecutorBackendClass),
+               render_template(kExecutorGotTask.format,
+                               {{"tid", std::to_string(tid)}}));
   logger_.info(cluster_.engine().now(), std::string(kExecutorClass),
-               "Running task 0.0 in stage 0.0 (TID " + std::to_string(tid) +
-                   ")");
+               render_template(kExecutorRunningTask.format,
+                               {{"tid", std::to_string(tid)}}));
 }
 
 }  // namespace sdc::spark

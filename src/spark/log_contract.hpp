@@ -1,0 +1,133 @@
+// Log lines the simulated Spark driver and executors emit, declared as
+// introspectable `constexpr` templates (see common/log_contract.hpp).
+// The Table-I milestones the paper keys on — REGISTER (10), START_ALLO
+// (11), END_ALLO (12), FIRST_TASK (14), and the FIRST_LOG banners that
+// anchor messages 9/13 — live here; sdlint renders each template with
+// canonical placeholder values and verifies the miner's extractor
+// produces exactly the declared event (or stays silent).
+#pragma once
+
+#include <span>
+
+#include "common/log_contract.hpp"
+
+namespace sdc::spark {
+
+inline constexpr std::string_view kAmClass =
+    "org.apache.spark.deploy.yarn.ApplicationMaster";
+inline constexpr std::string_view kAllocatorClass =
+    "org.apache.spark.deploy.yarn.YarnAllocator";
+inline constexpr std::string_view kContextClass = "org.apache.spark.SparkContext";
+inline constexpr std::string_view kTaskSetClass =
+    "org.apache.spark.scheduler.TaskSetManager";
+inline constexpr std::string_view kSchedulerBackendClass =
+    "org.apache.spark.scheduler.cluster.YarnSchedulerBackend";
+inline constexpr std::string_view kExecutorBackendClass =
+    "org.apache.spark.executor.CoarseGrainedExecutorBackend";
+inline constexpr std::string_view kExecutorClass =
+    "org.apache.spark.executor.Executor";
+
+// --- driver stream, in emission order ---------------------------------------
+
+/// FIRST_LOG (Table I message 9) is synthesized by the miner from the
+/// stream's first parseable line — this banner anchors it.
+inline constexpr contract::MilestoneSpec kDriverSignalBanner{
+    "spark.driver.signal_banner", kAmClass,
+    "Registered signal handlers for [TERM, HUP, INT]", "",
+    contract::StreamRole::kSparkDriver};
+inline constexpr contract::MilestoneSpec kDriverAttemptId{
+    "spark.driver.attempt_id", kAmClass, "ApplicationAttemptId: {attempt}", "",
+    contract::StreamRole::kSparkDriver};
+/// REGISTER (Table I message 10).
+inline constexpr contract::MilestoneSpec kDriverRegisterLine{
+    "spark.driver.register", kAmClass,
+    "Registering the ApplicationMaster with the ResourceManager",
+    "DRV_REGISTER", contract::StreamRole::kSparkDriver};
+/// START_ALLO (Table I message 11) — one of the two lines the paper added
+/// to Spark to expose the aggregated allocation delay.
+inline constexpr contract::MilestoneSpec kDriverStartAllo{
+    "spark.driver.start_allo", kAllocatorClass,
+    "SDC START_ALLO requesting {count} executor containers, each {resource}",
+    "START_ALLO", contract::StreamRole::kSparkDriver};
+inline constexpr contract::MilestoneSpec kDriverReceivedContainer{
+    "spark.driver.received_container", kAllocatorClass,
+    "Received container {container} on host {host}", "",
+    contract::StreamRole::kSparkDriver};
+/// END_ALLO (Table I message 12).
+inline constexpr contract::MilestoneSpec kDriverEndAllo{
+    "spark.driver.end_allo", kAllocatorClass,
+    "SDC END_ALLO all {count} requested containers allocated", "END_ALLO",
+    contract::StreamRole::kSparkDriver};
+inline constexpr contract::MilestoneSpec kDriverLaunchExecutor{
+    "spark.driver.launch_executor", kAllocatorClass,
+    "Launching container {container} on host {host} for executor with ID "
+    "{executor_id}",
+    "", contract::StreamRole::kSparkDriver};
+inline constexpr contract::MilestoneSpec kDriverExecutorFailed{
+    "spark.driver.executor_failed", kAllocatorClass,
+    "Container {container} exited with failure before registering, requesting "
+    "a replacement executor",
+    "", contract::StreamRole::kSparkDriver};
+inline constexpr contract::MilestoneSpec kDriverUserInit{
+    "spark.driver.user_init", kContextClass,
+    "User application initialized ({files} input datasets, "
+    "parallelInit={parallel})",
+    "", contract::StreamRole::kSparkDriver};
+inline constexpr contract::MilestoneSpec kDriverExecutorRegistered{
+    "spark.driver.executor_registered", kSchedulerBackendClass,
+    "Registered executor {executor_id} with container {container}", "",
+    contract::StreamRole::kSparkDriver};
+inline constexpr contract::MilestoneSpec kDriverTaskStart{
+    "spark.driver.task_start", kTaskSetClass,
+    "Starting task {index}.0 in stage {stage}.0 (TID {tid}, {host}, executor "
+    "{executor_id})",
+    "", contract::StreamRole::kSparkDriver};
+inline constexpr contract::MilestoneSpec kDriverFinalStatus{
+    "spark.driver.final_status", kAmClass,
+    "Final app status: SUCCEEDED, exitCode: 0", "",
+    contract::StreamRole::kSparkDriver};
+
+// --- executor stream, in emission order -------------------------------------
+
+/// FIRST_LOG (Table I message 13) anchor; the container id on the next
+/// line binds the stream.
+inline constexpr contract::MilestoneSpec kExecutorDaemonBanner{
+    "spark.executor.daemon_banner", kExecutorBackendClass,
+    "Started daemon with process name: {pid}@{host}", "",
+    contract::StreamRole::kSparkExecutor};
+inline constexpr contract::MilestoneSpec kExecutorConnect{
+    "spark.executor.connect", kExecutorBackendClass,
+    "Connecting to driver for container {container}", "",
+    contract::StreamRole::kSparkExecutor};
+inline constexpr contract::MilestoneSpec kExecutorRegistered{
+    "spark.executor.registered", kExecutorBackendClass,
+    "Successfully registered with driver", "",
+    contract::StreamRole::kSparkExecutor};
+/// FIRST_TASK (Table I message 14) when {tid} is this app's first task.
+inline constexpr contract::MilestoneSpec kExecutorGotTask{
+    "spark.executor.first_task", kExecutorBackendClass,
+    "Got assigned task {tid}", "FIRST_TASK",
+    contract::StreamRole::kSparkExecutor};
+inline constexpr contract::MilestoneSpec kExecutorRunningTask{
+    "spark.executor.running_task", kExecutorClass,
+    "Running task 0.0 in stage 0.0 (TID {tid})", "",
+    contract::StreamRole::kSparkExecutor};
+
+inline constexpr contract::MilestoneSpec kSparkMilestones[] = {
+    kDriverSignalBanner,     kDriverAttemptId,
+    kDriverRegisterLine,     kDriverStartAllo,
+    kDriverReceivedContainer, kDriverEndAllo,
+    kDriverLaunchExecutor,   kDriverExecutorFailed,
+    kDriverUserInit,         kDriverExecutorRegistered,
+    kDriverTaskStart,        kDriverFinalStatus,
+    kExecutorDaemonBanner,   kExecutorConnect,
+    kExecutorRegistered,     kExecutorGotTask,
+    kExecutorRunningTask,
+};
+
+/// The Spark layer's declared log lines, for sdlint.
+inline std::span<const contract::MilestoneSpec> spark_milestones() {
+  return kSparkMilestones;
+}
+
+}  // namespace sdc::spark

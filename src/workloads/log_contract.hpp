@@ -1,0 +1,56 @@
+// Log lines the simulated MapReduce AppMaster and its tasks emit,
+// declared as introspectable `constexpr` templates (see
+// common/log_contract.hpp).  The MR register line is the second phrasing
+// of Table I message 10; the YarnChild banner anchors message 13 for MR
+// task streams.
+#pragma once
+
+#include <span>
+
+#include "common/log_contract.hpp"
+
+namespace sdc::workloads {
+
+inline constexpr std::string_view kMrAmClass =
+    "org.apache.hadoop.mapreduce.v2.app.MRAppMaster";
+inline constexpr std::string_view kRmAllocatorClass =
+    "org.apache.hadoop.mapreduce.v2.app.rm.RMContainerAllocator";
+inline constexpr std::string_view kYarnChildClass =
+    "org.apache.hadoop.mapred.YarnChild";
+
+inline constexpr contract::MilestoneSpec kMrAmCreated{
+    "mr.am.created", kMrAmClass,
+    "Created MRAppMaster for application {attempt}", "",
+    contract::StreamRole::kMrAppMaster};
+/// REGISTER (Table I message 10), MR phrasing.
+inline constexpr contract::MilestoneSpec kMrAmRegister{
+    "mr.am.register", kMrAmClass, "Registering with the ResourceManager",
+    "DRV_REGISTER", contract::StreamRole::kMrAppMaster};
+inline constexpr contract::MilestoneSpec kMrAmAssigned{
+    "mr.am.assigned", kRmAllocatorClass,
+    "Assigned container {container} to {task_kind}", "",
+    contract::StreamRole::kMrAppMaster};
+inline constexpr contract::MilestoneSpec kMrAmFinished{
+    "mr.am.finished", kMrAmClass, "Job finished successfully, unregistering",
+    "", contract::StreamRole::kMrAppMaster};
+
+/// FIRST_LOG (Table I message 13) anchor for MR task streams.
+inline constexpr contract::MilestoneSpec kMrTaskBanner{
+    "mr.task.banner", kYarnChildClass, "YarnChild starting", "",
+    contract::StreamRole::kMrTask};
+inline constexpr contract::MilestoneSpec kMrTaskTokens{
+    "mr.task.tokens", kYarnChildClass,
+    "Executing with tokens for container {container}", "",
+    contract::StreamRole::kMrTask};
+
+inline constexpr contract::MilestoneSpec kMrMilestones[] = {
+    kMrAmCreated, kMrAmRegister, kMrAmAssigned,
+    kMrAmFinished, kMrTaskBanner, kMrTaskTokens,
+};
+
+/// The MR layer's declared log lines, for sdlint.
+inline std::span<const contract::MilestoneSpec> mr_milestones() {
+  return kMrMilestones;
+}
+
+}  // namespace sdc::workloads

@@ -2,14 +2,13 @@
 
 #include <cstdio>
 
+#include "common/log_contract.hpp"
+#include "workloads/log_contract.hpp"
+
 namespace sdc::workloads {
 namespace {
 
-constexpr std::string_view kMrAmClass =
-    "org.apache.hadoop.mapreduce.v2.app.MRAppMaster";
-constexpr std::string_view kRmAllocatorClass =
-    "org.apache.hadoop.mapreduce.v2.app.rm.RMContainerAllocator";
-constexpr std::string_view kYarnChildClass = "org.apache.hadoop.mapred.YarnChild";
+using contract::render_template;
 
 std::string mr_am_stream(const ApplicationId& app) {
   return "mram-" + app.str() + ".log";
@@ -47,7 +46,8 @@ MrApp::MrApp(cluster::Cluster& cluster, yarn::ResourceManager& rm,
   record_.kind = spark::AppKind::kMapReduce;
   record_.executors_requested = tasks_total_;
   logger_.info(first_log_time, std::string(kMrAmClass),
-               "Created MRAppMaster for application " + attempt_id(app_));
+               render_template(kMrAmCreated.format,
+                               {{"attempt", attempt_id(app_)}}));
   // MR AM initialization (job setup, split computation) before the first
   // allocate heartbeat.
   cluster_.engine().schedule_after(rng_.lognormal_duration(millis(1300), 0.25),
@@ -56,7 +56,7 @@ MrApp::MrApp(cluster::Cluster& cluster, yarn::ResourceManager& rm,
 
 void MrApp::register_with_rm() {
   logger_.info(cluster_.engine().now(), std::string(kMrAmClass),
-               "Registering with the ResourceManager");
+               std::string(kMrAmRegister.format));
   rm_.register_attempt(app_, this);
   if (config_.num_maps > 0) {
     yarn::ContainerAsk map_ask{config_.task_resource, config_.num_maps,
@@ -84,12 +84,11 @@ void MrApp::on_containers_acquired(
     const std::vector<yarn::Allocation>& acquired) {
   if (finished_) return;
   for (const yarn::Allocation& allocation : acquired) {
-    logger_.info(cluster_.engine().now(), std::string(kRmAllocatorClass),
-                 "Assigned container " + allocation.id.str() + " to " +
-                     (allocation.type == yarn::InstanceType::kMrMapTask
-                          ? "map"
-                          : "reduce"));
     const bool is_map = allocation.type == yarn::InstanceType::kMrMapTask;
+    logger_.info(cluster_.engine().now(), std::string(kRmAllocatorClass),
+                 render_template(kMrAmAssigned.format,
+                                 {{"container", allocation.id.str()},
+                                  {"task_kind", is_map ? "map" : "reduce"}}));
     const std::int32_t index = is_map ? maps_granted_++ : reduces_granted_++;
     launch_task(allocation, is_map, index);
   }
@@ -120,10 +119,11 @@ void MrApp::on_task_started(const yarn::Allocation& allocation, bool is_map,
   auto task_logger = std::make_unique<logging::Logger>(
       &logs_, mr_task_stream(allocation.id),
       cluster_.config().epoch_base_ms);
-  task_logger->info(at, std::string(kYarnChildClass), "YarnChild starting");
   task_logger->info(at, std::string(kYarnChildClass),
-                    "Executing with tokens for container " +
-                        allocation.id.str());
+                    std::string(kMrTaskBanner.format));
+  task_logger->info(at, std::string(kYarnChildClass),
+                    render_template(kMrTaskTokens.format,
+                                    {{"container", allocation.id.str()}}));
   task_loggers_.push_back(std::move(task_logger));
   if (first_task_time_ == kNoTime) {
     first_task_time_ = at;
@@ -155,7 +155,7 @@ void MrApp::maybe_finish() {
   if (finished_ || tasks_completed_ < tasks_total_) return;
   finished_ = true;
   logger_.info(cluster_.engine().now(), std::string(kMrAmClass),
-               "Job finished successfully, unregistering");
+               std::string(kMrAmFinished.format));
   rm_.unregister_attempt(app_);
   record_.executors_launched = tasks_completed_;
   record_.finished_at = cluster_.engine().now();

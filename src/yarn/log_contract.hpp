@@ -1,0 +1,84 @@
+// Non-transition log lines the simulated YARN daemons emit, declared as
+// introspectable `constexpr` templates (see common/log_contract.hpp).
+// None of these lines carries a Table-I event — the contract they pin is
+// that the miner's extractor stays *silent* on them, so an informational
+// line can never masquerade as a scheduling milestone.
+#pragma once
+
+#include <span>
+
+#include "common/log_contract.hpp"
+#include "yarn/state_machine.hpp"
+
+namespace sdc::yarn {
+
+inline constexpr std::string_view kClientRmServiceClass =
+    "org.apache.hadoop.yarn.server.resourcemanager.ClientRMService";
+inline constexpr std::string_view kRmAppAttemptImplClass =
+    "org.apache.hadoop.yarn.server.resourcemanager.rmapp.attempt."
+    "RMAppAttemptImpl";
+inline constexpr std::string_view kLocalizationServiceClass =
+    "org.apache.hadoop.yarn.server.nodemanager.containermanager.localizer."
+    "ResourceLocalizationService";
+inline constexpr std::string_view kContainerSchedulerClass =
+    "org.apache.hadoop.yarn.server.nodemanager.containermanager.scheduler."
+    "ContainerScheduler";
+
+// --- ResourceManager ---------------------------------------------------------
+
+inline constexpr contract::MilestoneSpec kRmLineSubmitted{
+    "yarn.rm.client_submitted", kClientRmServiceClass,
+    "Application with id {seq} submitted by user sdchecker: {app}", "",
+    contract::StreamRole::kResourceManager};
+inline constexpr contract::MilestoneSpec kRmLineAssignedContainer{
+    "yarn.rm.capacity_assigned", kCapacitySchedulerClass,
+    "Assigned container {container} of capacity {resource} on host {host}", "",
+    contract::StreamRole::kResourceManager};
+inline constexpr contract::MilestoneSpec kRmLineOpportunisticAllocated{
+    "yarn.rm.opportunistic_allocated", kOpportunisticSchedulerClass,
+    "Allocated opportunistic container {container} on host {host}", "",
+    contract::StreamRole::kResourceManager};
+inline constexpr contract::MilestoneSpec kRmLineAttemptFailed{
+    "yarn.rm.attempt_failed", kRmAppAttemptImplClass,
+    "{attempt} State change from LAUNCHED to FAILED (AM container exited)", "",
+    contract::StreamRole::kResourceManager};
+
+// --- NodeManager -------------------------------------------------------------
+
+inline constexpr contract::MilestoneSpec kNmLineOpportunisticQueued{
+    "yarn.nm.opportunistic_queued", kContainerSchedulerClass,
+    "Opportunistic container {container} will be queued, node resources "
+    "exhausted",
+    "", contract::StreamRole::kNodeManager};
+inline constexpr contract::MilestoneSpec kNmLineCacheHit{
+    "yarn.nm.localization_cache_hit", kLocalizationServiceClass,
+    "Serving resources for container {container} from the local cache "
+    "(key={key})",
+    "", contract::StreamRole::kNodeManager};
+inline constexpr contract::MilestoneSpec kNmLineDownloading{
+    "yarn.nm.localization_download", kLocalizationServiceClass,
+    "Downloading public resources for container {container}", "",
+    contract::StreamRole::kNodeManager};
+inline constexpr contract::MilestoneSpec kNmLineLaunchFailed{
+    "yarn.nm.launch_failed", kNmContainerImplClass,
+    "Container {container} exited with a non-zero exit code (launch failure)",
+    "", contract::StreamRole::kNodeManager};
+inline constexpr contract::MilestoneSpec kNmLineCleanedUp{
+    "yarn.nm.cleaned_up", kContainerSchedulerClass,
+    "Container {container} cleaned up before launch (application finished)",
+    "", contract::StreamRole::kNodeManager};
+
+inline constexpr contract::MilestoneSpec kYarnMilestones[] = {
+    kRmLineSubmitted,         kRmLineAssignedContainer,
+    kRmLineOpportunisticAllocated, kRmLineAttemptFailed,
+    kNmLineOpportunisticQueued,    kNmLineCacheHit,
+    kNmLineDownloading,       kNmLineLaunchFailed,
+    kNmLineCleanedUp,
+};
+
+/// The YARN daemons' declared non-transition lines, for sdlint.
+inline std::span<const contract::MilestoneSpec> yarn_milestones() {
+  return kYarnMilestones;
+}
+
+}  // namespace sdc::yarn

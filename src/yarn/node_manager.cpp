@@ -4,19 +4,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/log_contract.hpp"
+#include "yarn/log_contract.hpp"
+
 namespace sdc::yarn {
 namespace {
+
+using contract::render_template;
 
 std::string nm_stream_name(const NodeId& node) {
   return "nm-" + node.hostname() + ".log";
 }
-
-constexpr std::string_view kLocalizationServiceClass =
-    "org.apache.hadoop.yarn.server.nodemanager.containermanager.localizer."
-    "ResourceLocalizationService";
-constexpr std::string_view kContainerSchedulerClass =
-    "org.apache.hadoop.yarn.server.nodemanager.containermanager.scheduler."
-    "ContainerScheduler";
 
 }  // namespace
 
@@ -82,8 +80,8 @@ void NodeManager::start_container(LaunchSpec spec) {
     if (!container.resources_held) {
       logger_.info(cluster_.engine().now(),
                    std::string(kContainerSchedulerClass),
-                   "Opportunistic container " + id.str() +
-                       " will be queued, node resources exhausted");
+                   render_template(kNmLineOpportunisticQueued.format,
+                                   {{"container", id.str()}}));
     }
   }
   // Tiny internal dispatch latency before the localizer picks it up.
@@ -105,9 +103,9 @@ void NodeManager::begin_localization(const ContainerId& id) {
                       cluster_.interference().cpu_localization_multiplier();
     logger_.info(cluster_.engine().now(),
                  std::string(kLocalizationServiceClass),
-                 "Serving resources for container " + id.str() +
-                     " from the local cache (key=" +
-                     container.spec.package_key + ")");
+                 render_template(kNmLineCacheHit.format,
+                                 {{"container", id.str()},
+                                  {"key", container.spec.package_key}}));
     cluster_.engine().schedule_after(
         rng_.lognormal_duration(static_cast<SimDuration>(ms * 1000.0), 0.25),
         [this, id] { on_localized(id); });
@@ -122,7 +120,8 @@ void NodeManager::begin_localization(const ContainerId& id) {
   const SimDuration transfer = cluster_.hdfs().sample_transfer(
       container.spec.localization_mb, io_mult, rng_);
   logger_.info(cluster_.engine().now(), std::string(kLocalizationServiceClass),
-               "Downloading public resources for container " + id.str());
+               render_template(kNmLineDownloading.format,
+                               {{"container", id.str()}}));
   node_.add_io_flow();
   container.io_flow_active = true;
   if (cache_) {
@@ -190,8 +189,8 @@ void NodeManager::run_container(const ContainerId& id) {
       log_transition(id, failed, NmContainerState::kExitedWithFailure);
       logger_.warn(cluster_.engine().now(),
                    std::string(kNmContainerImplClass),
-                   "Container " + id.str() +
-                       " exited with a non-zero exit code (launch failure)");
+                   render_template(kNmLineLaunchFailed.format,
+                                   {{"container", id.str()}}));
       log_transition(id, failed, NmContainerState::kDone);
       if (failed.resources_held) node_.release(failed.spec.resource);
       if (rm_on_finished_) rm_on_finished_(id);
@@ -223,8 +222,8 @@ void NodeManager::finish_container(const ContainerId& id) {
     // Killed before it ever ran (e.g. the application finished while the
     // container was still localizing or queued).
     logger_.info(cluster_.engine().now(), std::string(kContainerSchedulerClass),
-                 "Container " + id.str() +
-                     " cleaned up before launch (application finished)");
+                 render_template(kNmLineCleanedUp.format,
+                                 {{"container", id.str()}}));
     if (container.io_flow_active) {
       node_.remove_io_flow();
       container.io_flow_active = false;

@@ -5,11 +5,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/log_contract.hpp"
+#include "yarn/log_contract.hpp"
+
 namespace sdc::yarn {
 namespace {
 
-constexpr std::string_view kClientRmServiceClass =
-    "org.apache.hadoop.yarn.server.resourcemanager.ClientRMService";
+using contract::render_template;
 
 std::unique_ptr<SchedulerPolicy> make_scheduler(const YarnConfig& config,
                                                 Rng rng) {
@@ -85,8 +87,9 @@ ApplicationId ResourceManager::submit(AppSubmission submission) {
   ++live_apps_;
 
   logger_.info(cluster_.engine().now(), std::string(kClientRmServiceClass),
-               "Application with id " + std::to_string(id.id) +
-                   " submitted by user sdchecker: " + id.str());
+               render_template(kRmLineSubmitted.format,
+                               {{"seq", std::to_string(id.id)},
+                                {"app", id.str()}}));
   // NEW -> NEW_SAVING -> SUBMITTED -> ACCEPTED with state-store and
   // admission latencies in the low milliseconds.
   auto& engine = cluster_.engine();
@@ -176,8 +179,9 @@ void ResourceManager::request_containers(const ApplicationId& app_id,
           ++containers_allocated_;
           logger_.info(cluster_.engine().now(),
                        std::string(kOpportunisticSchedulerClass),
-                       "Allocated opportunistic container " + cid.str() +
-                           " on host " + rc.node.str());
+                       render_template(kRmLineOpportunisticAllocated.format,
+                                       {{"container", cid.str()},
+                                        {"host", rc.node.str()}}));
           log_container_transition(rc, RmContainerState::kAcquired);
         });
         acquired.push_back(
@@ -303,8 +307,10 @@ void ResourceManager::commit_allocation(const ContainerId& cid) {
   log_container_transition(c, RmContainerState::kAllocated);
   ++containers_allocated_;
   logger_.info(cluster_.engine().now(), std::string(kCapacitySchedulerClass),
-               "Assigned container " + cid.str() + " of capacity " +
-                   c.resource.str() + " on host " + c.node.str());
+               render_template(kRmLineAssignedContainer.format,
+                               {{"container", cid.str()},
+                                {"resource", c.resource.str()},
+                                {"host", c.node.str()}}));
   const auto ait = apps_.find(cid.app);
   if (ait == apps_.end()) return;
   RmApp& a = ait->second;
@@ -357,11 +363,9 @@ void ResourceManager::on_am_launch_failed(const ApplicationId& app_id) {
   std::snprintf(attempt_text, sizeof(attempt_text), "appattempt_%lld_%04d_%06d",
                 static_cast<long long>(app_id.cluster_ts), app_id.id,
                 a.current_attempt);
-  logger_.warn(cluster_.engine().now(),
-               "org.apache.hadoop.yarn.server.resourcemanager.rmapp.attempt."
-               "RMAppAttemptImpl",
-               std::string(attempt_text) + " State change from LAUNCHED to "
-                                           "FAILED (AM container exited)");
+  logger_.warn(cluster_.engine().now(), std::string(kRmAppAttemptImplClass),
+               render_template(kRmLineAttemptFailed.format,
+                               {{"attempt", attempt_text}}));
   if (a.current_attempt >= a.submission.max_am_attempts) {
     fail_application(app_id);
     return;

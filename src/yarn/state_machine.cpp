@@ -1,145 +1,91 @@
 #include "yarn/state_machine.hpp"
 
-namespace sdc::yarn {
+#include <array>
 
-std::string_view name(RmAppState s) {
-  switch (s) {
-    case RmAppState::kNew:
-      return "NEW";
-    case RmAppState::kNewSaving:
-      return "NEW_SAVING";
-    case RmAppState::kSubmitted:
-      return "SUBMITTED";
-    case RmAppState::kAccepted:
-      return "ACCEPTED";
-    case RmAppState::kRunning:
-      return "RUNNING";
-    case RmAppState::kFinalSaving:
-      return "FINAL_SAVING";
-    case RmAppState::kFinished:
-      return "FINISHED";
-  }
-  return "?";
+#include "common/log_contract.hpp"
+
+namespace sdc::yarn {
+namespace {
+
+/// Bounds-checked name lookup over a machine's state-name table.
+template <typename Enum, std::size_t N>
+std::string_view state_name(const std::string_view (&names)[N], Enum s) {
+  const auto raw = static_cast<std::size_t>(s);
+  return raw < N ? names[raw] : "?";
 }
 
-std::string_view name(RmContainerState s) {
-  switch (s) {
-    case RmContainerState::kNew:
-      return "NEW";
-    case RmContainerState::kAllocated:
-      return "ALLOCATED";
-    case RmContainerState::kAcquired:
-      return "ACQUIRED";
-    case RmContainerState::kRunning:
-      return "RUNNING";
-    case RmContainerState::kCompleted:
-      return "COMPLETED";
-    case RmContainerState::kReleased:
-      return "RELEASED";
+/// Finds the edge (from, to) in a machine's transition table.
+template <typename Enum, std::size_t N>
+const TransitionEdge<Enum>* find_edge(const TransitionEdge<Enum> (&edges)[N],
+                                      Enum from, Enum to) {
+  for (const TransitionEdge<Enum>& edge : edges) {
+    if (edge.from == from && edge.to == to) return &edge;
   }
-  return "?";
+  return nullptr;
+}
+
+/// Type-erases one typed edge table into MachineDescriptor::Edge form.
+template <typename Enum, std::size_t N>
+constexpr std::array<MachineDescriptor::Edge, N> erase_edges(
+    const TransitionEdge<Enum> (&edges)[N]) {
+  std::array<MachineDescriptor::Edge, N> out{};
+  for (std::size_t i = 0; i < N; ++i) {
+    out[i] = MachineDescriptor::Edge{static_cast<std::size_t>(edges[i].from),
+                                     static_cast<std::size_t>(edges[i].to),
+                                     edges[i].event, edges[i].emits};
+  }
+  return out;
+}
+
+constexpr auto kRmAppEdgesErased = erase_edges(kRmAppEdges);
+constexpr auto kRmContainerEdgesErased = erase_edges(kRmContainerEdges);
+constexpr auto kNmContainerEdgesErased = erase_edges(kNmContainerEdges);
+
+constexpr MachineDescriptor kDescriptors[] = {
+    {"RMAppImpl", kRmAppImplClass, kRmAppLineFormat, "application",
+     kRmAppStateNames, static_cast<std::size_t>(RmAppState::kNew),
+     kRmAppTerminals, kRmAppEdgesErased},
+    {"RMContainerImpl", kRmContainerImplClass, kRmContainerLineFormat,
+     "container", kRmContainerStateNames,
+     static_cast<std::size_t>(RmContainerState::kNew), kRmContainerTerminals,
+     kRmContainerEdgesErased},
+    {"ContainerImpl", kNmContainerImplClass, kNmContainerLineFormat,
+     "container", kNmContainerStateNames,
+     static_cast<std::size_t>(NmContainerState::kNew), kNmContainerTerminals,
+     kNmContainerEdgesErased},
+};
+
+}  // namespace
+
+std::span<const MachineDescriptor> machine_descriptors() {
+  return kDescriptors;
+}
+
+std::string_view name(RmAppState s) { return state_name(kRmAppStateNames, s); }
+
+std::string_view name(RmContainerState s) {
+  return state_name(kRmContainerStateNames, s);
 }
 
 std::string_view name(NmContainerState s) {
-  switch (s) {
-    case NmContainerState::kNew:
-      return "NEW";
-    case NmContainerState::kLocalizing:
-      return "LOCALIZING";
-    case NmContainerState::kScheduled:
-      return "SCHEDULED";
-    case NmContainerState::kRunning:
-      return "RUNNING";
-    case NmContainerState::kExitedWithSuccess:
-      return "EXITED_WITH_SUCCESS";
-    case NmContainerState::kExitedWithFailure:
-      return "EXITED_WITH_FAILURE";
-    case NmContainerState::kDone:
-      return "DONE";
-  }
-  return "?";
+  return state_name(kNmContainerStateNames, s);
 }
 
 std::string_view rm_app_event(RmAppState from, RmAppState to) {
-  if (from == RmAppState::kNew && to == RmAppState::kNewSaving)
-    return "START";
-  if (from == RmAppState::kNewSaving && to == RmAppState::kSubmitted)
-    return "APP_NEW_SAVED";
-  if (from == RmAppState::kSubmitted && to == RmAppState::kAccepted)
-    return "APP_ACCEPTED";
-  if (from == RmAppState::kAccepted && to == RmAppState::kRunning)
-    return "ATTEMPT_REGISTERED";
-  if (from == RmAppState::kRunning && to == RmAppState::kFinalSaving)
-    return "ATTEMPT_UNREGISTERED";
-  if (from == RmAppState::kAccepted && to == RmAppState::kFinalSaving)
-    return "ATTEMPT_FAILED";
-  if (from == RmAppState::kFinalSaving && to == RmAppState::kFinished)
-    return "APP_UPDATE_SAVED";
-  return "UNKNOWN";
+  const auto* edge = find_edge(kRmAppEdges, from, to);
+  return edge != nullptr ? edge->event : "UNKNOWN";
 }
 
 bool is_legal_transition(RmAppState from, RmAppState to) {
-  switch (from) {
-    case RmAppState::kNew:
-      return to == RmAppState::kNewSaving;
-    case RmAppState::kNewSaving:
-      return to == RmAppState::kSubmitted;
-    case RmAppState::kSubmitted:
-      return to == RmAppState::kAccepted;
-    case RmAppState::kAccepted:
-      // ACCEPTED -> FINAL_SAVING covers applications whose AM attempts all
-      // failed before registering (YARN's ACCEPTED -> FAILED analog).
-      return to == RmAppState::kRunning || to == RmAppState::kFinalSaving;
-    case RmAppState::kRunning:
-      return to == RmAppState::kFinalSaving;
-    case RmAppState::kFinalSaving:
-      return to == RmAppState::kFinished;
-    case RmAppState::kFinished:
-      return false;
-  }
-  return false;
+  return find_edge(kRmAppEdges, from, to) != nullptr;
 }
 
 bool is_legal_transition(RmContainerState from, RmContainerState to) {
-  switch (from) {
-    case RmContainerState::kNew:
-      return to == RmContainerState::kAllocated;
-    case RmContainerState::kAllocated:
-      // Unacquired allocations can be reclaimed (RELEASED) — the path the
-      // SPARK-21562 over-request bug leaves in the logs.
-      return to == RmContainerState::kAcquired ||
-             to == RmContainerState::kReleased;
-    case RmContainerState::kAcquired:
-      return to == RmContainerState::kRunning ||
-             to == RmContainerState::kReleased;
-    case RmContainerState::kRunning:
-      return to == RmContainerState::kCompleted ||
-             to == RmContainerState::kReleased;
-    case RmContainerState::kCompleted:
-    case RmContainerState::kReleased:
-      return false;
-  }
-  return false;
+  return find_edge(kRmContainerEdges, from, to) != nullptr;
 }
 
 bool is_legal_transition(NmContainerState from, NmContainerState to) {
-  switch (from) {
-    case NmContainerState::kNew:
-      return to == NmContainerState::kLocalizing;
-    case NmContainerState::kLocalizing:
-      return to == NmContainerState::kScheduled;
-    case NmContainerState::kScheduled:
-      return to == NmContainerState::kRunning;
-    case NmContainerState::kRunning:
-      return to == NmContainerState::kExitedWithSuccess ||
-             to == NmContainerState::kExitedWithFailure;
-    case NmContainerState::kExitedWithSuccess:
-    case NmContainerState::kExitedWithFailure:
-      return to == NmContainerState::kDone;
-    case NmContainerState::kDone:
-      return false;
-  }
-  return false;
+  return find_edge(kNmContainerEdges, from, to) != nullptr;
 }
 
 IllegalTransition::IllegalTransition(std::string_view machine,
@@ -150,37 +96,27 @@ IllegalTransition::IllegalTransition(std::string_view machine,
 
 std::string render_rm_app_transition(const std::string& app_id,
                                      RmAppState from, RmAppState to) {
-  std::string out = app_id;
-  out += " State change from ";
-  out += name(from);
-  out += " to ";
-  out += name(to);
-  out += " on event = ";
-  out += rm_app_event(from, to);
-  return out;
+  return contract::render_template(kRmAppLineFormat,
+                                   {{"id", app_id},
+                                    {"from", name(from)},
+                                    {"to", name(to)},
+                                    {"event", rm_app_event(from, to)}});
 }
 
 std::string render_rm_container_transition(const std::string& container_id,
                                            RmContainerState from,
                                            RmContainerState to) {
-  std::string out = container_id;
-  out += " Container Transitioned from ";
-  out += name(from);
-  out += " to ";
-  out += name(to);
-  return out;
+  return contract::render_template(
+      kRmContainerLineFormat,
+      {{"id", container_id}, {"from", name(from)}, {"to", name(to)}});
 }
 
 std::string render_nm_container_transition(const std::string& container_id,
                                            NmContainerState from,
                                            NmContainerState to) {
-  std::string out = "Container ";
-  out += container_id;
-  out += " transitioned from ";
-  out += name(from);
-  out += " to ";
-  out += name(to);
-  return out;
+  return contract::render_template(
+      kNmContainerLineFormat,
+      {{"id", container_id}, {"from", name(from)}, {"to", name(to)}});
 }
 
 }  // namespace sdc::yarn

@@ -4,12 +4,18 @@
 //   RMContainerImpl  (ResourceManager)  — container allocation lifecycle
 //   ContainerImpl    (NodeManager)      — container execution lifecycle
 //
-// Each transition is validated against the legal-transition table and
-// rendered as the exact log line the real daemon would emit; this is the
-// contract between the simulator and the log miner.
+// Each machine is declared as introspectable `constexpr` data: the state
+// names, the legal-transition edges (with the YARN event token attached
+// to the rendered line and the Table-I event the miner must extract from
+// it), the terminal states, and the exact log-line template the daemon
+// emits.  The runtime validation (`is_legal_transition`), the log
+// rendering (`render_*_transition`), and the `sdlint` static contract
+// checker all read the same tables, so the simulator, the miner, and the
+// lint gate cannot drift apart silently.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -47,6 +53,147 @@ enum class NmContainerState {
   kExitedWithFailure,
   kDone,
 };
+
+// --- introspectable machine tables ------------------------------------------
+
+/// One legal edge of a logged state machine.  `event` is the YARN event
+/// token rendered into the line ("" when the machine's template has no
+/// `{event}` slot); `emits` is the `sdc::checker::event_name()` of the
+/// Table-I / auxiliary event the miner extractor must produce from the
+/// rendered line ("" when the miner must stay silent on it).
+template <typename Enum>
+struct TransitionEdge {
+  Enum from;
+  Enum to;
+  std::string_view event{};
+  std::string_view emits{};
+};
+
+/// State names, indexed by the enum's underlying value.
+inline constexpr std::string_view kRmAppStateNames[] = {
+    "NEW",     "NEW_SAVING",   "SUBMITTED", "ACCEPTED",
+    "RUNNING", "FINAL_SAVING", "FINISHED",
+};
+inline constexpr std::string_view kRmContainerStateNames[] = {
+    "NEW", "ALLOCATED", "ACQUIRED", "RUNNING", "COMPLETED", "RELEASED",
+};
+inline constexpr std::string_view kNmContainerStateNames[] = {
+    "NEW",
+    "LOCALIZING",
+    "SCHEDULED",
+    "RUNNING",
+    "EXITED_WITH_SUCCESS",
+    "EXITED_WITH_FAILURE",
+    "DONE",
+};
+
+inline constexpr TransitionEdge<RmAppState> kRmAppEdges[] = {
+    {RmAppState::kNew, RmAppState::kNewSaving, "START", ""},
+    {RmAppState::kNewSaving, RmAppState::kSubmitted, "APP_NEW_SAVED",
+     "SUBMITTED"},
+    {RmAppState::kSubmitted, RmAppState::kAccepted, "APP_ACCEPTED",
+     "ACCEPTED"},
+    {RmAppState::kAccepted, RmAppState::kRunning, "ATTEMPT_REGISTERED",
+     "APT_REGISTERED"},
+    // ACCEPTED -> FINAL_SAVING covers applications whose AM attempts all
+    // failed before registering (YARN's ACCEPTED -> FAILED analog).
+    {RmAppState::kAccepted, RmAppState::kFinalSaving, "ATTEMPT_FAILED", ""},
+    {RmAppState::kRunning, RmAppState::kFinalSaving, "ATTEMPT_UNREGISTERED",
+     ""},
+    {RmAppState::kFinalSaving, RmAppState::kFinished, "APP_UPDATE_SAVED",
+     "APP_FINISHED"},
+};
+
+inline constexpr TransitionEdge<RmContainerState> kRmContainerEdges[] = {
+    {RmContainerState::kNew, RmContainerState::kAllocated, "", "ALLOCATED"},
+    {RmContainerState::kAllocated, RmContainerState::kAcquired, "",
+     "ACQUIRED"},
+    // Unacquired allocations can be reclaimed (RELEASED) — the path the
+    // SPARK-21562 over-request bug leaves in the logs.
+    {RmContainerState::kAllocated, RmContainerState::kReleased, "",
+     "RM_RELEASED"},
+    {RmContainerState::kAcquired, RmContainerState::kRunning, "",
+     "RM_RUNNING"},
+    {RmContainerState::kAcquired, RmContainerState::kReleased, "",
+     "RM_RELEASED"},
+    {RmContainerState::kRunning, RmContainerState::kCompleted, "",
+     "RM_COMPLETED"},
+    {RmContainerState::kRunning, RmContainerState::kReleased, "",
+     "RM_RELEASED"},
+};
+
+inline constexpr TransitionEdge<NmContainerState> kNmContainerEdges[] = {
+    {NmContainerState::kNew, NmContainerState::kLocalizing, "", "LOCALIZING"},
+    {NmContainerState::kLocalizing, NmContainerState::kScheduled, "",
+     "SCHEDULED"},
+    {NmContainerState::kScheduled, NmContainerState::kRunning, "", "RUNNING"},
+    {NmContainerState::kRunning, NmContainerState::kExitedWithSuccess, "",
+     "NM_EXITED"},
+    {NmContainerState::kRunning, NmContainerState::kExitedWithFailure, "",
+     "NM_FAILED"},
+    {NmContainerState::kExitedWithSuccess, NmContainerState::kDone, "", ""},
+    {NmContainerState::kExitedWithFailure, NmContainerState::kDone, "", ""},
+};
+
+inline constexpr std::size_t kRmAppTerminals[] = {
+    static_cast<std::size_t>(RmAppState::kFinished)};
+inline constexpr std::size_t kRmContainerTerminals[] = {
+    static_cast<std::size_t>(RmContainerState::kCompleted),
+    static_cast<std::size_t>(RmContainerState::kReleased)};
+inline constexpr std::size_t kNmContainerTerminals[] = {
+    static_cast<std::size_t>(NmContainerState::kDone)};
+
+/// Fully qualified logger names, as they appear in real YARN logs.
+inline constexpr std::string_view kRmAppImplClass =
+    "org.apache.hadoop.yarn.server.resourcemanager.rmapp.RMAppImpl";
+inline constexpr std::string_view kRmContainerImplClass =
+    "org.apache.hadoop.yarn.server.resourcemanager.rmcontainer.RMContainerImpl";
+inline constexpr std::string_view kNmContainerImplClass =
+    "org.apache.hadoop.yarn.server.nodemanager.containermanager.container."
+    "ContainerImpl";
+inline constexpr std::string_view kCapacitySchedulerClass =
+    "org.apache.hadoop.yarn.server.resourcemanager.scheduler.capacity."
+    "CapacityScheduler";
+inline constexpr std::string_view kOpportunisticSchedulerClass =
+    "org.apache.hadoop.yarn.server.resourcemanager.scheduler.distributed."
+    "OpportunisticContainerAllocatorAMService";
+
+/// The exact message templates the state machines emit.  `{id}` is the
+/// application/container id, `{from}`/`{to}` the state names, `{event}`
+/// the YARN event token of the taken edge.
+inline constexpr std::string_view kRmAppLineFormat =
+    "{id} State change from {from} to {to} on event = {event}";
+inline constexpr std::string_view kRmContainerLineFormat =
+    "{id} Container Transitioned from {from} to {to}";
+inline constexpr std::string_view kNmContainerLineFormat =
+    "Container {id} transitioned from {from} to {to}";
+
+/// Type-erased view of one machine's tables, consumed by sdlint.
+struct MachineDescriptor {
+  struct Edge {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    std::string_view event;
+    std::string_view emits;
+  };
+  /// Short class name ("RMAppImpl") — the miner's dispatch key.
+  std::string_view name;
+  std::string_view logger_class;
+  std::string_view line_format;
+  /// Canonical kind of the `{id}` placeholder: "application" or
+  /// "container".
+  std::string_view id_kind;
+  std::span<const std::string_view> state_names;
+  std::size_t initial = 0;
+  std::span<const std::size_t> terminals;
+  std::span<const Edge> edges;
+};
+
+/// The three machines, in a stable order (RMAppImpl, RMContainerImpl,
+/// ContainerImpl).
+std::span<const MachineDescriptor> machine_descriptors();
+
+// --- runtime API (implemented over the tables above) -------------------------
 
 std::string_view name(RmAppState s);
 std::string_view name(RmContainerState s);
@@ -93,21 +240,6 @@ class StateMachine {
   Enum state_;
   std::string machine_;
 };
-
-/// Fully qualified logger names, as they appear in real YARN logs.
-inline constexpr std::string_view kRmAppImplClass =
-    "org.apache.hadoop.yarn.server.resourcemanager.rmapp.RMAppImpl";
-inline constexpr std::string_view kRmContainerImplClass =
-    "org.apache.hadoop.yarn.server.resourcemanager.rmcontainer.RMContainerImpl";
-inline constexpr std::string_view kNmContainerImplClass =
-    "org.apache.hadoop.yarn.server.nodemanager.containermanager.container."
-    "ContainerImpl";
-inline constexpr std::string_view kCapacitySchedulerClass =
-    "org.apache.hadoop.yarn.server.resourcemanager.scheduler.capacity."
-    "CapacityScheduler";
-inline constexpr std::string_view kOpportunisticSchedulerClass =
-    "org.apache.hadoop.yarn.server.resourcemanager.scheduler.distributed."
-    "OpportunisticContainerAllocatorAMService";
 
 /// Renders the RMAppImpl transition line, e.g.
 /// `application_..._0001 State change from SUBMITTED to ACCEPTED on event =

@@ -1,0 +1,62 @@
+// sdlint — static contract checker for SDchecker's state machines and
+// the emitter/extractor log protocol.  Runs at build/CI time with no
+// cluster simulation: everything it needs is the `constexpr` tables the
+// simulator and miner already compile against.
+//
+//   sdlint            run all checks, human diagnostics on stderr
+//   sdlint --json     machine-readable report on stdout
+//   sdlint --selftest prove every check fires on the seeded-violation
+//                     corpus, then require the real tables to be clean
+//
+// Exit codes: 0 clean, 1 findings, 2 usage error.
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "sdlint/findings.hpp"
+#include "sdlint/fixtures.hpp"
+#include "sdlint/runner.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: sdlint [--json] [--selftest]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool selftest = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--selftest") {
+      selftest = true;
+    } else {
+      return usage();
+    }
+  }
+
+  const std::vector<sdc::lint::Finding> findings =
+      selftest ? sdc::lint::run_selftest()
+               : sdc::lint::run_all_checks().findings;
+
+  if (json) {
+    std::fputs(sdc::lint::findings_to_json(findings).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else if (!findings.empty()) {
+    std::fputs(sdc::lint::findings_to_text(findings).c_str(), stderr);
+  }
+  if (findings.empty()) {
+    if (!json) {
+      std::fprintf(stderr, "sdlint: %s clean\n",
+                   selftest ? "selftest" : "all checks");
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "sdlint: %zu finding(s)\n", findings.size());
+  return 1;
+}
