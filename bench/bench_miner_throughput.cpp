@@ -29,6 +29,7 @@
 #include "common/json.hpp"
 #include "logging/log_view.hpp"
 #include "logging/timestamp.hpp"
+#include "obs/metrics.hpp"
 #include "sdchecker/miner.hpp"
 
 namespace {
@@ -245,6 +246,9 @@ void experiment() {
               probe.stream("rm.log").line_count(), threads);
 
   const int reps = lines >= 500'000 ? 3 : 5;
+  // Zero the pipeline instruments so the snapshot written alongside the
+  // timings covers exactly the measured work.
+  obs::MetricsRegistry::global().reset_values();
   std::vector<Variant> variants;
   {
     Variant v{"serial", 0, 0};
@@ -298,6 +302,8 @@ void experiment() {
   out.end_array();
   const double speedup = variants.front().seconds / variants.back().seconds;
   out.field("sharded_vs_serial_speedup", speedup);
+  out.key("metrics");
+  out.raw(obs::MetricsRegistry::global().snapshot().to_json());
   out.end_object();
   std::printf("  sharded zero-copy vs serial: %.2fx\n", speedup);
 

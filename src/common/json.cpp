@@ -130,4 +130,10 @@ Writer& Writer::value(const std::optional<std::int64_t>& number) {
   return value(*number);
 }
 
+Writer& Writer::raw(std::string_view json) {
+  comma_if_needed();
+  out_ += json;
+  return *this;
+}
+
 }  // namespace sdc::json

@@ -33,6 +33,9 @@ class Writer {
   Writer& null();
   /// nullopt -> null, otherwise the number.
   Writer& value(const std::optional<std::int64_t>& number);
+  /// Splices an already-serialized JSON value verbatim (no escaping, no
+  /// validation) — for embedding sub-documents produced by other writers.
+  Writer& raw(std::string_view json);
 
   /// Convenience: key + value in one call.
   template <typename T>

@@ -1,5 +1,6 @@
 #include "logging/diagnostics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace sdc::logging {
@@ -22,10 +23,42 @@ std::string_view diagnostic_kind_name(DiagnosticKind kind) {
   return "?";
 }
 
+std::size_t diagnostic_severity(DiagnosticKind kind) {
+  switch (kind) {
+    // Input that never reached the parser at all.
+    case DiagnosticKind::kUnreadableFile:
+      return 0;
+    // Input that reached the parser damaged (lines dropped or cut).
+    case DiagnosticKind::kBinaryGarbage:
+    case DiagnosticKind::kTruncatedLine:
+    case DiagnosticKind::kUnparsableBurst:
+      return 1;
+    // Input that was kept but whose timeline is suspect.
+    case DiagnosticKind::kRotationGap:
+    case DiagnosticKind::kTimestampRegression:
+      return 2;
+  }
+  return 3;
+}
+
 DiagnosticCounts count_diagnostics(const std::vector<Diagnostic>& diagnostics) {
   DiagnosticCounts counts;
   for (const Diagnostic& diagnostic : diagnostics) counts.add(diagnostic);
   return counts;
+}
+
+bool diagnostic_order_less(const Diagnostic& a, const Diagnostic& b) {
+  const std::size_t sev_a = diagnostic_severity(a.kind);
+  const std::size_t sev_b = diagnostic_severity(b.kind);
+  if (sev_a != sev_b) return sev_a < sev_b;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.stream != b.stream) return a.stream < b.stream;
+  return a.line_no < b.line_no;
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics) {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   diagnostic_order_less);
 }
 
 std::string render_diagnostic(const Diagnostic& diagnostic) {

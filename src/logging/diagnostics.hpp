@@ -41,6 +41,10 @@ inline constexpr std::size_t kDiagnosticKindCount = 6;
 /// Short stable name ("unreadable-file", "binary-garbage", ...).
 std::string_view diagnostic_kind_name(DiagnosticKind kind);
 
+/// Report severity: how strongly a kind implies data loss.  Lost input
+/// (0) > damaged input (1) > suspect-but-kept input (2).
+std::size_t diagnostic_severity(DiagnosticKind kind);
+
 /// One finding about one stream (or the bundle, for file-level issues).
 struct Diagnostic {
   DiagnosticKind kind = DiagnosticKind::kUnreadableFile;
@@ -83,6 +87,17 @@ struct DiagnosticCounts {
 /// Recomputes totals from a list of records.
 [[nodiscard]] DiagnosticCounts count_diagnostics(
     const std::vector<Diagnostic>& diagnostics);
+
+/// Report ordering: severity, then kind, then stream, then line.  Used
+/// by the analysis layer so rendered reports and exported JSON list the
+/// most serious corpus damage first, in a stable order independent of
+/// mining thread count or chunk schedule.  (Mining-layer results keep
+/// discovery order — the sharded/serial equivalence tests depend on it.)
+[[nodiscard]] bool diagnostic_order_less(const Diagnostic& a,
+                                         const Diagnostic& b);
+
+/// Stable-sorts records into report order.
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics);
 
 /// Renders one record as a single human-readable line (no trailing '\n').
 [[nodiscard]] std::string render_diagnostic(const Diagnostic& diagnostic);

@@ -1,0 +1,106 @@
+#include "obs/trace_writer.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace sdc::obs {
+
+TraceEventWriter::TraceEventWriter() {
+  writer_.begin_object();
+  writer_.field("displayTimeUnit", "ms");
+  writer_.key("traceEvents");
+  writer_.begin_array();
+}
+
+void TraceEventWriter::event_head(std::string_view ph, std::int64_t pid,
+                                  std::int64_t tid, std::string_view name,
+                                  std::string_view category) {
+  writer_.begin_object();
+  writer_.field("name", name);
+  writer_.field("ph", ph);
+  writer_.field("pid", pid);
+  writer_.field("tid", tid);
+  if (!category.empty()) writer_.field("cat", category);
+  ++events_;
+}
+
+void TraceEventWriter::process_name(std::int64_t pid, std::string_view name) {
+  event_head("M", pid, 0, "process_name", "");
+  writer_.key("args").begin_object();
+  writer_.field("name", name);
+  writer_.end_object();
+  writer_.end_object();
+}
+
+void TraceEventWriter::thread_name(std::int64_t pid, std::int64_t tid,
+                                   std::string_view name) {
+  event_head("M", pid, tid, "thread_name", "");
+  writer_.key("args").begin_object();
+  writer_.field("name", name);
+  writer_.end_object();
+  writer_.end_object();
+}
+
+void TraceEventWriter::complete(
+    std::int64_t pid, std::int64_t tid, std::string_view name,
+    std::uint64_t ts_us, std::uint64_t dur_us, std::string_view category,
+    const std::vector<std::pair<std::string, std::string>>& args) {
+  event_head("X", pid, tid, name, category);
+  writer_.field("ts", static_cast<std::int64_t>(ts_us));
+  writer_.field("dur", static_cast<std::int64_t>(dur_us));
+  if (!args.empty()) {
+    writer_.key("args").begin_object();
+    for (const auto& [key, value] : args) writer_.field(key, value);
+    writer_.end_object();
+  }
+  writer_.end_object();
+}
+
+void TraceEventWriter::instant(std::int64_t pid, std::int64_t tid,
+                               std::string_view name, std::uint64_t ts_us,
+                               std::string_view category) {
+  event_head("i", pid, tid, name, category);
+  writer_.field("ts", static_cast<std::int64_t>(ts_us));
+  writer_.field("s", "t");  // thread-scoped instant
+  writer_.end_object();
+}
+
+std::string TraceEventWriter::finish() {
+  if (!finished_) {
+    writer_.end_array();
+    writer_.end_object();
+    finished_ = true;
+  }
+  return writer_.take();
+}
+
+void append_spans(TraceEventWriter& writer,
+                  const std::vector<SpanRecord>& spans,
+                  std::string_view process, std::int64_t pid) {
+  writer.process_name(pid, process);
+  // Group by track and sort each track by start so per-track timestamps
+  // are monotonic in file order (span completion order is end-time
+  // order, which interleaves).
+  std::map<std::uint32_t, std::vector<const SpanRecord*>> tracks;
+  for (const SpanRecord& span : spans) tracks[span.track].push_back(&span);
+  for (auto& [track, records] : tracks) {
+    writer.thread_name(pid, track, "track " + std::to_string(track));
+    std::stable_sort(records.begin(), records.end(),
+                     [](const SpanRecord* a, const SpanRecord* b) {
+                       return a->start_us < b->start_us;
+                     });
+    for (const SpanRecord* record : records) {
+      writer.complete(pid, track, record->name, record->start_us,
+                      record->dur_us, "self");
+    }
+  }
+}
+
+std::string spans_trace_json(const std::vector<SpanRecord>& spans,
+                             std::string_view process, std::int64_t pid) {
+  TraceEventWriter writer;
+  append_spans(writer, spans, process, pid);
+  return writer.finish();
+}
+
+}  // namespace sdc::obs

@@ -1,0 +1,77 @@
+// Chrome trace-event / Perfetto JSON writer.
+//
+// Emits the JSON object format (`{"traceEvents":[...]}`) that both
+// chrome://tracing and ui.perfetto.dev load directly.  Event vocabulary
+// used here:
+//
+//   ph "M"  metadata      process_name / thread_name labels
+//   ph "X"  complete      one slice: ts (us) + dur (us) on (pid, tid)
+//   ph "i"  instant       a point marker on (pid, tid)
+//
+// Two producers share this writer: the self-profiling export (spans from
+// obs::Tracer, one process, one tid per tracer track) and the
+// scheduling-graph export in src/sdchecker/trace_export.* (one process
+// per application, Fig. 3 rendered as slices).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/tracer.hpp"
+
+namespace sdc::obs {
+
+/// Streaming builder for one trace file.  Events are appended in call
+/// order; Perfetto does not require global ordering, but keep per-track
+/// slices in ascending ts so the validator's monotonicity check holds.
+class TraceEventWriter {
+ public:
+  TraceEventWriter();
+
+  /// Names the process row in the UI ("application_..._0007").
+  void process_name(std::int64_t pid, std::string_view name);
+  /// Names a thread (track) row within a process.
+  void thread_name(std::int64_t pid, std::int64_t tid, std::string_view name);
+
+  /// One complete slice.  `args` are optional key/value annotations shown
+  /// in the UI's detail pane.
+  void complete(std::int64_t pid, std::int64_t tid, std::string_view name,
+                std::uint64_t ts_us, std::uint64_t dur_us,
+                std::string_view category = "",
+                const std::vector<std::pair<std::string, std::string>>& args =
+                    {});
+
+  /// One instant marker (thread scope).
+  void instant(std::int64_t pid, std::int64_t tid, std::string_view name,
+               std::uint64_t ts_us, std::string_view category = "");
+
+  /// Closes the event array and returns the document.  The writer is
+  /// spent afterwards.
+  [[nodiscard]] std::string finish();
+
+  [[nodiscard]] std::size_t event_count() const noexcept { return events_; }
+
+ private:
+  void event_head(std::string_view ph, std::int64_t pid, std::int64_t tid,
+                  std::string_view name, std::string_view category);
+
+  json::Writer writer_;
+  std::size_t events_ = 0;
+  bool finished_ = false;
+};
+
+/// Renders tracer spans as one self-profiling process: pid `pid`, one
+/// tid per tracer track.  `process` labels the process row.
+[[nodiscard]] std::string spans_trace_json(
+    const std::vector<SpanRecord>& spans,
+    std::string_view process = "sdchecker self-profile", std::int64_t pid = 0);
+
+/// Appends tracer spans onto an existing writer (used when the
+/// scheduling graph and the self-profile share one file).
+void append_spans(TraceEventWriter& writer, const std::vector<SpanRecord>& spans,
+                  std::string_view process, std::int64_t pid);
+
+}  // namespace sdc::obs

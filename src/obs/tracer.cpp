@@ -1,0 +1,71 @@
+#include "obs/tracer.hpp"
+
+#include <chrono>
+
+namespace sdc::obs {
+namespace {
+
+std::int64_t steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<std::uint32_t> next_track{0};
+
+}  // namespace
+
+Tracer::Tracer() { epoch_ns_.store(steady_ns(), std::memory_order_relaxed); }
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint32_t Tracer::current_track() noexcept {
+  thread_local const std::uint32_t track =
+      next_track.fetch_add(1, std::memory_order_relaxed);
+  return track;
+}
+
+std::uint64_t Tracer::now_us() const noexcept {
+  const std::int64_t ns =
+      steady_ns() - epoch_ns_.load(std::memory_order_relaxed);
+  return ns <= 0 ? 0 : static_cast<std::uint64_t>(ns / 1000);
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+}
+
+void Tracer::record(SpanRecord span) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+Tracer::Span::Span(Tracer* tracer, std::string_view name) : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  name_ = name;
+  start_us_ = tracer_->now_us();
+}
+
+void Tracer::Span::finish() noexcept {
+  if (tracer_ == nullptr) return;
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.start_us = start_us_;
+  const std::uint64_t end = tracer_->now_us();
+  record.dur_us = end > start_us_ ? end - start_us_ : 0;
+  record.track = current_track();
+  tracer_->record(std::move(record));
+  tracer_ = nullptr;
+}
+
+}  // namespace sdc::obs

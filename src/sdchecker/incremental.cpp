@@ -2,12 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sdchecker/parsed_line.hpp"
 
 namespace sdc::checker {
 
 void IncrementalAnalyzer::feed(const std::string& stream,
                                std::string_view line) {
+  static obs::Counter& lines_counter =
+      obs::MetricsRegistry::global().counter("incremental.lines");
+  lines_counter.add(1);
   StreamState& state = streams_[stream];
   ++state.line_no;
   ++lines_total_;
@@ -146,6 +151,7 @@ Delays IncrementalAnalyzer::delays_for(const ApplicationId& app) const {
 }
 
 AnalysisResult IncrementalAnalyzer::snapshot() const {
+  const auto span = obs::Tracer::global().span("incremental.snapshot");
   AnalysisResult result = finalize_analysis(timelines_);
   result.lines_total = lines_total_;
   result.lines_unparsed = lines_unparsed_;
@@ -153,6 +159,7 @@ AnalysisResult IncrementalAnalyzer::snapshot() const {
   result.events_unattributed = events_pending();
   result.diagnostics = diagnostics();
   result.diag_counts = logging::count_diagnostics(result.diagnostics);
+  logging::sort_diagnostics(result.diagnostics);
   return result;
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/thread_pool.hpp"
 #include "logging/timestamp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace sdc::checker {
 
@@ -406,6 +408,21 @@ std::vector<LogicalStream> group_rotations(const logging::BundleView& view) {
   return out;
 }
 
+/// Cached per-kind diagnostic counters ("mine.diagnostics.<kind>").
+obs::Counter& diagnostic_counter(DiagnosticKind kind) {
+  static const auto& counters = *[] {
+    auto* out = new std::array<obs::Counter*, logging::kDiagnosticKindCount>{};
+    for (std::size_t i = 0; i < out->size(); ++i) {
+      (*out)[i] = &obs::MetricsRegistry::global().counter(
+          "mine.diagnostics." +
+          std::string(logging::diagnostic_kind_name(
+              static_cast<DiagnosticKind>(i))));
+    }
+    return out;
+  }();
+  return *counters[static_cast<std::size_t>(kind)];
+}
+
 }  // namespace
 
 MinedStream LogMiner::mine_stream(
@@ -422,7 +439,26 @@ MinedStream LogMiner::mine_stream(const std::string& name,
 }
 
 MineResult LogMiner::mine(const logging::BundleView& view) const {
+  const auto total_span = obs::Tracer::global().span("mine.total");
+  static obs::Counter& lines_counter =
+      obs::MetricsRegistry::global().counter("mine.lines");
+  static obs::Counter& events_counter =
+      obs::MetricsRegistry::global().counter("mine.events");
+  static obs::Counter& streams_counter =
+      obs::MetricsRegistry::global().counter("mine.streams");
+  static obs::Gauge& lines_expected =
+      obs::MetricsRegistry::global().gauge("mine.lines_expected");
+
   std::vector<LogicalStream> logicals = group_rotations(view);
+  {
+    std::int64_t expected = 0;
+    for (const LogicalStream& logical : logicals) {
+      expected += static_cast<std::int64_t>(logical.lines.size());
+    }
+    // Cumulative like the counters: `mine.lines_expected - mine.lines` is
+    // the remaining work even across repeated mine() calls.
+    lines_expected.add(expected);
+  }
 
   // Work list: every logical stream split into chunks at line boundaries,
   // so all chunks across all streams feed one parallel loop and a
@@ -454,11 +490,13 @@ MineResult LogMiner::mine(const logging::BundleView& view) const {
 
   std::vector<ChunkOut> outs(refs.size());
   const auto mine_one = [&](std::size_t c) {
+    const auto chunk_span = obs::Tracer::global().span("mine.chunk");
     const ChunkRef& ref = refs[c];
     outs[c] = mine_chunk(
         logicals[ref.stream].name,
         logicals[ref.stream].lines.subspan(ref.begin, ref.end - ref.begin),
         ref.begin, options_);
+    lines_counter.add(ref.end - ref.begin);
   };
   if (options_.threads > 1 && refs.size() > 1) {
     ThreadPool pool(options_.threads);
@@ -471,25 +509,36 @@ MineResult LogMiner::mine(const logging::BundleView& view) const {
   result.streams.reserve(logicals.size());
   std::vector<std::vector<SchedEvent>> runs;
   runs.reserve(logicals.size());
-  for (std::size_t s = 0; s < logicals.size(); ++s) {
-    std::vector<ChunkOut> chunks(
-        std::make_move_iterator(outs.begin() + first_chunk[s]),
-        std::make_move_iterator(outs.begin() + first_chunk[s + 1]));
-    MinedStream stream = stitch_stream(
-        logicals[s].name, logicals[s].lines.size(), std::move(chunks),
-        options_, std::move(logicals[s].pre_diagnostics));
-    result.lines_total += stream.lines_total;
-    result.lines_unparsed += stream.lines_unparsed;
-    result.diagnostics.insert(result.diagnostics.end(),
-                              stream.diagnostics.begin(),
-                              stream.diagnostics.end());
-    result.diag_counts += stream.diag_counts;
-    // Per-stream runs are already sorted; move them out (no per-event
-    // copies) and k-way merge instead of re-sorting globally.
-    runs.push_back(std::move(stream.events));
-    result.streams.push_back(std::move(stream));
+  {
+    const auto stitch_span = obs::Tracer::global().span("mine.stitch");
+    for (std::size_t s = 0; s < logicals.size(); ++s) {
+      std::vector<ChunkOut> chunks(
+          std::make_move_iterator(outs.begin() + first_chunk[s]),
+          std::make_move_iterator(outs.begin() + first_chunk[s + 1]));
+      MinedStream stream = stitch_stream(
+          logicals[s].name, logicals[s].lines.size(), std::move(chunks),
+          options_, std::move(logicals[s].pre_diagnostics));
+      result.lines_total += stream.lines_total;
+      result.lines_unparsed += stream.lines_unparsed;
+      result.diagnostics.insert(result.diagnostics.end(),
+                                stream.diagnostics.begin(),
+                                stream.diagnostics.end());
+      result.diag_counts += stream.diag_counts;
+      // Per-stream runs are already sorted; move them out (no per-event
+      // copies) and k-way merge instead of re-sorting globally.
+      runs.push_back(std::move(stream.events));
+      result.streams.push_back(std::move(stream));
+    }
   }
-  result.events = merge_runs(std::move(runs));
+  {
+    const auto merge_span = obs::Tracer::global().span("mine.merge");
+    result.events = merge_runs(std::move(runs));
+  }
+  streams_counter.add(result.streams.size());
+  events_counter.add(result.events.size());
+  for (const Diagnostic& diagnostic : result.diagnostics) {
+    diagnostic_counter(diagnostic.kind).add(diagnostic.count);
+  }
   return result;
 }
 

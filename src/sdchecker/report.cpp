@@ -1,39 +1,66 @@
 #include "sdchecker/report.hpp"
 
 #include <cstdio>
+#include <map>
+
+#include "obs/metrics.hpp"
+#include "sdchecker/trace_export.hpp"
 
 namespace sdc::checker {
 namespace {
 
 constexpr double kMsToSec = 1e-3;
 
-void add_opt(SampleSet& set, const std::optional<std::int64_t>& value) {
-  if (value) set.add(static_cast<double>(*value) * kMsToSec);
+/// Registry histograms (in ms) mirroring each aggregated sample set,
+/// registered once from the shared component catalog so the metric names
+/// cannot drift from the trace slice names.
+obs::Histogram& delay_histogram(std::string_view metric) {
+  static const auto& by_metric = *[] {
+    auto* map = new std::map<std::string, obs::Histogram*, std::less<>>;
+    for (const DelayComponentSpec& spec : delay_component_specs()) {
+      map->emplace(std::string(spec.metric),
+                   &obs::MetricsRegistry::global().histogram(spec.histogram));
+    }
+    return map;
+  }();
+  return *by_metric.find(metric)->second;
 }
 
-void add_each(SampleSet& set, const std::vector<std::int64_t>& values) {
-  for (std::int64_t v : values) set.add(static_cast<double>(v) * kMsToSec);
+void add_opt(SampleSet& set, std::string_view metric,
+             const std::optional<std::int64_t>& value) {
+  if (!value) return;
+  set.add(static_cast<double>(*value) * kMsToSec);
+  delay_histogram(metric).observe(static_cast<double>(*value));
+}
+
+void add_each(SampleSet& set, std::string_view metric,
+              const std::vector<std::int64_t>& values) {
+  obs::Histogram& histogram = delay_histogram(metric);
+  for (std::int64_t v : values) {
+    set.add(static_cast<double>(v) * kMsToSec);
+    histogram.observe(static_cast<double>(v));
+  }
 }
 
 }  // namespace
 
 void AggregateReport::add(const Delays& delays) {
   ++apps_;
-  add_opt(total, delays.total);
-  add_opt(am, delays.am);
-  add_opt(cf, delays.cf);
-  add_opt(cl, delays.cl);
-  add_opt(cl_minus_cf, delays.cl_minus_cf);
-  add_opt(driver, delays.driver);
-  add_opt(executor, delays.executor);
-  add_opt(in_app, delays.in_app);
-  add_opt(out_app, delays.out_app);
-  add_opt(alloc, delays.alloc);
-  add_each(acquisition, delays.worker_acquisitions());
-  add_each(localization, delays.worker_localizations());
-  add_each(queuing, delays.worker_queuings());
-  add_each(launching, delays.worker_launchings());
-  add_each(exec_idle, delays.worker_idles());
+  add_opt(total, "total", delays.total);
+  add_opt(am, "am", delays.am);
+  add_opt(cf, "cf", delays.cf);
+  add_opt(cl, "cl", delays.cl);
+  add_opt(cl_minus_cf, "cl-cf", delays.cl_minus_cf);
+  add_opt(driver, "driver", delays.driver);
+  add_opt(executor, "executor", delays.executor);
+  add_opt(in_app, "in-app", delays.in_app);
+  add_opt(out_app, "out-app", delays.out_app);
+  add_opt(alloc, "alloc", delays.alloc);
+  add_each(acquisition, "acquisition", delays.worker_acquisitions());
+  add_each(localization, "localization", delays.worker_localizations());
+  add_each(queuing, "queuing", delays.worker_queuings());
+  add_each(launching, "launching", delays.worker_launchings());
+  add_each(exec_idle, "exec-idle", delays.worker_idles());
 }
 
 std::vector<std::pair<std::string, const SampleSet*>> AggregateReport::metrics()

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace sdc::checker {
 
 SchedulingGraph AnalysisResult::graph_for(const ApplicationId& app) const {
@@ -99,6 +102,11 @@ std::string AnalysisResult::render_diagnostics() const {
 
 AnalysisResult finalize_analysis(
     std::map<ApplicationId, AppTimeline> timelines) {
+  const auto span = obs::Tracer::global().span("analyze.finalize");
+  static obs::Counter& apps_counter =
+      obs::MetricsRegistry::global().counter("analyze.apps");
+  static obs::Counter& anomalies_counter =
+      obs::MetricsRegistry::global().counter("analyze.anomalies");
   AnalysisResult result;
   result.timelines = std::move(timelines);
   for (const auto& [app, timeline] : result.timelines) {
@@ -107,11 +115,16 @@ AnalysisResult finalize_analysis(
     result.aggregate.add(delays);
     result.delays.emplace(app, std::move(delays));
   }
+  apps_counter.add(result.timelines.size());
+  anomalies_counter.add(result.anomalies.size());
   return result;
 }
 
 AnalysisResult SdChecker::analyze_mined(MineResult mined) const {
-  GroupResult grouped = group_events(mined.events);
+  GroupResult grouped = [&] {
+    const auto span = obs::Tracer::global().span("analyze.group");
+    return group_events(mined.events);
+  }();
   AnalysisResult result = finalize_analysis(std::move(grouped.apps));
   result.lines_total = mined.lines_total;
   result.lines_unparsed = mined.lines_unparsed;
@@ -119,6 +132,9 @@ AnalysisResult SdChecker::analyze_mined(MineResult mined) const {
   result.events_unattributed = grouped.unattributed;
   result.diagnostics = std::move(mined.diagnostics);
   result.diag_counts = mined.diag_counts;
+  // Report order is severity-then-class, independent of mining thread
+  // count; the mining layer itself keeps discovery order.
+  logging::sort_diagnostics(result.diagnostics);
   return result;
 }
 

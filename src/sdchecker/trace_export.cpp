@@ -1,0 +1,215 @@
+#include "sdchecker/trace_export.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace sdc::checker {
+namespace {
+
+constexpr DelayComponentSpec kSpecs[] = {
+    {"total", "sdc.delay.total", "total", false},
+    {"am", "sdc.delay.am", "am", false},
+    {"cf", "sdc.delay.cf", "cf", false},
+    {"cl", "sdc.delay.cl", "cl", false},
+    {"cl-cf", "sdc.delay.cl-cf", "cl-cf", false},
+    {"driver", "sdc.delay.driver", "driver", false},
+    {"executor", "sdc.delay.executor", "executor", false},
+    {"in-app", "sdc.delay.in-app", "in-app", false},
+    {"out-app", "sdc.delay.out-app", "out-app", false},
+    {"alloc", "sdc.delay.alloc", "alloc", false},
+    {"acquisition", "sdc.delay.acquisition", "acquisition", true},
+    {"localization", "sdc.delay.localization", "localization", true},
+    {"queuing", "sdc.delay.queuing", "queuing", true},
+    {"launching", "sdc.delay.launching", "launching", true},
+    {"exec-idle", "sdc.delay.exec-idle", "exec-idle", true},
+};
+
+constexpr std::string_view kRequiredAppSlices[] = {
+    "total", "am", "cf", "cl", "alloc", "driver", "executor",
+};
+
+/// One pending slice: name + absolute [start, end] in corpus epoch-ms.
+struct PendingSlice {
+  std::string_view name;
+  std::int64_t start_ms = 0;
+  std::int64_t end_ms = 0;
+};
+
+/// Appends the slice when both anchors exist and the span is
+/// non-negative (negative spans are clock skew; the anomaly detector
+/// reports those — a trace slice cannot render them).
+void push_slice(std::vector<PendingSlice>& out, std::string_view name,
+                std::optional<std::int64_t> start,
+                std::optional<std::int64_t> end) {
+  if (!start || !end || *end < *start) return;
+  out.push_back({name, *start, *end});
+}
+
+std::uint64_t rebase_us(std::int64_t ts_ms, std::int64_t base_ms) {
+  const std::int64_t rebased = ts_ms - base_ms;
+  return rebased <= 0 ? 0 : static_cast<std::uint64_t>(rebased) * 1000;
+}
+
+/// Earliest timestamp anywhere in the corpus — the trace's time origin.
+std::int64_t corpus_base_ms(const AnalysisResult& result) {
+  std::int64_t base = std::numeric_limits<std::int64_t>::max();
+  for (const auto& [app, timeline] : result.timelines) {
+    for (const auto& [kind, ts] : timeline.first_ts) base = std::min(base, ts);
+    for (const auto& [id, container] : timeline.containers) {
+      for (const auto& [kind, ts] : container.first_ts) {
+        base = std::min(base, ts);
+      }
+    }
+  }
+  return base == std::numeric_limits<std::int64_t>::max() ? 0 : base;
+}
+
+/// Emits `slices` onto one (pid, tid) track in ascending start order with
+/// its own thread_name row.
+void emit_track(obs::TraceEventWriter& writer, std::int64_t pid,
+                std::int64_t tid, std::string_view track_name,
+                std::vector<PendingSlice> slices, std::int64_t base_ms) {
+  if (slices.empty()) return;
+  writer.thread_name(pid, tid, track_name);
+  std::stable_sort(slices.begin(), slices.end(),
+                   [](const PendingSlice& a, const PendingSlice& b) {
+                     return a.start_ms < b.start_ms;
+                   });
+  for (const PendingSlice& slice : slices) {
+    const std::uint64_t start = rebase_us(slice.start_ms, base_ms);
+    const std::uint64_t end = rebase_us(slice.end_ms, base_ms);
+    writer.complete(pid, tid, slice.name, start, end - start, "scheduling");
+  }
+}
+
+void emit_app(obs::TraceEventWriter& writer, std::int64_t pid,
+              const AppTimeline& timeline, std::int64_t base_ms) {
+  writer.process_name(pid, timeline.app.str());
+
+  // Track 0: one instant per Table-I milestone the logs actually carried.
+  {
+    std::vector<std::pair<std::int64_t, std::string_view>> marks;
+    for (const auto& [kind, ts] : timeline.first_ts) {
+      marks.emplace_back(ts, event_name(kind));
+    }
+    if (!marks.empty()) {
+      writer.thread_name(pid, 0, "milestones");
+      std::stable_sort(marks.begin(), marks.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      for (const auto& [ts, name] : marks) {
+        writer.instant(pid, 0, name, rebase_us(ts, base_ms), "milestone");
+      }
+    }
+  }
+
+  // Per-component tracks.  Anchors mirror decompose() exactly so the
+  // slice widths equal the reported delays.
+  const auto submitted = timeline.ts(EventKind::kAppSubmitted);
+  const auto registered = timeline.ts(EventKind::kAttemptRegistered);
+  const auto driver_first = timeline.ts(EventKind::kDriverFirstLog);
+  const auto driver_register = timeline.ts(EventKind::kDriverRegister);
+  const auto start_allo = timeline.ts(EventKind::kStartAllo);
+  const auto end_allo = timeline.ts(EventKind::kEndAllo);
+  const auto first_exec_log =
+      timeline.min_worker_ts(EventKind::kExecutorFirstLog);
+  const auto first_task = timeline.min_worker_ts(EventKind::kExecutorFirstTask);
+  const auto first_running = timeline.min_worker_ts(EventKind::kNmRunning);
+  const auto last_running = timeline.max_worker_ts(EventKind::kNmRunning);
+
+  std::int64_t tid = 1;
+  const auto component_track = [&](std::string_view name,
+                                   std::optional<std::int64_t> start,
+                                   std::optional<std::int64_t> end) {
+    std::vector<PendingSlice> slices;
+    push_slice(slices, name, start, end);
+    emit_track(writer, pid, tid++, name, std::move(slices), base_ms);
+  };
+  component_track("total", submitted, first_task);
+  component_track("am", submitted, registered);
+  component_track("cf", submitted, first_running);
+  component_track("cl", submitted, last_running);
+  component_track("cl-cf", first_running, last_running);
+  component_track("driver", driver_first, driver_register);
+  component_track("executor", first_exec_log, first_task);
+  // in-app / out-app have no event anchors of their own (they are sums);
+  // anchor the derived spans at SUBMITTED so they line up under "total".
+  if (driver_first && driver_register && first_exec_log && first_task &&
+      submitted) {
+    const std::int64_t in_app = (*driver_register - *driver_first) +
+                                (*first_task - *first_exec_log);
+    if (in_app >= 0) {
+      component_track("in-app", submitted, *submitted + in_app);
+      if (first_task && *first_task - *submitted >= in_app) {
+        component_track("out-app", submitted,
+                        *submitted + (*first_task - *submitted - in_app));
+      } else {
+        ++tid;  // keep tid assignment stable even when out-app is absent
+      }
+    } else {
+      tid += 2;
+    }
+  } else {
+    tid += 2;
+  }
+  component_track("alloc", start_allo, end_allo);
+
+  // Per-container tracks: the component chain in causal order.
+  std::int64_t container_tid = 100;
+  for (const auto& [id, container] : timeline.containers) {
+    std::vector<PendingSlice> slices;
+    push_slice(slices, "acquisition",
+               container.ts(EventKind::kContainerAllocated),
+               container.ts(EventKind::kContainerAcquired));
+    push_slice(slices, "localization", container.ts(EventKind::kNmLocalizing),
+               container.ts(EventKind::kNmScheduled));
+    push_slice(slices, "queuing", container.ts(EventKind::kNmScheduled),
+               container.ts(EventKind::kNmRunning));
+    std::optional<std::int64_t> instance_first_log;
+    if (!container.has(EventKind::kNmFailed)) {
+      instance_first_log = id.is_am()
+                               ? driver_first
+                               : container.ts(EventKind::kExecutorFirstLog);
+    }
+    push_slice(slices, "launching", container.ts(EventKind::kNmRunning),
+               instance_first_log);
+    if (!id.is_am()) {
+      push_slice(slices, "exec-idle",
+                 container.ts(EventKind::kExecutorFirstLog),
+                 container.ts(EventKind::kExecutorFirstTask));
+    }
+    emit_track(writer, pid, container_tid++, id.str(), std::move(slices),
+               base_ms);
+  }
+}
+
+}  // namespace
+
+std::span<const DelayComponentSpec> delay_component_specs() { return kSpecs; }
+
+std::span<const std::string_view> required_app_slices() {
+  return kRequiredAppSlices;
+}
+
+std::size_t append_scheduling_trace(obs::TraceEventWriter& writer,
+                                    const AnalysisResult& result,
+                                    std::int64_t first_pid) {
+  const std::int64_t base_ms = corpus_base_ms(result);
+  std::int64_t pid = first_pid;
+  for (const auto& [app, timeline] : result.timelines) {
+    emit_app(writer, pid++, timeline, base_ms);
+  }
+  return static_cast<std::size_t>(pid - first_pid);
+}
+
+std::string scheduling_trace_json(const AnalysisResult& result) {
+  obs::TraceEventWriter writer;
+  append_scheduling_trace(writer, result);
+  return writer.finish();
+}
+
+}  // namespace sdc::checker

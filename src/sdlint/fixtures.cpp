@@ -4,6 +4,7 @@
 #include "yarn/log_contract.hpp"
 #include "sdlint/coverage_check.hpp"
 #include "sdlint/machine_check.hpp"
+#include "sdlint/obs_check.hpp"
 #include "sdlint/runner.hpp"
 
 namespace sdc::lint {
@@ -155,6 +156,53 @@ std::vector<Finding> run_coverage_missing() {
   return check_coverage(yarn::machine_descriptors(), groups);
 }
 
+// --- broken observability vocabulary -----------------------------------------
+
+/// A catalog missing the "alloc" component: the decomposition still
+/// reports it, so the vocabulary check must flag the hole.
+std::vector<Finding> run_obs_missing_spec() {
+  static constexpr checker::DelayComponentSpec kTruncated[] = {
+      {"total", "sdc.delay.total", "total", false},
+      {"am", "sdc.delay.am", "am", false},
+      {"cf", "sdc.delay.cf", "cf", false},
+      {"cl", "sdc.delay.cl", "cl", false},
+      {"cl-cf", "sdc.delay.cl-cf", "cl-cf", false},
+      {"driver", "sdc.delay.driver", "driver", false},
+      {"executor", "sdc.delay.executor", "executor", false},
+      {"in-app", "sdc.delay.in-app", "in-app", false},
+      {"out-app", "sdc.delay.out-app", "out-app", false},
+      {"acquisition", "sdc.delay.acquisition", "acquisition", true},
+      {"localization", "sdc.delay.localization", "localization", true},
+      {"queuing", "sdc.delay.queuing", "queuing", true},
+      {"launching", "sdc.delay.launching", "launching", true},
+      {"exec-idle", "sdc.delay.exec-idle", "exec-idle", true},
+  };
+  return check_obs_vocabulary(kTruncated);
+}
+
+/// A catalog row for a component the decomposition never produces.
+std::vector<Finding> run_obs_stale_spec() {
+  static constexpr checker::DelayComponentSpec kStale[] = {
+      {"total", "sdc.delay.total", "total", false},
+      {"am", "sdc.delay.am", "am", false},
+      {"cf", "sdc.delay.cf", "cf", false},
+      {"cl", "sdc.delay.cl", "cl", false},
+      {"cl-cf", "sdc.delay.cl-cf", "cl-cf", false},
+      {"driver", "sdc.delay.driver", "driver", false},
+      {"executor", "sdc.delay.executor", "executor", false},
+      {"in-app", "sdc.delay.in-app", "in-app", false},
+      {"out-app", "sdc.delay.out-app", "out-app", false},
+      {"alloc", "sdc.delay.alloc", "alloc", false},
+      {"acquisition", "sdc.delay.acquisition", "acquisition", true},
+      {"localization", "sdc.delay.localization", "localization", true},
+      {"queuing", "sdc.delay.queuing", "queuing", true},
+      {"launching", "sdc.delay.launching", "launching", true},
+      {"exec-idle", "sdc.delay.exec-idle", "exec-idle", true},
+      {"teleportation", "sdc.delay.teleportation", "teleportation", false},
+  };
+  return check_obs_vocabulary(kStale);
+}
+
 // --- fixture table -----------------------------------------------------------
 
 std::vector<Finding> run_machine_unreachable() {
@@ -205,6 +253,8 @@ constexpr Fixture kFixtures[] = {
      &run_contract_unknown_class},
     {"coverage-missing-kind", "coverage.missing-kind",
      &run_coverage_missing},
+    {"obs-missing-spec", "obs.missing-metric", &run_obs_missing_spec},
+    {"obs-stale-spec", "obs.stale-spec", &run_obs_stale_spec},
 };
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include "sdlint/contract_check.hpp"
 #include "sdlint/coverage_check.hpp"
 #include "sdlint/machine_check.hpp"
+#include "sdlint/obs_check.hpp"
 
 namespace sdc::lint {
 
@@ -11,6 +12,7 @@ Report run_all_checks() {
   append_findings(report.findings, check_all_machines());
   append_findings(report.findings, check_real_contract());
   append_findings(report.findings, check_real_coverage());
+  append_findings(report.findings, check_real_obs_vocabulary());
   return report;
 }
 

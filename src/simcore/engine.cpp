@@ -3,9 +3,14 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace sdc::sim {
 
 TimerHandle Engine::schedule_at(SimTime t, Callback cb) {
+  static obs::Counter& scheduled =
+      obs::MetricsRegistry::global().counter("sim.engine.timers_scheduled");
+  scheduled.add(1);
   assert(t >= now_ && "cannot schedule in the past");
   if (t < now_) t = now_;
   Entry entry;
@@ -46,6 +51,9 @@ bool Engine::step() {
     if (*entry.cancelled) continue;  // discard silently, try next
     *entry.fired = true;
     ++executed_;
+    static obs::Counter& executed =
+        obs::MetricsRegistry::global().counter("sim.engine.events_executed");
+    executed.add(1);
     entry.cb();
     return true;
   }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/log_contract.hpp"
+#include "obs/metrics.hpp"
 #include "spark/log_contract.hpp"
 
 namespace sdc::spark {
@@ -234,6 +235,9 @@ SimDuration SparkDriver::registration_delay(Rng& rng) const {
 
 void SparkDriver::on_executor_registered(SparkExecutor& executor) {
   if (finished_) return;
+  static obs::Counter& registered =
+      obs::MetricsRegistry::global().counter("sim.spark.executors_registered");
+  registered.add(1);
   ++executors_registered_;
   logger_.info(
       cluster_.engine().now(), std::string(kSchedulerBackendClass),

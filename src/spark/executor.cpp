@@ -1,6 +1,7 @@
 #include "spark/executor.hpp"
 
 #include "common/log_contract.hpp"
+#include "obs/metrics.hpp"
 #include "spark/driver.hpp"
 #include "spark/log_contract.hpp"
 
@@ -51,6 +52,9 @@ SparkExecutor::SparkExecutor(cluster::Cluster& cluster,
 }
 
 void SparkExecutor::assign_task(std::int64_t tid) {
+  static obs::Counter& assigned =
+      obs::MetricsRegistry::global().counter("sim.spark.tasks_assigned");
+  assigned.add(1);
   // FIRST_TASK (Table I message 14) when tid is this app's first task.
   logger_.info(cluster_.engine().now(), std::string(kExecutorBackendClass),
                render_template(kExecutorGotTask.format,

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/log_contract.hpp"
+#include "obs/metrics.hpp"
 #include "yarn/log_contract.hpp"
 
 namespace sdc::yarn {
@@ -78,6 +79,9 @@ void ResourceManager::start() {
 }
 
 ApplicationId ResourceManager::submit(AppSubmission submission) {
+  static obs::Counter& submitted =
+      obs::MetricsRegistry::global().counter("sim.rm.apps_submitted");
+  submitted.add(1);
   const ApplicationId id{cluster_.config().epoch_base_ms, next_app_seq_++};
   auto [it, inserted] = apps_.try_emplace(id);
   assert(inserted);
@@ -256,6 +260,9 @@ SimDuration ResourceManager::sample_rpc() {
 }
 
 void ResourceManager::log_app_transition(RmApp& app, RmAppState to) {
+  static obs::Counter& transitions =
+      obs::MetricsRegistry::global().counter("sim.rm.app_transitions");
+  transitions.add(1);
   const RmAppState from = app.sm.state();
   app.sm.transition(to);
   logger_.info(cluster_.engine().now(), std::string(kRmAppImplClass),
@@ -264,6 +271,14 @@ void ResourceManager::log_app_transition(RmApp& app, RmAppState to) {
 
 void ResourceManager::log_container_transition(RmContainer& container,
                                                RmContainerState to) {
+  static obs::Counter& transitions =
+      obs::MetricsRegistry::global().counter("sim.rm.container_transitions");
+  transitions.add(1);
+  if (to == RmContainerState::kAllocated) {
+    static obs::Counter& allocated =
+        obs::MetricsRegistry::global().counter("sim.rm.containers_allocated");
+    allocated.add(1);
+  }
   const RmContainerState from = container.sm.state();
   container.sm.transition(to);
   logger_.info(cluster_.engine().now(), std::string(kRmContainerImplClass),
@@ -271,6 +286,9 @@ void ResourceManager::log_container_transition(RmContainer& container,
 }
 
 void ResourceManager::on_node_heartbeat(NodeManager& nm) {
+  static obs::Counter& heartbeats =
+      obs::MetricsRegistry::global().counter("sim.rm.node_heartbeats");
+  heartbeats.add(1);
   const std::vector<Grant> grants = scheduler_->assign_on_heartbeat(
       nm.node(), config_.max_assign_per_heartbeat, cluster_.engine().now());
   process_grants(grants);
@@ -297,6 +315,10 @@ void ResourceManager::process_grants(const std::vector<Grant>& grants) {
     // (Table II).
     const SimTime alloc_at =
         std::max(engine.now(), alloc_pipeline_free_) + config_.decision_time;
+    static obs::Histogram& pipeline_wait =
+        obs::MetricsRegistry::global().histogram(
+            "sim.yarn.alloc_pipeline_wait_ms");
+    pipeline_wait.observe(static_cast<double>(alloc_at - engine.now()) / 1000.0);
     alloc_pipeline_free_ = alloc_at;
     engine.schedule_at(alloc_at, [this, cid] { commit_allocation(cid); });
   }
@@ -392,6 +414,9 @@ void ResourceManager::fail_application(const ApplicationId& app_id) {
 }
 
 void ResourceManager::on_am_heartbeat(RmApp& a) {
+  static obs::Counter& heartbeats =
+      obs::MetricsRegistry::global().counter("sim.rm.am_heartbeats");
+  heartbeats.add(1);
   // 1. Flush asks that were waiting to ride this heartbeat.  Each task
   //    container gets its own independently-sampled locality wait, so a
   //    batch spreads over several scheduling opportunities (Fig. 6-b).

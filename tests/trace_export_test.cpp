@@ -1,0 +1,214 @@
+// Scheduling-graph trace export: the Perfetto document built from an
+// AnalysisResult must carry every delay component as a slice, validate
+// against the trace schema, rebase timestamps, and skip unrenderable
+// (missing-anchor or negative) spans.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_check.hpp"
+#include "sdchecker/grouping.hpp"
+#include "sdchecker/sdchecker.hpp"
+#include "sdchecker/trace_export.hpp"
+
+namespace sdc::checker {
+namespace {
+
+constexpr std::int64_t kT0 = 1'499'100'000'000;
+
+/// A fully-populated application: AM plus two staggered workers, every
+/// Table-I anchor present, all component spans strictly positive.
+AppTimeline full_timeline(std::int32_t app_seq) {
+  AppTimeline timeline;
+  timeline.app = ApplicationId{kT0, app_seq};
+  const std::int64_t base = kT0 + app_seq * 10'000;
+
+  const auto app_event = [&](EventKind kind, std::int64_t offset_ms) {
+    timeline.first_ts[kind] = base + offset_ms;
+    timeline.counts[kind] = 1;
+  };
+  app_event(EventKind::kAppSubmitted, 0);
+  app_event(EventKind::kAppAccepted, 10);
+  app_event(EventKind::kAttemptRegistered, 200);
+  app_event(EventKind::kDriverFirstLog, 300);
+  app_event(EventKind::kDriverRegister, 400);
+  app_event(EventKind::kStartAllo, 450);
+  app_event(EventKind::kEndAllo, 500);
+
+  const auto add_container = [&](std::int64_t seq, std::int64_t offset_ms,
+                                 bool worker) {
+    const ContainerId id{timeline.app, 1, seq};
+    ContainerTimeline& container = timeline.containers[id];
+    container.id = id;
+    const auto event = [&](EventKind kind, std::int64_t at_ms) {
+      container.first_ts[kind] = base + offset_ms + at_ms;
+      container.counts[kind] = 1;
+    };
+    event(EventKind::kContainerAllocated, 0);
+    event(EventKind::kContainerAcquired, 20);
+    event(EventKind::kNmLocalizing, 40);
+    event(EventKind::kNmScheduled, 60);
+    event(EventKind::kNmRunning, 100);
+    if (worker) {
+      event(EventKind::kExecutorFirstLog, 200);
+      event(EventKind::kExecutorFirstTask, 300);
+    }
+  };
+  add_container(1, 50, false);
+  add_container(2, 500, true);
+  add_container(3, 600, true);
+  return timeline;
+}
+
+AnalysisResult analyze_timelines(std::vector<AppTimeline> timelines) {
+  std::map<ApplicationId, AppTimeline> map;
+  for (AppTimeline& t : timelines) {
+    const ApplicationId app = t.app;
+    map.emplace(app, std::move(t));
+  }
+  return finalize_analysis(std::move(map));
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(TraceExport, CatalogCoversAggregateMetricsBothWays) {
+  const AnalysisResult result = analyze_timelines({full_timeline(1)});
+  const auto metrics = result.aggregate.metrics();
+  const auto specs = delay_component_specs();
+  ASSERT_EQ(metrics.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(metrics[i].first, specs[i].metric) << "catalog row " << i;
+  }
+}
+
+TEST(TraceExport, FullTimelineCarriesAllComponentSlices) {
+  const AnalysisResult result = analyze_timelines({full_timeline(1)});
+  const std::string trace = scheduling_trace_json(result);
+
+  obs::TraceCheckOptions options;
+  options.required_process_prefix = "application_";
+  for (const DelayComponentSpec& spec : delay_component_specs()) {
+    options.required_slices.emplace_back(spec.slice);
+  }
+  const obs::TraceCheckResult check = obs::check_trace_json(trace, options);
+  EXPECT_TRUE(check.ok) << (check.errors.empty() ? "" : check.errors[0]);
+  EXPECT_EQ(check.processes, 1u);
+}
+
+TEST(TraceExport, RequiredAppSlicesSatisfyCliCheckContract) {
+  const AnalysisResult result = analyze_timelines({full_timeline(1)});
+  const std::string trace = scheduling_trace_json(result);
+
+  obs::TraceCheckOptions options;
+  options.required_process_prefix = "application_";
+  for (const std::string_view slice : required_app_slices()) {
+    options.required_slices.emplace_back(slice);
+  }
+  EXPECT_EQ(options.required_slices.size(), 7u);
+  const obs::TraceCheckResult check = obs::check_trace_json(trace, options);
+  EXPECT_TRUE(check.ok) << (check.errors.empty() ? "" : check.errors[0]);
+}
+
+TEST(TraceExport, OneProcessPerApplication) {
+  const AnalysisResult result =
+      analyze_timelines({full_timeline(1), full_timeline(2), full_timeline(3)});
+  obs::TraceEventWriter writer;
+  const std::size_t apps = append_scheduling_trace(writer, result);
+  EXPECT_EQ(apps, 3u);
+  const obs::TraceCheckResult check = obs::check_trace_json(writer.finish());
+  EXPECT_TRUE(check.ok);
+  EXPECT_EQ(check.processes, 3u);
+}
+
+TEST(TraceExport, TimestampsAreRebasedToCorpusStart) {
+  const AnalysisResult result = analyze_timelines({full_timeline(1)});
+  const std::string trace = scheduling_trace_json(result);
+  // The earliest event (SUBMITTED) must land at ts 0, and no epoch-scale
+  // timestamp value may survive rebasing.  (The epoch number itself still
+  // appears inside application/container id strings — only "ts" fields
+  // matter here.)
+  EXPECT_NE(trace.find("\"ts\":0"), std::string::npos);
+  // Catches both non-rebased forms: epoch-ms, and epoch-us (whose decimal
+  // rendering starts with the same digits).
+  EXPECT_EQ(trace.find("\"ts\":" + std::to_string(kT0)), std::string::npos);
+}
+
+TEST(TraceExport, MilestoneInstantsPresent) {
+  const AnalysisResult result = analyze_timelines({full_timeline(1)});
+  const std::string trace = scheduling_trace_json(result);
+  EXPECT_NE(trace.find("\"milestones\""), std::string::npos);
+  EXPECT_NE(trace.find("\"SUBMITTED\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(TraceExport, PerContainerChainsOnContainerTracks) {
+  const AnalysisResult result = analyze_timelines({full_timeline(1)});
+  const std::string trace = scheduling_trace_json(result);
+  // Three container tracks (AM + 2 workers) named by container id.
+  EXPECT_EQ(count_occurrences(trace, "\"container_"), 3u);
+  // exec-idle only exists for the two workers; the AM has none.
+  EXPECT_EQ(count_occurrences(trace, "\"name\":\"exec-idle\""), 2u);
+  // acquisition appears once per container.
+  EXPECT_EQ(count_occurrences(trace, "\"name\":\"acquisition\""), 3u);
+}
+
+TEST(TraceExport, MissingAnchorsEmitNoSlice) {
+  AppTimeline timeline = full_timeline(1);
+  timeline.first_ts.erase(EventKind::kStartAllo);
+  timeline.first_ts.erase(EventKind::kEndAllo);
+  const AnalysisResult result = analyze_timelines({std::move(timeline)});
+  const std::string trace = scheduling_trace_json(result);
+  EXPECT_EQ(trace.find("\"name\":\"alloc\""), std::string::npos);
+  // The document must still validate; alloc is simply absent.
+  EXPECT_TRUE(obs::check_trace_json(trace).ok);
+}
+
+TEST(TraceExport, NegativeSpansAreSkippedNotClamped) {
+  AppTimeline timeline = full_timeline(1);
+  // Clock skew: END_ALLO before START_ALLO.
+  timeline.first_ts[EventKind::kEndAllo] =
+      timeline.first_ts[EventKind::kStartAllo] - 100;
+  const AnalysisResult result = analyze_timelines({std::move(timeline)});
+  const std::string trace = scheduling_trace_json(result);
+  EXPECT_EQ(trace.find("\"name\":\"alloc\""), std::string::npos);
+  const obs::TraceCheckResult check = obs::check_trace_json(trace);
+  EXPECT_TRUE(check.ok) << (check.errors.empty() ? "" : check.errors[0]);
+}
+
+TEST(TraceExport, EmptyAnalysisProducesValidEmptyDocument) {
+  const AnalysisResult result = analyze_timelines({});
+  const std::string trace = scheduling_trace_json(result);
+  const obs::TraceCheckResult check = obs::check_trace_json(trace);
+  EXPECT_TRUE(check.ok);
+  EXPECT_EQ(check.events, 0u);
+  EXPECT_EQ(check.processes, 0u);
+}
+
+TEST(TraceExport, SliceWidthsMatchReportedDelays) {
+  const AppTimeline timeline = full_timeline(1);
+  const AnalysisResult result = analyze_timelines({timeline});
+  ASSERT_EQ(result.delays.size(), 1u);
+  const Delays& delays = result.delays.begin()->second;
+  const std::string trace = scheduling_trace_json(result);
+
+  // total = SUBMITTED -> first worker FIRST_TASK = 800 ms in the synthetic
+  // layout; the slice must be exactly that span in microseconds.
+  ASSERT_TRUE(delays.total.has_value());
+  EXPECT_EQ(*delays.total, 800);
+  EXPECT_NE(trace.find("\"name\":\"total\""), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":800000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdc::checker

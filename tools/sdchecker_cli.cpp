@@ -20,6 +20,10 @@
 // Exit status: 0 success on a clean corpus, 1 runtime error, 2 usage
 // error, 3 analysis completed but the corpus needed diagnostics
 // (garbage, truncation, rotation gaps, clock steps, ...).
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,9 +31,16 @@
 #include <initializer_list>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace_check.hpp"
+#include "obs/trace_writer.hpp"
+#include "obs/tracer.hpp"
+#include "sdchecker/trace_export.hpp"
 #include "sdchecker/compare.hpp"
 #include "sdchecker/corpus_mutator.hpp"
 #include "sdchecker/export.hpp"
@@ -46,9 +57,11 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  sdchecker analyze <log_dir> [--threads N] [--csv FILE] "
-               "[--per-app]\n"
+               "[--per-app] [--progress]\n"
                "            [--delays-csv FILE] [--containers-csv FILE] "
                "[--events-csv FILE] [--json FILE]\n"
+               "  sdchecker trace <log_dir> [--out FILE] [--check] "
+               "[--threads N]\n"
                "  sdchecker timeline <log_dir> <application_id>\n"
                "  sdchecker diff <log_dir_a> <log_dir_b> [--threshold PCT]\n"
                "  sdchecker graph <log_dir> <application_id> [--out FILE]\n"
@@ -57,6 +70,11 @@ int usage() {
                "            [--input-mb MB] [--scheduler "
                "capacity|opportunistic]\n"
                "  sdchecker fuzz <log_dir> [--seed S] [--class NAME]\n"
+               "\n"
+               "global flags (any command):\n"
+               "  --metrics FILE   dump the metrics registry as JSON on exit\n"
+               "  --trace FILE     record self-profiling spans; write a\n"
+               "                   Perfetto-compatible trace on exit\n"
                "\n"
                "exit status: 0 clean, 1 error, 2 usage error,\n"
                "             3 analysis completed with corpus diagnostics\n");
@@ -131,6 +149,59 @@ std::optional<std::vector<std::string>> finish_args(
   return positionals;
 }
 
+/// Live mining progress on stderr (`--progress`), driven by the
+/// `mine.lines` / `mine.lines_expected` instruments: a poller thread
+/// redraws a `\r` line at ~4 Hz.  Auto-off when stderr is not a TTY, so
+/// redirected runs stay clean.  The registry counters are cumulative, so
+/// the reporter measures against a baseline captured at start.
+class ProgressReporter {
+ public:
+  ProgressReporter() {
+    if (isatty(fileno(stderr)) == 0) return;
+    base_lines_ = lines().value();
+    base_expected_ = expected().value();
+    thread_ = std::thread([this] { run(); });
+  }
+  ~ProgressReporter() {
+    if (!thread_.joinable()) return;
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    if (drew_) std::fprintf(stderr, "\r\033[K");
+  }
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+ private:
+  static sdc::obs::Counter& lines() {
+    return sdc::obs::MetricsRegistry::global().counter("mine.lines");
+  }
+  static sdc::obs::Gauge& expected() {
+    return sdc::obs::MetricsRegistry::global().gauge("mine.lines_expected");
+  }
+
+  void run() {
+    const auto start = std::chrono::steady_clock::now();
+    sdc::obs::ProgressMeter meter;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      const std::int64_t total = expected().value() - base_expected_;
+      meter.set_expected(total > 0 ? static_cast<std::uint64_t>(total) : 0);
+      meter.sample(lines().value() - base_lines_,
+                   std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count());
+      std::fprintf(stderr, "\r\033[K%s", meter.render().c_str());
+      drew_ = true;
+    }
+  }
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::uint64_t base_lines_ = 0;
+  std::int64_t base_expected_ = 0;
+  bool drew_ = false;
+};
+
 void print_opt(const char* name, const std::optional<std::int64_t>& v) {
   if (v) {
     std::printf("    %-13s %9.3fs\n", name, static_cast<double>(*v) / 1000.0);
@@ -150,6 +221,7 @@ int cmd_analyze(std::vector<std::string> args) {
   const auto events_csv_path = flag_value(args, "--events-csv");
   const auto json_path = flag_value(args, "--json");
   const bool per_app = flag_present(args, "--per-app");
+  const bool progress = flag_present(args, "--progress");
   const auto positionals =
       finish_args(std::move(args), {"log_dir"},
                   {"--threads", "--csv", "--delays-csv", "--containers-csv",
@@ -160,6 +232,8 @@ int cmd_analyze(std::vector<std::string> args) {
   checker::SdChecker sdchecker({.threads = std::max<std::size_t>(1, threads)});
   checker::AnalysisResult analysis;
   try {
+    std::optional<ProgressReporter> reporter;
+    if (progress) reporter.emplace();
     analysis = sdchecker.analyze_directory(dir);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sdchecker: %s\n", e.what());
@@ -232,6 +306,64 @@ int cmd_analyze(std::vector<std::string> args) {
       diagnostics > 0) {
     std::printf("analysis completed with %zu corpus diagnostic(s)\n",
                 diagnostics);
+    return 3;
+  }
+  return 0;
+}
+
+int cmd_trace(std::vector<std::string> args) {
+  std::size_t threads = 1;
+  if (const auto t = flag_value(args, "--threads")) {
+    threads = static_cast<std::size_t>(std::strtoul(t->c_str(), nullptr, 10));
+  }
+  const auto out_flag = flag_value(args, "--out");
+  const bool check = flag_present(args, "--check");
+  const auto positionals =
+      finish_args(std::move(args), {"log_dir"}, {"--threads", "--out"});
+  if (!positionals) return usage();
+  const std::string out_path = out_flag.value_or("app.trace.json");
+
+  checker::SdChecker sdchecker({.threads = std::max<std::size_t>(1, threads)});
+  checker::AnalysisResult analysis;
+  try {
+    analysis = sdchecker.analyze_directory((*positionals)[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sdchecker: %s\n", e.what());
+    return 1;
+  }
+
+  const std::string json = checker::scheduling_trace_json(analysis);
+  {
+    std::ofstream out(out_path);
+    if (out) out << json;
+    if (!out) {
+      std::fprintf(stderr, "sdchecker: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::printf("written %s: %zu application(s) -- load it at "
+              "ui.perfetto.dev\n",
+              out_path.c_str(), analysis.timelines.size());
+
+  if (check) {
+    obs::TraceCheckOptions options;
+    options.required_process_prefix = "application_";
+    for (const std::string_view slice : checker::required_app_slices()) {
+      options.required_slices.emplace_back(slice);
+    }
+    const obs::TraceCheckResult result = obs::check_trace_json(json, options);
+    if (!result.ok) {
+      for (const std::string& error : result.errors) {
+        std::fprintf(stderr, "sdchecker: trace check: %s\n", error.c_str());
+      }
+      return 1;
+    }
+    std::printf("trace check ok: %zu events across %zu process(es)\n",
+                result.events, result.processes);
+  }
+  if (analysis.diag_counts.total() > 0) {
+    std::printf("analysis completed with %zu corpus diagnostic(s)\n",
+                analysis.diag_counts.total());
     return 3;
   }
   return 0;
@@ -429,11 +561,11 @@ int cmd_fuzz(std::vector<std::string> args) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+namespace {
+
+int dispatch(const std::string& command, std::vector<std::string> args) {
   if (command == "analyze") return cmd_analyze(std::move(args));
+  if (command == "trace") return cmd_trace(std::move(args));
   if (command == "timeline") return cmd_timeline(std::move(args));
   if (command == "diff") return cmd_diff(std::move(args));
   if (command == "graph") return cmd_graph(std::move(args));
@@ -441,4 +573,42 @@ int main(int argc, char** argv) {
   if (command == "fuzz") return cmd_fuzz(std::move(args));
   std::fprintf(stderr, "sdchecker: unknown command '%s'\n", command.c_str());
   return usage();
+}
+
+/// Writes an observability dump; never overrides a failing exit status,
+/// but a dump that cannot be written turns success into failure.
+int write_dump(int rc, const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (out) out << content;
+  if (!out) {
+    std::fprintf(stderr, "sdchecker: cannot write %s\n", path.c_str());
+    return rc == 0 ? 1 : rc;
+  }
+  std::fprintf(stderr, "written %s\n", path.c_str());
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  // Global observability flags, accepted by every command.
+  const auto metrics_path = flag_value(args, "--metrics");
+  const auto trace_path = flag_value(args, "--trace");
+  if (trace_path) obs::Tracer::global().set_enabled(true);
+
+  int rc = dispatch(command, std::move(args));
+
+  if (metrics_path) {
+    rc = write_dump(rc, *metrics_path,
+                    obs::MetricsRegistry::global().snapshot().to_json());
+  }
+  if (trace_path) {
+    rc = write_dump(
+        rc, *trace_path,
+        obs::spans_trace_json(obs::Tracer::global().snapshot()));
+  }
+  return rc;
 }
