@@ -1,0 +1,272 @@
+// End-to-end throughput bench for the post-mining analysis stage.
+//
+// Synthesizes an already-mined event vector (default 4000 applications,
+// override with SDC_ANALYZE_BENCH_APPS) shaped like a busy cluster day:
+// per-app RM/driver milestones, an AM container plus worker containers
+// with their full NM/executor lifecycle, duplicate events that exercise
+// the first-occurrence rule, and a sprinkle of unattributable lines.
+// Two configurations run the same stage end to end (group + decompose +
+// anomalies + aggregate):
+//
+//   serial    group_events into one ordered map, finalize inline
+//   sharded   app-partitioned grouping on a pool, parallel per-app
+//             decompose/anomaly, deterministic ordered merge
+//
+// The sharded stage must be an invisible optimization: before timing,
+// both paths run once and their `analysis_json` exports are compared
+// byte for byte — any difference (including a diverging event count)
+// fails the bench, which is how CI gates the equivalence.  Prints apps/s
+// and events/s per configuration and writes BENCH_analyze.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "sdchecker/export.hpp"
+
+namespace {
+
+using namespace sdc;
+
+constexpr std::int64_t kEpoch = 1'499'100'000'000;
+
+std::size_t corpus_apps() {
+  if (const char* env = std::getenv("SDC_ANALYZE_BENCH_APPS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 4000;
+}
+
+std::size_t bench_threads() {
+  if (const char* env = std::getenv("SDC_ANALYZE_BENCH_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 8 : std::min<std::size_t>(8, hw);
+}
+
+void push(std::vector<checker::SchedEvent>& events, checker::EventKind kind,
+          std::int64_t ts, const ApplicationId& app,
+          std::optional<ContainerId> container = std::nullopt) {
+  checker::SchedEvent event;
+  event.kind = kind;
+  event.ts_ms = ts;
+  event.app = app;
+  event.container = std::move(container);
+  events.push_back(std::move(event));
+}
+
+/// The full milestone set of one application: Table-I app events, an AM
+/// container, `workers` executor containers, plus repeats (an executor
+/// logs "Got assigned task" for every task) so the min/count machinery
+/// does real work.
+void append_app(std::vector<checker::SchedEvent>& events, std::int32_t id,
+                int workers) {
+  using checker::EventKind;
+  const ApplicationId app{kEpoch, id};
+  const std::int64_t t0 = kEpoch + 200ll * id;
+  push(events, EventKind::kAppSubmitted, t0, app);
+  push(events, EventKind::kAppAccepted, t0 + 50, app);
+  push(events, EventKind::kAttemptRegistered, t0 + 120, app);
+
+  const ContainerId am{app, 1, 1};
+  push(events, EventKind::kContainerAllocated, t0 + 60, app, am);
+  push(events, EventKind::kContainerAcquired, t0 + 70, app, am);
+  push(events, EventKind::kNmLocalizing, t0 + 80, app, am);
+  push(events, EventKind::kNmScheduled, t0 + 95, app, am);
+  push(events, EventKind::kNmRunning, t0 + 110, app, am);
+
+  push(events, EventKind::kDriverFirstLog, t0 + 130, app);
+  push(events, EventKind::kDriverRegister, t0 + 150, app);
+  push(events, EventKind::kStartAllo, t0 + 160, app);
+  push(events, EventKind::kEndAllo, t0 + 230, app);
+
+  for (int w = 0; w < workers; ++w) {
+    const ContainerId worker{app, 1, 2 + w};
+    const std::int64_t tw = t0 + 170 + 7ll * w;
+    push(events, EventKind::kContainerAllocated, tw, app, worker);
+    push(events, EventKind::kContainerAcquired, tw + 5, app, worker);
+    push(events, EventKind::kNmLocalizing, tw + 12, app, worker);
+    push(events, EventKind::kNmScheduled, tw + 25, app, worker);
+    push(events, EventKind::kNmRunning, tw + 40, app, worker);
+    push(events, EventKind::kExecutorFirstLog, tw + 45, app, worker);
+    push(events, EventKind::kExecutorFirstTask, tw + 70, app, worker);
+    // Later tasks on the same executor: first occurrence must win.
+    push(events, EventKind::kExecutorFirstTask, tw + 300, app, worker);
+    push(events, EventKind::kExecutorFirstTask, tw + 900, app, worker);
+    push(events, EventKind::kRmContainerCompleted, tw + 5000, app, worker);
+  }
+  push(events, EventKind::kAppFinished, t0 + 9000, app);
+}
+
+/// Events across all apps in global timestamp order — the arrival shape
+/// the miner hands the grouping stage — with a few unattributable ones.
+const std::vector<checker::SchedEvent>& corpus() {
+  static const std::vector<checker::SchedEvent> events = [] {
+    std::vector<checker::SchedEvent> out;
+    const std::size_t apps = corpus_apps();
+    for (std::size_t i = 1; i <= apps; ++i) {
+      append_app(out, static_cast<std::int32_t>(i), 2 + static_cast<int>(i % 4));
+    }
+    for (int k = 0; k < 64; ++k) {
+      checker::SchedEvent orphan;
+      orphan.kind = checker::EventKind::kNmRunning;
+      orphan.ts_ms = kEpoch + k;
+      out.push_back(orphan);  // no app id: must count as unattributed
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const checker::SchedEvent& a,
+                        const checker::SchedEvent& b) {
+                       return a.ts_ms < b.ts_ms;
+                     });
+    return out;
+  }();
+  return events;
+}
+
+checker::AnalysisResult analyze_serial() {
+  checker::GroupResult grouped = checker::group_events(corpus());
+  checker::AnalysisResult result =
+      checker::finalize_analysis(std::move(grouped.apps));
+  result.events_unattributed = grouped.unattributed;
+  return result;
+}
+
+checker::AnalysisResult analyze_sharded(std::size_t shards) {
+  ThreadPool pool(shards);
+  checker::ShardedGroupResult grouped =
+      checker::group_events_sharded(corpus(), shards, pool);
+  const std::size_t unattributed = grouped.unattributed;
+  checker::AnalysisResult result =
+      checker::finalize_analysis(std::move(grouped), pool);
+  result.events_unattributed = unattributed;
+  return result;
+}
+
+struct Variant {
+  std::string name;
+  std::size_t shards = 1;
+  double seconds = 0;
+};
+
+double best_of(int reps, const std::function<void()>& run) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    run();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+void experiment() {
+  benchutil::print_header("Analysis-stage throughput: serial vs "
+                          "app-partitioned sharded",
+                          "SDchecker scalability (not a paper figure)");
+  const std::vector<checker::SchedEvent>& events = corpus();
+  const std::size_t threads = bench_threads();
+  const std::size_t apps = corpus_apps();
+  std::printf("  corpus: %zu apps, %zu mined events; up to %zu threads\n",
+              apps, events.size(), threads);
+
+  // Equivalence gate, before any timing: the sharded stage must export
+  // byte-identical JSON and agree on every event count.
+  const checker::AnalysisResult serial = analyze_serial();
+  const checker::AnalysisResult sharded = analyze_sharded(threads);
+  const std::string serial_json = checker::analysis_json(serial);
+  if (checker::analysis_json(sharded) != serial_json ||
+      sharded.timelines.size() != serial.timelines.size() ||
+      sharded.events_unattributed != serial.events_unattributed) {
+    std::fprintf(stderr,
+                 "FAIL: sharded analysis diverged from serial "
+                 "(apps %zu vs %zu, unattributed %zu vs %zu)\n",
+                 sharded.timelines.size(), serial.timelines.size(),
+                 sharded.events_unattributed, serial.events_unattributed);
+    std::exit(1);
+  }
+  std::printf("  equivalence: sharded(%zu) analysis_json identical to "
+              "serial (%zu apps, %zu unattributed)\n",
+              threads, serial.timelines.size(), serial.events_unattributed);
+
+  const int reps = events.size() >= 200'000 ? 3 : 5;
+  obs::MetricsRegistry::global().reset_values();
+  std::vector<Variant> variants;
+  variants.push_back({"serial", 1,
+                      best_of(reps, [] { analyze_serial(); })});
+  for (std::size_t shards = 2; shards <= threads; shards *= 2) {
+    variants.push_back(
+        {"sharded-" + std::to_string(shards), shards,
+         best_of(reps, [shards] { analyze_sharded(shards); })});
+  }
+
+  json::Writer out;
+  out.begin_object();
+  out.field("bench", "analyze_throughput");
+  out.field("apps", static_cast<std::int64_t>(apps));
+  out.field("events", static_cast<std::int64_t>(events.size()));
+  out.field("threads", static_cast<std::int64_t>(threads));
+  out.field("equivalent", true);
+  out.key("variants");
+  out.begin_array();
+  for (const Variant& v : variants) {
+    const double aps = static_cast<double>(apps) / v.seconds;
+    const double eps = static_cast<double>(events.size()) / v.seconds;
+    std::printf("  %-12s %8.3f s   %10.0f apps/s   %12.0f events/s\n",
+                v.name.c_str(), v.seconds, aps, eps);
+    out.begin_object();
+    out.field("name", v.name);
+    out.field("shards", static_cast<std::int64_t>(v.shards));
+    out.field("seconds", v.seconds);
+    out.field("apps_per_s", aps);
+    out.field("events_per_s", eps);
+    out.end_object();
+  }
+  out.end_array();
+  const double speedup = variants.front().seconds / variants.back().seconds;
+  out.field("sharded_vs_serial_speedup", speedup);
+  out.key("metrics");
+  out.raw(obs::MetricsRegistry::global().snapshot().to_json());
+  out.end_object();
+  std::printf("  sharded (%zu shards) vs serial: %.2fx\n",
+              variants.back().shards, speedup);
+
+  std::ofstream json_file("BENCH_analyze.json");
+  json_file << out.str() << '\n';
+  std::printf("  wrote BENCH_analyze.json\n");
+}
+
+void BM_AnalyzeSharded(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const std::size_t apps = corpus_apps();
+  for (auto _ : state) {
+    if (shards <= 1) {
+      benchmark::DoNotOptimize(analyze_serial().timelines.size());
+    } else {
+      benchmark::DoNotOptimize(analyze_sharded(shards).timelines.size());
+    }
+  }
+  state.counters["apps/s"] = benchmark::Counter(
+      static_cast<double>(apps * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyzeSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdc::benchutil::bench_main(argc, argv, experiment);
+}

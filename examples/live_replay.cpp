@@ -60,7 +60,15 @@ int main(int argc, char** argv) {
   for (const TimedLine& timed : feed) {
     analyzer.feed(*timed.stream, *timed.line);
     // Report the moment an application's total delay becomes known.
+    // The live table is unordered; sort so same-line resolutions print
+    // in app order.
+    std::vector<ApplicationId> apps;
+    apps.reserve(analyzer.timelines().size());
     for (const auto& [app, timeline] : analyzer.timelines()) {
+      apps.push_back(app);
+    }
+    std::sort(apps.begin(), apps.end());
+    for (const ApplicationId& app : apps) {
       const auto delays = analyzer.delays_for(app);
       if (delays.total) {
         static std::set<ApplicationId> reported;

@@ -1,0 +1,206 @@
+// Open-addressing hash map for the analyzer's hot grouping paths.
+//
+// `std::map` string/ID lookups dominate the post-mining stages on large
+// corpora (every mined event pays an O(log n) pointer-chasing tree walk
+// to find its application, and every fed line pays one to find its
+// stream).  This map stores entries in one contiguous slot array with
+// linear probing, a power-of-two capacity and a byte-per-slot occupancy
+// vector — one hash, a handful of adjacent probes, no allocations per
+// lookup.  Iteration order is the probe order, i.e. *unordered*:
+// callers that need the analyzer's deterministic app-ID order sort at
+// the merge step (see `finalize_analysis`), never here.
+//
+// Deliberately minimal: no erase (the grouping stages only insert),
+// no tombstones, heterogeneous lookup when the hasher publishes
+// `is_transparent` (so `std::string` keys probe from `string_view`s
+// without allocating).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sdc {
+
+/// Transparent string hasher (FNV-1a) for string-keyed tables.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view text) const noexcept {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : text) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Final avalanche of splitmix64 — turns structured integer keys
+/// (cluster timestamps, sequence numbers) into well-spread hashes.
+constexpr std::uint64_t mix_u64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+template <class Key, class Value, class Hash = std::hash<Key>,
+          class Eq = std::equal_to<>>
+class FlatHashMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+
+  FlatHashMap() = default;
+
+  template <bool Const>
+  class basic_iterator {
+   public:
+    using map_type =
+        std::conditional_t<Const, const FlatHashMap, FlatHashMap>;
+    using reference =
+        std::conditional_t<Const, const value_type&, value_type&>;
+    using pointer = std::conditional_t<Const, const value_type*, value_type*>;
+
+    basic_iterator() = default;
+    basic_iterator(map_type* map, std::size_t index)
+        : map_(map), index_(index) {
+      skip_empty();
+    }
+    /// iterator -> const_iterator.
+    operator basic_iterator<true>() const {  // NOLINT(google-explicit-constructor)
+      basic_iterator<true> out;
+      out.map_ = map_;
+      out.index_ = index_;
+      return out;
+    }
+
+    reference operator*() const { return map_->slots_[index_]; }
+    pointer operator->() const { return &map_->slots_[index_]; }
+    basic_iterator& operator++() {
+      ++index_;
+      skip_empty();
+      return *this;
+    }
+    friend bool operator==(const basic_iterator& a, const basic_iterator& b) {
+      return a.index_ == b.index_;
+    }
+
+   private:
+    friend class FlatHashMap;
+    template <bool>
+    friend class basic_iterator;
+
+    void skip_empty() {
+      while (map_ != nullptr && index_ < map_->slots_.size() &&
+             map_->occupied_[index_] == 0) {
+        ++index_;
+      }
+    }
+
+    map_type* map_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  using iterator = basic_iterator<false>;
+  using const_iterator = basic_iterator<true>;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, slots_.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+  void clear() {
+    slots_.clear();
+    occupied_.clear();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    std::size_t capacity = kMinCapacity;
+    // Grow until `n` fits under the load-factor ceiling.
+    while (capacity * 7 / 8 < n) capacity *= 2;
+    if (capacity > slots_.size()) rehash(capacity);
+  }
+
+  /// Heterogeneous find: any `q` the hasher/comparator accept.
+  template <class Q>
+  const_iterator find(const Q& key) const {
+    const std::size_t index = find_index(key);
+    return index == kNotFound ? end() : const_iterator(this, index);
+  }
+  template <class Q>
+  iterator find(const Q& key) {
+    const std::size_t index = find_index(key);
+    return index == kNotFound ? end() : iterator(this, index);
+  }
+  template <class Q>
+  [[nodiscard]] bool contains(const Q& key) const {
+    return find_index(key) != kNotFound;
+  }
+
+  /// Get-or-default-insert, the grouping workhorse.  `key` is only
+  /// copied into a `Key` when the entry is new.
+  template <class Q>
+  Value& operator[](const Q& key) {
+    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) {
+      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    std::size_t index = probe_start(key);
+    while (occupied_[index] != 0) {
+      if (Eq{}(slots_[index].first, key)) return slots_[index].second;
+      index = (index + 1) & (slots_.size() - 1);
+    }
+    occupied_[index] = 1;
+    slots_[index].first = Key(key);
+    ++size_;
+    return slots_[index].second;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
+  template <class Q>
+  std::size_t probe_start(const Q& key) const {
+    return Hash{}(key) & (slots_.size() - 1);
+  }
+
+  template <class Q>
+  std::size_t find_index(const Q& key) const {
+    if (slots_.empty()) return kNotFound;
+    std::size_t index = probe_start(key);
+    while (occupied_[index] != 0) {
+      if (Eq{}(slots_[index].first, key)) return index;
+      index = (index + 1) & (slots_.size() - 1);
+    }
+    return kNotFound;
+  }
+
+  void rehash(std::size_t capacity) {
+    std::vector<value_type> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_occupied = std::move(occupied_);
+    slots_ = std::vector<value_type>(capacity);
+    occupied_.assign(capacity, 0);
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_occupied[i] == 0) continue;
+      std::size_t index = probe_start(old_slots[i].first);
+      while (occupied_[index] != 0) index = (index + 1) & (capacity - 1);
+      occupied_[index] = 1;
+      slots_[index] = std::move(old_slots[i]);
+    }
+  }
+
+  std::vector<value_type> slots_;
+  std::vector<std::uint8_t> occupied_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sdc

@@ -1,0 +1,87 @@
+// Sorted-vector map: `std::map`'s ordered interface on contiguous
+// storage.
+//
+// An application owns a handful-to-hundreds of containers, and the
+// analyzer both *looks them up* per mined event and *iterates them in
+// container-ID order* when decomposing, exporting and rendering — the
+// exact workload where a binary-searched vector beats a red-black tree
+// (no per-node allocation, no pointer chasing) while keeping iteration
+// deterministically ordered, which the byte-identical-output contract
+// of the sharded analysis stage depends on.
+//
+// Implements the `std::map` subset the codebase uses: `operator[]`,
+// `find`, `at`, ordered `begin`/`end`, `size`, `empty`.  `value_type`
+// is `std::pair<Key, Value>` (key not const — don't mutate it through
+// iterators).  Inserts shift the tail, so this fits many-lookups /
+// few-inserts maps, not high-churn ones.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sdc {
+
+template <class Key, class Value>
+class FlatOrderedMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  iterator begin() noexcept { return entries_.begin(); }
+  iterator end() noexcept { return entries_.end(); }
+  const_iterator begin() const noexcept { return entries_.begin(); }
+  const_iterator end() const noexcept { return entries_.end(); }
+
+  iterator find(const Key& key) {
+    const auto it = lower_bound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+  const_iterator find(const Key& key) const {
+    const auto it = lower_bound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+  [[nodiscard]] bool contains(const Key& key) const {
+    return find(key) != entries_.end();
+  }
+
+  Value& operator[](const Key& key) {
+    auto it = lower_bound(key);
+    if (it == entries_.end() || !(it->first == key)) {
+      it = entries_.insert(it, value_type(key, Value()));
+    }
+    return it->second;
+  }
+
+  Value& at(const Key& key) {
+    const auto it = find(key);
+    if (it == entries_.end()) throw std::out_of_range("FlatOrderedMap::at");
+    return it->second;
+  }
+  const Value& at(const Key& key) const {
+    const auto it = find(key);
+    if (it == entries_.end()) throw std::out_of_range("FlatOrderedMap::at");
+    return it->second;
+  }
+
+ private:
+  const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& entry, const Key& k) { return entry.first < k; });
+  }
+  iterator lower_bound(const Key& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& entry, const Key& k) { return entry.first < k; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
+}  // namespace sdc

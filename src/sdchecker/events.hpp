@@ -4,6 +4,7 @@
 // use.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -38,6 +39,12 @@ enum class EventKind {
   kAppFinished = 24,
   kNmFailed = 25,
 };
+
+/// One slot per possible enumerator value — the timeline types store
+/// per-kind state in dense arrays indexed by `int(kind)` with a 32-bit
+/// presence bitset, so every enumerator must stay below 32.  Grow this
+/// (and the bitset type in grouping.hpp) together with the enum.
+inline constexpr std::size_t kEventKindSlots = 26;
 
 /// Short stable name for reports and DOT labels ("SUBMITTED",
 /// "FIRST_TASK", ...), following the paper's Table I naming.

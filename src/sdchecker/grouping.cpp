@@ -2,23 +2,35 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.hpp"
+#include "obs/tracer.hpp"
+
 namespace sdc::checker {
 namespace {
 
-void record(std::map<EventKind, std::int64_t>& first_ts,
-            std::map<EventKind, std::int32_t>& counts, EventKind kind,
-            std::int64_t ts) {
-  const auto it = first_ts.find(kind);
-  if (it == first_ts.end() || ts < it->second) first_ts[kind] = ts;
-  ++counts[kind];
+/// Shared event-application body for the ordered (serial `group_events`,
+/// incremental) and flat (sharded) application tables.
+template <class Apps>
+bool apply_event_impl(Apps& apps, const SchedEvent& event) {
+  if (!event.app) return false;
+  AppTimeline& app = apps[*event.app];
+  app.app = *event.app;
+  if (event.container) {
+    ContainerTimeline& container = app.containers[*event.container];
+    container.id = *event.container;
+    container.first_ts.record(event.kind, event.ts_ms);
+    ++container.counts[event.kind];
+  } else {
+    app.first_ts.record(event.kind, event.ts_ms);
+    ++app.counts[event.kind];
+  }
+  return true;
 }
 
 }  // namespace
 
 std::optional<std::int64_t> ContainerTimeline::ts(EventKind kind) const {
-  const auto it = first_ts.find(kind);
-  if (it == first_ts.end()) return std::nullopt;
-  return it->second;
+  return first_ts.get(kind);
 }
 
 bool ContainerTimeline::has(EventKind kind) const {
@@ -26,12 +38,18 @@ bool ContainerTimeline::has(EventKind kind) const {
 }
 
 std::optional<std::int64_t> AppTimeline::ts(EventKind kind) const {
-  const auto it = first_ts.find(kind);
-  if (it == first_ts.end()) return std::nullopt;
-  return it->second;
+  return first_ts.get(kind);
 }
 
 bool AppTimeline::has(EventKind kind) const { return first_ts.contains(kind); }
+
+std::uint32_t AppTimeline::container_present_mask() const {
+  std::uint32_t mask = 0;
+  for (const auto& [id, timeline] : containers) {
+    mask |= timeline.first_ts.present_mask();
+  }
+  return mask;
+}
 
 const ContainerTimeline* AppTimeline::am_container() const {
   for (const auto& [id, timeline] : containers) {
@@ -45,7 +63,7 @@ std::vector<const ContainerTimeline*> AppTimeline::worker_containers() const {
   for (const auto& [id, timeline] : containers) {
     if (!id.is_am()) out.push_back(&timeline);
   }
-  return out;  // std::map iteration is already id-ordered
+  return out;  // FlatOrderedMap iteration is already id-ordered
 }
 
 std::optional<std::int64_t> AppTimeline::min_worker_ts(EventKind kind) const {
@@ -68,17 +86,11 @@ std::optional<std::int64_t> AppTimeline::max_worker_ts(EventKind kind) const {
 
 bool apply_event(std::map<ApplicationId, AppTimeline>& apps,
                  const SchedEvent& event) {
-  if (!event.app) return false;
-  AppTimeline& app = apps[*event.app];
-  app.app = *event.app;
-  if (event.container) {
-    ContainerTimeline& container = app.containers[*event.container];
-    container.id = *event.container;
-    record(container.first_ts, container.counts, event.kind, event.ts_ms);
-  } else {
-    record(app.first_ts, app.counts, event.kind, event.ts_ms);
-  }
-  return true;
+  return apply_event_impl(apps, event);
+}
+
+bool apply_event(AppTable& apps, const SchedEvent& event) {
+  return apply_event_impl(apps, event);
 }
 
 GroupResult group_events(const std::vector<SchedEvent>& events) {
@@ -86,6 +98,36 @@ GroupResult group_events(const std::vector<SchedEvent>& events) {
   for (const SchedEvent& event : events) {
     if (!apply_event(result.apps, event)) ++result.unattributed;
   }
+  return result;
+}
+
+std::size_t timeline_shard(const ApplicationId& app, std::size_t shards) {
+  return ApplicationIdHash{}(app) % shards;
+}
+
+ShardedGroupResult group_events_sharded(const std::vector<SchedEvent>& events,
+                                        std::size_t shards, ThreadPool& pool) {
+  ShardedGroupResult result;
+  result.shards.resize(std::max<std::size_t>(1, shards));
+  const std::size_t shard_count = result.shards.size();
+  // Written by shard 0's task only; parallel_for's completion barrier
+  // orders the write before the read below.
+  std::size_t unattributed = 0;
+  parallel_for(pool, shard_count, [&](std::size_t s) {
+    const auto span = obs::Tracer::global().span("analyze.shard");
+    AppTable& apps = result.shards[s];
+    for (const SchedEvent& event : events) {
+      if (!event.app) {
+        // Unattributable events belong to no shard; have exactly one
+        // shard count them so the total matches the serial pass.
+        if (s == 0) ++unattributed;
+        continue;
+      }
+      if (timeline_shard(*event.app, shard_count) != s) continue;
+      apply_event(apps, event);
+    }
+  });
+  result.unattributed = unattributed;
   return result;
 }
 

@@ -1,7 +1,9 @@
 #include "sdchecker/incremental.hpp"
 
 #include <algorithm>
+#include <map>
 
+#include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "sdchecker/parsed_line.hpp"
@@ -150,9 +152,28 @@ Delays IncrementalAnalyzer::delays_for(const ApplicationId& app) const {
   return decompose(it->second);
 }
 
-AnalysisResult IncrementalAnalyzer::snapshot() const {
+AnalysisResult IncrementalAnalyzer::snapshot(
+    std::size_t analyze_shards) const {
   const auto span = obs::Tracer::global().span("incremental.snapshot");
-  AnalysisResult result = finalize_analysis(timelines_);
+  AnalyzeOptions shard_options;
+  shard_options.analyze_shards = analyze_shards;
+  const std::size_t shards = shard_options.effective_analyze_shards();
+  AnalysisResult result;
+  if (shards > 1) {
+    // Route a copy of the live table into per-shard tables (the same
+    // partition group_events_sharded produces) and finalize in parallel.
+    ShardedGroupResult grouped;
+    grouped.shards.resize(shards);
+    for (const auto& [app, timeline] : timelines_) {
+      grouped.shards[timeline_shard(app, shards)][app] = timeline;
+    }
+    ThreadPool pool(shards);
+    result = finalize_analysis(std::move(grouped), pool);
+  } else {
+    std::map<ApplicationId, AppTimeline> ordered;
+    for (const auto& [app, timeline] : timelines_) ordered[app] = timeline;
+    result = finalize_analysis(std::move(ordered));
+  }
   result.lines_total = lines_total_;
   result.lines_unparsed = lines_unparsed_;
   result.events_total = events_total_;
@@ -167,7 +188,16 @@ std::vector<logging::Diagnostic> IncrementalAnalyzer::diagnostics() const {
   using logging::Diagnostic;
   using logging::DiagnosticKind;
   std::vector<Diagnostic> out;
-  for (const auto& [name, state] : streams_) {
+  // The stream table is unordered; reports are per-stream in name order,
+  // so sort the (few) stream pointers at snapshot time.
+  std::vector<const std::pair<std::string, StreamState>*> ordered;
+  ordered.reserve(streams_.size());
+  for (const auto& entry : streams_) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : ordered) {
+    const std::string& name = entry->first;
+    const StreamState& state = entry->second;
     if (state.garbage_count > 0) {
       out.push_back(Diagnostic{DiagnosticKind::kBinaryGarbage, name,
                                state.garbage_first_line, state.garbage_count,

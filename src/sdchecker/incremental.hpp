@@ -11,12 +11,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/flat_hash_map.hpp"
 #include "sdchecker/decompose.hpp"
 #include "sdchecker/extractor.hpp"
 #include "sdchecker/grouping.hpp"
@@ -45,9 +45,10 @@ class IncrementalAnalyzer {
   void feed_all(const std::string& stream,
                 std::span<const std::string_view> lines);
 
-  /// Live view of the grouped timelines.
-  [[nodiscard]] const std::map<ApplicationId, AppTimeline>& timelines()
-      const noexcept {
+  /// Live view of the grouped timelines.  Iteration order is the table's
+  /// (stable for a given key set but unordered); sort by `first` when
+  /// presenting.
+  [[nodiscard]] const AppTable& timelines() const noexcept {
     return timelines_;
   }
 
@@ -57,7 +58,10 @@ class IncrementalAnalyzer {
 
   /// Full snapshot: decompositions, aggregates and anomalies over
   /// everything seen so far.  O(apps) — intended for periodic reporting.
-  [[nodiscard]] AnalysisResult snapshot() const;
+  /// `analyze_shards` > 1 runs the finalize stage sharded on that many
+  /// pool threads (0 = one per hardware thread); the report is
+  /// byte-identical either way.
+  [[nodiscard]] AnalysisResult snapshot(std::size_t analyze_shards = 1) const;
 
   [[nodiscard]] std::size_t lines_total() const noexcept {
     return lines_total_;
@@ -113,8 +117,10 @@ class IncrementalAnalyzer {
   void flush_parked(StreamState& state);
 
   MinerOptions options_;
-  std::map<std::string, StreamState> streams_;
-  std::map<ApplicationId, AppTimeline> timelines_;
+  /// Hot per-line lookup — flat hash table, name-sorted only when a
+  /// diagnostics report is cut.
+  FlatHashMap<std::string, StreamState, StringHash> streams_;
+  AppTable timelines_;
   std::size_t lines_total_ = 0;
   std::size_t lines_unparsed_ = 0;
   std::size_t events_total_ = 0;

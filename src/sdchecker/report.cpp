@@ -15,14 +15,16 @@ constexpr double kMsToSec = 1e-3;
 /// registered once from the shared component catalog so the metric names
 /// cannot drift from the trace slice names.
 obs::Histogram& delay_histogram(std::string_view metric) {
-  static const auto& by_metric = *[] {
-    auto* map = new std::map<std::string, obs::Histogram*, std::less<>>;
-    for (const DelayComponentSpec& spec : delay_component_specs()) {
-      map->emplace(std::string(spec.metric),
-                   &obs::MetricsRegistry::global().histogram(spec.histogram));
-    }
-    return map;
-  }();
+  static const std::map<std::string, obs::Histogram*, std::less<>> by_metric =
+      [] {
+        std::map<std::string, obs::Histogram*, std::less<>> map;
+        for (const DelayComponentSpec& spec : delay_component_specs()) {
+          map.emplace(
+              std::string(spec.metric),
+              &obs::MetricsRegistry::global().histogram(spec.histogram));
+        }
+        return map;
+      }();
   return *by_metric.find(metric)->second;
 }
 

@@ -1,11 +1,62 @@
 #include "sdchecker/sdchecker.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 
+#include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 
 namespace sdc::checker {
+namespace {
+
+struct FinalizeCounters {
+  obs::Counter& apps;
+  obs::Counter& anomalies;
+  static const FinalizeCounters& get() {
+    static const FinalizeCounters counters{
+        obs::MetricsRegistry::global().counter("analyze.apps"),
+        obs::MetricsRegistry::global().counter("analyze.anomalies")};
+    return counters;
+  }
+};
+
+/// Decompose + anomaly + aggregate over timelines already in app-ID
+/// order.  `decomposed`/`found` are the per-app parallel-stage outputs,
+/// index-aligned with the iteration order of `result.timelines`; the
+/// serial path passes empty vectors and computes inline.  Merging is
+/// serial and ordered, so every aggregate SampleSet and the anomaly list
+/// are filled exactly as the historical serial loop filled them.
+void merge_finalized(AnalysisResult& result, std::vector<Delays> decomposed,
+                     std::vector<std::vector<Anomaly>> found) {
+  std::size_t i = 0;
+  for (const auto& [app, timeline] : result.timelines) {
+    Delays delays =
+        i < decomposed.size() ? std::move(decomposed[i]) : decompose(timeline);
+    if (i < found.size()) {
+      for (Anomaly& anomaly : found[i]) {
+        result.anomalies.push_back(std::move(anomaly));
+      }
+    } else {
+      detect_anomalies(timeline, delays, result.anomalies);
+    }
+    result.aggregate.add(delays);
+    result.delays.emplace_hint(result.delays.end(), app, std::move(delays));
+    ++i;
+  }
+  const FinalizeCounters& counters = FinalizeCounters::get();
+  counters.apps.add(result.timelines.size());
+  counters.anomalies.add(result.anomalies.size());
+}
+
+}  // namespace
+
+std::size_t AnalyzeOptions::effective_analyze_shards() const {
+  if (analyze_shards != 0) return analyze_shards;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 SchedulingGraph AnalysisResult::graph_for(const ApplicationId& app) const {
   const auto it = timelines.find(app);
@@ -52,24 +103,25 @@ std::vector<AnalysisResult::Completeness> AnalysisResult::completeness()
       EventKind::kExecutorFirstLog,   EventKind::kExecutorFirstTask,
   };
   std::vector<Completeness> out;
+  out.reserve(std::size(kTable1));
   for (const EventKind kind : kTable1) {
     Completeness row;
     row.kind = kind;
-    for (const auto& [app, timeline] : timelines) {
-      bool present = false;
-      if (is_container_event(kind)) {
-        for (const auto& [cid, container] : timeline.containers) {
-          if (container.has(kind)) {
-            present = true;
-            break;
-          }
-        }
-      } else {
-        present = timeline.has(kind);
-      }
-      if (!present) ++row.apps_missing;
-    }
     out.push_back(row);
+  }
+  // One pass over apps: each timeline contributes two presence bitsets
+  // (its own events, the union of its containers'), and every Table-I
+  // row is a single bit test against the matching mask.
+  for (const auto& [app, timeline] : timelines) {
+    const std::uint32_t app_mask = timeline.first_ts.present_mask();
+    const std::uint32_t container_mask = timeline.container_present_mask();
+    for (std::size_t i = 0; i < std::size(kTable1); ++i) {
+      const std::uint32_t mask =
+          is_container_event(kTable1[i]) ? container_mask : app_mask;
+      if ((mask & (1u << static_cast<std::uint32_t>(kTable1[i]))) == 0) {
+        ++out[i].apps_missing;
+      }
+    }
   }
   return out;
 }
@@ -103,33 +155,84 @@ std::string AnalysisResult::render_diagnostics() const {
 AnalysisResult finalize_analysis(
     std::map<ApplicationId, AppTimeline> timelines) {
   const auto span = obs::Tracer::global().span("analyze.finalize");
-  static obs::Counter& apps_counter =
-      obs::MetricsRegistry::global().counter("analyze.apps");
-  static obs::Counter& anomalies_counter =
-      obs::MetricsRegistry::global().counter("analyze.anomalies");
   AnalysisResult result;
   result.timelines = std::move(timelines);
-  for (const auto& [app, timeline] : result.timelines) {
-    Delays delays = decompose(timeline);
-    detect_anomalies(timeline, delays, result.anomalies);
-    result.aggregate.add(delays);
-    result.delays.emplace(app, std::move(delays));
+  merge_finalized(result, {}, {});
+  return result;
+}
+
+AnalysisResult finalize_analysis(ShardedGroupResult grouped,
+                                 ThreadPool& pool) {
+  const auto span = obs::Tracer::global().span("analyze.finalize");
+  static obs::Counter& shards_counter =
+      obs::MetricsRegistry::global().counter("analyze.shards");
+  shards_counter.add(grouped.shards.size());
+
+  AnalysisResult result;
+  {
+    // Fold the unordered shard tables into the result's sorted map; apps
+    // are disjoint across shards, so this is pure re-ordering.
+    const auto merge_span = obs::Tracer::global().span("analyze.merge");
+    std::vector<std::pair<ApplicationId, AppTimeline*>> apps;
+    for (AppTable& shard : grouped.shards) {
+      for (auto& [app, timeline] : shard) {
+        apps.emplace_back(app, &timeline);
+      }
+    }
+    std::sort(apps.begin(), apps.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [app, timeline] : apps) {
+      result.timelines.emplace_hint(result.timelines.end(), app,
+                                    std::move(*timeline));
+    }
   }
-  apps_counter.add(result.timelines.size());
-  anomalies_counter.add(result.anomalies.size());
+
+  // Per-app decomposition + anomaly detection is embarrassingly parallel
+  // (the paper's components never cross applications); results land in
+  // index-aligned vectors so the ordered merge below stays serial.
+  const std::size_t n = result.timelines.size();
+  std::vector<const AppTimeline*> order;
+  order.reserve(n);
+  for (const auto& [app, timeline] : result.timelines) {
+    order.push_back(&timeline);
+  }
+  std::vector<Delays> decomposed(n);
+  std::vector<std::vector<Anomaly>> found(n);
+  parallel_for(pool, n, [&](std::size_t i) {
+    decomposed[i] = decompose(*order[i]);
+    detect_anomalies(*order[i], decomposed[i], found[i]);
+  });
+
+  {
+    const auto merge_span = obs::Tracer::global().span("analyze.merge");
+    merge_finalized(result, std::move(decomposed), std::move(found));
+  }
   return result;
 }
 
 AnalysisResult SdChecker::analyze_mined(MineResult mined) const {
-  GroupResult grouped = [&] {
-    const auto span = obs::Tracer::global().span("analyze.group");
-    return group_events(mined.events);
-  }();
-  AnalysisResult result = finalize_analysis(std::move(grouped.apps));
+  const std::size_t shards = options_.effective_analyze_shards();
+  AnalysisResult result;
+  if (shards > 1) {
+    ThreadPool pool(shards);
+    ShardedGroupResult grouped = [&] {
+      const auto span = obs::Tracer::global().span("analyze.group");
+      return group_events_sharded(mined.events, shards, pool);
+    }();
+    const std::size_t unattributed = grouped.unattributed;
+    result = finalize_analysis(std::move(grouped), pool);
+    result.events_unattributed = unattributed;
+  } else {
+    GroupResult grouped = [&] {
+      const auto span = obs::Tracer::global().span("analyze.group");
+      return group_events(mined.events);
+    }();
+    result = finalize_analysis(std::move(grouped.apps));
+    result.events_unattributed = grouped.unattributed;
+  }
   result.lines_total = mined.lines_total;
   result.lines_unparsed = mined.lines_unparsed;
   result.events_total = mined.events.size();
-  result.events_unattributed = grouped.unattributed;
   result.diagnostics = std::move(mined.diagnostics);
   result.diag_counts = mined.diag_counts;
   // Report order is severity-then-class, independent of mining thread

@@ -32,6 +32,15 @@ struct AnalyzeOptions {
   /// Within-stream backwards timestamp jumps beyond this budget become
   /// kTimestampRegression diagnostics (see MinerOptions).
   std::int64_t skew_budget_ms = 1000;
+  /// Shards (and worker threads) for the post-mining analysis stage:
+  /// grouping is partitioned by application, decomposition and anomaly
+  /// detection run per app on a pool.  1 = the serial stage; 0 = one
+  /// shard per hardware thread.  Output is byte-identical either way —
+  /// the merge restores the serial app-ID order.
+  std::size_t analyze_shards = 1;
+
+  /// `analyze_shards` with 0 resolved to the hardware concurrency.
+  [[nodiscard]] std::size_t effective_analyze_shards() const;
 
   [[nodiscard]] MinerOptions miner_options() const {
     MinerOptions options;
@@ -110,5 +119,13 @@ class SdChecker {
 /// grouped timelines (shared by SdChecker and the incremental analyzer).
 [[nodiscard]] AnalysisResult finalize_analysis(
     std::map<ApplicationId, AppTimeline> timelines);
+
+/// Sharded/parallel variant: folds the per-shard tables into the
+/// deterministic app-ID order, decomposes and anomaly-checks each app on
+/// `pool`, then merges aggregates/delays/anomalies in that order — the
+/// result (including `analysis_json`) is byte-identical to the serial
+/// overload on the same grouped state.  Consumes the shard tables.
+[[nodiscard]] AnalysisResult finalize_analysis(ShardedGroupResult grouped,
+                                               ThreadPool& pool);
 
 }  // namespace sdc::checker

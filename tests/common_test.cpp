@@ -2,8 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 #include <thread>
+#include <vector>
 
+#include "common/flat_hash_map.hpp"
+#include "common/flat_map.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
@@ -291,6 +297,85 @@ TEST(ThreadPool, ParallelForZeroItems) {
 TEST(ThreadPool, DefaultsToHardwareConcurrency) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1u);
+}
+
+// --- FlatHashMap -------------------------------------------------------
+
+TEST(FlatHashMap, InsertFindAndGrow) {
+  FlatHashMap<int, int> map;
+  EXPECT_TRUE(map.empty());
+  for (int i = 0; i < 1000; ++i) map[i] = i * 3;
+  EXPECT_EQ(map.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    const auto it = map.find(i);
+    ASSERT_NE(it, map.end());
+    EXPECT_EQ(it->second, i * 3);
+  }
+  EXPECT_EQ(map.find(1000), map.end());
+  EXPECT_FALSE(map.contains(-1));
+}
+
+TEST(FlatHashMap, OperatorBracketDefaultInsertsOnce) {
+  FlatHashMap<int, int> map;
+  EXPECT_EQ(map[7], 0);
+  map[7] = 42;
+  EXPECT_EQ(map[7], 42);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap, IterationVisitsEveryEntryOnce) {
+  FlatHashMap<int, int> map;
+  for (int i = 0; i < 123; ++i) map[i] = i;
+  std::set<int> seen;
+  for (const auto& [k, v] : map) {
+    EXPECT_EQ(k, v);
+    EXPECT_TRUE(seen.insert(k).second);
+  }
+  EXPECT_EQ(seen.size(), 123u);
+}
+
+TEST(FlatHashMap, HeterogeneousStringLookup) {
+  FlatHashMap<std::string, int, StringHash> map;
+  map[std::string("alpha")] = 1;
+  map[std::string("beta")] = 2;
+  // find by string_view: no temporary std::string allocated.
+  EXPECT_NE(map.find(std::string_view("alpha")), map.end());
+  EXPECT_TRUE(map.contains(std::string_view("beta")));
+  EXPECT_FALSE(map.contains(std::string_view("gamma")));
+}
+
+TEST(FlatHashMap, ClearResets) {
+  FlatHashMap<int, int> map;
+  for (int i = 0; i < 50; ++i) map[i] = i;
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(1), map.end());
+  map[1] = 9;
+  EXPECT_EQ(map.size(), 1u);
+}
+
+// --- FlatOrderedMap ----------------------------------------------------
+
+TEST(FlatOrderedMap, IterationIsSorted) {
+  FlatOrderedMap<int, int> map;
+  for (const int k : {9, 3, 7, 1, 5}) map[k] = k * 10;
+  std::vector<int> keys;
+  for (const auto& [k, v] : map) {
+    keys.push_back(k);
+    EXPECT_EQ(v, k * 10);
+  }
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(FlatOrderedMap, FindAtContains) {
+  FlatOrderedMap<int, std::string> map;
+  map[2] = "two";
+  map[4] = "four";
+  EXPECT_TRUE(map.contains(2));
+  EXPECT_FALSE(map.contains(3));
+  EXPECT_EQ(map.at(4), "four");
+  EXPECT_THROW(map.at(5), std::out_of_range);
+  EXPECT_EQ(map.find(3), map.end());
 }
 
 }  // namespace

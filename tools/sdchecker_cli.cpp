@@ -23,6 +23,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -56,12 +57,12 @@ using namespace sdc;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  sdchecker analyze <log_dir> [--threads N] [--csv FILE] "
-               "[--per-app] [--progress]\n"
+               "  sdchecker analyze <log_dir> [--threads N] "
+               "[--analyze-shards N] [--csv FILE] [--per-app] [--progress]\n"
                "            [--delays-csv FILE] [--containers-csv FILE] "
                "[--events-csv FILE] [--json FILE]\n"
                "  sdchecker trace <log_dir> [--out FILE] [--check] "
-               "[--threads N]\n"
+               "[--threads N] [--analyze-shards N]\n"
                "  sdchecker timeline <log_dir> <application_id>\n"
                "  sdchecker diff <log_dir_a> <log_dir_b> [--threshold PCT]\n"
                "  sdchecker graph <log_dir> <application_id> [--out FILE]\n"
@@ -69,7 +70,13 @@ int usage() {
                "[--executors E]\n"
                "            [--input-mb MB] [--scheduler "
                "capacity|opportunistic]\n"
-               "  sdchecker fuzz <log_dir> [--seed S] [--class NAME]\n"
+               "  sdchecker fuzz <log_dir> [--seed S] [--class NAME] "
+               "[--analyze-shards N]\n"
+               "\n"
+               "analysis flags:\n"
+               "  --analyze-shards N  shard the post-mining analysis stage\n"
+               "                      across N threads (0 = one per hardware\n"
+               "                      thread; output is identical to serial)\n"
                "\n"
                "global flags (any command):\n"
                "  --metrics FILE   dump the metrics registry as JSON on exit\n"
@@ -93,6 +100,39 @@ std::optional<std::string> flag_value(std::vector<std::string>& args,
     }
   }
   return std::nullopt;
+}
+
+/// Parses a strictly-numeric non-negative flag value; nullopt on any
+/// trailing garbage ("4x", "", "-1" are all rejected, not truncated).
+std::optional<std::size_t> parse_count(const std::string& value) {
+  if (value.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size() ||
+      value.front() == '-') {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(n);
+}
+
+/// Consumes `--analyze-shards N` (0 = auto); exits with a usage error via
+/// nullopt on a malformed count.  Returns the AnalyzeOptions value.
+std::optional<std::size_t> take_analyze_shards(
+    std::vector<std::string>& args) {
+  std::size_t shards = 1;
+  if (const auto s = flag_value(args, "--analyze-shards")) {
+    const auto parsed = parse_count(*s);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "sdchecker: --analyze-shards expects a non-negative "
+                   "integer, got '%s'\n",
+                   s->c_str());
+      return std::nullopt;
+    }
+    shards = *parsed;
+  }
+  return shards;
 }
 
 bool flag_present(std::vector<std::string>& args, const std::string& flag) {
@@ -215,6 +255,8 @@ int cmd_analyze(std::vector<std::string> args) {
   if (const auto t = flag_value(args, "--threads")) {
     threads = static_cast<std::size_t>(std::strtoul(t->c_str(), nullptr, 10));
   }
+  const auto analyze_shards = take_analyze_shards(args);
+  if (!analyze_shards) return usage();
   const auto csv = flag_value(args, "--csv");
   const auto delays_csv_path = flag_value(args, "--delays-csv");
   const auto containers_csv_path = flag_value(args, "--containers-csv");
@@ -224,12 +266,13 @@ int cmd_analyze(std::vector<std::string> args) {
   const bool progress = flag_present(args, "--progress");
   const auto positionals =
       finish_args(std::move(args), {"log_dir"},
-                  {"--threads", "--csv", "--delays-csv", "--containers-csv",
-                   "--events-csv", "--json"});
+                  {"--threads", "--analyze-shards", "--csv", "--delays-csv",
+                   "--containers-csv", "--events-csv", "--json"});
   if (!positionals) return usage();
   const std::string& dir = (*positionals)[0];
 
-  checker::SdChecker sdchecker({.threads = std::max<std::size_t>(1, threads)});
+  checker::SdChecker sdchecker({.threads = std::max<std::size_t>(1, threads),
+                                .analyze_shards = *analyze_shards});
   checker::AnalysisResult analysis;
   try {
     std::optional<ProgressReporter> reporter;
@@ -316,14 +359,17 @@ int cmd_trace(std::vector<std::string> args) {
   if (const auto t = flag_value(args, "--threads")) {
     threads = static_cast<std::size_t>(std::strtoul(t->c_str(), nullptr, 10));
   }
+  const auto analyze_shards = take_analyze_shards(args);
+  if (!analyze_shards) return usage();
   const auto out_flag = flag_value(args, "--out");
   const bool check = flag_present(args, "--check");
-  const auto positionals =
-      finish_args(std::move(args), {"log_dir"}, {"--threads", "--out"});
+  const auto positionals = finish_args(
+      std::move(args), {"log_dir"}, {"--threads", "--analyze-shards", "--out"});
   if (!positionals) return usage();
   const std::string out_path = out_flag.value_or("app.trace.json");
 
-  checker::SdChecker sdchecker({.threads = std::max<std::size_t>(1, threads)});
+  checker::SdChecker sdchecker({.threads = std::max<std::size_t>(1, threads),
+                                .analyze_shards = *analyze_shards});
   checker::AnalysisResult analysis;
   try {
     analysis = sdchecker.analyze_directory((*positionals)[0]);
@@ -536,8 +582,11 @@ int cmd_fuzz(std::vector<std::string> args) {
     classes.push_back(*cls);
   }
   if (classes.empty()) classes = checker::all_mutation_classes();
-  const auto positionals =
-      finish_args(std::move(args), {"log_dir"}, {"--seed", "--class"});
+  const auto analyze_shards = take_analyze_shards(args);
+  if (!analyze_shards) return usage();
+  const auto positionals = finish_args(std::move(args), {"log_dir"},
+                                       {"--seed", "--class",
+                                        "--analyze-shards"});
   if (!positionals) return usage();
 
   logging::LogBundle base;
@@ -547,7 +596,9 @@ int cmd_fuzz(std::vector<std::string> args) {
     std::fprintf(stderr, "sdchecker: %s\n", e.what());
     return 1;
   }
-  const auto results = checker::fuzz_corpus(base, seed, classes);
+  checker::AnalyzeOptions options;
+  options.analyze_shards = *analyze_shards;
+  const auto results = checker::fuzz_corpus(base, seed, classes, options);
   std::printf("%s", checker::render_fuzz_report(results).c_str());
   for (const auto& result : results) {
     if (!result.ok) {
