@@ -164,7 +164,34 @@ constexpr ExtractorRule kExtractorRules[] = {
      "", EventKind::kExecutorFirstTask, RuleId::kNone},
 };
 
+/// Shortest message that could possibly satisfy `rule`'s match
+/// predicate: a transition needs at least "from " + one state char +
+/// " to " ahead of the exact `token` state, a phrase needs the token
+/// itself, and either way the `also` substring must fit too.
+constexpr std::size_t rule_min_message_len(const ExtractorRule& rule) {
+  std::size_t need = rule.match == RuleMatch::kTransitionTo
+                         ? rule.token.size() + 10
+                         : rule.token.size();
+  if (rule.also.size() > need) need = rule.also.size();
+  return need;
+}
+
+constexpr std::size_t shortest_rule_message_len() {
+  std::size_t shortest = static_cast<std::size_t>(-1);
+  for (const ExtractorRule& rule : kExtractorRules) {
+    const std::size_t need = rule_min_message_len(rule);
+    if (need < shortest) shortest = need;
+  }
+  return shortest;
+}
+
+/// Messages shorter than this cannot match any rule; the extractor
+/// skips the dispatch table for them entirely.
+constexpr std::size_t kShortestRuleMessageLen = shortest_rule_message_len();
+
 }  // namespace
+
+std::size_t min_rule_message_len() { return kShortestRuleMessageLen; }
 
 bool rule_matches(const ExtractorRule& rule, std::string_view message) {
   switch (rule.match) {
@@ -212,6 +239,10 @@ namespace {
 struct ClassDispatch {
   StreamKind kind = StreamKind::kUnknown;
   std::span<const ExtractorRule> rules{};
+  /// Shortest message any of `rules` could match (SIZE_MAX when the
+  /// class only classifies) — the per-class arm of the length
+  /// pre-filter.
+  std::size_t min_rule_len = static_cast<std::size_t>(-1);
 };
 
 /// One hash lookup replaces the chained string compares on the miner's
@@ -229,8 +260,13 @@ const std::unordered_map<std::string_view, ClassDispatch>& dispatch_table() {
         const std::span<const ExtractorRule> rules{kExtractorRules};
         for (std::size_t i = 0; i < rules.size();) {
           std::size_t j = i;
-          while (j < rules.size() && rules[j].klass == rules[i].klass) ++j;
+          std::size_t min_len = static_cast<std::size_t>(-1);
+          while (j < rules.size() && rules[j].klass == rules[i].klass) {
+            min_len = std::min(min_len, rule_min_message_len(rules[j]));
+            ++j;
+          }
           table[rules[i].klass].rules = rules.subspan(i, j - i);
+          table[rules[i].klass].min_rule_len = min_len;
           i = j;
         }
         return table;
@@ -264,9 +300,12 @@ StreamKind classify_line(const ParsedLine& line) {
 std::optional<SchedEvent> extract_event(const ParsedLine& line,
                                         std::string_view stream,
                                         std::size_t line_no) {
+  // No rule can match a message this short — skip the dispatch table.
+  if (line.message.size() < kShortestRuleMessageLen) return std::nullopt;
   const auto& table = dispatch_table();
   const auto it = table.find(short_class_name(line.logger));
   if (it == table.end()) return std::nullopt;
+  if (line.message.size() < it->second.min_rule_len) return std::nullopt;
   for (const ExtractorRule& rule : it->second.rules) {
     if (auto event = apply_rule(rule, line, stream, line_no)) return event;
   }

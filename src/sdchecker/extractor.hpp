@@ -63,6 +63,11 @@ struct ExtractorRule {
 /// within a class).
 std::span<const ExtractorRule> extractor_rules();
 
+/// Shortest message any rule in the table could match.  `extract_event`
+/// skips the dispatch table entirely for messages below this length;
+/// tests pin it against the rule table.
+std::size_t min_rule_message_len();
+
 /// One diagnostic logger class: the daemon kind its presence implies.
 struct ClassKind {
   std::string_view klass;

@@ -205,6 +205,31 @@ std::string nm_container_line(const std::string& from, const std::string& to) {
          from + " to " + to;
 }
 
+TEST(Extractor, ShortMessagePrefilterIsConservative) {
+  // The skip bound is derived from the rule table: no rule's predicate
+  // can fire on a message shorter than its token (plus the minimal
+  // "from X to " scaffolding for transitions).
+  const std::size_t bound = min_rule_message_len();
+  EXPECT_GT(bound, 0u);
+  for (const ExtractorRule& rule : extractor_rules()) {
+    std::size_t need = rule.match == RuleMatch::kTransitionTo
+                           ? rule.token.size() + 10
+                           : rule.token.size();
+    need = std::max(need, rule.also.size());
+    EXPECT_LE(bound, need) << rule.token;
+  }
+  // The shortest real rule message still extracts...
+  const auto end_allo = extract(
+      "2017-07-03 16:40:00,000 INFO  org.apache.spark.deploy.yarn."
+      "YarnAllocator: END_ALLO");
+  ASSERT_TRUE(end_allo.has_value());
+  EXPECT_EQ(end_allo->kind, EventKind::kEndAllo);
+  // ...while a one-shorter message on the same class yields nothing.
+  EXPECT_FALSE(extract("2017-07-03 16:40:00,000 INFO  org.apache.spark."
+                       "deploy.yarn.YarnAllocator: END_ALL")
+                   .has_value());
+}
+
 TEST(Extractor, RmAppEvents) {
   const auto submitted = extract(
       "2017-07-03 16:40:00,000 INFO  org.apache.hadoop.yarn.server."
