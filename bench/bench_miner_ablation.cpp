@@ -6,9 +6,20 @@
 //     paper's description implies — we keep the regex variant here as the
 //     baseline to justify the hand-rolled parser)
 //   * discrete-event engine throughput (the simulator's own cost)
+//   * per-stage hot-path kernels — the mining pipeline decomposed into
+//     scan (newline split, per SWAR/SIMD backend), parse, pre-filter,
+//     extract and merge, so a regression localizes to one stage
+#include <algorithm>
+#include <memory>
 #include <regex>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "common/interner.hpp"
+#include "common/simd.hpp"
+#include "logging/log_view.hpp"
+#include "sdchecker/extractor.hpp"
 #include "sdchecker/miner.hpp"
 #include "sdchecker/parsed_line.hpp"
 #include "simcore/engine.hpp"
@@ -25,6 +36,39 @@ const logging::LogBundle& big_bundle() {
     return harness::run_scenario(scenario).logs;
   }();
   return bundle;
+}
+
+/// The whole corpus as one newline-joined buffer — what `split_buffer`
+/// sees after mmap.
+const std::string& flat_text() {
+  static const std::string text = [] {
+    std::string out;
+    const auto& bundle = big_bundle();
+    for (const std::string& name : bundle.stream_names()) {
+      for (const std::string& line : bundle.lines(name)) {
+        out += line;
+        out += '\n';
+      }
+    }
+    return out;
+  }();
+  return text;
+}
+
+/// Pre-parsed corpus lines (the extract-stage input), with parse
+/// failures dropped.
+const std::vector<checker::ParsedLine>& parsed_corpus() {
+  static const std::vector<checker::ParsedLine> parsed = [] {
+    std::vector<checker::ParsedLine> out;
+    const auto& bundle = big_bundle();
+    for (const std::string& name : bundle.stream_names()) {
+      for (const std::string& line : bundle.lines(name)) {
+        if (auto p = checker::parse_line(line)) out.push_back(*p);
+      }
+    }
+    return out;
+  }();
+  return parsed;
 }
 
 void experiment() {
@@ -48,6 +92,127 @@ void BM_MineThreads(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_MineThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- per-stage hot-path kernels ---------------------------------------------
+// The mining pipeline, one stage per kernel: a throughput regression in
+// `BM_MineThreads` localizes to scan, parse, pre-filter, extract or merge.
+
+void BM_ScanStage(benchmark::State& state) {
+  // Newline split over the flattened corpus — the `split_buffer` kernel —
+  // under one scan backend (arg = ScanBackend enumerator).
+  const auto backend = static_cast<simd::ScanBackend>(state.range(0));
+  const auto available = simd::available_scan_backends();
+  if (std::find(available.begin(), available.end(), backend) ==
+      available.end()) {
+    state.SkipWithError("backend not available on this host");
+    return;
+  }
+  const std::string& text = flat_text();
+  for (auto _ : state) {
+    std::size_t lines = 0;
+    for (std::size_t at = simd::find_byte(text, '\n', 0, backend);
+         at != std::string_view::npos;
+         at = simd::find_byte(text, '\n', at + 1, backend)) {
+      ++lines;
+    }
+    benchmark::DoNotOptimize(lines);
+  }
+  state.SetLabel(std::string(simd::scan_backend_name(backend)));
+  state.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(text.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScanStage)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParseStage(benchmark::State& state) {
+  // Line parse (timestamp + level + class + message) over the whole
+  // corpus, pre-split so only `parse_line` is measured.
+  const logging::LogView view = logging::LogView::from_buffer(flat_text());
+  for (auto _ : state) {
+    std::size_t parsed = 0;
+    for (const std::string_view line : view.lines()) {
+      if (checker::parse_line(line)) ++parsed;
+    }
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.counters["lines/s"] = benchmark::Counter(
+      static_cast<double>(view.lines().size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParseStage)->Unit(benchmark::kMillisecond);
+
+void BM_PrefilterStage(benchmark::State& state) {
+  // The (message length) cheap-reject the extractor applies before any
+  // class dispatch — how much of the corpus it discards for free.
+  const auto& parsed = parsed_corpus();
+  const std::size_t shortest = checker::min_rule_message_len();
+  for (auto _ : state) {
+    std::size_t skipped = 0;
+    for (const checker::ParsedLine& line : parsed) {
+      skipped += line.message.size() < shortest ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(skipped);
+  }
+  state.counters["lines/s"] = benchmark::Counter(
+      static_cast<double>(parsed.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PrefilterStage)->Unit(benchmark::kMillisecond);
+
+void BM_ExtractStage(benchmark::State& state) {
+  // Class dispatch + rule matching + id extraction into a columnar
+  // batch, on pre-parsed lines (scan and parse excluded).
+  const auto& parsed = parsed_corpus();
+  auto interner = std::make_shared<StringInterner>();
+  const std::uint32_t stream_id = interner->intern("bench.log");
+  const std::shared_ptr<const StringInterner> pool = interner;
+  for (auto _ : state) {
+    checker::EventBatch batch(pool);
+    std::size_t line_no = 0;
+    for (const checker::ParsedLine& line : parsed) {
+      checker::extract_event_into(line, stream_id, ++line_no, batch);
+    }
+    benchmark::DoNotOptimize(batch.size());
+  }
+  state.counters["lines/s"] = benchmark::Counter(
+      static_cast<double>(parsed.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExtractStage)->Unit(benchmark::kMillisecond);
+
+void BM_MergeStage(benchmark::State& state) {
+  // K-way merge of sorted per-chunk batches — the stitch stage.  Runs
+  // are rebuilt by copy each iteration (merge consumes its input).
+  const auto runs = [] {
+    auto interner = std::make_shared<StringInterner>();
+    const std::uint32_t stream_id = interner->intern("bench.log");
+    const std::shared_ptr<const StringInterner> pool = interner;
+    const auto& parsed = parsed_corpus();
+    constexpr std::size_t kRuns = 8;
+    std::vector<checker::EventBatch> out;
+    for (std::size_t r = 0; r < kRuns; ++r) out.emplace_back(pool);
+    const std::size_t chunk = (parsed.size() + kRuns - 1) / kRuns;
+    std::size_t line_no = 0;
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+      checker::extract_event_into(parsed[i], stream_id, ++line_no,
+                                  out[i / chunk]);
+    }
+    for (auto& run : out) run.sort();
+    return out;
+  }();
+  std::size_t events = 0;
+  for (const auto& run : runs) events += run.size();
+  for (auto _ : state) {
+    std::vector<checker::EventBatch> copies = runs;
+    benchmark::DoNotOptimize(
+        checker::merge_event_batches(std::move(copies)).size());
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MergeStage)->Unit(benchmark::kMillisecond);
 
 void BM_ParseLineHandRolled(benchmark::State& state) {
   const std::string line =

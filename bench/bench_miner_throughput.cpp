@@ -205,6 +205,45 @@ struct Variant {
   std::size_t events = 0;
 };
 
+/// Element-wise serial-vs-sharded equivalence: every mined event row and
+/// every diagnostic must match, not just the counts.  This is the smoke
+/// gate CI relies on (`"equivalent":true` in BENCH_miner.json).
+bool results_equivalent(const checker::MineResult& serial,
+                        const checker::MineResult& sharded) {
+  if (serial.events.size() != sharded.events.size()) {
+    std::printf("  DIVERGENCE: event counts %zu vs %zu\n", serial.events.size(),
+                sharded.events.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < serial.events.size(); ++i) {
+    const auto a = serial.events[i];
+    const auto b = sharded.events[i];
+    if (a.kind != b.kind || a.ts_ms != b.ts_ms || a.app != b.app ||
+        a.container != b.container || a.stream != b.stream ||
+        a.line_no != b.line_no) {
+      std::printf("  DIVERGENCE: event %zu differs (line %zu vs %zu)\n", i,
+                  a.line_no, b.line_no);
+      return false;
+    }
+  }
+  if (serial.diagnostics.size() != sharded.diagnostics.size()) {
+    std::printf("  DIVERGENCE: diagnostic counts %zu vs %zu\n",
+                serial.diagnostics.size(), sharded.diagnostics.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < serial.diagnostics.size(); ++i) {
+    const auto& a = serial.diagnostics[i];
+    const auto& b = sharded.diagnostics[i];
+    if (a.kind != b.kind || a.stream != b.stream || a.line_no != b.line_no ||
+        a.count != b.count || a.detail != b.detail) {
+      std::printf("  DIVERGENCE: diagnostic %zu differs\n", i);
+      return false;
+    }
+  }
+  return serial.lines_total == sharded.lines_total &&
+         serial.lines_unparsed == sharded.lines_unparsed;
+}
+
 double best_of(int reps, const std::function<std::size_t()>& run,
                std::size_t& events_out) {
   double best = 1e100;
@@ -302,14 +341,29 @@ void experiment() {
   out.end_array();
   const double speedup = variants.front().seconds / variants.back().seconds;
   out.field("sharded_vs_serial_speedup", speedup);
+
+  // Untimed equivalence pass: the serial getline pipeline and the sharded
+  // zero-copy pipeline must produce identical events and diagnostics.
+  const checker::MineResult serial_result =
+      checker::LogMiner(checker::MinerOptions{1, 0})
+          .mine(logging::LogBundle::read_from_directory(dir));
+  const checker::MineResult sharded_result =
+      checker::LogMiner(checker::MinerOptions{threads}).mine_directory(dir);
+  const bool equivalent = results_equivalent(serial_result, sharded_result);
+  out.field("equivalent", equivalent);
   out.key("metrics");
   out.raw(obs::MetricsRegistry::global().snapshot().to_json());
   out.end_object();
-  std::printf("  sharded zero-copy vs serial: %.2fx\n", speedup);
+  std::printf("  sharded zero-copy vs serial: %.2fx  (equivalent: %s)\n",
+              speedup, equivalent ? "yes" : "NO");
 
   std::ofstream json_file("BENCH_miner.json");
   json_file << out.str() << '\n';
   std::printf("  wrote BENCH_miner.json\n");
+  if (!equivalent) {
+    std::printf("  FATAL: sharded pipeline diverged from serial reference\n");
+    std::exit(1);
+  }
 }
 
 void BM_MineSharded(benchmark::State& state) {

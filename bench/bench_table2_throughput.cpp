@@ -23,7 +23,7 @@ using namespace sdc;
 double allocation_throughput(const logging::LogBundle& logs) {
   checker::LogMiner miner;
   std::vector<double> ts;
-  for (const checker::SchedEvent& event : miner.mine(logs).events) {
+  for (const auto event : miner.mine(logs).events) {
     if (event.kind == checker::EventKind::kContainerAllocated) {
       ts.push_back(static_cast<double>(event.ts_ms));
     }

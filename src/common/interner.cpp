@@ -1,0 +1,19 @@
+#include "common/interner.hpp"
+
+namespace sdc {
+
+std::uint32_t StringInterner::intern(std::string_view text) {
+  const auto it = index_.find(text);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(text);
+  index_[text] = id;
+  return id;
+}
+
+std::uint32_t StringInterner::find(std::string_view text) const {
+  const auto it = index_.find(text);
+  return it == index_.end() ? kInvalidId : it->second;
+}
+
+}  // namespace sdc

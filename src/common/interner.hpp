@@ -1,0 +1,48 @@
+// Append-only string pool with dense uint32 ids.
+//
+// The columnar event batches store each event's log-stream name as an
+// interned id instead of a per-event `std::string` — one copy of every
+// stream name per pool, 4 bytes per event, and stream-equality checks
+// become integer compares.  Resolution (`name`) is lock-free and safe
+// from any thread as long as no `intern` call runs concurrently: the
+// miner builds the pool up front from the bundle's stream names and
+// then shares it read-only across worker threads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "common/flat_hash_map.hpp"
+
+namespace sdc {
+
+class StringInterner {
+ public:
+  static constexpr std::uint32_t kInvalidId = 0xffffffffu;
+
+  /// Returns the existing id for `text` or assigns the next dense one.
+  std::uint32_t intern(std::string_view text);
+
+  /// Id of `text` if already interned, kInvalidId otherwise.
+  [[nodiscard]] std::uint32_t find(std::string_view text) const;
+
+  /// The pooled string for a valid id.  The view stays valid for the
+  /// pool's lifetime (strings are never moved or freed).
+  [[nodiscard]] std::string_view name(std::uint32_t id) const {
+    return names_[id];
+  }
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(names_.size());
+  }
+  [[nodiscard]] bool empty() const { return names_.empty(); }
+
+ private:
+  /// Deque so `name` views are pointer-stable across intern calls.
+  std::deque<std::string> names_;
+  FlatHashMap<std::string, std::uint32_t, StringHash> index_;
+};
+
+}  // namespace sdc

@@ -1,9 +1,10 @@
 #include "logging/log_view.hpp"
 
-#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/simd.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define SDC_HAVE_MMAP 1
@@ -46,12 +47,13 @@ std::string read_whole_file(const std::filesystem::path& path) {
 }  // namespace
 
 void LogView::split_buffer(std::string_view text) {
+  const simd::ScanBackend backend = simd::active_scan_backend();
   bytes_ = text.size();
   lines_.clear();
-  lines_.reserve(std::count(text.begin(), text.end(), '\n') + 1);
+  lines_.reserve(simd::count_byte(text, '\n', backend) + 1);
   std::size_t start = 0;
   while (start <= text.size()) {
-    const std::size_t nl = text.find('\n', start);
+    const std::size_t nl = simd::find_byte(text, '\n', start, backend);
     if (nl == std::string_view::npos) {
       // Final unterminated line (if any bytes remain).
       if (start < text.size()) {

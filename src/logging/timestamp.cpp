@@ -1,5 +1,6 @@
 #include "logging/timestamp.hpp"
 
+#include <cstdint>
 #include <cstdio>
 
 namespace sdc::logging {
@@ -29,14 +30,6 @@ constexpr void civil_from_days(std::int64_t z, std::int64_t& y, unsigned& m,
   d = doy - (153 * mp + 2) / 5 + 1;
   m = mp + (mp < 10 ? 3 : -9);
   y += m <= 2;
-}
-
-bool two_digits(std::string_view s, std::size_t pos, int& out) {
-  const char a = s[pos];
-  const char b = s[pos + 1];
-  if (a < '0' || a > '9' || b < '0' || b > '9') return false;
-  out = (a - '0') * 10 + (b - '0');
-  return true;
 }
 
 }  // namespace
@@ -87,32 +80,46 @@ std::optional<std::int64_t> parse_epoch_ms(std::string_view text) {
   if (text.size() < kTimestampWidth) return std::nullopt;
   // Layout: 0123456789...
   //         YYYY-MM-DD HH:MM:SS,mmm
-  if (text[4] != '-' || text[7] != '-' || text[10] != ' ' || text[13] != ':' ||
-      text[16] != ':' || text[19] != ',') {
-    return std::nullopt;
-  }
-  int c1, c2, mo, dd, hh, mi, ss, ms_hi, ms_lo1;
-  if (!two_digits(text, 0, c1) || !two_digits(text, 2, c2) ||
-      !two_digits(text, 5, mo) || !two_digits(text, 8, dd) ||
-      !two_digits(text, 11, hh) || !two_digits(text, 14, mi) ||
-      !two_digits(text, 17, ss) || !two_digits(text, 20, ms_hi)) {
-    return std::nullopt;
-  }
-  const char last = text[22];
-  if (last < '0' || last > '9') return std::nullopt;
-  ms_lo1 = last - '0';
-  const std::int64_t year = c1 * 100 + c2;
-  if (hh > 23 || mi > 59 || ss > 59) return std::nullopt;
+  //
+  // Every position is validated through an accumulated flag and a single
+  // exit branch so the common case — a well-formed stamp, i.e. nearly
+  // every line the miner sees — runs straight-line with no data-dependent
+  // branches.  Non-digit bytes wrap to large values under the unsigned
+  // subtract, so the fields they poison are only ever compared, never
+  // used: `bad` forces the nullopt exit first.
+  const char* p = text.data();
+  std::uint32_t bad = 0;
+  const auto digit = [p, &bad](std::size_t i) -> std::uint32_t {
+    const std::uint32_t d =
+        static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) - '0';
+    bad |= d > 9u;
+    return d;
+  };
+  bad |= p[4] != '-';
+  bad |= p[7] != '-';
+  bad |= p[10] != ' ';
+  bad |= p[13] != ':';
+  bad |= p[16] != ':';
+  bad |= p[19] != ',';
+  const std::uint32_t year =
+      digit(0) * 1000 + digit(1) * 100 + digit(2) * 10 + digit(3);
+  const std::uint32_t mo = digit(5) * 10 + digit(6);
+  const std::uint32_t dd = digit(8) * 10 + digit(9);
+  const std::uint32_t hh = digit(11) * 10 + digit(12);
+  const std::uint32_t mi = digit(14) * 10 + digit(15);
+  const std::uint32_t ss = digit(17) * 10 + digit(18);
+  const std::uint32_t ms = digit(20) * 100 + digit(21) * 10 + digit(22);
+  bad |= hh > 23u;
+  bad |= mi > 59u;
+  bad |= ss > 59u;
+  if (bad != 0) return std::nullopt;
   // days_from_civil normalizes impossible dates (Feb 31 -> Mar 3), which
   // would turn a corrupt stamp into a wrong-but-plausible epoch; reject
   // them instead.
-  if (!valid_civil_date(year, static_cast<unsigned>(mo),
-                        static_cast<unsigned>(dd))) {
-    return std::nullopt;
-  }
-  return epoch_ms_from_civil(year, static_cast<unsigned>(mo),
-                             static_cast<unsigned>(dd), hh, mi, ss,
-                             ms_hi * 10 + ms_lo1);
+  if (!valid_civil_date(year, mo, dd)) return std::nullopt;
+  return epoch_ms_from_civil(year, mo, dd, static_cast<int>(hh),
+                             static_cast<int>(mi), static_cast<int>(ss),
+                             static_cast<int>(ms));
 }
 
 }  // namespace sdc::logging

@@ -1,6 +1,6 @@
 #include "sdchecker/extractor.hpp"
 
-#include <unordered_map>
+#include <array>
 
 #include "common/strings.hpp"
 
@@ -237,6 +237,7 @@ namespace {
 /// implies, and its slice of the rule table (empty for classes that only
 /// classify).
 struct ClassDispatch {
+  std::string_view name;
   StreamKind kind = StreamKind::kUnknown;
   std::span<const ExtractorRule> rules{};
   /// Shortest message any of `rules` could match (SIZE_MAX when the
@@ -245,33 +246,138 @@ struct ClassDispatch {
   std::size_t min_rule_len = static_cast<std::size_t>(-1);
 };
 
-/// One hash lookup replaces the chained string compares on the miner's
-/// hottest path (every parsed line goes through classify + extract).
-/// Built from the constexpr tables above so sdlint and the hot path can
-/// never disagree.
-const std::unordered_map<std::string_view, ClassDispatch>& dispatch_table() {
-  static const std::unordered_map<std::string_view, ClassDispatch> kTable =
-      [] {
-        std::unordered_map<std::string_view, ClassDispatch> table;
-        for (const ClassKind& entry : kClassKinds) {
-          table[entry.klass] = ClassDispatch{entry.kind, {}};
-        }
-        // Rules are grouped by class; record each class's slice.
-        const std::span<const ExtractorRule> rules{kExtractorRules};
-        for (std::size_t i = 0; i < rules.size();) {
-          std::size_t j = i;
-          std::size_t min_len = static_cast<std::size_t>(-1);
-          while (j < rules.size() && rules[j].klass == rules[i].klass) {
-            min_len = std::min(min_len, rule_min_message_len(rules[j]));
-            ++j;
-          }
-          table[rules[i].klass].rules = rules.subspan(i, j - i);
-          table[rules[i].klass].min_rule_len = min_len;
-          i = j;
-        }
-        return table;
-      }();
-  return kTable;
+constexpr std::size_t kClassCount = std::size(kClassKinds);
+
+/// Per-class dispatch entries, built at compile time from the constexpr
+/// tables above so sdlint and the hot path can never disagree.  Rules
+/// are grouped by class; each entry records its slice of the rule table.
+constexpr std::array<ClassDispatch, kClassCount> make_dispatch_entries() {
+  std::array<ClassDispatch, kClassCount> out{};
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    out[c].name = kClassKinds[c].klass;
+    out[c].kind = kClassKinds[c].kind;
+  }
+  const std::span<const ExtractorRule> rules{kExtractorRules};
+  for (std::size_t i = 0; i < rules.size();) {
+    std::size_t j = i;
+    std::size_t min_len = static_cast<std::size_t>(-1);
+    while (j < rules.size() && rules[j].klass == rules[i].klass) {
+      const std::size_t need = rule_min_message_len(rules[j]);
+      if (need < min_len) min_len = need;
+      ++j;
+    }
+    for (ClassDispatch& entry : out) {
+      if (entry.name == rules[i].klass) {
+        entry.rules = rules.subspan(i, j - i);
+        entry.min_rule_len = min_len;
+      }
+    }
+    i = j;
+  }
+  return out;
+}
+
+constexpr auto kDispatchEntries = make_dispatch_entries();
+
+constexpr std::size_t kMaxClassNameLen = [] {
+  std::size_t longest = 0;
+  for (const ClassKind& entry : kClassKinds) {
+    if (entry.klass.size() > longest) longest = entry.klass.size();
+  }
+  return longest;
+}();
+
+/// (name length, first byte) happens to be a unique key across every
+/// recognized logger class, so class dispatch is two array reads plus
+/// one confirming string compare — no hashing.  The constexpr builder
+/// fails the build if a future class breaks the uniqueness (add a
+/// second-byte tier then).
+inline constexpr std::uint8_t kNoClass = 0xff;
+
+constexpr auto kClassIndex = [] {
+  std::array<std::array<std::uint8_t, 26>, kMaxClassNameLen + 1> index{};
+  for (auto& row : index) row.fill(kNoClass);
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    const std::string_view name = kDispatchEntries[c].name;
+    const unsigned first =
+        static_cast<unsigned>(static_cast<unsigned char>(name.front())) - 'A';
+    if (first >= 26) throw "logger class must start with an uppercase letter";
+    if (index[name.size()][first] != kNoClass) {
+      throw "(length, first byte) collision between logger classes";
+    }
+    index[name.size()][first] = static_cast<std::uint8_t>(c);
+  }
+  return index;
+}();
+
+const ClassDispatch* find_class(std::string_view name) {
+  if (name.empty() || name.size() > kMaxClassNameLen) return nullptr;
+  const unsigned first =
+      static_cast<unsigned>(static_cast<unsigned char>(name.front())) - 'A';
+  if (first >= 26) return nullptr;
+  const std::uint8_t slot = kClassIndex[name.size()][first];
+  if (slot == kNoClass) return nullptr;
+  const ClassDispatch& entry = kDispatchEntries[slot];
+  return name == entry.name ? &entry : nullptr;
+}
+
+/// A matched rule with its extracted ids.
+struct RuleHit {
+  const ExtractorRule* rule = nullptr;
+  std::optional<ApplicationId> app;
+  std::optional<ContainerId> container;
+};
+
+/// The shared first-match-wins walk over one class's rules.  Decision
+/// for decision this is `for rule: apply_rule(...)`, with one hot-path
+/// refinement: `parse_transition` runs at most once per message (the
+/// transition classes carry up to five transition rules, which used to
+/// re-parse the same "from A to B" phrase per rule).  A rule whose match
+/// fires but whose required id is absent does not stop the walk, same
+/// as apply_rule returning nullopt.
+std::optional<RuleHit> match_class_rules(const ClassDispatch& entry,
+                                         std::string_view message) {
+  bool transition_cached = false;
+  std::optional<Transition> transition;
+  for (const ExtractorRule& rule : entry.rules) {
+    if (rule.match == RuleMatch::kTransitionTo) {
+      if (!transition_cached) {
+        transition = parse_transition(message);
+        transition_cached = true;
+      }
+      if (!transition || transition->to != rule.token) continue;
+    } else {
+      if (!contains(message, rule.token)) continue;
+    }
+    if (!rule.also.empty() && !contains(message, rule.also)) continue;
+    switch (rule.id) {
+      case RuleId::kNone:
+        return RuleHit{&rule, std::nullopt, std::nullopt};
+      case RuleId::kApp: {
+        const auto app = find_application_id(message);
+        if (!app) continue;
+        return RuleHit{&rule, app, std::nullopt};
+      }
+      case RuleId::kContainer: {
+        const auto container = find_container_id(message);
+        if (!container) continue;
+        return RuleHit{&rule, container->app, container};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Class lookup plus both length pre-filter arms; nullptr when no rule
+/// of `line`'s class can match.
+const ClassDispatch* dispatchable_class(const ParsedLine& line) {
+  // No rule can match a message this short — skip the class lookup.
+  if (line.message.size() < kShortestRuleMessageLen) return nullptr;
+  const ClassDispatch* entry = find_class(short_class_name(line.logger));
+  if (entry == nullptr || line.message.size() < entry->min_rule_len) {
+    return nullptr;
+  }
+  return entry;
 }
 
 }  // namespace
@@ -292,24 +398,30 @@ std::vector<const ExtractorRule*> matching_rules(std::string_view klass,
 }
 
 StreamKind classify_line(const ParsedLine& line) {
-  const auto& table = dispatch_table();
-  const auto it = table.find(short_class_name(line.logger));
-  return it == table.end() ? StreamKind::kUnknown : it->second.kind;
+  const ClassDispatch* entry = find_class(short_class_name(line.logger));
+  return entry == nullptr ? StreamKind::kUnknown : entry->kind;
 }
 
 std::optional<SchedEvent> extract_event(const ParsedLine& line,
                                         std::string_view stream,
                                         std::size_t line_no) {
-  // No rule can match a message this short — skip the dispatch table.
-  if (line.message.size() < kShortestRuleMessageLen) return std::nullopt;
-  const auto& table = dispatch_table();
-  const auto it = table.find(short_class_name(line.logger));
-  if (it == table.end()) return std::nullopt;
-  if (line.message.size() < it->second.min_rule_len) return std::nullopt;
-  for (const ExtractorRule& rule : it->second.rules) {
-    if (auto event = apply_rule(rule, line, stream, line_no)) return event;
-  }
-  return std::nullopt;
+  const ClassDispatch* entry = dispatchable_class(line);
+  if (entry == nullptr) return std::nullopt;
+  const auto hit = match_class_rules(*entry, line.message);
+  if (!hit) return std::nullopt;
+  return make_event(hit->rule->emits, line, stream, line_no, hit->app,
+                    hit->container);
+}
+
+bool extract_event_into(const ParsedLine& line, std::uint32_t stream_id,
+                        std::size_t line_no, EventBatch& batch) {
+  const ClassDispatch* entry = dispatchable_class(line);
+  if (entry == nullptr) return false;
+  const auto hit = match_class_rules(*entry, line.message);
+  if (!hit) return false;
+  batch.push(hit->rule->emits, line.epoch_ms, stream_id, line_no, hit->app,
+             hit->container);
+  return true;
 }
 
 }  // namespace sdc::checker

@@ -9,6 +9,7 @@
 // in the message (paper §III-A/Fig. 2).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string_view>
@@ -102,6 +103,14 @@ std::optional<SchedEvent> apply_rule(const ExtractorRule& rule,
 std::optional<SchedEvent> extract_event(const ParsedLine& line,
                                         std::string_view stream,
                                         std::size_t line_no);
+
+/// Columnar variant of `extract_event` for the miner's hot path: appends
+/// the extracted event (if any) straight into `batch` carrying the
+/// interned `stream_id` — no SchedEvent, no string copy.  Returns true
+/// when an event was appended.  Matches `extract_event` decision for
+/// decision.
+bool extract_event_into(const ParsedLine& line, std::uint32_t stream_id,
+                        std::size_t line_no, EventBatch& batch);
 
 /// Classifies one line's daemon kind from its logger class (kUnknown when
 /// the class is not diagnostic).

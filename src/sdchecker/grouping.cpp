@@ -9,21 +9,31 @@ namespace sdc::checker {
 namespace {
 
 /// Shared event-application body for the ordered (serial `group_events`,
-/// incremental) and flat (sharded) application tables.
+/// incremental) and flat (sharded) application tables.  `container` is
+/// nullptr for application-scoped events.
+template <class Apps>
+void apply_event_parts(Apps& apps, const ApplicationId& app_id,
+                       const ContainerId* container_id, EventKind kind,
+                       std::int64_t ts_ms) {
+  AppTimeline& app = apps[app_id];
+  app.app = app_id;
+  if (container_id != nullptr) {
+    ContainerTimeline& container = app.containers[*container_id];
+    container.id = *container_id;
+    container.first_ts.record(kind, ts_ms);
+    ++container.counts[kind];
+  } else {
+    app.first_ts.record(kind, ts_ms);
+    ++app.counts[kind];
+  }
+}
+
 template <class Apps>
 bool apply_event_impl(Apps& apps, const SchedEvent& event) {
   if (!event.app) return false;
-  AppTimeline& app = apps[*event.app];
-  app.app = *event.app;
-  if (event.container) {
-    ContainerTimeline& container = app.containers[*event.container];
-    container.id = *event.container;
-    container.first_ts.record(event.kind, event.ts_ms);
-    ++container.counts[event.kind];
-  } else {
-    app.first_ts.record(event.kind, event.ts_ms);
-    ++app.counts[event.kind];
-  }
+  apply_event_parts(apps, *event.app,
+                    event.container ? &*event.container : nullptr, event.kind,
+                    event.ts_ms);
   return true;
 }
 
@@ -101,6 +111,22 @@ GroupResult group_events(const std::vector<SchedEvent>& events) {
   return result;
 }
 
+GroupResult group_events(const EventBatch& events) {
+  GroupResult result;
+  const std::size_t n = events.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!events.has_app(i)) {
+      ++result.unattributed;
+      continue;
+    }
+    apply_event_parts(
+        result.apps, events.app_at(i),
+        events.has_container(i) ? &events.container_at(i) : nullptr,
+        events.kind_at(i), events.ts_at(i));
+  }
+  return result;
+}
+
 std::size_t timeline_shard(const ApplicationId& app, std::size_t shards) {
   return ApplicationIdHash{}(app) % shards;
 }
@@ -125,6 +151,33 @@ ShardedGroupResult group_events_sharded(const std::vector<SchedEvent>& events,
       }
       if (timeline_shard(*event.app, shard_count) != s) continue;
       apply_event(apps, event);
+    }
+  });
+  result.unattributed = unattributed;
+  return result;
+}
+
+ShardedGroupResult group_events_sharded(const EventBatch& events,
+                                        std::size_t shards, ThreadPool& pool) {
+  ShardedGroupResult result;
+  result.shards.resize(std::max<std::size_t>(1, shards));
+  const std::size_t shard_count = result.shards.size();
+  std::size_t unattributed = 0;
+  const std::size_t n = events.size();
+  parallel_for(pool, shard_count, [&](std::size_t s) {
+    const auto span = obs::Tracer::global().span("analyze.shard");
+    AppTable& apps = result.shards[s];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!events.has_app(i)) {
+        if (s == 0) ++unattributed;
+        continue;
+      }
+      const ApplicationId& app = events.app_at(i);
+      if (timeline_shard(app, shard_count) != s) continue;
+      apply_event_parts(
+          apps, app,
+          events.has_container(i) ? &events.container_at(i) : nullptr,
+          events.kind_at(i), events.ts_at(i));
     }
   });
   result.unattributed = unattributed;

@@ -206,6 +206,9 @@ struct GroupResult {
 };
 
 [[nodiscard]] GroupResult group_events(const std::vector<SchedEvent>& events);
+/// Columnar variant: reads the batch's kind/ts/id arrays directly — no
+/// View materialization, no optional construction on the hot loop.
+[[nodiscard]] GroupResult group_events(const EventBatch& events);
 
 /// Applies a single event to the timelines (the incremental counterpart
 /// of group_events).  Returns false when the event carries no application
@@ -236,5 +239,10 @@ struct ShardedGroupResult {
 [[nodiscard]] ShardedGroupResult group_events_sharded(
     const std::vector<SchedEvent>& events, std::size_t shards,
     ThreadPool& pool);
+/// Columnar variant; each shard's scan walks the contiguous app-id and
+/// flag columns instead of striding over whole event structs.
+[[nodiscard]] ShardedGroupResult group_events_sharded(const EventBatch& events,
+                                                      std::size_t shards,
+                                                      ThreadPool& pool);
 
 }  // namespace sdc::checker

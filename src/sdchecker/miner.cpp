@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "logging/timestamp.hpp"
 #include "obs/metrics.hpp"
@@ -11,6 +12,13 @@
 namespace sdc::checker {
 
 bool event_order_less(const SchedEvent& a, const SchedEvent& b) {
+  if (a.ts_ms != b.ts_ms) return a.ts_ms < b.ts_ms;
+  if (a.stream != b.stream) return a.stream < b.stream;
+  if (a.line_no != b.line_no) return a.line_no < b.line_no;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+bool event_order_less(const EventBatch::View& a, const EventBatch::View& b) {
   if (a.ts_ms != b.ts_ms) return a.ts_ms < b.ts_ms;
   if (a.stream != b.stream) return a.stream < b.stream;
   if (a.line_no != b.line_no) return a.line_no < b.line_no;
@@ -53,8 +61,11 @@ struct UnparsedRun {
 /// provisional diagnostic state whose boundary cases (runs and timestamp
 /// jumps spanning a chunk edge) the stitch pass closes.
 struct ChunkOut {
-  std::vector<SchedEvent> events;
+  EventBatch events;
   std::size_t lines_unparsed = 0;
+  /// Parsed lines whose message was too short for any extractor rule —
+  /// dispatch skipped entirely (aggregated into mine.scan.prefilter_skipped).
+  std::size_t prefilter_skipped = 0;
   std::optional<std::int64_t> first_parsed_ts;
   StreamKind kind = StreamKind::kUnknown;
   std::optional<ApplicationId> first_app;
@@ -75,11 +86,15 @@ struct ChunkOut {
 
 /// Mines lines [base_line, base_line + lines.size()) of one stream.
 /// Line numbers are 1-based, so the produced events carry
-/// `base_line + i + 1`.
-ChunkOut mine_chunk(const std::string& name,
+/// `base_line + i + 1`.  Events land in a columnar batch carrying the
+/// interned `stream_id`.
+ChunkOut mine_chunk(std::uint32_t stream_id,
+                    const std::shared_ptr<const StringInterner>& pool,
                     std::span<const std::string_view> lines,
                     std::size_t base_line, const MinerOptions& options) {
   ChunkOut out;
+  out.events = EventBatch(pool);
+  const std::size_t shortest_rule_len = min_rule_message_len();
   UnparsedRun run;  // run.len == 0 <=> no open run
   const auto close_run = [&out, &run] {
     if (run.len > 0) out.unparsed_runs.push_back(run);
@@ -135,53 +150,14 @@ ChunkOut mine_chunk(const std::string& name,
         out.first_app = app;
       }
     }
-    if (auto event = extract_event(*parsed, name, line_no)) {
-      out.events.push_back(std::move(*event));
-    }
+    if (parsed->message.size() < shortest_rule_len) ++out.prefilter_skipped;
+    extract_event_into(*parsed, stream_id, line_no, out.events);
   }
   close_run();
   // Chunks emit sorted runs; within one stream the order reduces to
-  // (ts, line, kind).
-  std::sort(out.events.begin(), out.events.end(), event_order_less);
-  return out;
-}
-
-/// K-way merges already-sorted runs into one vector, moving the events
-/// (each carries a `std::string stream` — no copies).
-std::vector<SchedEvent> merge_runs(std::vector<std::vector<SchedEvent>> runs) {
-  std::erase_if(runs, [](const auto& run) { return run.empty(); });
-  if (runs.empty()) return {};
-  if (runs.size() == 1) return std::move(runs.front());
-
-  struct Cursor {
-    std::vector<SchedEvent>* run;
-    std::size_t pos;
-  };
-  // Min-heap on the cursor's current event.
-  const auto heap_greater = [](const Cursor& a, const Cursor& b) {
-    return event_order_less((*b.run)[b.pos], (*a.run)[a.pos]);
-  };
-  std::size_t total = 0;
-  std::vector<Cursor> heap;
-  heap.reserve(runs.size());
-  for (auto& run : runs) {
-    total += run.size();
-    heap.push_back(Cursor{&run, 0});
-  }
-  std::make_heap(heap.begin(), heap.end(), heap_greater);
-
-  std::vector<SchedEvent> out;
-  out.reserve(total);
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end(), heap_greater);
-    Cursor& top = heap.back();
-    out.push_back(std::move((*top.run)[top.pos]));
-    if (++top.pos < top.run->size()) {
-      std::push_heap(heap.begin(), heap.end(), heap_greater);
-    } else {
-      heap.pop_back();
-    }
-  }
+  // (ts, line, kind).  Columnar index sort — the keys are contiguous
+  // arrays.
+  out.events.sort();
   return out;
 }
 
@@ -286,8 +262,9 @@ void emit_stream_diagnostics(MinedStream& out,
 /// runs, binds stream-scoped events, and derives the stream's
 /// diagnostics — semantically identical to a serial pass over the whole
 /// stream.
-MinedStream stitch_stream(const std::string& name, std::size_t lines_total,
-                          std::vector<ChunkOut> chunks,
+MinedStream stitch_stream(const std::string& name, std::uint32_t stream_id,
+                          const std::shared_ptr<const StringInterner>& pool,
+                          std::size_t lines_total, std::vector<ChunkOut> chunks,
                           const MinerOptions& options,
                           std::vector<Diagnostic> pre_diagnostics = {}) {
   MinedStream out;
@@ -307,7 +284,7 @@ MinedStream stitch_stream(const std::string& name, std::size_t lines_total,
   }
   emit_stream_diagnostics(out, chunks, options);
 
-  std::vector<std::vector<SchedEvent>> runs;
+  std::vector<EventBatch> runs;
   runs.reserve(chunks.size() + 1);
   for (ChunkOut& chunk : chunks) runs.push_back(std::move(chunk.events));
   // Synthesize FIRST_LOG (messages 9/13) from the first parseable line
@@ -316,23 +293,24 @@ MinedStream stitch_stream(const std::string& name, std::size_t lines_total,
   // kind tiebreak), not front-inserted.
   if (first_parsed_ts &&
       (out.kind == StreamKind::kDriver || out.kind == StreamKind::kExecutor)) {
-    SchedEvent first;
-    first.kind = out.kind == StreamKind::kDriver ? EventKind::kDriverFirstLog
-                                                 : EventKind::kExecutorFirstLog;
-    first.ts_ms = *first_parsed_ts;
-    first.stream = name;
-    first.line_no = 1;
-    std::vector<SchedEvent> first_run;
-    first_run.push_back(std::move(first));
+    EventBatch first_run(pool);
+    first_run.push(out.kind == StreamKind::kDriver
+                       ? EventKind::kDriverFirstLog
+                       : EventKind::kExecutorFirstLog,
+                   *first_parsed_ts, stream_id, 1, std::nullopt, std::nullopt);
     runs.push_back(std::move(first_run));
   }
-  out.events = merge_runs(std::move(runs));
+  out.events = merge_event_batches(std::move(runs));
 
   // Resolve stream-scoped events against the bound ids.
-  for (SchedEvent& event : out.events) {
-    if (!event.app) event.app = out.bound_app;
-    if (!event.container && out.kind == StreamKind::kExecutor) {
-      event.container = out.bound_container;
+  const bool bind_container =
+      out.bound_container && out.kind == StreamKind::kExecutor;
+  for (std::size_t i = 0; i < out.events.size(); ++i) {
+    if (out.bound_app && !out.events.has_app(i)) {
+      out.events.set_app(i, *out.bound_app);
+    }
+    if (bind_container && !out.events.has_container(i)) {
+      out.events.set_container(i, *out.bound_container);
     }
   }
   return out;
@@ -427,9 +405,13 @@ obs::Counter& diagnostic_counter(DiagnosticKind kind) {
 
 MinedStream LogMiner::mine_stream(
     const std::string& name, std::span<const std::string_view> lines) const {
+  auto pool = std::make_shared<StringInterner>();
+  const std::uint32_t stream_id = pool->intern(name);
+  const std::shared_ptr<const StringInterner> frozen = std::move(pool);
   std::vector<ChunkOut> chunks;
-  chunks.push_back(mine_chunk(name, lines, 0, options_));
-  return stitch_stream(name, lines.size(), std::move(chunks), options_);
+  chunks.push_back(mine_chunk(stream_id, frozen, lines, 0, options_));
+  return stitch_stream(name, stream_id, frozen, lines.size(),
+                       std::move(chunks), options_);
 }
 
 MinedStream LogMiner::mine_stream(const std::string& name,
@@ -448,6 +430,15 @@ MineResult LogMiner::mine(const logging::BundleView& view) const {
       obs::MetricsRegistry::global().counter("mine.streams");
   static obs::Gauge& lines_expected =
       obs::MetricsRegistry::global().gauge("mine.lines_expected");
+  static obs::Counter& prefilter_counter =
+      obs::MetricsRegistry::global().counter("mine.scan.prefilter_skipped");
+  // Which scan backend this mine ran with (one count per mine() call);
+  // the name is resolved once — the backend cannot change mid-mine.
+  obs::MetricsRegistry::global()
+      .counter("mine.scan.backend." +
+               std::string(simd::scan_backend_name(
+                   simd::active_scan_backend())))
+      .add(1);
 
   std::vector<LogicalStream> logicals = group_rotations(view);
   {
@@ -459,6 +450,19 @@ MineResult LogMiner::mine(const logging::BundleView& view) const {
     // the remaining work even across repeated mine() calls.
     lines_expected.add(expected);
   }
+
+  // One string pool for the whole mine: every batch stores interned
+  // stream ids; the pool is frozen (const) before the workers start, so
+  // sharing it across mining threads is read-only.  group_rotations
+  // returns streams in name order, so id order equals name order and the
+  // merge comparator almost never touches the strings.
+  std::shared_ptr<const StringInterner> pool = [&logicals] {
+    auto building = std::make_shared<StringInterner>();
+    for (const LogicalStream& logical : logicals) {
+      building->intern(logical.name);
+    }
+    return std::shared_ptr<const StringInterner>(std::move(building));
+  }();
 
   // Work list: every logical stream split into chunks at line boundaries,
   // so all chunks across all streams feed one parallel loop and a
@@ -493,10 +497,11 @@ MineResult LogMiner::mine(const logging::BundleView& view) const {
     const auto chunk_span = obs::Tracer::global().span("mine.chunk");
     const ChunkRef& ref = refs[c];
     outs[c] = mine_chunk(
-        logicals[ref.stream].name,
+        pool->find(logicals[ref.stream].name), pool,
         logicals[ref.stream].lines.subspan(ref.begin, ref.end - ref.begin),
         ref.begin, options_);
     lines_counter.add(ref.end - ref.begin);
+    prefilter_counter.add(outs[c].prefilter_skipped);
   };
   if (options_.threads > 1 && refs.size() > 1) {
     ThreadPool pool(options_.threads);
@@ -507,7 +512,7 @@ MineResult LogMiner::mine(const logging::BundleView& view) const {
 
   MineResult result;
   result.streams.reserve(logicals.size());
-  std::vector<std::vector<SchedEvent>> runs;
+  std::vector<EventBatch> runs;
   runs.reserve(logicals.size());
   {
     const auto stitch_span = obs::Tracer::global().span("mine.stitch");
@@ -516,8 +521,9 @@ MineResult LogMiner::mine(const logging::BundleView& view) const {
           std::make_move_iterator(outs.begin() + first_chunk[s]),
           std::make_move_iterator(outs.begin() + first_chunk[s + 1]));
       MinedStream stream = stitch_stream(
-          logicals[s].name, logicals[s].lines.size(), std::move(chunks),
-          options_, std::move(logicals[s].pre_diagnostics));
+          logicals[s].name, pool->find(logicals[s].name), pool,
+          logicals[s].lines.size(), std::move(chunks), options_,
+          std::move(logicals[s].pre_diagnostics));
       result.lines_total += stream.lines_total;
       result.lines_unparsed += stream.lines_unparsed;
       result.diagnostics.insert(result.diagnostics.end(),
@@ -532,7 +538,7 @@ MineResult LogMiner::mine(const logging::BundleView& view) const {
   }
   {
     const auto merge_span = obs::Tracer::global().span("mine.merge");
-    result.events = merge_runs(std::move(runs));
+    result.events = merge_event_batches(std::move(runs));
   }
   streams_counter.add(result.streams.size());
   events_counter.add(result.events.size());

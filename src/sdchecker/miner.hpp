@@ -65,10 +65,11 @@ struct MinerOptions {
 struct MinedStream {
   std::string name;
   StreamKind kind = StreamKind::kUnknown;
-  /// Events sorted by (ts, line, kind).  `LogMiner::mine` moves these
-  /// into `MineResult::events`; they stay populated when `mine_stream`
-  /// is called directly.
-  std::vector<SchedEvent> events;
+  /// Events sorted by (ts, line, kind), in columnar storage (see
+  /// EventBatch).  `LogMiner::mine` moves these into
+  /// `MineResult::events`; they stay populated when `mine_stream` is
+  /// called directly.
+  EventBatch events;
   std::size_t lines_total = 0;
   std::size_t lines_unparsed = 0;
   std::optional<ApplicationId> bound_app;
@@ -81,8 +82,9 @@ struct MinedStream {
 };
 
 struct MineResult {
-  /// All events, ids resolved, sorted by (ts, stream, line).
-  std::vector<SchedEvent> events;
+  /// All events, ids resolved, sorted by (ts, stream, line), in columnar
+  /// storage sharing one interned stream-name pool.
+  EventBatch events;
   std::vector<MinedStream> streams;
   std::size_t lines_total = 0;
   std::size_t lines_unparsed = 0;
@@ -119,6 +121,8 @@ class LogMiner {
 /// line, kind) — the final kind tiebreak places a synthesized FIRST_LOG
 /// ahead of a real event extracted from the same line.
 [[nodiscard]] bool event_order_less(const SchedEvent& a, const SchedEvent& b);
+[[nodiscard]] bool event_order_less(const EventBatch::View& a,
+                                    const EventBatch::View& b);
 
 /// Splits a rotated-segment file name: "rm.log.3" -> {"rm.log", 3}.
 /// Returns nullopt for names without an all-digit final component.

@@ -1,5 +1,8 @@
 #include "sdchecker/parsed_line.hpp"
 
+#include <cstdint>
+
+#include "common/simd.hpp"
 #include "logging/timestamp.hpp"
 
 namespace sdc::checker {
@@ -9,38 +12,44 @@ namespace {
 /// Parses Spark's default log4j pattern `yy/MM/dd HH:mm:ss` (two-digit
 /// year, second precision, no milliseconds).  Returns epoch ms.
 std::optional<std::int64_t> parse_spark_short_ts(std::string_view text) {
-  // Layout: yy/MM/dd HH:mm:ss  (17 chars)
+  // Layout: yy/MM/dd HH:mm:ss  (17 chars).  Branchless like
+  // logging::parse_epoch_ms: accumulate a bad flag across all positions,
+  // exit once.
   if (text.size() < 17) return std::nullopt;
-  if (text[2] != '/' || text[5] != '/' || text[8] != ' ' || text[11] != ':' ||
-      text[14] != ':') {
-    return std::nullopt;
-  }
-  const auto digits = [&text](std::size_t pos) -> int {
-    const char a = text[pos];
-    const char b = text[pos + 1];
-    if (a < '0' || a > '9' || b < '0' || b > '9') return -1;
-    return (a - '0') * 10 + (b - '0');
+  const char* p = text.data();
+  std::uint32_t bad = 0;
+  const auto digits = [p, &bad](std::size_t pos) -> std::uint32_t {
+    const std::uint32_t a =
+        static_cast<std::uint32_t>(static_cast<unsigned char>(p[pos])) - '0';
+    const std::uint32_t b =
+        static_cast<std::uint32_t>(static_cast<unsigned char>(p[pos + 1])) -
+        '0';
+    bad |= (a > 9u) | (b > 9u);
+    return a * 10 + b;
   };
-  const int yy = digits(0);
-  const int mo = digits(3);
-  const int dd = digits(6);
-  const int hh = digits(9);
-  const int mi = digits(12);
-  const int ss = digits(15);
-  if (yy < 0 || mo < 0 || dd < 0 || hh < 0 || hh > 23 || mi < 0 || mi > 59 ||
-      ss < 0 || ss > 59) {
-    return std::nullopt;
-  }
+  bad |= p[2] != '/';
+  bad |= p[5] != '/';
+  bad |= p[8] != ' ';
+  bad |= p[11] != ':';
+  bad |= p[14] != ':';
+  const std::uint32_t yy = digits(0);
+  const std::uint32_t mo = digits(3);
+  const std::uint32_t dd = digits(6);
+  const std::uint32_t hh = digits(9);
+  const std::uint32_t mi = digits(12);
+  const std::uint32_t ss = digits(15);
+  bad |= hh > 23u;
+  bad |= mi > 59u;
+  bad |= ss > 59u;
+  if (bad != 0) return std::nullopt;
   // Same impossible-date guard as the log4j parser: Feb 31 is corruption,
   // not a date.
-  if (!logging::valid_civil_date(2000 + yy, static_cast<unsigned>(mo),
-                                 static_cast<unsigned>(dd))) {
-    return std::nullopt;
-  }
+  if (!logging::valid_civil_date(2000 + yy, mo, dd)) return std::nullopt;
   // Two-digit years are 2000-based (Spark logs post-date 2000 by far).
-  return logging::epoch_ms_from_civil(2000 + yy, static_cast<unsigned>(mo),
-                                      static_cast<unsigned>(dd), hh, mi, ss,
-                                      0);
+  return logging::epoch_ms_from_civil(2000 + yy, mo, dd,
+                                      static_cast<int>(hh),
+                                      static_cast<int>(mi),
+                                      static_cast<int>(ss), 0);
 }
 
 }  // namespace
@@ -71,8 +80,19 @@ std::optional<ParsedLine> parse_line(std::string_view line) {
   const std::string_view level = rest.substr(0, level_end);
   rest.remove_prefix(level_end);
   while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
-  // Logger class up to ": ".
-  const std::size_t sep = rest.find(": ");
+  // Logger class up to ": ".  Hunt colons with the vectorized scanner
+  // and confirm the trailing space — identical to rest.find(": "), but
+  // the scan runs at SIMD width (logger names contain no ':', so the
+  // first confirmed hit is almost always the first colon).
+  std::size_t sep = std::string_view::npos;
+  for (std::size_t colon = simd::find_byte(rest, ':');
+       colon != std::string_view::npos;
+       colon = simd::find_byte(rest, ':', colon + 1)) {
+    if (colon + 1 < rest.size() && rest[colon + 1] == ' ') {
+      sep = colon;
+      break;
+    }
+  }
   if (sep == std::string_view::npos || sep == 0) return std::nullopt;
   ParsedLine out;
   out.epoch_ms = *ts;

@@ -205,7 +205,7 @@ std::vector<Finding> check_coverage(
   for (const ComposedStream& stream : corpus) {
     const checker::MinedStream result =
         miner.mine_stream(stream.name, stream.lines);
-    for (const checker::SchedEvent& event : result.events) {
+    for (const auto event : result.events) {
       mined.insert(event.kind);
       mined_per_stream[stream.name].insert(event.kind);
     }

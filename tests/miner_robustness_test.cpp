@@ -137,7 +137,7 @@ TEST(MinerRobustness, FirstLogUsesFileOrderNotMinTimestamp) {
                      "000001"));
   const LogMiner miner;
   const auto mined = miner.mine(bundle);
-  for (const SchedEvent& event : mined.events) {
+  for (const auto event : mined.events) {
     if (event.kind == EventKind::kDriverFirstLog) {
       EXPECT_EQ(event.ts_ms, kEpoch + 500);
     }

@@ -42,8 +42,8 @@ std::filesystem::path corpus_dir() {
 void expect_same_events(const MineResult& a, const MineResult& b) {
   ASSERT_EQ(a.events.size(), b.events.size());
   for (std::size_t i = 0; i < a.events.size(); ++i) {
-    const SchedEvent& x = a.events[i];
-    const SchedEvent& y = b.events[i];
+    const auto x = a.events[i];
+    const auto y = b.events[i];
     EXPECT_EQ(x.kind, y.kind) << "event " << i;
     EXPECT_EQ(x.ts_ms, y.ts_ms) << "event " << i;
     EXPECT_EQ(x.stream, y.stream) << "event " << i;
@@ -145,7 +145,7 @@ TEST(ShardedMiner, StitchResolvesLateBindingAcrossChunks) {
   ASSERT_EQ(sharded.streams.size(), 1u);
   ASSERT_TRUE(sharded.streams[0].bound_container.has_value());
   bool saw_first_log = false;
-  for (const SchedEvent& event : sharded.events) {
+  for (const auto event : sharded.events) {
     if (event.kind == EventKind::kExecutorFirstLog) {
       saw_first_log = true;
       EXPECT_EQ(event.ts_ms, kEpoch + 500);

@@ -149,7 +149,7 @@ TEST(Miner, SynthesizesFirstLogEvents) {
   const MineResult mined = LogMiner().mine(bundle);
   std::int64_t driver_first = -1;
   std::int64_t exec_first_min = -1;
-  for (const SchedEvent& e : mined.events) {
+  for (const auto e : mined.events) {
     if (e.kind == EventKind::kDriverFirstLog) driver_first = e.ts_ms;
     if (e.kind == EventKind::kExecutorFirstLog &&
         (exec_first_min < 0 || e.ts_ms < exec_first_min)) {
