@@ -10,10 +10,11 @@
 // callers that need the analyzer's deterministic app-ID order sort at
 // the merge step (see `finalize_analysis`), never here.
 //
-// Deliberately minimal: no erase (the grouping stages only insert),
-// no tombstones, heterogeneous lookup when the hasher publishes
+// Deliberately minimal: heterogeneous lookup when the hasher publishes
 // `is_transparent` (so `std::string` keys probe from `string_view`s
-// without allocating).
+// without allocating), and tombstone-free erase by backward-shift
+// deletion (the follow-mode eviction path retires applications from the
+// live table; every other grouping stage only inserts).
 #pragma once
 
 #include <cstddef>
@@ -164,7 +165,41 @@ class FlatHashMap {
     return slots_[index].second;
   }
 
+  /// Removes `key` if present; returns the number of entries removed
+  /// (0 or 1).  Backward-shift deletion: subsequent probe-chain entries
+  /// slide back into the hole, so no tombstones accumulate and lookup
+  /// cost stays proportional to probe distance.  Invalidates iterators.
+  template <class Q>
+  std::size_t erase(const Q& key) {
+    const std::size_t index = find_index(key);
+    if (index == kNotFound) return 0;
+    erase_index(index);
+    return 1;
+  }
+
  private:
+  void erase_index(std::size_t hole) {
+    const std::size_t mask = slots_.size() - 1;
+    occupied_[hole] = 0;
+    slots_[hole] = value_type();
+    --size_;
+    std::size_t next = (hole + 1) & mask;
+    while (occupied_[next] != 0) {
+      // An entry may slide into the hole only if its home slot does not
+      // lie strictly after the hole on its probe path (otherwise the
+      // move would place it before its home and lookups would miss it).
+      const std::size_t home = probe_start(slots_[next].first);
+      if (((next - home) & mask) >= ((next - hole) & mask)) {
+        slots_[hole] = std::move(slots_[next]);
+        occupied_[hole] = 1;
+        occupied_[next] = 0;
+        slots_[next] = value_type();
+        hole = next;
+      }
+      next = (next + 1) & mask;
+    }
+  }
+
   static constexpr std::size_t kMinCapacity = 16;
   static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
 

@@ -19,6 +19,8 @@ std::string_view diagnostic_kind_name(DiagnosticKind kind) {
       return "timestamp-regression";
     case DiagnosticKind::kUnparsableBurst:
       return "unparsable-burst";
+    case DiagnosticKind::kUnboundStream:
+      return "unbound-stream";
   }
   return "?";
 }
@@ -28,10 +30,12 @@ std::size_t diagnostic_severity(DiagnosticKind kind) {
     // Input that never reached the parser at all.
     case DiagnosticKind::kUnreadableFile:
       return 0;
-    // Input that reached the parser damaged (lines dropped or cut).
+    // Input that reached the parser damaged (lines dropped or cut), or
+    // parsed events dropped under the bounded-memory cap.
     case DiagnosticKind::kBinaryGarbage:
     case DiagnosticKind::kTruncatedLine:
     case DiagnosticKind::kUnparsableBurst:
+    case DiagnosticKind::kUnboundStream:
       return 1;
     // Input that was kept but whose timeline is suspect.
     case DiagnosticKind::kRotationGap:

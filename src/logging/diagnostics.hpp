@@ -33,10 +33,14 @@ enum class DiagnosticKind {
   /// A burst of consecutive unparsable lines (multi-line stack traces are
   /// short; long runs mean a foreign or corrupted section).
   kUnparsableBurst,
+  /// A streaming-ingestion stream produced events but never revealed an
+  /// application/container id, and its parked-event buffer overflowed the
+  /// configured cap — events were dropped to bound daemon memory.
+  kUnboundStream,
 };
 
 /// Number of DiagnosticKind values (for count arrays).
-inline constexpr std::size_t kDiagnosticKindCount = 6;
+inline constexpr std::size_t kDiagnosticKindCount = 7;
 
 /// Short stable name ("unreadable-file", "binary-garbage", ...).
 std::string_view diagnostic_kind_name(DiagnosticKind kind);

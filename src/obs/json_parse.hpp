@@ -1,0 +1,56 @@
+// Minimal JSON value + recursive-descent parser.
+//
+// The repo's JSON layer is writer-only by design (the tool consumes
+// logs); this is the one reader we need — for validating our *own*
+// emitted documents (trace-event JSON, the follow watch stream) in
+// tests, `--check` CLI paths and CI.  Full escape handling, doubles for
+// all numbers, depth-limited.  Not a general-purpose parser: no
+// surrogate pairs (non-ASCII \u escapes become '?'), no SAX interface.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace sdc::obs {
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::unique_ptr<JsonArray>, std::unique_ptr<JsonObject>>
+      v = nullptr;
+
+  [[nodiscard]] const JsonObject* object() const {
+    const auto* p = std::get_if<std::unique_ptr<JsonObject>>(&v);
+    return p ? p->get() : nullptr;
+  }
+  [[nodiscard]] const JsonArray* array() const {
+    const auto* p = std::get_if<std::unique_ptr<JsonArray>>(&v);
+    return p ? p->get() : nullptr;
+  }
+  [[nodiscard]] const std::string* string() const {
+    return std::get_if<std::string>(&v);
+  }
+  [[nodiscard]] const double* number() const {
+    return std::get_if<double>(&v);
+  }
+  [[nodiscard]] const bool* boolean() const { return std::get_if<bool>(&v); }
+};
+
+/// Parses one complete JSON document (trailing content is an error).
+/// Returns false and fills `error` (with a byte offset) on malformed
+/// input.  Never throws.
+[[nodiscard]] bool parse_json(std::string_view text, JsonValue& out,
+                              std::string& error);
+
+/// Object member lookup; nullptr when absent.
+[[nodiscard]] const JsonValue* json_find(const JsonObject& object,
+                                         const std::string& key);
+
+}  // namespace sdc::obs

@@ -1,265 +1,16 @@
 #include "obs/trace_check.hpp"
 
-#include <cctype>
 #include <map>
-#include <memory>
 #include <set>
-#include <variant>
+#include <utility>
+
+#include "obs/json_parse.hpp"
 
 namespace sdc::obs {
 namespace {
 
-// --- minimal JSON value + recursive-descent parser ---------------------------
-//
-// Scoped to validating our own writer's output: full escape handling,
-// doubles for all numbers, depth-limited.  Not a general-purpose parser
-// and deliberately not exposed outside this TU.
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::unique_ptr<JsonArray>, std::unique_ptr<JsonObject>>
-      v = nullptr;
-
-  [[nodiscard]] const JsonObject* object() const {
-    const auto* p = std::get_if<std::unique_ptr<JsonObject>>(&v);
-    return p ? p->get() : nullptr;
-  }
-  [[nodiscard]] const JsonArray* array() const {
-    const auto* p = std::get_if<std::unique_ptr<JsonArray>>(&v);
-    return p ? p->get() : nullptr;
-  }
-  [[nodiscard]] const std::string* string() const {
-    return std::get_if<std::string>(&v);
-  }
-  [[nodiscard]] const double* number() const {
-    return std::get_if<double>(&v);
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  bool parse(JsonValue& out, std::string& error) {
-    skip_ws();
-    if (!parse_value(out, 0)) {
-      error = error_.empty() ? "malformed JSON" : error_;
-      return false;
-    }
-    skip_ws();
-    if (pos_ != text_.size()) {
-      error = "trailing content after document at byte " +
-              std::to_string(pos_);
-      return false;
-    }
-    return true;
-  }
-
- private:
-  static constexpr int kMaxDepth = 64;
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool fail(std::string message) {
-    if (error_.empty()) {
-      error_ = std::move(message) + " at byte " + std::to_string(pos_);
-    }
-    return false;
-  }
-
-  bool literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) {
-      return fail("expected '" + std::string(word) + "'");
-    }
-    pos_ += word.size();
-    return true;
-  }
-
-  bool parse_value(JsonValue& out, int depth) {
-    if (depth > kMaxDepth) return fail("nesting too deep");
-    if (pos_ >= text_.size()) return fail("unexpected end of input");
-    switch (text_[pos_]) {
-      case '{':
-        return parse_object(out, depth);
-      case '[':
-        return parse_array(out, depth);
-      case '"': {
-        std::string s;
-        if (!parse_string(s)) return false;
-        out.v = std::move(s);
-        return true;
-      }
-      case 't':
-        out.v = true;
-        return literal("true");
-      case 'f':
-        out.v = false;
-        return literal("false");
-      case 'n':
-        out.v = nullptr;
-        return literal("null");
-      default:
-        return parse_number(out);
-    }
-  }
-
-  bool parse_object(JsonValue& out, int depth) {
-    ++pos_;  // '{'
-    auto object = std::make_unique<JsonObject>();
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      out.v = std::move(object);
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!parse_string(key)) return false;
-      skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != ':') {
-        return fail("expected ':'");
-      }
-      ++pos_;
-      skip_ws();
-      JsonValue value;
-      if (!parse_value(value, depth + 1)) return false;
-      (*object)[std::move(key)] = std::move(value);
-      skip_ws();
-      if (pos_ >= text_.size()) return fail("unterminated object");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        out.v = std::move(object);
-        return true;
-      }
-      return fail("expected ',' or '}'");
-    }
-  }
-
-  bool parse_array(JsonValue& out, int depth) {
-    ++pos_;  // '['
-    auto array = std::make_unique<JsonArray>();
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      out.v = std::move(array);
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      JsonValue value;
-      if (!parse_value(value, depth + 1)) return false;
-      array->push_back(std::move(value));
-      skip_ws();
-      if (pos_ >= text_.size()) return fail("unterminated array");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        out.v = std::move(array);
-        return true;
-      }
-      return fail("expected ',' or ']'");
-    }
-  }
-
-  bool parse_string(std::string& out) {
-    if (pos_ >= text_.size() || text_[pos_] != '"') {
-      return fail("expected string");
-    }
-    ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '"') {
-        ++pos_;
-        return true;
-      }
-      if (c == '\\') {
-        if (pos_ + 1 >= text_.size()) return fail("dangling escape");
-        const char esc = text_[pos_ + 1];
-        pos_ += 2;
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return fail("short \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_ + static_cast<std::size_t>(i)];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return fail("bad \\u escape");
-            }
-            pos_ += 4;
-            // Validation only — replace non-ASCII code points with '?'.
-            out += code < 0x80 ? static_cast<char>(code) : '?';
-            break;
-          }
-          default:
-            return fail("unknown escape");
-        }
-        continue;
-      }
-      if (static_cast<unsigned char>(c) < 0x20) {
-        return fail("raw control character in string");
-      }
-      out += c;
-      ++pos_;
-    }
-    return fail("unterminated string");
-  }
-
-  bool parse_number(JsonValue& out) {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return fail("expected value");
-    try {
-      out.v = std::stod(std::string(text_.substr(start, pos_ - start)));
-    } catch (...) {
-      pos_ = start;
-      return fail("malformed number");
-    }
-    return true;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
-
 const JsonValue* find(const JsonObject& object, const std::string& key) {
-  const auto it = object.find(key);
-  return it == object.end() ? nullptr : &it->second;
+  return json_find(object, key);
 }
 
 }  // namespace
@@ -269,7 +20,7 @@ TraceCheckResult check_trace_json(std::string_view text,
   TraceCheckResult result;
   JsonValue root;
   std::string error;
-  if (!Parser(text).parse(root, error)) {
+  if (!parse_json(text, root, error)) {
     result.fail("parse error: " + error);
     return result;
   }

@@ -95,14 +95,16 @@ std::string analysis_json(const AnalysisResult& result) {
   w.field("events_total", static_cast<std::int64_t>(result.events_total));
   w.field("events_unattributed",
           static_cast<std::int64_t>(result.events_unattributed));
-  w.field("applications", static_cast<std::int64_t>(result.timelines.size()));
+  // `delays` covers retired (evicted-timeline) applications too; in a
+  // batch analysis it always equals `timelines.size()`.
+  w.field("applications", static_cast<std::int64_t>(result.delays.size()));
   w.field("anomalies", static_cast<std::int64_t>(result.anomalies.size()));
   w.field("diagnostics",
           static_cast<std::int64_t>(result.diag_counts.total()));
   w.end_object();
 
-  // Per-kind totals (always all six kinds, zero included, so consumers
-  // can key on a stable schema) plus the individual records.
+  // Per-kind totals (always every kind, zero included, so consumers can
+  // key on a stable schema) plus the individual records.
   w.key("diagnostics").begin_object();
   w.key("counts").begin_object();
   for (std::size_t i = 0; i < logging::kDiagnosticKindCount; ++i) {

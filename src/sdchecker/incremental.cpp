@@ -15,6 +15,9 @@ void IncrementalAnalyzer::feed(const std::string& stream,
   static obs::Counter& lines_counter =
       obs::MetricsRegistry::global().counter("incremental.lines");
   lines_counter.add(1);
+  // CRLF parity with the batch path: LogBundle/LogView strip the '\r' of
+  // CRLF-terminated logs at read time; a tail delivers the raw line.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   StreamState& state = streams_[stream];
   ++state.line_no;
   ++lines_total_;
@@ -121,28 +124,87 @@ void IncrementalAnalyzer::feed_all(const std::string& stream,
 }
 
 void IncrementalAnalyzer::dispatch(StreamState& state, SchedEvent event) {
+  // Counted here — once per extracted event, bound or not — so
+  // `events_total` matches the batch miner, which counts every mined
+  // event whether or not it ever attributes.
+  ++events_total_;
+  resolve_or_park(state, std::move(event));
+}
+
+void IncrementalAnalyzer::resolve_or_park(StreamState& state,
+                                          SchedEvent event) {
   if (!event.app) event.app = state.bound_app;
   if (!event.container && state.kind == StreamKind::kExecutor) {
     event.container = state.bound_container;
   }
   if (!event.app) {
-    // Stream not bound yet: park for later.
+    // Stream not bound yet: park for later — up to the cap.  A stream
+    // that never binds must not grow without bound in a long-running
+    // service; past the cap events are dropped, counted, and surfaced as
+    // one kUnboundStream diagnostic.
+    if (options_.parked_events_cap > 0 &&
+        state.parked.size() >= options_.parked_events_cap) {
+      ++state.parked_dropped;
+      if (state.parked_dropped_first_line == 0) {
+        state.parked_dropped_first_line = event.line_no;
+      }
+      return;
+    }
     state.parked.push_back(std::move(event));
     return;
   }
-  ++events_total_;
+  if (!retired_.empty() && retired_.contains(*event.app)) {
+    // The application's timeline is gone; re-materializing a partial one
+    // would diverge from the cached decomposition.
+    ++events_late_dropped_;
+    return;
+  }
   apply_event(timelines_, event);
+  AppActivity& activity = activity_[*event.app];
+  activity.last_tick = tick_;
+  if (event.kind == EventKind::kAppFinished) activity.terminal = true;
 }
 
 void IncrementalAnalyzer::flush_parked(StreamState& state) {
   std::vector<SchedEvent> parked = std::move(state.parked);
   state.parked.clear();
   for (SchedEvent& event : parked) {
-    dispatch(state, std::move(event));
+    resolve_or_park(state, std::move(event));
   }
 }
 
+std::size_t IncrementalAnalyzer::retire_terminal(std::uint64_t quiet_ticks) {
+  static obs::Counter& retired_counter =
+      obs::MetricsRegistry::global().counter("incremental.apps_retired");
+  std::vector<ApplicationId> ready;
+  for (const auto& [app, activity] : activity_) {
+    if (activity.terminal && tick_ - activity.last_tick >= quiet_ticks) {
+      ready.push_back(app);
+    }
+  }
+  std::size_t retired_now = 0;
+  for (const ApplicationId& app : ready) {
+    const auto it = timelines_.find(app);
+    if (it == timelines_.end()) {
+      activity_.erase(app);
+      continue;
+    }
+    RetiredApp row;
+    row.delays = decompose(it->second);
+    detect_anomalies(it->second, row.delays, row.anomalies);
+    retired_.emplace(app, std::move(row));
+    timelines_.erase(app);
+    activity_.erase(app);
+    ++retired_now;
+  }
+  retired_counter.add(retired_now);
+  return retired_now;
+}
+
 Delays IncrementalAnalyzer::delays_for(const ApplicationId& app) const {
+  if (const auto retired = retired_.find(app); retired != retired_.end()) {
+    return retired->second.delays;
+  }
   const auto it = timelines_.find(app);
   if (it == timelines_.end()) {
     Delays empty;
@@ -168,11 +230,11 @@ AnalysisResult IncrementalAnalyzer::snapshot(
       grouped.shards[timeline_shard(app, shards)][app] = timeline;
     }
     ThreadPool pool(shards);
-    result = finalize_analysis(std::move(grouped), pool);
+    result = finalize_analysis(std::move(grouped), pool, retired_);
   } else {
     std::map<ApplicationId, AppTimeline> ordered;
     for (const auto& [app, timeline] : timelines_) ordered[app] = timeline;
-    result = finalize_analysis(std::move(ordered));
+    result = finalize_analysis(std::move(ordered), retired_);
   }
   result.lines_total = lines_total_;
   result.lines_unparsed = lines_unparsed_;
@@ -234,6 +296,14 @@ std::vector<logging::Diagnostic> IncrementalAnalyzer::diagnostics() const {
               std::to_string(state.regression_max_ms) + " ms (budget " +
               std::to_string(options_.skew_budget_ms) + " ms)"});
     }
+    if (state.parked_dropped > 0) {
+      out.push_back(Diagnostic{
+          DiagnosticKind::kUnboundStream, name,
+          state.parked_dropped_first_line, state.parked_dropped,
+          "stream never bound to an application id; parked-event cap (" +
+              std::to_string(options_.parked_events_cap) +
+              ") exceeded, event(s) dropped"});
+    }
   }
   return out;
 }
@@ -244,7 +314,9 @@ logging::DiagnosticCounts IncrementalAnalyzer::diag_counts() const {
 
 std::size_t IncrementalAnalyzer::events_pending() const {
   std::size_t n = 0;
-  for (const auto& [name, state] : streams_) n += state.parked.size();
+  for (const auto& [name, state] : streams_) {
+    n += state.parked.size() + state.parked_dropped;
+  }
   return n;
 }
 

@@ -26,14 +26,17 @@ namespace sdc::checker {
 
 class IncrementalAnalyzer {
  public:
-  /// Only `skew_budget_ms` and `unparsable_burst_min` of the options are
-  /// meaningful here (feeding is inherently serial).
+  /// Only `skew_budget_ms`, `unparsable_burst_min` and
+  /// `parked_events_cap` of the options are meaningful here (feeding is
+  /// inherently serial).
   explicit IncrementalAnalyzer(MinerOptions options = {})
       : options_(options) {}
 
   /// Feeds one raw log line belonging to the named stream (file).  Lines
   /// of different streams may interleave arbitrarily; lines within one
   /// stream must arrive in file order (as a tail would deliver them).
+  /// A trailing '\r' (CRLF-terminated logs) is stripped, matching the
+  /// batch read path.
   void feed(const std::string& stream, std::string_view line);
 
   /// Feeds a batch of lines for one stream.
@@ -57,11 +60,49 @@ class IncrementalAnalyzer {
   [[nodiscard]] Delays delays_for(const ApplicationId& app) const;
 
   /// Full snapshot: decompositions, aggregates and anomalies over
-  /// everything seen so far.  O(apps) — intended for periodic reporting.
-  /// `analyze_shards` > 1 runs the finalize stage sharded on that many
-  /// pool threads (0 = one per hardware thread); the report is
-  /// byte-identical either way.
+  /// everything seen so far — retired applications included, folded into
+  /// the delays/aggregate/anomaly outputs at their app-ID position.
+  /// O(apps) — intended for periodic reporting.  `analyze_shards` > 1
+  /// runs the finalize stage sharded on that many pool threads (0 = one
+  /// per hardware thread); the report is byte-identical either way.
   [[nodiscard]] AnalysisResult snapshot(std::size_t analyze_shards = 1) const;
+
+  // --- bounded-memory eviction (the follow service's discipline) ------
+  //
+  // A long-running ingestion loop cannot keep every application's full
+  // timeline forever.  The loop advances a tick per poll; an application
+  // whose terminal state-machine transition (RMAppImpl -> FINISHED) has
+  // been mined and that has then stayed quiet for `quiet_ticks` ticks is
+  // *retired*: its decomposition and anomaly findings are computed once
+  // and cached in a RetiredTable, and the full timeline is freed.  An
+  // event arriving for an already-retired application is dropped and
+  // counted (`events_late_dropped`) — the grace period exists precisely
+  // to make that a pathological case.
+
+  /// Advances the eviction clock; call once per ingestion poll.
+  void advance_tick() noexcept { ++tick_; }
+
+  /// Retires every terminal application that has been quiet for at least
+  /// `quiet_ticks` ticks; returns how many were retired now.
+  std::size_t retire_terminal(std::uint64_t quiet_ticks);
+
+  /// Retired rows in app-ID order.
+  [[nodiscard]] const RetiredTable& retired() const noexcept {
+    return retired_;
+  }
+  /// Applications retired so far (== retired().size()).
+  [[nodiscard]] std::size_t apps_retired() const noexcept {
+    return retired_.size();
+  }
+  /// Applications whose full timelines are still resident.
+  [[nodiscard]] std::size_t apps_resident() const noexcept {
+    return timelines_.size();
+  }
+  /// Events dropped because they arrived after their application was
+  /// retired (0 unless the eviction grace was too aggressive).
+  [[nodiscard]] std::size_t events_late_dropped() const noexcept {
+    return events_late_dropped_;
+  }
 
   [[nodiscard]] std::size_t lines_total() const noexcept {
     return lines_total_;
@@ -69,11 +110,14 @@ class IncrementalAnalyzer {
   [[nodiscard]] std::size_t lines_unparsed() const noexcept {
     return lines_unparsed_;
   }
+  /// Every event extracted so far — applied, parked, or dropped under
+  /// the parked cap — matching the batch miner's event count.
   [[nodiscard]] std::size_t events_total() const noexcept {
     return events_total_;
   }
-  /// Events currently parked because their stream has not bound to an
-  /// application/container id yet.
+  /// Events not attributed to any application: currently parked because
+  /// their stream has not bound yet, plus events dropped when a stream's
+  /// parked buffer overflowed `MinerOptions::parked_events_cap`.
   [[nodiscard]] std::size_t events_pending() const;
 
   /// Typed corpus-health findings accumulated so far, one summary record
@@ -92,8 +136,13 @@ class IncrementalAnalyzer {
     std::int64_t first_parsed_ts = 0;
     std::optional<ApplicationId> bound_app;
     std::optional<ContainerId> bound_container;
-    /// Stream-scoped events waiting for the stream to bind.
+    /// Stream-scoped events waiting for the stream to bind, capped at
+    /// `MinerOptions::parked_events_cap`.
     std::vector<SchedEvent> parked;
+    /// Events dropped past the cap (reported as one kUnboundStream
+    /// diagnostic per stream).
+    std::size_t parked_dropped = 0;
+    std::size_t parked_dropped_first_line = 0;
 
     // Diagnostics bookkeeping (line numbers 1-based).
     std::size_t garbage_count = 0;
@@ -111,8 +160,18 @@ class IncrementalAnalyzer {
     std::int64_t regression_max_ms = 0;
   };
 
-  /// Resolves (or parks) one stream-scoped event.
+  /// Per-application eviction bookkeeping, erased on retirement.
+  struct AppActivity {
+    std::uint64_t last_tick = 0;
+    bool terminal = false;
+  };
+
+  /// Counts one newly extracted event, then resolves or parks it.
   void dispatch(StreamState& state, SchedEvent event);
+  /// Applies a (new or previously parked) event, or parks/drops it when
+  /// the stream has no application id yet.  Does not touch
+  /// `events_total_` — events are counted exactly once, in `dispatch`.
+  void resolve_or_park(StreamState& state, SchedEvent event);
   /// Called when a stream just bound; flushes parked events.
   void flush_parked(StreamState& state);
 
@@ -121,9 +180,13 @@ class IncrementalAnalyzer {
   /// diagnostics report is cut.
   FlatHashMap<std::string, StreamState, StringHash> streams_;
   AppTable timelines_;
+  FlatHashMap<ApplicationId, AppActivity, ApplicationIdHash> activity_;
+  RetiredTable retired_;
+  std::uint64_t tick_ = 0;
   std::size_t lines_total_ = 0;
   std::size_t lines_unparsed_ = 0;
   std::size_t events_total_ = 0;
+  std::size_t events_late_dropped_ = 0;
 };
 
 }  // namespace sdc::checker

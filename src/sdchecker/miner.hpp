@@ -59,6 +59,14 @@ struct MinerOptions {
   /// kUnparsableBurst (stack traces are a few lines; long runs mean a
   /// corrupt or foreign section).
   std::size_t unparsable_burst_min = 4;
+  /// Streaming ingestion only (IncrementalAnalyzer/follow mode): maximum
+  /// events parked per stream while the stream has not bound to an
+  /// application id.  A stream that never binds would otherwise grow its
+  /// parked buffer forever in a long-running service; past the cap,
+  /// further events are dropped, counted, and reported as one
+  /// kUnboundStream diagnostic per stream.  0 = unbounded (the batch
+  /// miner's behaviour, which buffers whole streams anyway).
+  std::size_t parked_events_cap = 65536;
 };
 
 /// Per-stream mining outcome (diagnostics and tests).

@@ -28,10 +28,30 @@ struct FinalizeCounters {
 /// serial path passes empty vectors and computes inline.  Merging is
 /// serial and ordered, so every aggregate SampleSet and the anomaly list
 /// are filled exactly as the historical serial loop filled them.
+/// `retired` rows (evicted timelines, apps disjoint from the live set)
+/// are spliced in at their app-ID position, which keeps the aggregate
+/// fold order — and therefore the floating-point sums and the rendered
+/// report — identical to a run where every timeline were still resident.
 void merge_finalized(AnalysisResult& result, std::vector<Delays> decomposed,
-                     std::vector<std::vector<Anomaly>> found) {
+                     std::vector<std::vector<Anomaly>> found,
+                     const RetiredTable& retired) {
+  auto next_retired = retired.begin();
+  const auto fold_retired_before = [&](const ApplicationId* app) {
+    while (next_retired != retired.end() &&
+           (app == nullptr || next_retired->first < *app)) {
+      const RetiredApp& row = next_retired->second;
+      for (const Anomaly& anomaly : row.anomalies) {
+        result.anomalies.push_back(anomaly);
+      }
+      result.aggregate.add(row.delays);
+      result.delays.emplace_hint(result.delays.end(), next_retired->first,
+                                 row.delays);
+      ++next_retired;
+    }
+  };
   std::size_t i = 0;
   for (const auto& [app, timeline] : result.timelines) {
+    fold_retired_before(&app);
     Delays delays =
         i < decomposed.size() ? std::move(decomposed[i]) : decompose(timeline);
     if (i < found.size()) {
@@ -45,8 +65,9 @@ void merge_finalized(AnalysisResult& result, std::vector<Delays> decomposed,
     result.delays.emplace_hint(result.delays.end(), app, std::move(delays));
     ++i;
   }
+  fold_retired_before(nullptr);
   const FinalizeCounters& counters = FinalizeCounters::get();
-  counters.apps.add(result.timelines.size());
+  counters.apps.add(result.timelines.size() + retired.size());
   counters.anomalies.add(result.anomalies.size());
 }
 
@@ -153,16 +174,18 @@ std::string AnalysisResult::render_diagnostics() const {
 }
 
 AnalysisResult finalize_analysis(
-    std::map<ApplicationId, AppTimeline> timelines) {
+    std::map<ApplicationId, AppTimeline> timelines,
+    const RetiredTable& retired) {
   const auto span = obs::Tracer::global().span("analyze.finalize");
   AnalysisResult result;
   result.timelines = std::move(timelines);
-  merge_finalized(result, {}, {});
+  merge_finalized(result, {}, {}, retired);
   return result;
 }
 
 AnalysisResult finalize_analysis(ShardedGroupResult grouped,
-                                 ThreadPool& pool) {
+                                 ThreadPool& pool,
+                                 const RetiredTable& retired) {
   const auto span = obs::Tracer::global().span("analyze.finalize");
   static obs::Counter& shards_counter =
       obs::MetricsRegistry::global().counter("analyze.shards");
@@ -205,7 +228,7 @@ AnalysisResult finalize_analysis(ShardedGroupResult grouped,
 
   {
     const auto merge_span = obs::Tracer::global().span("analyze.merge");
-    merge_finalized(result, std::move(decomposed), std::move(found));
+    merge_finalized(result, std::move(decomposed), std::move(found), retired);
   }
   return result;
 }

@@ -115,10 +115,29 @@ class SdChecker {
   AnalyzeOptions options_;
 };
 
+/// An application whose full timeline was evicted under the streaming
+/// bounded-memory policy: only the decomposed delay row and the anomaly
+/// findings computed at retirement survive.  Cheap (no per-event state),
+/// so a long-running follow service can hold millions of them.
+struct RetiredApp {
+  Delays delays;
+  std::vector<Anomaly> anomalies;
+};
+
+/// Retired rows in application-ID order; the finalize merge interleaves
+/// them with the live timelines so aggregates, anomalies and the delays
+/// map come out exactly as if every timeline were still resident.
+using RetiredTable = std::map<ApplicationId, RetiredApp>;
+
 /// Runs the decomposition + anomaly + aggregation stages over already-
 /// grouped timelines (shared by SdChecker and the incremental analyzer).
+/// `retired` rows (apps disjoint from `timelines`) are folded into the
+/// delays/aggregate/anomaly outputs at their app-ID position; only
+/// `AnalysisResult::timelines` (and the reports derived from it) is
+/// limited to the still-resident applications.
 [[nodiscard]] AnalysisResult finalize_analysis(
-    std::map<ApplicationId, AppTimeline> timelines);
+    std::map<ApplicationId, AppTimeline> timelines,
+    const RetiredTable& retired = {});
 
 /// Sharded/parallel variant: folds the per-shard tables into the
 /// deterministic app-ID order, decomposes and anomaly-checks each app on
@@ -126,6 +145,8 @@ class SdChecker {
 /// result (including `analysis_json`) is byte-identical to the serial
 /// overload on the same grouped state.  Consumes the shard tables.
 [[nodiscard]] AnalysisResult finalize_analysis(ShardedGroupResult grouped,
-                                               ThreadPool& pool);
+                                               ThreadPool& pool,
+                                               const RetiredTable& retired =
+                                                   {});
 
 }  // namespace sdc::checker

@@ -354,6 +354,57 @@ TEST(FlatHashMap, ClearResets) {
   EXPECT_EQ(map.size(), 1u);
 }
 
+TEST(FlatHashMap, EraseRemovesOnlyTheKey) {
+  FlatHashMap<int, int> map;
+  for (int i = 0; i < 500; ++i) map[i] = i * 7;
+  // Erase every third key; the rest must stay findable (backward-shift
+  // deletion must not break probe chains through the holes).
+  for (int i = 0; i < 500; i += 3) EXPECT_EQ(map.erase(i), 1u);
+  EXPECT_EQ(map.erase(0), 0u);     // already gone
+  EXPECT_EQ(map.erase(9999), 0u);  // never present
+  for (int i = 0; i < 500; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_FALSE(map.contains(i)) << i;
+    } else {
+      const auto it = map.find(i);
+      ASSERT_NE(it, map.end()) << i;
+      EXPECT_EQ(it->second, i * 7);
+    }
+  }
+  EXPECT_EQ(map.size(), 500u - 167u);
+}
+
+TEST(FlatHashMap, EraseThenReinsertAndIterate) {
+  FlatHashMap<std::string, int, StringHash> map;
+  map[std::string("alpha")] = 1;
+  map[std::string("beta")] = 2;
+  map[std::string("gamma")] = 3;
+  EXPECT_EQ(map.erase(std::string_view("beta")), 1u);
+  EXPECT_EQ(map.size(), 2u);
+  map[std::string("beta")] = 20;
+  std::set<std::string> seen;
+  int sum = 0;
+  for (const auto& [key, value] : map) {
+    EXPECT_TRUE(seen.insert(key).second);
+    sum += value;
+  }
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(sum, 24);
+}
+
+TEST(FlatHashMap, EraseWholeTableLeavesItEmpty) {
+  FlatHashMap<int, int> map;
+  for (int i = 0; i < 100; ++i) map[i] = i;
+  for (int i = 99; i >= 0; --i) EXPECT_EQ(map.erase(i), 1u);
+  EXPECT_TRUE(map.empty());
+  for (const auto& entry : map) {
+    FAIL() << "iteration over empty map yielded " << entry.first;
+  }
+  map[5] = 55;  // still usable after full drain
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.find(5)->second, 55);
+}
+
 // --- FlatOrderedMap ----------------------------------------------------
 
 TEST(FlatOrderedMap, IterationIsSorted) {

@@ -2,8 +2,12 @@
 // event parking until stream binding, interleaved feeding, partial views.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "harness/scenario.hpp"
 #include "logging/timestamp.hpp"
+#include "sdchecker/export.hpp"
 #include "sdchecker/incremental.hpp"
 #include "workloads/tpch.hpp"
 
@@ -131,6 +135,142 @@ TEST(Incremental, UnknownAppQueryReturnsEmptyDelays) {
   const Delays delays = analyzer.delays_for(ApplicationId{1, 42});
   EXPECT_FALSE(delays.total.has_value());
   EXPECT_EQ(delays.app.id, 42);
+}
+
+// --- CRLF streaming/batch parity ---------------------------------------
+//
+// Regression: a live tail delivers the raw bytes of CRLF-terminated
+// logs, while the batch readers strip the '\r' at read time.  feed()
+// must strip it too, or every line's last token grows a carriage return
+// and the two paths diverge.
+TEST(Incremental, CrlfLinesMatchBatchDirectoryRead) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "sdc_incremental_crlf";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto run = small_run(2, 304);
+  for (const auto& name : run.logs.stream_names()) {
+    std::ofstream out(dir / name, std::ios::binary);
+    for (const std::string& line : run.logs.lines(name)) {
+      out << line << "\r\n";
+    }
+  }
+
+  const AnalysisResult batch = SdChecker().analyze_directory(dir);
+  IncrementalAnalyzer analyzer;
+  for (const auto& name : run.logs.stream_names()) {
+    // Read raw file bytes and split on '\n' only, keeping the '\r' —
+    // exactly what a tail hands the analyzer.
+    std::ifstream in(dir / name, std::ios::binary);
+    std::string line;
+    while (std::getline(in, line)) analyzer.feed(name, line);
+  }
+  const AnalysisResult streamed = analyzer.snapshot();
+  EXPECT_EQ(analysis_json(streamed), analysis_json(batch));
+  EXPECT_EQ(streamed.lines_unparsed, batch.lines_unparsed);
+}
+
+// --- never-binding streams ---------------------------------------------
+//
+// Regression: the batch miner counts every extracted event in
+// `events_total` whether or not it ever attributes to an application;
+// the streaming path used to count only applied events, so a stream
+// that never reveals an id made the two summaries diverge.
+TEST(Incremental, UnboundStreamEventCountsMatchBatch) {
+  logging::LogBundle bundle;
+  bundle.append("rm.log",
+                "2017-07-03 16:40:00,123 INFO  org.apache.hadoop.yarn.server."
+                "resourcemanager.rmapp.RMAppImpl: "
+                "application_1499100000000_0001 State change from NEW_SAVING "
+                "to SUBMITTED on event = APP_NEW_SAVED");
+  // An executor stream that never mentions an application or container
+  // id: FIRST_LOG + FIRST_TASK extract but can never attribute.
+  bundle.append("executor.log",
+                "17/07/03 16:40:09 INFO CoarseGrainedExecutorBackend: "
+                "Registered signal handlers");
+  bundle.append("executor.log",
+                "17/07/03 16:40:12 INFO CoarseGrainedExecutorBackend: Got "
+                "assigned task 0");
+
+  const AnalysisResult batch = SdChecker().analyze(bundle);
+  IncrementalAnalyzer analyzer;
+  for (const auto& name : bundle.stream_names()) {
+    analyzer.feed_all(name, bundle.lines(name));
+  }
+  const AnalysisResult streamed = analyzer.snapshot();
+  EXPECT_EQ(batch.events_unattributed, 2u);
+  EXPECT_EQ(streamed.events_total, batch.events_total);
+  EXPECT_EQ(streamed.events_unattributed, batch.events_unattributed);
+  EXPECT_EQ(analysis_json(streamed), analysis_json(batch));
+}
+
+TEST(Incremental, ParkedCapDropsCountAndDiagnose) {
+  MinerOptions options;
+  options.parked_events_cap = 1;
+  IncrementalAnalyzer analyzer(options);
+  analyzer.feed("executor.log",
+                "17/07/03 16:40:09 INFO CoarseGrainedExecutorBackend: "
+                "Registered signal handlers");  // FIRST_LOG parks (1/1)
+  analyzer.feed("executor.log",
+                "17/07/03 16:40:12 INFO CoarseGrainedExecutorBackend: Got "
+                "assigned task 0");  // FIRST_TASK over cap: dropped
+  // Both events count as extracted and as pending (parked + dropped).
+  EXPECT_EQ(analyzer.events_total(), 2u);
+  EXPECT_EQ(analyzer.events_pending(), 2u);
+
+  const auto diagnostics = analyzer.diagnostics();
+  std::size_t unbound = 0;
+  for (const auto& diagnostic : diagnostics) {
+    if (diagnostic.kind == logging::DiagnosticKind::kUnboundStream) {
+      ++unbound;
+      EXPECT_EQ(diagnostic.stream, "executor.log");
+      EXPECT_EQ(diagnostic.count, 1u);  // one drop
+      EXPECT_NE(diagnostic.detail.find("parked-event cap (1)"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(unbound, 1u);
+  EXPECT_EQ(analyzer.snapshot().diag_counts.of(
+                logging::DiagnosticKind::kUnboundStream),
+            1u);
+}
+
+// --- retirement --------------------------------------------------------
+
+TEST(Incremental, RetirementFoldsIntoSnapshotExactly) {
+  const auto run = small_run(4, 305);
+  const AnalysisResult batch = SdChecker().analyze(run.logs);
+
+  IncrementalAnalyzer analyzer;
+  for (const auto& name : run.logs.stream_names()) {
+    analyzer.feed_all(name, run.logs.lines(name));
+  }
+  // Everything is fed; every app's terminal transition has been mined.
+  analyzer.advance_tick();
+  analyzer.advance_tick();
+  const std::size_t retired = analyzer.retire_terminal(1);
+  EXPECT_GT(retired, 0u);
+  EXPECT_EQ(analyzer.apps_retired(), retired);
+  EXPECT_EQ(analyzer.apps_resident() + retired, batch.delays.size());
+
+  // The snapshot folds retired rows back in at their app-ID position:
+  // byte-identical to batch, and to the sharded finalize too.
+  EXPECT_EQ(analysis_json(analyzer.snapshot()), analysis_json(batch));
+  EXPECT_EQ(analysis_json(analyzer.snapshot(4)), analysis_json(batch));
+
+  // delays_for answers from the retired cache.
+  const ApplicationId app = analyzer.retired().begin()->first;
+  EXPECT_EQ(analyzer.delays_for(app).total, batch.delays.at(app).total);
+
+  // A late event for a retired app is dropped and counted, not applied.
+  EXPECT_EQ(analyzer.events_late_dropped(), 0u);
+  analyzer.feed("rm.log",
+                "2017-07-03 19:00:00,000 INFO  org.apache.hadoop.yarn.server."
+                "resourcemanager.rmapp.RMAppImpl: " +
+                    app.str() +
+                    " State change from NEW_SAVING to SUBMITTED on event = "
+                    "APP_NEW_SAVED");
+  EXPECT_EQ(analyzer.events_late_dropped(), 1u);
 }
 
 }  // namespace

@@ -5,6 +5,12 @@
 //       scheduling-delay decomposition, aggregate statistics and any
 //       anomalies (never-used containers, broken chains, clock skew).
 //
+//   sdchecker follow <log_dir> [--watch] [--exit-quiescent N]
+//       Tail a live log directory: poll for appended bytes, new files
+//       and rotation handoffs, analyze continuously with bounded
+//       memory, and (--watch) emit ndjson snapshots.  SIGINT drains
+//       and prints the final report.
+//
 //   sdchecker graph <log_dir> <application_id> [--out FILE.dot]
 //       Export the Fig.-3-style scheduling graph of one application.
 //
@@ -25,9 +31,11 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <initializer_list>
 #include <optional>
@@ -45,6 +53,7 @@
 #include "sdchecker/compare.hpp"
 #include "sdchecker/corpus_mutator.hpp"
 #include "sdchecker/export.hpp"
+#include "sdchecker/follow.hpp"
 #include "sdchecker/sdchecker.hpp"
 #include "sdchecker/timeline.hpp"
 #include "trace/submission_trace.hpp"
@@ -61,6 +70,13 @@ int usage() {
                "[--analyze-shards N] [--csv FILE] [--per-app] [--progress]\n"
                "            [--delays-csv FILE] [--containers-csv FILE] "
                "[--events-csv FILE] [--json FILE]\n"
+               "  sdchecker follow <log_dir> [--watch] [--interval S] "
+               "[--poll-ms MS]\n"
+               "            [--exit-quiescent N] [--max-polls N] "
+               "[--json FILE] [--parked-cap N]\n"
+               "            [--retire-quiet N] [--no-retire] "
+               "[--analyze-shards N]\n"
+               "  sdchecker followcheck <watch_ndjson>\n"
                "  sdchecker trace <log_dir> [--out FILE] [--check] "
                "[--threads N] [--analyze-shards N]\n"
                "  sdchecker timeline <log_dir> <application_id>\n"
@@ -354,6 +370,172 @@ int cmd_analyze(std::vector<std::string> args) {
   return 0;
 }
 
+/// Set by the SIGINT handler: the follow loop drains, emits its final
+/// report and exits cleanly instead of dying mid-poll.
+volatile std::sig_atomic_t g_follow_interrupted = 0;
+
+void follow_sigint(int) { g_follow_interrupted = 1; }
+
+int cmd_follow(std::vector<std::string> args) {
+  const auto analyze_shards = take_analyze_shards(args);
+  if (!analyze_shards) return usage();
+  const bool watch = flag_present(args, "--watch");
+  const bool no_retire = flag_present(args, "--no-retire");
+  double interval_s = 2.0;
+  if (const auto v = flag_value(args, "--interval")) {
+    interval_s = std::atof(v->c_str());
+  }
+  std::size_t poll_ms = 500;
+  std::size_t exit_quiescent = 0;
+  std::size_t max_polls = 0;
+  std::size_t parked_cap = checker::MinerOptions{}.parked_events_cap;
+  std::size_t retire_quiet = 2;
+  const auto take_count = [&args](const char* flag, std::size_t& out) {
+    if (const auto v = flag_value(args, flag)) {
+      const auto parsed = parse_count(*v);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "sdchecker: %s expects a non-negative integer, got "
+                     "'%s'\n",
+                     flag, v->c_str());
+        return false;
+      }
+      out = *parsed;
+    }
+    return true;
+  };
+  if (!take_count("--poll-ms", poll_ms) ||
+      !take_count("--exit-quiescent", exit_quiescent) ||
+      !take_count("--max-polls", max_polls) ||
+      !take_count("--parked-cap", parked_cap) ||
+      !take_count("--retire-quiet", retire_quiet)) {
+    return usage();
+  }
+  const auto json_path = flag_value(args, "--json");
+  const auto positionals = finish_args(
+      std::move(args), {"log_dir"},
+      {"--interval", "--poll-ms", "--exit-quiescent", "--max-polls",
+       "--json", "--parked-cap", "--retire-quiet", "--analyze-shards"});
+  if (!positionals) return usage();
+  const std::string& dir = (*positionals)[0];
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "sdchecker: not a directory: %s\n", dir.c_str());
+    return 1;
+  }
+
+  checker::FollowOptions options;
+  options.analyze_shards = *analyze_shards;
+  options.miner.parked_events_cap = parked_cap;
+  options.retire_quiet_polls = retire_quiet;
+  options.retire = !no_retire;
+  checker::FollowService service(dir, options);
+
+  g_follow_interrupted = 0;
+  std::signal(SIGINT, follow_sigint);
+  std::size_t quiescent_streak = 0;
+  auto last_watch = std::chrono::steady_clock::now() -
+                    std::chrono::duration_cast<std::chrono::steady_clock::
+                                                   duration>(
+                        std::chrono::duration<double>(interval_s));
+  while (g_follow_interrupted == 0) {
+    service.poll_once();
+    quiescent_streak = service.quiescent() ? quiescent_streak + 1 : 0;
+    if (watch) {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_watch).count() >=
+          interval_s) {
+        std::printf("%s\n", service.watch_record().c_str());
+        std::fflush(stdout);
+        last_watch = now;
+      }
+    }
+    if (exit_quiescent > 0 && quiescent_streak >= exit_quiescent) break;
+    if (max_polls > 0 && service.polls() >= max_polls) break;
+    if (g_follow_interrupted != 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+  std::signal(SIGINT, SIG_DFL);
+
+  // Drain: buffered final partial lines become lines, exactly as the
+  // batch reader would see the files now.
+  service.finish();
+  const checker::AnalysisResult analysis = service.snapshot();
+  if (watch) {
+    std::printf("%s\n", service.watch_record().c_str());
+    std::fflush(stdout);
+  }
+
+  std::fprintf(stderr,
+               "followed %llu poll(s): %llu bytes, %zu stream(s), "
+               "%llu rotation(s)\n",
+               static_cast<unsigned long long>(service.polls()),
+               static_cast<unsigned long long>(service.bytes_read()),
+               service.streams_seen(),
+               static_cast<unsigned long long>(service.rotations()));
+  std::fprintf(stderr,
+               "mined %zu lines (%zu unparsable), %zu events, %zu apps "
+               "(%zu retired, %zu resident)\n",
+               analysis.lines_total, analysis.lines_unparsed,
+               analysis.events_total, analysis.delays.size(),
+               service.analyzer().apps_retired(),
+               service.analyzer().apps_resident());
+  // Under --watch, stdout is a pure ndjson stream (one record per line,
+  // machine-checkable with `followcheck`); the human report goes to
+  // stderr instead.
+  std::FILE* report = watch ? stderr : stdout;
+  std::fprintf(report, "%s\n", analysis.aggregate.render_text().c_str());
+  if (json_path) {
+    std::ofstream out(*json_path);
+    if (out) out << checker::analysis_json(analysis);
+    if (!out) {
+      std::fprintf(stderr, "sdchecker: cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::fprintf(report, "written %s\n", json_path->c_str());
+  }
+  if (const std::size_t diagnostics = analysis.diag_counts.total();
+      diagnostics > 0) {
+    std::fprintf(report, "analysis completed with %zu corpus diagnostic(s)\n",
+                 diagnostics);
+    return 3;
+  }
+  return 0;
+}
+
+int cmd_followcheck(std::vector<std::string> args) {
+  const auto positionals =
+      finish_args(std::move(args), {"watch_ndjson"}, {});
+  if (!positionals) return usage();
+  std::ifstream in((*positionals)[0]);
+  if (!in) {
+    std::fprintf(stderr, "sdchecker: cannot read %s\n",
+                 (*positionals)[0].c_str());
+    return 1;
+  }
+  std::size_t records = 0;
+  std::size_t failures = 0;
+  std::string line;
+  for (std::size_t line_no = 1; std::getline(in, line); ++line_no) {
+    if (line.empty()) continue;
+    ++records;
+    const checker::WatchCheckResult result = checker::check_watch_json(line);
+    if (!result.ok) {
+      ++failures;
+      for (const std::string& error : result.errors) {
+        std::fprintf(stderr, "sdchecker: watch check: line %zu: %s\n",
+                     line_no, error.c_str());
+      }
+    }
+  }
+  if (records == 0) {
+    std::fprintf(stderr, "sdchecker: watch check: no records\n");
+    return 1;
+  }
+  if (failures > 0) return 1;
+  std::printf("watch check ok: %zu record(s)\n", records);
+  return 0;
+}
+
 int cmd_trace(std::vector<std::string> args) {
   std::size_t threads = 1;
   if (const auto t = flag_value(args, "--threads")) {
@@ -616,6 +798,8 @@ namespace {
 
 int dispatch(const std::string& command, std::vector<std::string> args) {
   if (command == "analyze") return cmd_analyze(std::move(args));
+  if (command == "follow") return cmd_follow(std::move(args));
+  if (command == "followcheck") return cmd_followcheck(std::move(args));
   if (command == "trace") return cmd_trace(std::move(args));
   if (command == "timeline") return cmd_timeline(std::move(args));
   if (command == "diff") return cmd_diff(std::move(args));
