@@ -6,11 +6,20 @@
 # Usage:
 #   scripts/run_clang_tidy.sh [build-dir] [file...]
 #
+# The file list is derived by glob from the repo root (not the caller's
+# cwd), so sources added after this script was written cannot silently
+# escape linting; a src/ TU *missing* from compile_commands.json is a
+# hard failure for the same reason — "not built" must never read as
+# "lint-clean".
+#
 # The build dir must contain compile_commands.json (configure with
 # -DCMAKE_EXPORT_COMPILE_COMMANDS=ON).  When clang-tidy is not
 # installed the script exits 0 with a notice, so developer machines
 # without LLVM keep building; CI installs clang-tidy and enforces.
 set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$REPO_ROOT"
 
 BUILD_DIR="${1:-build}"
 [ $# -gt 0 ] && shift
@@ -30,8 +39,8 @@ fi
 if [ $# -gt 0 ]; then
   FILES="$*"
 else
-  # Every first-party TU with a compile command (tools/ and tests/ are
-  # covered by their own suites; src/ is the zero-warning surface).
+  # Every first-party TU (tools/ and tests/ are covered by their own
+  # suites; src/ is the zero-warning surface).
   FILES=$(find src -name '*.cpp' | sort)
 fi
 
@@ -41,8 +50,12 @@ for f in $FILES; do
     *.cpp) ;;
     *) continue ;;
   esac
-  # Only lint files the compilation database knows about.
+  # Every src/ TU must be in the compilation database: a file the build
+  # does not know about would otherwise skip linting silently.
   if ! grep -q "$(basename "$f")" "$BUILD_DIR/compile_commands.json"; then
+    echo "run_clang_tidy: $f is not in $BUILD_DIR/compile_commands.json" \
+         "(new file not added to CMake?)" >&2
+    STATUS=1
     continue
   fi
   echo "clang-tidy $f" >&2

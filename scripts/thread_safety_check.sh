@@ -1,0 +1,50 @@
+#!/bin/sh
+# Proves the thread-safety gate bites (ISSUE 8).
+#
+# Compiles scripts/thread_safety_violation.cpp twice under clang with
+# -Werror=thread-safety-analysis:
+#
+#   1. with SDC_TSA_SEED_VIOLATION defined — an unguarded write to
+#      SDC_GUARDED_BY state.  The compile must FAIL; if it passes, the
+#      annotations are dead and the CI job is a no-op.
+#   2. without the define — the properly locked twin.  The compile must
+#      PASS, proving the failure in (1) came from the analysis and not
+#      from unrelated breakage (wrong include path, broken header...).
+#
+# Usage: scripts/thread_safety_check.sh
+# Env:   CXX (default clang++)
+#
+# When clang is not installed the script exits 0 with a notice (GCC
+# compiles the annotation macros to nothing); CI runs it under clang
+# and enforces both directions.
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+CXX="${CXX:-clang++}"
+
+if ! command -v "$CXX" >/dev/null 2>&1; then
+  echo "thread_safety_check: $CXX not installed; skipping (CI enforces)" >&2
+  exit 0
+fi
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "thread_safety_check: $CXX is not clang; skipping (CI enforces)" >&2
+  exit 0
+fi
+
+TU="$REPO_ROOT/scripts/thread_safety_violation.cpp"
+FLAGS="-std=c++20 -fsyntax-only -I$REPO_ROOT/src \
+  -Wthread-safety -Werror=thread-safety-analysis"
+
+if "$CXX" $FLAGS -DSDC_TSA_SEED_VIOLATION=1 "$TU" 2>/dev/null; then
+  echo "thread_safety_check: FAIL — the seeded unguarded access" \
+       "compiled; the thread-safety analysis is not biting" >&2
+  exit 1
+fi
+echo "thread_safety_check: seeded violation rejected (good)" >&2
+
+if ! "$CXX" $FLAGS "$TU"; then
+  echo "thread_safety_check: FAIL — the guarded twin does not compile;" \
+       "the rejection above is unrelated breakage, not the analysis" >&2
+  exit 1
+fi
+echo "thread_safety_check: guarded twin compiles (good)" >&2

@@ -1,0 +1,37 @@
+// Seeded thread-safety violation (ISSUE 8).  NOT part of any CMake
+// target: scripts/thread_safety_check.sh compiles this TU twice under
+// clang -Werror=thread-safety-analysis — once with
+// SDC_TSA_SEED_VIOLATION defined (the unguarded access below, which
+// must FAIL to compile, proving the gate bites) and once without (the
+// guarded twin, which must compile, proving the failure came from the
+// analysis and not from unrelated breakage).
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) SDC_EXCLUDES(mu_) {
+#if defined(SDC_TSA_SEED_VIOLATION)
+    // Write to guarded state without holding mu_: clang's thread safety
+    // analysis must reject this TU.
+    balance_ += amount;
+#else
+    const sdc::MutexLock lock(mu_);
+    balance_ += amount;
+#endif
+  }
+
+ private:
+  sdc::Mutex mu_;
+  int balance_ SDC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return 0;
+}

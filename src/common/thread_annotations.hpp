@@ -1,0 +1,71 @@
+// Clang Thread Safety Analysis annotations (ISSUE 8).
+//
+// These macros expose Clang's `-Wthread-safety` static lock-discipline
+// analysis to the codebase: shared state is declared `SDC_GUARDED_BY` a
+// capability (a `common::Mutex`), functions declare what they
+// `SDC_REQUIRES` / `SDC_ACQUIRE` / `SDC_RELEASE`, and any access that
+// the compiler cannot prove consistent with those declarations is a
+// *compile error* under `-Werror=thread-safety-analysis` — the CI
+// `thread-safety` job builds the whole tree that way.  TSan still runs
+// (it catches lock-free races the annotations cannot express); the
+// annotations catch the lock-discipline bugs TSan only finds when a
+// test happens to interleave them.
+//
+// Off Clang (GCC, MSVC) every macro expands to nothing, so the
+// annotations are free documentation.  The vocabulary deliberately
+// mirrors the one documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so the names
+// mean exactly what the upstream docs say.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define SDC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SDC_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a capability (lockable) type.  The string
+/// names the capability kind in diagnostics ("mutex").
+#define SDC_CAPABILITY(x) SDC_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define SDC_SCOPED_CAPABILITY SDC_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member may only be accessed while holding the
+/// given capability.
+#define SDC_GUARDED_BY(x) SDC_THREAD_ANNOTATION_(guarded_by(x))
+
+/// As SDC_GUARDED_BY, but guards the data a pointer member points to.
+#define SDC_PT_GUARDED_BY(x) SDC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares that the function acquires the capability and does not
+/// release it before returning.
+#define SDC_ACQUIRE(...) \
+  SDC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Declares that the function releases a capability the caller holds.
+#define SDC_RELEASE(...) \
+  SDC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Declares that the caller must hold the capability for the duration of
+/// the call (held on entry, still held on exit).
+#define SDC_REQUIRES(...) \
+  SDC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Declares that the caller must NOT hold the capability (the function
+/// acquires it itself; calling with it held would deadlock).
+#define SDC_EXCLUDES(...) SDC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function tries to acquire the capability and
+/// returns `ret` on success.
+#define SDC_TRY_ACQUIRE(ret, ...) \
+  SDC_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Declares a function that returns a reference to the given capability
+/// (accessors handing out the lock itself).
+#define SDC_RETURN_CAPABILITY(x) SDC_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function.  Use only for
+/// code the analysis cannot model (and say why at the use site).
+#define SDC_NO_THREAD_SAFETY_ANALYSIS \
+  SDC_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "common/mutex.hpp"
+
 namespace sdc {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -19,7 +21,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_task_.notify_all();
@@ -28,23 +30,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
   cv_task_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || in_flight_ != 0) cv_idle_.wait(lock);
 }
 
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_task_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -52,7 +54,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
     }
     cv_idle_.notify_all();
@@ -66,8 +68,8 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   std::exception_ptr first_error;
   const std::size_t shards = std::min(n, pool.thread_count());
   std::size_t done = 0;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Mutex done_mu;
+  CondVar done_cv;
 
   for (std::size_t s = 0; s < shards; ++s) {
     pool.submit([&] {
@@ -84,14 +86,16 @@ void parallel_for(ThreadPool& pool, std::size_t n,
       // it done_cv itself — may be destroyed the instant the caller
       // observes done == shards, so an unlocked notify could land on a
       // dead condition variable.
-      std::lock_guard lock(done_mu);
+      MutexLock lock(done_mu);
       if (error && !first_error) first_error = std::move(error);
       ++done;
       done_cv.notify_one();
     });
   }
-  std::unique_lock lock(done_mu);
-  done_cv.wait(lock, [&] { return done == shards; });
+  {
+    MutexLock lock(done_mu);
+    while (done != shards) done_cv.wait(lock);
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

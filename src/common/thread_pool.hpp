@@ -2,15 +2,21 @@
 // (one shard per log file) and by the benchmark harness for parameter
 // sweeps.  Tasks are plain `std::function<void()>`; use `parallel_for`
 // for the common chunked-index pattern.
+//
+// Lock discipline is declared with Clang Thread Safety annotations
+// (common/thread_annotations.hpp): every shared member is GUARDED_BY
+// `mu_`, so an unguarded access fails the `thread-safety` CI build
+// instead of waiting for TSan to catch it racing.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace sdc {
 
@@ -25,25 +31,27 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for asynchronous execution.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) SDC_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has completed.
-  void wait_idle();
+  void wait_idle() SDC_EXCLUDES(mu_);
 
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return workers_.size();
   }
 
  private:
-  void worker_loop();
+  void worker_loop() SDC_EXCLUDES(mu_);
 
+  /// Written once in the constructor, read-only afterwards (workers
+  /// never touch it) — confined, not guarded.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ SDC_GUARDED_BY(mu_);
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::size_t in_flight_ SDC_GUARDED_BY(mu_) = 0;
+  bool stopping_ SDC_GUARDED_BY(mu_) = false;
 };
 
 /// Runs `body(i)` for i in [0, n) across the pool, blocking until done.

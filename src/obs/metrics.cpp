@@ -109,7 +109,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sdc::MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   return *counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -117,7 +117,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sdc::MutexLock lock(mutex_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
@@ -126,7 +126,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> upper_edges) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sdc::MutexLock lock(mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   return *histograms_
@@ -136,7 +136,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sdc::MutexLock lock(mutex_);
   MetricsSnapshot out;
   for (const auto& [name, counter] : counters_) {
     out.counters.emplace(name, counter->value());
@@ -156,7 +156,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset_values() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sdc::MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) counter->reset();
   for (const auto& [name, gauge] : gauges_) gauge->reset();
   for (const auto& [name, histogram] : histograms_) histogram->reset();

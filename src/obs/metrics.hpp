@@ -21,10 +21,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace sdc::obs {
 
@@ -130,25 +132,32 @@ class MetricsRegistry {
   /// The process-wide registry every instrumentation point uses.
   static MetricsRegistry& global();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) SDC_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) SDC_EXCLUDES(mutex_);
   /// First registration fixes the edges; later calls with the same name
   /// return the existing histogram regardless of `upper_edges`.
   Histogram& histogram(std::string_view name,
                        std::vector<double> upper_edges =
-                           Histogram::default_latency_edges_ms());
+                           Histogram::default_latency_edges_ms())
+      SDC_EXCLUDES(mutex_);
 
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const SDC_EXCLUDES(mutex_);
 
   /// Resets every value to zero (instruments stay registered, references
   /// stay valid).  Tests and benches use this to isolate runs.
-  void reset_values();
+  void reset_values() SDC_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The mutex guards the name -> instrument maps only; the instruments
+  // themselves are atomics updated lock-free through the pointer-stable
+  // references the accessors return.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SDC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SDC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SDC_GUARDED_BY(mutex_);
 };
 
 }  // namespace sdc::obs

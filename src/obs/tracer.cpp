@@ -35,18 +35,18 @@ std::uint64_t Tracer::now_us() const noexcept {
 }
 
 std::vector<SpanRecord> Tracer::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sdc::MutexLock lock(mutex_);
   return spans_;
 }
 
 void Tracer::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sdc::MutexLock lock(mutex_);
   spans_.clear();
   epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
 }
 
 void Tracer::record(SpanRecord span) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sdc::MutexLock lock(mutex_);
   spans_.push_back(std::move(span));
 }
 

@@ -19,10 +19,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace sdc::obs {
 
@@ -101,18 +103,18 @@ class Tracer {
   [[nodiscard]] std::uint64_t now_us() const noexcept;
 
   /// Copies all recorded spans (completed ones only).
-  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const SDC_EXCLUDES(mutex_);
 
   /// Drops recorded spans and restarts the epoch.
-  void clear();
+  void clear() SDC_EXCLUDES(mutex_);
 
  private:
-  void record(SpanRecord span);
+  void record(SpanRecord span) SDC_EXCLUDES(mutex_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::int64_t> epoch_ns_{0};
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> spans_;
+  mutable Mutex mutex_;
+  std::vector<SpanRecord> spans_ SDC_GUARDED_BY(mutex_);
 };
 
 }  // namespace sdc::obs

@@ -362,6 +362,36 @@ std::optional<DiagnosticKind> expected_diagnostic(MutationClass cls) {
   return std::nullopt;
 }
 
+std::vector<MutationClass> mutation_classes_for(logging::DiagnosticKind kind) {
+  std::vector<MutationClass> out;
+  for (MutationClass cls : all_mutation_classes()) {
+    if (expected_diagnostic(cls) == kind) out.push_back(cls);
+  }
+  return out;
+}
+
+std::optional<std::string_view> runtime_only_reason(
+    logging::DiagnosticKind kind) {
+  // Kinds here arise from I/O or cross-stream state the byte-level
+  // mutator cannot model; each names the mechanism that surfaces it.
+  // If a new mutation class starts covering one of these kinds, sdlint's
+  // diag.stale-exemption check fires until the row is deleted.
+  switch (kind) {
+    case logging::DiagnosticKind::kUnreadableFile:
+      return "filesystem permission/open failure; mutations rewrite bytes "
+             "of readable bundles";
+    case logging::DiagnosticKind::kUnparsableBurst:
+      return "emitted when the per-stream unparsable-line ratio trips the "
+             "analyzer threshold, a derived signal exercised directly by "
+             "miner tests";
+    case logging::DiagnosticKind::kUnboundStream:
+      return "requires a stream whose app binding never resolves; mutator "
+             "inputs are generated from bound scenario logs";
+    default:
+      return std::nullopt;
+  }
+}
+
 logging::LogBundle apply_mutation(const logging::LogBundle& input,
                                   MutationClass cls, std::uint64_t seed) {
   // Fork per class so every class sees an independent stream for the

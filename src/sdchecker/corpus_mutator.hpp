@@ -57,6 +57,20 @@ std::vector<MutationClass> all_mutation_classes();
 /// (nullopt for kIdentity, which must surface nothing new).
 std::optional<logging::DiagnosticKind> expected_diagnostic(MutationClass cls);
 
+/// Inverse of `expected_diagnostic`: the mutation classes expected to
+/// surface `kind` (empty when no class models it).  sdlint's `diag.*`
+/// checks require every diagnostic kind to be either reachable this way
+/// or explicitly declared runtime-only below — a kind in neither set is
+/// a vocabulary hole the fuzz harness can never exercise.
+std::vector<MutationClass> mutation_classes_for(logging::DiagnosticKind kind);
+
+/// Why a diagnostic kind is runtime-only (no byte-level mutation of a
+/// log bundle can surface it), or nullopt when the mutator covers it.
+/// Every runtime-only kind must still be exercised by a dedicated test;
+/// the reason names the mechanism.
+std::optional<std::string_view> runtime_only_reason(
+    logging::DiagnosticKind kind);
+
 /// Applies one mutation class.  Deterministic in (input, cls, seed).
 [[nodiscard]] logging::LogBundle apply_mutation(
     const logging::LogBundle& input, MutationClass cls, std::uint64_t seed);

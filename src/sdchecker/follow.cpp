@@ -9,6 +9,7 @@
 
 #include "common/json.hpp"
 #include "obs/json_parse.hpp"
+#include "obs/metric_catalog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "sdchecker/export.hpp"
@@ -28,11 +29,11 @@ struct FollowCounters {
   obs::Counter& apps_retired;
   static const FollowCounters& get() {
     static const FollowCounters counters{
-        obs::MetricsRegistry::global().counter("follow.polls"),
-        obs::MetricsRegistry::global().counter("follow.bytes"),
-        obs::MetricsRegistry::global().counter("follow.streams"),
-        obs::MetricsRegistry::global().counter("follow.rotations"),
-        obs::MetricsRegistry::global().counter("follow.apps_retired")};
+        obs::catalog_counter(obs::metric::kFollowPolls),
+        obs::catalog_counter(obs::metric::kFollowBytes),
+        obs::catalog_counter(obs::metric::kFollowStreams),
+        obs::catalog_counter(obs::metric::kFollowRotations),
+        obs::catalog_counter(obs::metric::kFollowAppsRetired)};
     return counters;
   }
 };

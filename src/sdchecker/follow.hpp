@@ -35,7 +35,7 @@ namespace sdc::checker {
 struct FollowOptions {
   /// Per-line analysis knobs (skew budget, burst threshold, parked-event
   /// cap); threads/shard_grain are ignored — tailing is serial.
-  MinerOptions miner;
+  MinerOptions miner = {};
   /// Shards for the snapshot finalize stage (same meaning as
   /// `AnalyzeOptions::analyze_shards`; snapshots are byte-identical
   /// either way).

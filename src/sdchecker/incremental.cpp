@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/thread_pool.hpp"
+#include "obs/metric_catalog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "sdchecker/parsed_line.hpp"
@@ -13,7 +14,7 @@ namespace sdc::checker {
 void IncrementalAnalyzer::feed(const std::string& stream,
                                std::string_view line) {
   static obs::Counter& lines_counter =
-      obs::MetricsRegistry::global().counter("incremental.lines");
+      obs::catalog_counter(obs::metric::kIncrementalLines);
   lines_counter.add(1);
   // CRLF parity with the batch path: LogBundle/LogView strip the '\r' of
   // CRLF-terminated logs at read time; a tail delivers the raw line.
@@ -175,7 +176,7 @@ void IncrementalAnalyzer::flush_parked(StreamState& state) {
 
 std::size_t IncrementalAnalyzer::retire_terminal(std::uint64_t quiet_ticks) {
   static obs::Counter& retired_counter =
-      obs::MetricsRegistry::global().counter("incremental.apps_retired");
+      obs::catalog_counter(obs::metric::kIncrementalAppsRetired);
   std::vector<ApplicationId> ready;
   for (const auto& [app, activity] : activity_) {
     if (activity.terminal && tick_ - activity.last_tick >= quiet_ticks) {

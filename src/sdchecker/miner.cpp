@@ -6,6 +6,7 @@
 #include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "logging/timestamp.hpp"
+#include "obs/metric_catalog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 
@@ -391,10 +392,9 @@ obs::Counter& diagnostic_counter(DiagnosticKind kind) {
   static const auto& counters = *[] {
     auto* out = new std::array<obs::Counter*, logging::kDiagnosticKindCount>{};
     for (std::size_t i = 0; i < out->size(); ++i) {
-      (*out)[i] = &obs::MetricsRegistry::global().counter(
-          "mine.diagnostics." +
-          std::string(logging::diagnostic_kind_name(
-              static_cast<DiagnosticKind>(i))));
+      (*out)[i] = &obs::catalog_counter(
+          obs::metric::kMineDiagnostics,
+          logging::diagnostic_kind_name(static_cast<DiagnosticKind>(i)));
     }
     return out;
   }();
@@ -423,21 +423,20 @@ MinedStream LogMiner::mine_stream(const std::string& name,
 MineResult LogMiner::mine(const logging::BundleView& view) const {
   const auto total_span = obs::Tracer::global().span("mine.total");
   static obs::Counter& lines_counter =
-      obs::MetricsRegistry::global().counter("mine.lines");
+      obs::catalog_counter(obs::metric::kMineLines);
   static obs::Counter& events_counter =
-      obs::MetricsRegistry::global().counter("mine.events");
+      obs::catalog_counter(obs::metric::kMineEvents);
   static obs::Counter& streams_counter =
-      obs::MetricsRegistry::global().counter("mine.streams");
+      obs::catalog_counter(obs::metric::kMineStreams);
   static obs::Gauge& lines_expected =
-      obs::MetricsRegistry::global().gauge("mine.lines_expected");
+      obs::catalog_gauge(obs::metric::kMineLinesExpected);
   static obs::Counter& prefilter_counter =
-      obs::MetricsRegistry::global().counter("mine.scan.prefilter_skipped");
+      obs::catalog_counter(obs::metric::kMineScanPrefilterSkipped);
   // Which scan backend this mine ran with (one count per mine() call);
   // the name is resolved once — the backend cannot change mid-mine.
-  obs::MetricsRegistry::global()
-      .counter("mine.scan.backend." +
-               std::string(simd::scan_backend_name(
-                   simd::active_scan_backend())))
+  obs::catalog_counter(
+      obs::metric::kMineScanBackend,
+      simd::scan_backend_name(simd::active_scan_backend()))
       .add(1);
 
   std::vector<LogicalStream> logicals = group_rotations(view);

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/metric_catalog.hpp"
 #include "obs/metrics.hpp"
 #include "sdchecker/trace_export.hpp"
 
@@ -17,11 +18,22 @@ constexpr double kMsToSec = 1e-3;
 obs::Histogram& delay_histogram(std::string_view metric) {
   static const std::map<std::string, obs::Histogram*, std::less<>> by_metric =
       [] {
+        // Register through the sdc.delay.<component> catalog family so
+        // the histogram names stay kind-checked against the metric
+        // catalog as well as the component catalog (sdlint pins the two
+        // together with metrics.delay-unbound).
+        const std::string_view prefix =
+            obs::metric::kSdcDelay.family_prefix();
         std::map<std::string, obs::Histogram*, std::less<>> map;
         for (const DelayComponentSpec& spec : delay_component_specs()) {
-          map.emplace(
-              std::string(spec.metric),
-              &obs::MetricsRegistry::global().histogram(spec.histogram));
+          const std::string_view histogram = spec.histogram;
+          map.emplace(std::string(spec.metric),
+                      histogram.starts_with(prefix)
+                          ? &obs::catalog_histogram(
+                                obs::metric::kSdcDelay,
+                                histogram.substr(prefix.size()))
+                          : &obs::MetricsRegistry::global().histogram(
+                                histogram));
         }
         return map;
       }();

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/thread_pool.hpp"
+#include "obs/metric_catalog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 
@@ -16,8 +17,8 @@ struct FinalizeCounters {
   obs::Counter& anomalies;
   static const FinalizeCounters& get() {
     static const FinalizeCounters counters{
-        obs::MetricsRegistry::global().counter("analyze.apps"),
-        obs::MetricsRegistry::global().counter("analyze.anomalies")};
+        obs::catalog_counter(obs::metric::kAnalyzeApps),
+        obs::catalog_counter(obs::metric::kAnalyzeAnomalies)};
     return counters;
   }
 };
@@ -188,7 +189,7 @@ AnalysisResult finalize_analysis(ShardedGroupResult grouped,
                                  const RetiredTable& retired) {
   const auto span = obs::Tracer::global().span("analyze.finalize");
   static obs::Counter& shards_counter =
-      obs::MetricsRegistry::global().counter("analyze.shards");
+      obs::catalog_counter(obs::metric::kAnalyzeShards);
   shards_counter.add(grouped.shards.size());
 
   AnalysisResult result;

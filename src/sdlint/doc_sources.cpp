@@ -1,0 +1,106 @@
+#include "sdlint/doc_sources.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sdc::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// docs/<file_name>, from SDC_DOCS_DIR or by walking up from cwd.
+fs::path locate_doc(std::string_view file_name) {
+  if (const char* override_dir = std::getenv("SDC_DOCS_DIR")) {
+    const fs::path candidate = fs::path(override_dir) / file_name;
+    return fs::exists(candidate) ? candidate : fs::path{};
+  }
+  std::error_code ec;
+  for (fs::path dir = fs::current_path(ec); !ec && !dir.empty();
+       dir = dir.parent_path()) {
+    const fs::path candidate = dir / "docs" / file_name;
+    if (fs::exists(candidate, ec)) return candidate;
+    if (dir == dir.root_path()) break;
+  }
+  return {};
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+DocSection load_doc_section(std::string_view file_name,
+                            std::string_view begin_marker,
+                            std::string_view end_marker) {
+  DocSection section;
+  const fs::path path = locate_doc(file_name);
+  if (path.empty()) return section;
+  std::ifstream in(path);
+  if (!in) return section;
+  section.file_found = true;
+  section.path = path.string();
+
+  std::string line;
+  bool inside = false;
+  std::ostringstream body;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = trim(line);
+    if (!inside) {
+      if (stripped == begin_marker) inside = true;
+      continue;
+    }
+    if (stripped == end_marker) {
+      section.section_found = true;
+      section.text = body.str();
+      return section;
+    }
+    body << line << '\n';
+  }
+  return section;  // end marker never seen: section_found stays false
+}
+
+std::vector<std::vector<std::string>> parse_markdown_table(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty() || line.front() != '|') continue;
+    // Drop the |---|---| separator row.
+    if (line.find_first_not_of("|-: \t") == std::string_view::npos) continue;
+    std::vector<std::string> cells;
+    std::size_t cell_start = 1;  // past the leading '|'
+    while (cell_start <= line.size()) {
+      std::size_t bar = line.find('|', cell_start);
+      if (bar == std::string_view::npos) break;
+      cells.emplace_back(trim(line.substr(cell_start, bar - cell_start)));
+      cell_start = bar + 1;
+    }
+    if (!cells.empty()) rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+std::string strip_backticks(std::string_view cell) {
+  const std::string_view trimmed = trim(cell);
+  if (trimmed.size() >= 2 && trimmed.front() == '`' &&
+      trimmed.back() == '`') {
+    return std::string(trimmed.substr(1, trimmed.size() - 2));
+  }
+  return std::string(trimmed);
+}
+
+}  // namespace sdc::lint

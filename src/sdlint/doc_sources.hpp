@@ -1,0 +1,46 @@
+// Locating and slicing the committed docs sdlint checks against.
+//
+// The metric and diagnostic tables in docs/ are contract surfaces, not
+// prose: each lives between a BEGIN/END marker pair so sdlint can
+// extract exactly the checked region and compare it to what the code
+// declares.  The repo root is found by walking up from the working
+// directory (sdlint runs from build trees at arbitrary depth); the
+// `SDC_DOCS_DIR` environment variable overrides the search for
+// out-of-tree runs.  A missing file or marker pair is reported through
+// the flags here — callers turn it into a finding, never a silent skip.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdc::lint {
+
+/// One extracted marker-delimited doc region.
+struct DocSection {
+  /// The doc file was found (walk-up or SDC_DOCS_DIR).
+  bool file_found = false;
+  /// Both markers were found, in order.
+  bool section_found = false;
+  /// Absolute path of the located file ("" when not found).
+  std::string path;
+  /// Text strictly between the marker lines.
+  std::string text;
+};
+
+/// Loads the region of `docs/<file_name>` between `begin_marker` and
+/// `end_marker` (each matched as a whole line, markers excluded).
+DocSection load_doc_section(std::string_view file_name,
+                            std::string_view begin_marker,
+                            std::string_view end_marker);
+
+/// Parses markdown-table rows out of `text`: every line starting with
+/// '|' becomes a vector of trimmed cell strings; the |---| separator
+/// row is dropped.  Backticks are kept — strip with `strip_backticks`.
+std::vector<std::vector<std::string>> parse_markdown_table(
+    std::string_view text);
+
+/// "`mine.lines`" -> "mine.lines" (no-op without surrounding backticks).
+std::string strip_backticks(std::string_view cell);
+
+}  // namespace sdc::lint

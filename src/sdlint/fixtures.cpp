@@ -1,9 +1,12 @@
 #include "sdlint/fixtures.hpp"
 
+#include "obs/metric_catalog.hpp"
 #include "sdlint/contract_check.hpp"
 #include "yarn/log_contract.hpp"
 #include "sdlint/coverage_check.hpp"
+#include "sdlint/diag_check.hpp"
 #include "sdlint/machine_check.hpp"
+#include "sdlint/metrics_check.hpp"
 #include "sdlint/obs_check.hpp"
 #include "sdlint/runner.hpp"
 
@@ -203,6 +206,192 @@ std::vector<Finding> run_obs_stale_spec() {
   return check_obs_vocabulary(kStale);
 }
 
+// --- broken metric catalogs --------------------------------------------------
+// A tiny two-row catalog (one counter, the sdc.delay histogram family),
+// broken a different way per fixture.  The happy-path doc table is
+// *generated* from the catalog, so only the seeded violation fires.
+
+using obs::MetricKind;
+using obs::MetricSpec;
+
+constexpr MetricSpec kTinyCounter{"fixture.lines", MetricKind::kCounter,
+                                  "lines", "fixture lines mined"};
+constexpr MetricSpec kTinyDelay{"sdc.delay.<component>",
+                                MetricKind::kHistogram, "ms",
+                                "fixture delay samples"};
+constexpr MetricSpec kTinyCatalog[] = {kTinyCounter, kTinyDelay};
+
+constexpr checker::DelayComponentSpec kTinyDelaySpecs[] = {
+    {"total", "sdc.delay.total", "total", false},
+};
+
+/// Inputs that pass every metrics.* check: catalog-generated doc table,
+/// bound delay spec, a snapshot holding only cataloged instruments.
+MetricsCheckInputs tiny_metrics_inputs(const std::string& doc_table,
+                                       const obs::MetricsSnapshot* snapshot) {
+  MetricsCheckInputs inputs;
+  inputs.catalog = kTinyCatalog;
+  inputs.delay_specs = kTinyDelaySpecs;
+  inputs.snapshot = snapshot;
+  inputs.doc_table = doc_table;
+  return inputs;
+}
+
+/// Two catalog rows with one name.
+std::vector<Finding> run_metrics_duplicate_spec() {
+  static constexpr MetricSpec kDuplicated[] = {kTinyCounter, kTinyCounter,
+                                               kTinyDelay};
+  static const std::string doc = obs::render_metric_table(kDuplicated);
+  MetricsCheckInputs inputs = tiny_metrics_inputs(doc, nullptr);
+  inputs.catalog = kDuplicated;
+  return check_metrics(inputs);
+}
+
+/// A catalog row the committed doc table does not carry (the acceptance
+/// fixture: an undocumented metric must make sdlint exit nonzero).
+std::vector<Finding> run_metrics_undocumented() {
+  static const std::string doc =
+      obs::render_metric_table(std::span<const MetricSpec>(kTinyCatalog, 1));
+  return check_metrics(tiny_metrics_inputs(doc, nullptr));
+}
+
+/// A doc table row for a metric the catalog does not declare.
+std::vector<Finding> run_metrics_stale_doc() {
+  static const std::string doc =
+      obs::render_metric_table(kTinyCatalog) +
+      "| `fixture.ghost` | counter | lines | documented but undeclared |\n";
+  return check_metrics(tiny_metrics_inputs(doc, nullptr));
+}
+
+/// Doc row present but its kind cell drifted from the catalog.
+std::vector<Finding> run_metrics_doc_drift() {
+  static const std::string doc = [] {
+    std::string table = obs::render_metric_table(kTinyCatalog);
+    const std::size_t at = table.find("| counter |");
+    return table.replace(at, 11, "| gauge |");
+  }();
+  return check_metrics(tiny_metrics_inputs(doc, nullptr));
+}
+
+/// The registry carries an instrument no catalog row matches.
+std::vector<Finding> run_metrics_unknown_instrument() {
+  static const std::string doc = obs::render_metric_table(kTinyCatalog);
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["fixture.rogue"] = 1;
+  return check_metrics(tiny_metrics_inputs(doc, &snapshot));
+}
+
+/// A cataloged counter registered as a gauge.
+std::vector<Finding> run_metrics_kind_mismatch() {
+  static const std::string doc = obs::render_metric_table(kTinyCatalog);
+  obs::MetricsSnapshot snapshot;
+  snapshot.gauges["fixture.lines"] = 1;
+  return check_metrics(tiny_metrics_inputs(doc, &snapshot));
+}
+
+/// An sdc.delay.* histogram with no delay-component catalog row.
+std::vector<Finding> run_metrics_delay_unbound() {
+  static const std::string doc = obs::render_metric_table(kTinyCatalog);
+  obs::MetricsSnapshot snapshot;
+  snapshot.histograms["sdc.delay.teleportation"] = {};
+  return check_metrics(tiny_metrics_inputs(doc, &snapshot));
+}
+
+/// The doc table cannot be located at all.
+std::vector<Finding> run_metrics_doc_missing() {
+  MetricsCheckInputs inputs = tiny_metrics_inputs({}, nullptr);
+  inputs.doc_found = false;
+  return check_metrics(inputs);
+}
+
+// --- broken diagnostic vocabularies ------------------------------------------
+// One healthy kind row (plus per-fixture damage) and the doc table that
+// matches it.
+
+const DiagKindRow kHealthyKind{"fixture-garbage", 1, {"garbage-bytes"}, {}};
+constexpr std::string_view kHealthyDiagDoc =
+    "| kind | severity | trigger | fuzz coverage |\n"
+    "|---|---|---|---|\n"
+    "| `fixture-garbage` | 1 | seeded garbage | `garbage-bytes` |\n";
+
+std::vector<Finding> check_diag_rows(std::span<const DiagKindRow> rows,
+                                     std::string_view doc_table,
+                                     bool doc_found = true) {
+  DiagCheckInputs inputs;
+  inputs.kinds = rows;
+  inputs.doc_table = doc_table;
+  inputs.doc_found = doc_found;
+  return check_diagnostics(inputs);
+}
+
+/// A kind whose renderer falls through to the "?" sentinel.
+std::vector<Finding> run_diag_unnamed() {
+  const DiagKindRow rows[] = {kHealthyKind, {"?", 1, {"clock-skew"}, {}}};
+  return check_diag_rows(rows, kHealthyDiagDoc);
+}
+
+/// Two kinds sharing one short name.
+std::vector<Finding> run_diag_duplicate_name() {
+  const DiagKindRow rows[] = {kHealthyKind, kHealthyKind};
+  return check_diag_rows(rows, kHealthyDiagDoc);
+}
+
+/// diagnostic_severity falling through to the sentinel.
+std::vector<Finding> run_diag_bad_severity() {
+  const DiagKindRow rows[] = {
+      kHealthyKind,
+      {"fixture-odd", 3, {"clock-skew"}, {}},
+  };
+  return check_diag_rows(rows, kHealthyDiagDoc);
+}
+
+/// A kind no mutation class surfaces and no exemption covers (the
+/// acceptance fixture: an unmapped diagnostic kind must make sdlint
+/// exit nonzero).
+std::vector<Finding> run_diag_unmapped_kind() {
+  const DiagKindRow rows[] = {kHealthyKind, {"fixture-orphan", 1, {}, {}}};
+  return check_diag_rows(rows, kHealthyDiagDoc);
+}
+
+/// A runtime-only exemption the mutator has since made stale.
+std::vector<Finding> run_diag_stale_exemption() {
+  const DiagKindRow rows[] = {
+      kHealthyKind,
+      {"fixture-covered", 1, {"clock-skew"}, "legacy exemption"},
+  };
+  return check_diag_rows(rows, kHealthyDiagDoc);
+}
+
+/// A kind missing its doc table row.
+std::vector<Finding> run_diag_undocumented() {
+  const DiagKindRow rows[] = {
+      kHealthyKind,
+      {"fixture-undocumented", 1, {"clock-skew"}, {}},
+  };
+  return check_diag_rows(rows, kHealthyDiagDoc);
+}
+
+/// A doc row for a kind the code does not declare.
+std::vector<Finding> run_diag_stale_doc() {
+  const DiagKindRow rows[] = {kHealthyKind};
+  const std::string doc =
+      std::string(kHealthyDiagDoc) +
+      "| `fixture-ghost` | 1 | documented but undeclared | `clock-skew` |\n";
+  return check_diag_rows(rows, doc);
+}
+
+/// Doc severity column drifted from diagnostic_severity.
+std::vector<Finding> run_diag_doc_drift() {
+  const DiagKindRow rows[] = {{"fixture-garbage", 2, {"garbage-bytes"}, {}}};
+  return check_diag_rows(rows, kHealthyDiagDoc);
+}
+
+/// The doc table cannot be located at all.
+std::vector<Finding> run_diag_doc_missing() {
+  const DiagKindRow rows[] = {kHealthyKind};
+  return check_diag_rows(rows, {}, /*doc_found=*/false);
+}
+
 // --- fixture table -----------------------------------------------------------
 
 std::vector<Finding> run_machine_unreachable() {
@@ -255,6 +444,31 @@ constexpr Fixture kFixtures[] = {
      &run_coverage_missing},
     {"obs-missing-spec", "obs.missing-metric", &run_obs_missing_spec},
     {"obs-stale-spec", "obs.stale-spec", &run_obs_stale_spec},
+    {"metrics-duplicate-spec", "metrics.duplicate-spec",
+     &run_metrics_duplicate_spec},
+    {"metrics-undocumented", "metrics.undocumented",
+     &run_metrics_undocumented},
+    {"metrics-stale-doc", "metrics.stale-doc", &run_metrics_stale_doc},
+    {"metrics-doc-drift", "metrics.doc-drift", &run_metrics_doc_drift},
+    {"metrics-unknown-instrument", "metrics.unknown-instrument",
+     &run_metrics_unknown_instrument},
+    {"metrics-kind-mismatch", "metrics.kind-mismatch",
+     &run_metrics_kind_mismatch},
+    {"metrics-delay-unbound", "metrics.delay-unbound",
+     &run_metrics_delay_unbound},
+    {"metrics-doc-missing", "metrics.doc-missing",
+     &run_metrics_doc_missing},
+    {"diag-unnamed", "diag.unnamed", &run_diag_unnamed},
+    {"diag-duplicate-name", "diag.duplicate-name",
+     &run_diag_duplicate_name},
+    {"diag-bad-severity", "diag.bad-severity", &run_diag_bad_severity},
+    {"diag-unmapped-kind", "diag.unmapped-kind", &run_diag_unmapped_kind},
+    {"diag-stale-exemption", "diag.stale-exemption",
+     &run_diag_stale_exemption},
+    {"diag-undocumented", "diag.undocumented", &run_diag_undocumented},
+    {"diag-stale-doc", "diag.stale-doc", &run_diag_stale_doc},
+    {"diag-doc-drift", "diag.doc-drift", &run_diag_doc_drift},
+    {"diag-doc-missing", "diag.doc-missing", &run_diag_doc_missing},
 };
 
 }  // namespace

@@ -2,7 +2,9 @@
 
 #include "sdlint/contract_check.hpp"
 #include "sdlint/coverage_check.hpp"
+#include "sdlint/diag_check.hpp"
 #include "sdlint/machine_check.hpp"
+#include "sdlint/metrics_check.hpp"
 #include "sdlint/obs_check.hpp"
 
 namespace sdc::lint {
@@ -13,6 +15,8 @@ Report run_all_checks() {
   append_findings(report.findings, check_real_contract());
   append_findings(report.findings, check_real_coverage());
   append_findings(report.findings, check_real_obs_vocabulary());
+  append_findings(report.findings, check_real_metrics());
+  append_findings(report.findings, check_real_diagnostics());
   return report;
 }
 

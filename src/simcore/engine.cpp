@@ -3,13 +3,14 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metric_catalog.hpp"
 #include "obs/metrics.hpp"
 
 namespace sdc::sim {
 
 TimerHandle Engine::schedule_at(SimTime t, Callback cb) {
   static obs::Counter& scheduled =
-      obs::MetricsRegistry::global().counter("sim.engine.timers_scheduled");
+      obs::catalog_counter(obs::metric::kSimEngineTimersScheduled);
   scheduled.add(1);
   assert(t >= now_ && "cannot schedule in the past");
   if (t < now_) t = now_;
@@ -52,7 +53,7 @@ bool Engine::step() {
     *entry.fired = true;
     ++executed_;
     static obs::Counter& executed =
-        obs::MetricsRegistry::global().counter("sim.engine.events_executed");
+        obs::catalog_counter(obs::metric::kSimEngineEventsExecuted);
     executed.add(1);
     entry.cb();
     return true;

@@ -4,6 +4,15 @@
 // sequence) order, so equal-time events execute in the order they were
 // scheduled and a fixed RNG seed reproduces a run exactly — the property
 // the byte-identical-logs guarantee rests on (DESIGN.md §5).
+//
+// Concurrency discipline (checked in the thread-safety CI build): the
+// engine, its timers and `PeriodicTask` are *thread-confined* — every
+// member is touched only from the thread driving `run()`/`step()`, so
+// none of this state is SDC_GUARDED_BY a mutex on purpose.  The only
+// cross-thread traffic out of a simulation is the metrics counters,
+// which are relaxed atomics behind `obs::MetricsRegistry` (whose own
+// registry maps are lock-annotated).  Do not add shared mutable state
+// here without a `common::Mutex` + annotations.
 #pragma once
 
 #include <cstdint>

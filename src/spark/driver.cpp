@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/log_contract.hpp"
+#include "obs/metric_catalog.hpp"
 #include "obs/metrics.hpp"
 #include "spark/log_contract.hpp"
 
@@ -99,7 +100,8 @@ void SparkDriver::request_executors() {
                                {{"count", std::to_string(containers_requested_)},
                                 {"resource", config_.executor_resource.str()}}));
   yarn::ContainerAsk ask{config_.executor_resource, containers_requested_,
-                         yarn::InstanceType::kSparkExecutor};
+                         yarn::InstanceType::kSparkExecutor,
+                         /*preferred_nodes=*/{}};
   // Locality preferences from the input dataset's block placement
   // (registering is idempotent; apps over the same dataset share it).
   if (config_.input_mb > 0) {
@@ -221,7 +223,8 @@ void SparkDriver::on_executor_failed(const yarn::Allocation& allocation,
   }
   rm_.request_containers(
       app_, yarn::ContainerAsk{config_.executor_resource, 1,
-                               yarn::InstanceType::kSparkExecutor});
+                               yarn::InstanceType::kSparkExecutor,
+                               /*preferred_nodes=*/{}});
 }
 
 SimDuration SparkDriver::registration_delay(Rng& rng) const {
@@ -236,7 +239,7 @@ SimDuration SparkDriver::registration_delay(Rng& rng) const {
 void SparkDriver::on_executor_registered(SparkExecutor& executor) {
   if (finished_) return;
   static obs::Counter& registered =
-      obs::MetricsRegistry::global().counter("sim.spark.executors_registered");
+      obs::catalog_counter(obs::metric::kSimSparkExecutorsRegistered);
   registered.add(1);
   ++executors_registered_;
   logger_.info(

@@ -1,6 +1,7 @@
 #include "spark/executor.hpp"
 
 #include "common/log_contract.hpp"
+#include "obs/metric_catalog.hpp"
 #include "obs/metrics.hpp"
 #include "spark/driver.hpp"
 #include "spark/log_contract.hpp"
@@ -53,7 +54,7 @@ SparkExecutor::SparkExecutor(cluster::Cluster& cluster,
 
 void SparkExecutor::assign_task(std::int64_t tid) {
   static obs::Counter& assigned =
-      obs::MetricsRegistry::global().counter("sim.spark.tasks_assigned");
+      obs::catalog_counter(obs::metric::kSimSparkTasksAssigned);
   assigned.add(1);
   // FIRST_TASK (Table I message 14) when tid is this app's first task.
   logger_.info(cluster_.engine().now(), std::string(kExecutorBackendClass),

@@ -60,7 +60,8 @@ void MrApp::register_with_rm() {
   rm_.register_attempt(app_, this);
   if (config_.num_maps > 0) {
     yarn::ContainerAsk map_ask{config_.task_resource, config_.num_maps,
-                               yarn::InstanceType::kMrMapTask};
+                               yarn::InstanceType::kMrMapTask,
+                               /*preferred_nodes=*/{}};
     // One map per input block; maps prefer nodes holding their replicas.
     const std::string file = config_.input_file.empty()
                                  ? "mr-input-" + config_.name
@@ -73,7 +74,8 @@ void MrApp::register_with_rm() {
   if (config_.num_reduces > 0) {
     rm_.request_containers(
         app_, yarn::ContainerAsk{config_.task_resource, config_.num_reduces,
-                                 yarn::InstanceType::kMrReduceTask});
+                                 yarn::InstanceType::kMrReduceTask,
+                                 /*preferred_nodes=*/{}});
   }
   if (tasks_total_ == 0) {
     cluster_.engine().schedule_after(millis(50), [this] { maybe_finish(); });

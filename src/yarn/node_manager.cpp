@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/log_contract.hpp"
+#include "obs/metric_catalog.hpp"
 #include "obs/metrics.hpp"
 #include "yarn/log_contract.hpp"
 
@@ -53,7 +54,7 @@ NodeManager::ContainerRec& NodeManager::rec(const ContainerId& id) {
 void NodeManager::log_transition(const ContainerId& id, ContainerRec& rec,
                                  NmContainerState to) {
   static obs::Counter& transitions =
-      obs::MetricsRegistry::global().counter("sim.nm.container_transitions");
+      obs::catalog_counter(obs::metric::kSimNmContainerTransitions);
   transitions.add(1);
   const NmContainerState from = rec.sm.state();
   rec.sm.transition(to);

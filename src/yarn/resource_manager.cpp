@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/log_contract.hpp"
+#include "obs/metric_catalog.hpp"
 #include "obs/metrics.hpp"
 #include "yarn/log_contract.hpp"
 
@@ -80,7 +81,7 @@ void ResourceManager::start() {
 
 ApplicationId ResourceManager::submit(AppSubmission submission) {
   static obs::Counter& submitted =
-      obs::MetricsRegistry::global().counter("sim.rm.apps_submitted");
+      obs::catalog_counter(obs::metric::kSimRmAppsSubmitted);
   submitted.add(1);
   const ApplicationId id{cluster_.config().epoch_base_ms, next_app_seq_++};
   auto [it, inserted] = apps_.try_emplace(id);
@@ -111,7 +112,7 @@ ApplicationId ResourceManager::submit(AppSubmission submission) {
                 // Admission done: queue the (guaranteed) AM container ask.
                 scheduler_->enqueue(PendingAsk{
                     id, a3.submission.am_resource, 1, a3.submission.am_type,
-                    /*am=*/true});
+                    /*am=*/true, /*eligible_at=*/0, /*preferred_nodes=*/{}});
               });
         });
   });
@@ -158,7 +159,8 @@ void ResourceManager::request_containers(const ApplicationId& app_id,
       if (it == apps_.end() || it->second.finished) return;
       RmApp& a2 = it->second;
       PendingAsk pending{app_id, ask.resource, ask.count, ask.type,
-                         /*am=*/false};
+                         /*am=*/false, /*eligible_at=*/0,
+                         /*preferred_nodes=*/{}};
       auto nodes = cluster_.nodes();
       const std::vector<Grant> grants =
           scheduler_->assign_immediate(pending, nodes);
@@ -261,7 +263,7 @@ SimDuration ResourceManager::sample_rpc() {
 
 void ResourceManager::log_app_transition(RmApp& app, RmAppState to) {
   static obs::Counter& transitions =
-      obs::MetricsRegistry::global().counter("sim.rm.app_transitions");
+      obs::catalog_counter(obs::metric::kSimRmAppTransitions);
   transitions.add(1);
   const RmAppState from = app.sm.state();
   app.sm.transition(to);
@@ -272,11 +274,11 @@ void ResourceManager::log_app_transition(RmApp& app, RmAppState to) {
 void ResourceManager::log_container_transition(RmContainer& container,
                                                RmContainerState to) {
   static obs::Counter& transitions =
-      obs::MetricsRegistry::global().counter("sim.rm.container_transitions");
+      obs::catalog_counter(obs::metric::kSimRmContainerTransitions);
   transitions.add(1);
   if (to == RmContainerState::kAllocated) {
     static obs::Counter& allocated =
-        obs::MetricsRegistry::global().counter("sim.rm.containers_allocated");
+        obs::catalog_counter(obs::metric::kSimRmContainersAllocated);
     allocated.add(1);
   }
   const RmContainerState from = container.sm.state();
@@ -287,7 +289,7 @@ void ResourceManager::log_container_transition(RmContainer& container,
 
 void ResourceManager::on_node_heartbeat(NodeManager& nm) {
   static obs::Counter& heartbeats =
-      obs::MetricsRegistry::global().counter("sim.rm.node_heartbeats");
+      obs::catalog_counter(obs::metric::kSimRmNodeHeartbeats);
   heartbeats.add(1);
   const std::vector<Grant> grants = scheduler_->assign_on_heartbeat(
       nm.node(), config_.max_assign_per_heartbeat, cluster_.engine().now());
@@ -316,8 +318,7 @@ void ResourceManager::process_grants(const std::vector<Grant>& grants) {
     const SimTime alloc_at =
         std::max(engine.now(), alloc_pipeline_free_) + config_.decision_time;
     static obs::Histogram& pipeline_wait =
-        obs::MetricsRegistry::global().histogram(
-            "sim.yarn.alloc_pipeline_wait_ms");
+        obs::catalog_histogram(obs::metric::kSimYarnAllocPipelineWaitMs);
     pipeline_wait.observe(static_cast<double>(alloc_at - engine.now()) / 1000.0);
     alloc_pipeline_free_ = alloc_at;
     engine.schedule_at(alloc_at, [this, cid] { commit_allocation(cid); });
@@ -396,7 +397,8 @@ void ResourceManager::on_am_launch_failed(const ApplicationId& app_id) {
   ++a.current_attempt;
   a.next_container_seq = 1;
   scheduler_->enqueue(PendingAsk{app_id, a.submission.am_resource, 1,
-                                 a.submission.am_type, /*am=*/true});
+                                 a.submission.am_type, /*am=*/true,
+                                 /*eligible_at=*/0, /*preferred_nodes=*/{}});
 }
 
 void ResourceManager::fail_application(const ApplicationId& app_id) {
@@ -415,7 +417,7 @@ void ResourceManager::fail_application(const ApplicationId& app_id) {
 
 void ResourceManager::on_am_heartbeat(RmApp& a) {
   static obs::Counter& heartbeats =
-      obs::MetricsRegistry::global().counter("sim.rm.am_heartbeats");
+      obs::catalog_counter(obs::metric::kSimRmAmHeartbeats);
   heartbeats.add(1);
   // 1. Flush asks that were waiting to ride this heartbeat.  Each task
   //    container gets its own independently-sampled locality wait, so a
@@ -429,7 +431,7 @@ void ResourceManager::on_am_heartbeat(RmApp& a) {
           rng_.lognormal_duration(config_.locality_wait_median,
                                   config_.locality_wait_sigma);
       PendingAsk pending{a.id, ask.resource, 1, ask.type,
-                         /*am=*/false, eligible};
+                         /*am=*/false, eligible, /*preferred_nodes=*/{}};
       if (!ask.preferred_nodes.empty()) {
         // Each container prefers a replica subset, like one input split.
         const std::size_t width =

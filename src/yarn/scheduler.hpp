@@ -40,7 +40,7 @@ struct PendingAsk {
   SimTime eligible_at = 0;
   /// Nodes holding replicas of the ask's input blocks; with the locality
   /// fast path enabled, a preferred node's heartbeat grants immediately.
-  std::vector<NodeId> preferred_nodes;
+  std::vector<NodeId> preferred_nodes = {};
 };
 
 /// One scheduler decision: which app gets a container where.

@@ -48,7 +48,7 @@ struct ContainerAsk {
   /// blocks.  Empty = no preference.  Used by the delay-scheduling fast
   /// path (yarn.locality_fast_path) to grant on a preferred node's
   /// heartbeat without waiting out the locality delay.
-  std::vector<NodeId> preferred_nodes;
+  std::vector<NodeId> preferred_nodes = {};
 };
 
 /// One granted container, as delivered to the AM on a heartbeat.

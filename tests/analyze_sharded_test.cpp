@@ -100,7 +100,7 @@ TEST(AnalyzeSharded, AutoShardCountResolvesToHardware) {
 }
 
 TEST(AnalyzeSharded, ShardRoutingIsTotalAndStable) {
-  for (std::uint32_t id = 1; id <= 200; ++id) {
+  for (std::int32_t id = 1; id <= 200; ++id) {
     const ApplicationId app{1499100000000 + id % 3, id};
     for (const std::size_t shards : {1u, 2u, 7u, 16u}) {
       const std::size_t shard = timeline_shard(app, shards);

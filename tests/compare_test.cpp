@@ -31,7 +31,9 @@ TEST(Compare, IdenticalRunsShowNoSignificantMovement) {
   EXPECT_EQ(comparison.apps_b, 10u);
   EXPECT_TRUE(comparison.significant(0.01).empty());
   for (const MetricDelta& delta : comparison.metrics) {
-    if (delta.median_ratio) EXPECT_DOUBLE_EQ(*delta.median_ratio, 1.0);
+    if (delta.median_ratio) {
+      EXPECT_DOUBLE_EQ(*delta.median_ratio, 1.0);
+    }
   }
 }
 

@@ -8,13 +8,18 @@
 #include <vector>
 
 #include "common/log_contract.hpp"
+#include "obs/metric_catalog.hpp"
+#include "sdchecker/corpus_mutator.hpp"
 #include "sdchecker/extractor.hpp"
 #include "sdchecker/miner.hpp"
 #include "sdlint/contract_check.hpp"
 #include "sdlint/coverage_check.hpp"
+#include "sdlint/diag_check.hpp"
+#include "sdlint/doc_sources.hpp"
 #include "sdlint/findings.hpp"
 #include "sdlint/fixtures.hpp"
 #include "sdlint/machine_check.hpp"
+#include "sdlint/metrics_check.hpp"
 #include "sdlint/runner.hpp"
 #include "spark/log_contract.hpp"
 #include "workloads/log_contract.hpp"
@@ -141,6 +146,167 @@ TEST(SdlintCoverage, MissingKindFires) {
   };
   EXPECT_TRUE(subject("DRV_REGISTER"));
   EXPECT_TRUE(subject("FIRST_TASK"));
+}
+
+// --- one assertion per metrics check -----------------------------------------
+
+TEST(SdlintMetrics, DuplicateSpecFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("metrics-duplicate-spec"),
+                                    "metrics.duplicate-spec"));
+}
+
+TEST(SdlintMetrics, UndocumentedCatalogRowFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("metrics-undocumented"),
+                                    "metrics.undocumented"));
+}
+
+TEST(SdlintMetrics, StaleDocRowFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("metrics-stale-doc"),
+                                    "metrics.stale-doc"));
+}
+
+TEST(SdlintMetrics, DocDriftFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("metrics-doc-drift"),
+                                    "metrics.doc-drift"));
+}
+
+TEST(SdlintMetrics, UnknownInstrumentFires) {
+  EXPECT_TRUE(lint::any_with_prefix(
+      run_fixture("metrics-unknown-instrument"),
+      "metrics.unknown-instrument"));
+}
+
+TEST(SdlintMetrics, KindMismatchFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("metrics-kind-mismatch"),
+                                    "metrics.kind-mismatch"));
+}
+
+TEST(SdlintMetrics, DelayUnboundFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("metrics-delay-unbound"),
+                                    "metrics.delay-unbound"));
+}
+
+TEST(SdlintMetrics, MissingDocFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("metrics-doc-missing"),
+                                    "metrics.doc-missing"));
+}
+
+TEST(SdlintMetrics, CommittedDocTableIsExactlyTheRenderedCatalog) {
+  // The doc table is generated, not hand-maintained: the committed text
+  // between the markers must be byte-identical to the renderer output.
+  const lint::DocSection section = lint::load_doc_section(
+      "OBSERVABILITY.md", lint::kMetricTableBegin, lint::kMetricTableEnd);
+  ASSERT_TRUE(section.file_found);
+  ASSERT_TRUE(section.section_found);
+  EXPECT_EQ(section.text, obs::render_metric_table());
+}
+
+TEST(SdlintMetrics, FindMetricSpecMatchesFamiliesByPrefix) {
+  const obs::MetricSpec* exact = obs::find_metric_spec("mine.lines");
+  ASSERT_NE(exact, nullptr);
+  EXPECT_EQ(exact->name, "mine.lines");
+  const obs::MetricSpec* family =
+      obs::find_metric_spec("mine.diagnostics.rotation-gap");
+  ASSERT_NE(family, nullptr);
+  EXPECT_EQ(family->name, "mine.diagnostics.<kind>");
+  EXPECT_EQ(obs::find_metric_spec("mine.diagnostics."), nullptr);
+  EXPECT_EQ(obs::find_metric_spec("no.such.metric"), nullptr);
+}
+
+TEST(SdlintMetrics, CatalogRegistrationRejectsKindMismatch) {
+  EXPECT_THROW((void)obs::catalog_gauge(obs::metric::kMineLines),
+               std::logic_error);
+  EXPECT_THROW((void)obs::catalog_counter(obs::metric::kMineDiagnostics),
+               std::logic_error);  // family registered without a suffix
+}
+
+// --- one assertion per diag check --------------------------------------------
+
+TEST(SdlintDiag, UnnamedKindFires) {
+  EXPECT_TRUE(
+      lint::any_with_prefix(run_fixture("diag-unnamed"), "diag.unnamed"));
+}
+
+TEST(SdlintDiag, DuplicateNameFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("diag-duplicate-name"),
+                                    "diag.duplicate-name"));
+}
+
+TEST(SdlintDiag, BadSeverityFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("diag-bad-severity"),
+                                    "diag.bad-severity"));
+}
+
+TEST(SdlintDiag, UnmappedKindFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("diag-unmapped-kind"),
+                                    "diag.unmapped-kind"));
+}
+
+TEST(SdlintDiag, StaleExemptionFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("diag-stale-exemption"),
+                                    "diag.stale-exemption"));
+}
+
+TEST(SdlintDiag, UndocumentedKindFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("diag-undocumented"),
+                                    "diag.undocumented"));
+}
+
+TEST(SdlintDiag, StaleDocRowFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("diag-stale-doc"),
+                                    "diag.stale-doc"));
+}
+
+TEST(SdlintDiag, DocDriftFires) {
+  EXPECT_TRUE(
+      lint::any_with_prefix(run_fixture("diag-doc-drift"), "diag.doc-drift"));
+}
+
+TEST(SdlintDiag, MissingDocFires) {
+  EXPECT_TRUE(lint::any_with_prefix(run_fixture("diag-doc-missing"),
+                                    "diag.doc-missing"));
+}
+
+TEST(SdlintDiag, EveryRealKindIsMutatorCoveredOrExempt) {
+  // The positive form of diag.unmapped-kind over the real enum: each of
+  // the seven kinds is reachable by fuzzing or carries a reason why not.
+  for (const lint::DiagKindRow& row : lint::real_diag_kind_rows()) {
+    EXPECT_NE(row.mutation_classes.empty(), !row.runtime_only.has_value())
+        << row.name;
+  }
+}
+
+TEST(SdlintDiag, MutationClassesForInvertsExpectedDiagnostic) {
+  for (const checker::MutationClass cls : checker::all_mutation_classes()) {
+    const auto expected = checker::expected_diagnostic(cls);
+    if (!expected) continue;
+    const auto classes = checker::mutation_classes_for(*expected);
+    EXPECT_NE(std::find(classes.begin(), classes.end(), cls), classes.end())
+        << checker::mutation_class_name(cls);
+  }
+}
+
+// --- doc_sources parsing -----------------------------------------------------
+
+TEST(SdlintDocSources, ParseMarkdownTableDropsSeparatorAndTrims) {
+  const auto rows = lint::parse_markdown_table(
+      "prose before\n"
+      "| a | b |\n"
+      "|---|---|\n"
+      "| `x` |  y  |\n"
+      "not a row\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"`x`", "y"}));
+  EXPECT_EQ(lint::strip_backticks(rows[1][0]), "x");
+  EXPECT_EQ(lint::strip_backticks("plain"), "plain");
+}
+
+TEST(SdlintDocSources, MissingMarkersReportedNotSilent) {
+  const lint::DocSection section = lint::load_doc_section(
+      "OBSERVABILITY.md", "<!-- NO SUCH MARKER -->", "<!-- NOR THIS -->");
+  EXPECT_TRUE(section.file_found);
+  EXPECT_FALSE(section.section_found);
 }
 
 // --- introspection surfaces --------------------------------------------------

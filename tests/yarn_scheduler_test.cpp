@@ -15,7 +15,7 @@ const ApplicationId kApp2{1'499'100'000'000, 2};
 TEST(CapacityScheduler, FifoAssignmentWithinNodeCapacity) {
   CapacityScheduler scheduler;
   scheduler.enqueue(PendingAsk{kApp, {8, 4096}, 3,
-                               InstanceType::kSparkExecutor, false});
+                               InstanceType::kSparkExecutor, false, 0, {}});
   EXPECT_EQ(scheduler.pending_containers(), 3);
 
   cluster::Node node(NodeId{1}, {32, 131072});
@@ -33,7 +33,7 @@ TEST(CapacityScheduler, FifoAssignmentWithinNodeCapacity) {
 TEST(CapacityScheduler, PartialAssignmentLeavesRemainder) {
   CapacityScheduler scheduler;
   scheduler.enqueue(PendingAsk{kApp, {8, 4096}, 10,
-                               InstanceType::kSparkExecutor, false});
+                               InstanceType::kSparkExecutor, false, 0, {}});
   cluster::Node small(NodeId{1}, {16, 131072});  // fits 2 executors
   const auto grants = scheduler.assign_on_heartbeat(small, 128, 0);
   EXPECT_EQ(grants.size(), 2u);
@@ -43,7 +43,7 @@ TEST(CapacityScheduler, PartialAssignmentLeavesRemainder) {
 TEST(CapacityScheduler, MaxAssignBatchRespected) {
   CapacityScheduler scheduler;
   scheduler.enqueue(PendingAsk{kApp, {1, 128}, 100,
-                               InstanceType::kMrMapTask, false});
+                               InstanceType::kMrMapTask, false, 0, {}});
   cluster::Node node(NodeId{1}, {200, 1 << 20});
   EXPECT_EQ(scheduler.assign_on_heartbeat(node, 16, 0).size(), 16u);
   EXPECT_EQ(scheduler.pending_containers(), 84);
@@ -54,9 +54,9 @@ TEST(CapacityScheduler, SkipsOversizedHeadForLaterAsks) {
   // behind it on this node.
   CapacityScheduler scheduler;
   scheduler.enqueue(PendingAsk{kApp, {64, 4096}, 1,
-                               InstanceType::kSparkExecutor, false});
+                               InstanceType::kSparkExecutor, false, 0, {}});
   scheduler.enqueue(PendingAsk{kApp2, {2, 1024}, 1,
-                               InstanceType::kMrMapTask, false});
+                               InstanceType::kMrMapTask, false, 0, {}});
   cluster::Node node(NodeId{1}, {32, 131072});
   const auto grants = scheduler.assign_on_heartbeat(node, 128, 0);
   ASSERT_EQ(grants.size(), 1u);
@@ -66,7 +66,7 @@ TEST(CapacityScheduler, SkipsOversizedHeadForLaterAsks) {
 
 TEST(CapacityScheduler, LocalityWaitDefersEligibility) {
   CapacityScheduler scheduler;
-  PendingAsk ask{kApp, {1, 128}, 2, InstanceType::kSparkExecutor, false};
+  PendingAsk ask{kApp, {1, 128}, 2, InstanceType::kSparkExecutor, false, 0, {}};
   ask.eligible_at = millis(500);
   scheduler.enqueue(ask);
   cluster::Node node(NodeId{1}, cluster::kNodeCapacity);
@@ -79,11 +79,11 @@ TEST(CapacityScheduler, LocalityWaitDefersEligibility) {
 
 TEST(CapacityScheduler, EligibleAsksBypassWaitingOnes) {
   CapacityScheduler scheduler;
-  PendingAsk waiting{kApp, {1, 128}, 1, InstanceType::kSparkExecutor, false};
+  PendingAsk waiting{kApp, {1, 128}, 1, InstanceType::kSparkExecutor, false, 0, {}};
   waiting.eligible_at = seconds(10);
   scheduler.enqueue(waiting);
   scheduler.enqueue(
-      PendingAsk{kApp2, {1, 128}, 1, InstanceType::kMrMapTask, false});
+      PendingAsk{kApp2, {1, 128}, 1, InstanceType::kMrMapTask, false, 0, {}});
   cluster::Node node(NodeId{1}, cluster::kNodeCapacity);
   const auto grants = scheduler.assign_on_heartbeat(node, 128, millis(1));
   ASSERT_EQ(grants.size(), 1u);
@@ -92,7 +92,7 @@ TEST(CapacityScheduler, EligibleAsksBypassWaitingOnes) {
 
 TEST(CapacityScheduler, NoImmediatePath) {
   CapacityScheduler scheduler;
-  PendingAsk ask{kApp, {1, 128}, 5, InstanceType::kSparkExecutor, false};
+  PendingAsk ask{kApp, {1, 128}, 5, InstanceType::kSparkExecutor, false, 0, {}};
   std::vector<cluster::Node*> nodes;
   EXPECT_TRUE(scheduler.assign_immediate(ask, nodes).empty());
 }
@@ -102,7 +102,7 @@ TEST(OpportunisticScheduler, ImmediateGrantsIgnoreCapacity) {
   cluster::Node busy(NodeId{1}, {1, 128});
   ASSERT_TRUE(busy.try_allocate({1, 128}));  // completely full
   std::vector<cluster::Node*> nodes{&busy};
-  PendingAsk ask{kApp, {8, 4096}, 4, InstanceType::kSparkExecutor, false};
+  PendingAsk ask{kApp, {8, 4096}, 4, InstanceType::kSparkExecutor, false, 0, {}};
   const auto grants = scheduler.assign_immediate(ask, nodes);
   ASSERT_EQ(grants.size(), 4u);
   for (const Grant& g : grants) {
@@ -122,7 +122,7 @@ TEST(OpportunisticScheduler, SpreadsAcrossNodesRandomly) {
     storage.emplace_back(NodeId{i + 1}, cluster::kNodeCapacity);
   }
   for (auto& n : storage) nodes.push_back(&n);
-  PendingAsk ask{kApp, {1, 128}, 200, InstanceType::kSparkExecutor, false};
+  PendingAsk ask{kApp, {1, 128}, 200, InstanceType::kSparkExecutor, false, 0, {}};
   const auto grants = scheduler.assign_immediate(ask, nodes);
   ASSERT_EQ(grants.size(), 200u);
   std::set<std::int32_t> seen;
@@ -133,7 +133,7 @@ TEST(OpportunisticScheduler, SpreadsAcrossNodesRandomly) {
 TEST(OpportunisticScheduler, AmAsksTakeGuaranteedPath) {
   OpportunisticScheduler scheduler{Rng(3)};
   scheduler.enqueue(
-      PendingAsk{kApp, {1, 1024}, 1, InstanceType::kSparkDriver, true});
+      PendingAsk{kApp, {1, 1024}, 1, InstanceType::kSparkDriver, true, 0, {}});
   EXPECT_EQ(scheduler.pending_containers(), 1);
   cluster::Node node(NodeId{1}, cluster::kNodeCapacity);
   const auto grants = scheduler.assign_on_heartbeat(node, 16, 0);
@@ -145,7 +145,7 @@ TEST(OpportunisticScheduler, AmAsksTakeGuaranteedPath) {
 TEST(OpportunisticScheduler, EmptyNodeListYieldsNothing) {
   OpportunisticScheduler scheduler{Rng(3)};
   std::vector<cluster::Node*> nodes;
-  PendingAsk ask{kApp, {1, 128}, 3, InstanceType::kSparkExecutor, false};
+  PendingAsk ask{kApp, {1, 128}, 3, InstanceType::kSparkExecutor, false, 0, {}};
   EXPECT_TRUE(scheduler.assign_immediate(ask, nodes).empty());
 }
 

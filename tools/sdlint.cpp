@@ -3,16 +3,20 @@
 // cluster simulation: everything it needs is the `constexpr` tables the
 // simulator and miner already compile against.
 //
-//   sdlint            run all checks, human diagnostics on stderr
-//   sdlint --json     machine-readable report on stdout
-//   sdlint --selftest prove every check fires on the seeded-violation
-//                     corpus, then require the real tables to be clean
+//   sdlint                run all checks, human diagnostics on stderr
+//   sdlint --json         machine-readable report on stdout
+//   sdlint --selftest     prove every check fires on the seeded-violation
+//                         corpus, then require the real tables to be clean
+//   sdlint --metric-table print the generated docs/OBSERVABILITY.md
+//                         metric table (paste between the BEGIN/END
+//                         markers to fix metrics.* doc findings)
 //
 // Exit codes: 0 clean, 1 findings, 2 usage error.
 #include <cstdio>
 #include <string_view>
 #include <vector>
 
+#include "obs/metric_catalog.hpp"
 #include "sdlint/findings.hpp"
 #include "sdlint/fixtures.hpp"
 #include "sdlint/runner.hpp"
@@ -20,7 +24,8 @@
 namespace {
 
 int usage() {
-  std::fprintf(stderr, "usage: sdlint [--json] [--selftest]\n");
+  std::fprintf(stderr,
+               "usage: sdlint [--json] [--selftest] [--metric-table]\n");
   return 2;
 }
 
@@ -29,15 +34,23 @@ int usage() {
 int main(int argc, char** argv) {
   bool json = false;
   bool selftest = false;
+  bool metric_table = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--json") {
       json = true;
     } else if (arg == "--selftest") {
       selftest = true;
+    } else if (arg == "--metric-table") {
+      metric_table = true;
     } else {
       return usage();
     }
+  }
+  if (metric_table) {
+    if (json || selftest) return usage();
+    std::fputs(sdc::obs::render_metric_table().c_str(), stdout);
+    return 0;
   }
 
   const std::vector<sdc::lint::Finding> findings =
