@@ -1,0 +1,346 @@
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/metric_catalog.hpp"
+#include "obs/metrics.hpp"
+
+namespace sdc::obs {
+namespace {
+
+struct HttpCounters {
+  Counter& requests;
+  Counter& bytes;
+  static const HttpCounters& get() {
+    static const HttpCounters counters{
+        catalog_counter(metric::kObsHttpRequests),
+        catalog_counter(metric::kObsHttpBytes)};
+    return counters;
+  }
+};
+
+void count_error(std::string_view error_class) {
+  // One instrument per class; the vocabulary is the constexpr
+  // kHttpErrorClasses list, so lookups after the first are map hits.
+  catalog_counter(metric::kObsHttpErrors, error_class).add(1);
+}
+
+/// The latency-histogram suffix for a request path: the route's name
+/// without its leading '/', when that is a known endpoint label;
+/// `other` for everything else (unknown paths, future routes), keeping
+/// the family's cardinality fixed.
+std::string_view endpoint_label(std::string_view path) {
+  if (!path.empty() && path.front() == '/') path.remove_prefix(1);
+  for (const std::string_view label : kHttpEndpointLabels) {
+    if (path == label) return label;
+  }
+  return "other";
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+/// Writes the whole buffer; false on a closed/failed socket.
+/// MSG_NOSIGNAL: a client that closed early must surface as an error
+/// return, not a process-killing SIGPIPE.
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Serializes status + headers + (unless HEAD) body and sends it.
+bool send_response(int fd, const HttpResponse& response, bool head_only) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(status_reason(response.status)) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (!head_only) out += response.body;
+  const bool ok = send_all(fd, out);
+  if (ok) HttpCounters::get().bytes.add(out.size());
+  return ok;
+}
+
+HttpResponse plain_response(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  if (!response.body.empty() && response.body.back() != '\n') {
+    response.body += '\n';
+  }
+  return response;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.worker_threads == 0) options_.worker_threads = 1;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, HttpHandler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+bool HttpServer::start(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("bad bind address '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind " + options_.host + ":" +
+                std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 16) != 0) return fail("listen");
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  started_ = true;
+  listener_ = std::thread([this] { listener_loop(); });
+  workers_.reserve(options_.worker_threads);
+  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!started_) return;
+  started_ = false;
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  // Unblock the listener's accept(); close happens after the join so the
+  // fd number cannot be recycled under it.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  cv_conn_.notify_all();
+  listener_.join();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  {
+    // Anything still queued is closed unanswered — stop() is teardown.
+    MutexLock lock(mu_);
+    while (!pending_.empty()) {
+      ::close(pending_.front());
+      pending_.pop_front();
+    }
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+std::string HttpServer::address() const {
+  return options_.host + ":" + std::to_string(port_);
+}
+
+void HttpServer::listener_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      MutexLock lock(mu_);
+      if (stopping_) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+      if (fd >= 0) {
+        if (pending_.size() >= options_.max_pending_connections) {
+          // Bounded queue: shed load here rather than let connections
+          // pile up.  Best-effort answer; never blocks the listener
+          // beyond one buffered send.
+          count_error("overload");
+          send_response(fd, plain_response(503, "overloaded"),
+                        /*head_only=*/false);
+          ::close(fd);
+          continue;
+        }
+        pending_.push_back(fd);
+      }
+    }
+    if (fd >= 0) {
+      cv_conn_.notify_one();
+    } else if (errno != EINTR && errno != ECONNABORTED) {
+      // Listener socket gone bad (or shut down without the flag set
+      // yet); re-check stopping_ on the next pass via accept's failure.
+      MutexLock lock(mu_);
+      if (stopping_) return;
+    }
+  }
+}
+
+void HttpServer::worker_loop() {
+  while (true) {
+    int fd = -1;
+    {
+      MutexLock lock(mu_);
+      while (!stopping_ && pending_.empty()) cv_conn_.wait(lock);
+      if (pending_.empty()) return;  // stopping_ and drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = options_.recv_timeout_ms / 1000;
+  timeout.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the end of the request head; body-carrying methods are
+  // rejected later, so nothing past the head is ever needed.
+  std::string head;
+  bool have_head = false;
+  bool overlong = false;
+  while (true) {
+    char buf[1024];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // closed early or timed out
+    head.append(buf, static_cast<std::size_t>(n));
+    const std::size_t terminator =
+        std::min(head.find("\r\n\r\n"), head.find("\n\n"));
+    if (terminator != std::string::npos) {
+      // A head whose terminator lands past the cap is overlong even if
+      // one recv() happened to deliver the whole thing.
+      have_head = terminator < options_.max_request_bytes;
+      overlong = !have_head;
+      break;
+    }
+    if (head.size() >= options_.max_request_bytes) {
+      overlong = true;
+      break;
+    }
+  }
+  if (!have_head) {
+    if (overlong) {
+      count_error("overlong");
+      send_response(fd, plain_response(431, "request head too large"),
+                    /*head_only=*/false);
+    } else {
+      // Closed (or stalled past the timeout) before a full head: nothing
+      // to answer.
+      count_error("io");
+    }
+    return;
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  HttpCounters::get().requests.add(1);
+
+  // Request line: METHOD SP TARGET SP HTTP/x.y
+  const std::size_t line_end = head.find_first_of("\r\n");
+  const std::string_view request_line =
+      std::string_view(head).substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.substr(sp2 + 1).substr(0, 5) != "HTTP/") {
+    count_error("bad-request");
+    send_response(fd, plain_response(400, "malformed request line"),
+                  /*head_only=*/false);
+    return;
+  }
+  const std::string_view method = request_line.substr(0, sp1);
+  std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+
+  if (method != "GET" && method != "HEAD") {
+    count_error("bad-method");
+    send_response(fd, plain_response(405, "only GET and HEAD are served"),
+                  /*head_only=*/false);
+    return;
+  }
+  const bool head_only = method == "HEAD";
+
+  HttpResponse response;
+  const auto route = routes_.find(target);
+  if (route == routes_.end()) {
+    count_error("not-found");
+    response = plain_response(404, "unknown path; try /metrics /analysis "
+                                   "/healthz /varz");
+  } else {
+    try {
+      response = route->second();
+    } catch (const std::exception& e) {
+      count_error("internal");
+      response = plain_response(500, std::string("handler failed: ") +
+                                         e.what());
+    } catch (...) {
+      count_error("internal");
+      response = plain_response(500, "handler failed");
+    }
+  }
+  if (!send_response(fd, response, head_only)) count_error("io");
+
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  catalog_histogram(metric::kObsHttpLatencyMs, endpoint_label(target))
+      .observe(elapsed_ms);
+}
+
+}  // namespace sdc::obs

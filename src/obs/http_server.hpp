@@ -1,0 +1,131 @@
+// Embedded observability HTTP server (ISSUE 9).
+//
+// A deliberately small, dependency-free HTTP/1.1 server for scrape-style
+// traffic: one listener thread blocking in `accept`, a bounded worker
+// pool draining accepted connections, one request per connection
+// (`Connection: close`).  It exists so a long-running `sdchecker follow`
+// can be monitored the way a production cluster is — Prometheus scraping
+// `/metrics`, a health checker probing `/healthz` — without pulling in a
+// framework the toolchain does not ship.
+//
+// Design constraints:
+//   - Serving must never block the data path: handlers read published
+//     snapshots (strings under a short mutex hold) or the lock-free
+//     metrics registry; nothing in this file is called from the follow
+//     poll loop.
+//   - Bounded everything: worker count, accept backlog, pending-
+//     connection queue (overflow answers 503 and closes), request size
+//     (oversized heads answer 431), and a receive timeout so a stalled
+//     client cannot pin a worker.
+//   - Lock discipline is compiler-checked: `common::Mutex` +
+//     SDC_GUARDED_BY throughout, so the PR 8 `thread-safety` CI job
+//     covers the server like the rest of the threaded core.
+//
+// The server observes itself through the metric catalog
+// (`obs.http.requests`, `obs.http.bytes`, `obs.http.latency_ms.<endpoint>`,
+// `obs.http.errors.<class>`), which also makes sdlint's `metrics.*` and
+// `prom.*` families police the vocabulary for free.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace sdc::obs {
+
+/// Latency-histogram suffix vocabulary: the built-in endpoints plus the
+/// `other` catch-all every unknown path maps to, keeping the dynamic
+/// family's cardinality fixed.  sdlint's `prom.*` checks verify each
+/// suffix mangles to a valid Prometheus name.
+inline constexpr std::string_view kHttpEndpointLabels[] = {
+    "metrics", "analysis", "healthz", "varz", "other"};
+
+/// Error-class suffix vocabulary for `obs.http.errors.<class>`.
+inline constexpr std::string_view kHttpErrorClasses[] = {
+    "bad-request", "bad-method", "overlong", "not-found",
+    "internal",    "io",         "overload"};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// A GET/HEAD endpoint.  Runs on a worker thread; must be thread-safe
+/// and must not block on the process's data path.
+using HttpHandler = std::function<HttpResponse()>;
+
+struct HttpServerOptions {
+  /// Dotted-quad address to bind; scrape endpoints default to loopback.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port (read it back with `port()`).
+  std::uint16_t port = 0;
+  std::size_t worker_threads = 4;
+  /// Connections queued for workers beyond this answer 503 immediately.
+  std::size_t max_pending_connections = 64;
+  /// Request head (request line + headers) larger than this answers 431.
+  std::size_t max_request_bytes = 8192;
+  /// Socket receive timeout; a client that stops sending mid-request
+  /// costs a worker at most this long.
+  int recv_timeout_ms = 5000;
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers an exact-path GET/HEAD endpoint ("/metrics").  Call
+  /// before `start` — the route table is read-only once serving.
+  void handle(std::string path, HttpHandler handler);
+
+  /// Binds, listens and spawns the listener + workers.  False (with
+  /// `*error` filled in) when the socket setup fails; the server is
+  /// inert afterwards and `stop` is a no-op.
+  bool start(std::string* error = nullptr);
+
+  /// Shuts the listener down, drains queued connections and joins every
+  /// thread.  Idempotent; also run by the destructor.
+  void stop();
+
+  /// The bound port (resolves port 0); valid after a successful start.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// "host:port" of the bound listener.
+  [[nodiscard]] std::string address() const;
+
+ private:
+  void listener_loop() SDC_EXCLUDES(mu_);
+  void worker_loop() SDC_EXCLUDES(mu_);
+  /// Reads, parses, dispatches and answers one connection, then closes
+  /// it.  All error paths answer with a status line when the socket
+  /// still accepts writes.
+  void serve_connection(int fd);
+
+  HttpServerOptions options_;
+  /// Route table; written by handle() before start, read-only afterwards
+  /// (workers never mutate it) — confined, not guarded.
+  std::map<std::string, HttpHandler, std::less<>> routes_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::thread listener_;
+  std::vector<std::thread> workers_;
+
+  Mutex mu_;
+  std::deque<int> pending_ SDC_GUARDED_BY(mu_);
+  bool stopping_ SDC_GUARDED_BY(mu_) = false;
+  CondVar cv_conn_;
+};
+
+}  // namespace sdc::obs

@@ -34,6 +34,12 @@ constexpr MetricSpec kCatalog[] = {
     kFollowStreams,
     kFollowRotations,
     kFollowAppsRetired,
+    kFollowPollLastAgeMs,
+    kFollowPollStall,
+    kObsHttpRequests,
+    kObsHttpBytes,
+    kObsHttpLatencyMs,
+    kObsHttpErrors,
     kAnalyzeApps,
     kAnalyzeAnomalies,
     kAnalyzeShards,
@@ -120,6 +126,23 @@ Histogram& catalog_histogram(const MetricSpec& family,
   return MetricsRegistry::global().histogram(
       std::string(family.family_prefix()) + std::string(suffix),
       std::move(upper_edges));
+}
+
+void register_catalog_baseline() {
+  for (const MetricSpec& row : kCatalog) {
+    if (row.is_family()) continue;  // members appear as they occur
+    switch (row.kind) {
+      case MetricKind::kCounter:
+        catalog_counter(row);
+        break;
+      case MetricKind::kGauge:
+        catalog_gauge(row);
+        break;
+      case MetricKind::kHistogram:
+        catalog_histogram(row);
+        break;
+    }
+  }
 }
 
 std::string render_metric_table() { return render_metric_table(kCatalog); }

@@ -152,6 +152,30 @@ inline constexpr MetricSpec kFollowAppsRetired{
     "follow.apps_retired", MetricKind::kCounter, "apps",
     "applications retired by follow-mode eviction (mirrors "
     "`incremental.apps_retired` for the service)"};
+inline constexpr MetricSpec kFollowPollLastAgeMs{
+    "follow.poll.last_age_ms", MetricKind::kGauge, "ms",
+    "age of the most recent follow poll, refreshed whenever `/healthz` "
+    "is served"};
+inline constexpr MetricSpec kFollowPollStall{
+    "follow.poll.stall", MetricKind::kCounter, "probes",
+    "`/healthz` probes that found the poll loop stalled past the "
+    "threshold (the probe answers 503)"};
+
+// --- observability server ----------------------------------------------------
+inline constexpr MetricSpec kObsHttpRequests{
+    "obs.http.requests", MetricKind::kCounter, "requests",
+    "HTTP requests parsed by the embedded observability server"};
+inline constexpr MetricSpec kObsHttpBytes{
+    "obs.http.bytes", MetricKind::kCounter, "bytes",
+    "response bytes written by the observability server"};
+inline constexpr MetricSpec kObsHttpLatencyMs{
+    "obs.http.latency_ms.<endpoint>", MetricKind::kHistogram, "ms",
+    "per-endpoint request service latency (`metrics`, `analysis`, "
+    "`healthz`, `varz`, `other`)"};
+inline constexpr MetricSpec kObsHttpErrors{
+    "obs.http.errors.<class>", MetricKind::kCounter, "occurrences",
+    "failed requests by class (`bad-request`, `bad-method`, `overlong`, "
+    "`not-found`, `internal`, `io`, `overload`)"};
 
 // --- analysis ----------------------------------------------------------------
 inline constexpr MetricSpec kAnalyzeApps{
@@ -191,6 +215,12 @@ Histogram& catalog_histogram(const MetricSpec& family,
                              std::string_view suffix,
                              std::vector<double> upper_edges =
                                  Histogram::default_latency_edges_ms());
+
+/// Registers every non-family catalog row (zero-valued) in the global
+/// registry.  The observability server calls this at start so a
+/// `/metrics` scrape always carries the full catalog vocabulary, not
+/// just the instruments the process happened to touch first.
+void register_catalog_baseline();
 
 /// Renders the docs/OBSERVABILITY.md metric table (markdown, including
 /// the header row) from the catalog.  The committed table between the

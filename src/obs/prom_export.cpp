@@ -1,0 +1,513 @@
+#include "obs/prom_export.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace sdc::obs {
+namespace {
+
+bool is_name_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || (c >= '0' && c <= '9');
+}
+
+/// Full-precision float formatting; `%.17g` round-trips every double and
+/// renders integral edges ("1", "100") without a trailing ".0".
+std::string format_double(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(value)) return "NaN";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string format_count(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+/// HELP text escaping per the exposition format: backslash and newline.
+std::string escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// The catalog doc line for an instrument; a fixed fallback keeps the
+/// exposition well-formed for an uncataloged stray (sdlint's metrics.*
+/// checks flag the stray itself).
+std::string_view help_for(std::span<const MetricSpec> catalog,
+                          std::string_view instrument) {
+  for (const MetricSpec& row : catalog) {
+    if (row.matches(instrument)) return row.doc;
+  }
+  return "(not in the metric catalog)";
+}
+
+void emit_header(std::string& out, const std::string& prom,
+                 std::string_view type, std::string_view help) {
+  out += "# HELP ";
+  out += prom;
+  out += ' ';
+  out += escape_help(help);
+  out += "\n# TYPE ";
+  out += prom;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+// --- validator ---------------------------------------------------------------
+
+struct SeriesState {
+  bool typed = false;
+  std::string type;
+  bool help_seen = false;
+  bool sampled = false;
+};
+
+/// One parsed sample line.
+struct Sample {
+  std::string name;
+  /// Canonical label string ("a=\"x\",b=\"y\"", insertion order).
+  std::string labels;
+  /// The `le` label when present.
+  std::optional<std::string> le;
+  double value = 0;
+};
+
+/// Parses one sample line; nullopt + error message on bad syntax.
+std::optional<Sample> parse_sample(std::string_view line,
+                                   std::string& error) {
+  Sample sample;
+  std::size_t i = 0;
+  if (i >= line.size() || !is_name_start(line[i])) {
+    error = "sample does not start with a metric name";
+    return std::nullopt;
+  }
+  while (i < line.size() && is_name_char(line[i])) ++i;
+  sample.name = std::string(line.substr(0, i));
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    bool first = true;
+    while (true) {
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      if (!first) {
+        if (i >= line.size() || line[i] != ',') {
+          error = "expected ',' or '}' in label set";
+          return std::nullopt;
+        }
+        ++i;
+      }
+      first = false;
+      const std::size_t label_start = i;
+      if (i >= line.size() || !is_name_start(line[i])) {
+        error = "label name expected";
+        return std::nullopt;
+      }
+      while (i < line.size() && is_name_char(line[i])) ++i;
+      const std::string label =
+          std::string(line.substr(label_start, i - label_start));
+      if (i >= line.size() || line[i] != '=') {
+        error = "label '" + label + "' missing '='";
+        return std::nullopt;
+      }
+      ++i;
+      if (i >= line.size() || line[i] != '"') {
+        error = "label '" + label + "' value not quoted";
+        return std::nullopt;
+      }
+      ++i;
+      std::string value;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          ++i;
+          if (i >= line.size()) break;
+          if (line[i] == 'n') {
+            value += '\n';
+          } else if (line[i] == '\\' || line[i] == '"') {
+            value += line[i];
+          } else {
+            error = "bad escape in label '" + label + "'";
+            return std::nullopt;
+          }
+        } else {
+          value += line[i];
+        }
+        ++i;
+      }
+      if (i >= line.size()) {
+        error = "unterminated label value for '" + label + "'";
+        return std::nullopt;
+      }
+      ++i;  // closing quote
+      if (!sample.labels.empty()) sample.labels += ',';
+      sample.labels += label;
+      sample.labels += "=\"";
+      sample.labels += value;
+      sample.labels += '"';
+      if (label == "le") sample.le = value;
+    }
+  }
+  if (i >= line.size() || (line[i] != ' ' && line[i] != '\t')) {
+    error = "missing value";
+    return std::nullopt;
+  }
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  const std::size_t value_start = i;
+  while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+  const std::string text(line.substr(value_start, i - value_start));
+  if (text == "+Inf") {
+    sample.value = HUGE_VAL;
+  } else if (text == "-Inf") {
+    sample.value = -HUGE_VAL;
+  } else if (text == "NaN") {
+    sample.value = NAN;
+  } else {
+    char* end = nullptr;
+    sample.value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size()) {
+      error = "value '" + text + "' is not a float";
+      return std::nullopt;
+    }
+  }
+  // Optional timestamp: integer milliseconds.
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i < line.size()) {
+    const std::size_t ts_start = i;
+    if (line[i] == '-' || line[i] == '+') ++i;
+    while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i != line.size() || i == ts_start) {
+      error = "trailing garbage after value";
+      return std::nullopt;
+    }
+  }
+  return sample;
+}
+
+/// `name` with a histogram-series suffix removed, when `suffix` matches.
+std::optional<std::string> strip_suffix(const std::string& name,
+                                        std::string_view suffix) {
+  if (name.size() <= suffix.size()) return std::nullopt;
+  if (std::string_view(name).substr(name.size() - suffix.size()) != suffix) {
+    return std::nullopt;
+  }
+  return name.substr(0, name.size() - suffix.size());
+}
+
+}  // namespace
+
+bool is_valid_prom_name(std::string_view name) {
+  if (name.empty() || !is_name_start(name.front())) return false;
+  for (const char c : name) {
+    if (!is_name_char(c)) return false;
+  }
+  return true;
+}
+
+std::optional<std::string> prom_name_strict(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if (c == '.' || c == '-') {
+      out += '_';
+    } else {
+      out += c;
+    }
+  }
+  if (!is_valid_prom_name(out)) return std::nullopt;
+  return out;
+}
+
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    out += is_name_char(c) ? c : '_';
+  }
+  if (out.empty() || !is_name_start(out.front())) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string render_prom_text(const MetricsSnapshot& snapshot,
+                             std::span<const MetricSpec> catalog) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prom_name(name);
+    emit_header(out, prom, "counter", help_for(catalog, name));
+    out += prom;
+    out += ' ';
+    out += format_count(value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prom_name(name);
+    emit_header(out, prom, "gauge", help_for(catalog, name));
+    out += prom;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string prom = prom_name(name);
+    emit_header(out, prom, "histogram", help_for(catalog, name));
+    // Cumulative buckets.  The total is recomputed from the per-bucket
+    // counts (not the racing `count` atomic) so `+Inf` == `_count` holds
+    // in every document.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.upper_edges.size(); ++i) {
+      cumulative += i < histogram.bucket_counts.size()
+                        ? histogram.bucket_counts[i]
+                        : 0;
+      out += prom;
+      out += "_bucket{le=\"";
+      out += format_double(histogram.upper_edges[i]);
+      out += "\"} ";
+      out += format_count(cumulative);
+      out += '\n';
+    }
+    // The overflow bucket folds into +Inf.
+    if (histogram.bucket_counts.size() > histogram.upper_edges.size()) {
+      cumulative += histogram.bucket_counts[histogram.upper_edges.size()];
+    }
+    out += prom;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += format_count(cumulative);
+    out += '\n';
+    out += prom;
+    out += "_sum ";
+    out += format_double(histogram.sum);
+    out += '\n';
+    out += prom;
+    out += "_count ";
+    out += format_count(cumulative);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_prom_text(const MetricsSnapshot& snapshot) {
+  return render_prom_text(snapshot, metric_catalog());
+}
+
+void PromCheckResult::fail(std::size_t line_no, std::string message) {
+  ok = false;
+  errors.push_back("line " + std::to_string(line_no) + ": " +
+                   std::move(message));
+}
+
+PromCheckResult check_prom_text(std::string_view text) {
+  PromCheckResult result;
+  if (text.empty()) {
+    result.fail(0, "empty document");
+    return result;
+  }
+  if (text.back() != '\n') {
+    result.fail(0, "document does not end with a newline");
+  }
+
+  std::map<std::string, SeriesState> series;
+  std::set<std::string> seen_samples;
+  /// base name + labels-without-le -> le -> cumulative count.
+  std::map<std::string, std::map<double, double>> buckets;
+  std::map<std::string, double> counts;
+  std::set<std::string> sums;
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string_view line =
+        nl == std::string_view::npos
+            ? text.substr(start)
+            : text.substr(start, nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line.front() == '#') {
+      const bool is_help = line.substr(0, 7) == "# HELP ";
+      const bool is_type = line.substr(0, 7) == "# TYPE ";
+      if (!is_help && !is_type) continue;  // free-form comment
+      const std::string_view rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      const std::string name(space == std::string_view::npos
+                                 ? rest
+                                 : rest.substr(0, space));
+      if (!is_valid_prom_name(name)) {
+        result.fail(line_no, (is_help ? std::string("HELP") : "TYPE") +
+                                 " names invalid metric '" + name + "'");
+        continue;
+      }
+      SeriesState& state = series[name];
+      if (is_help) {
+        if (state.help_seen) {
+          result.fail(line_no, "duplicate HELP for '" + name + "'");
+        }
+        state.help_seen = true;
+        continue;
+      }
+      const std::string type(space == std::string_view::npos
+                                 ? ""
+                                 : rest.substr(space + 1));
+      if (type != "counter" && type != "gauge" && type != "histogram" &&
+          type != "summary" && type != "untyped") {
+        result.fail(line_no, "unknown TYPE '" + type + "' for '" + name + "'");
+      }
+      if (state.typed) {
+        result.fail(line_no, "duplicate TYPE for '" + name + "'");
+      }
+      if (state.sampled) {
+        result.fail(line_no, "TYPE for '" + name + "' after its samples");
+      }
+      state.typed = true;
+      state.type = type;
+      ++result.families;
+      continue;
+    }
+
+    std::string error;
+    const std::optional<Sample> sample = parse_sample(line, error);
+    if (!sample) {
+      result.fail(line_no, error);
+      continue;
+    }
+    ++result.samples;
+    if (!seen_samples.insert(sample->name + "{" + sample->labels + "}")
+             .second) {
+      result.fail(line_no, "duplicate sample '" + sample->name + "{" +
+                               sample->labels + "}'");
+    }
+
+    // A histogram's series hang off its TYPE-declared base name.
+    std::string base = sample->name;
+    std::string kind = "plain";
+    for (const std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+      if (const auto stripped = strip_suffix(sample->name, suffix)) {
+        const auto it = series.find(*stripped);
+        if (it != series.end() && it->second.type == "histogram") {
+          base = *stripped;
+          kind = std::string(suffix.substr(1));
+          break;
+        }
+      }
+    }
+    SeriesState& state = series[base];
+    if (!state.typed) {
+      result.fail(line_no, "sample '" + sample->name +
+                               "' has no preceding TYPE declaration");
+    }
+    state.sampled = true;
+
+    if (kind == "bucket") {
+      if (!sample->le) {
+        result.fail(line_no,
+                    "'" + sample->name + "' bucket without an le label");
+        continue;
+      }
+      double le = 0;
+      if (*sample->le == "+Inf") {
+        le = HUGE_VAL;
+      } else {
+        char* end = nullptr;
+        le = std::strtod(sample->le->c_str(), &end);
+        if (sample->le->empty() || end != sample->le->c_str() + sample->le->size()) {
+          result.fail(line_no, "le '" + *sample->le + "' is not a float");
+          continue;
+        }
+      }
+      std::string labels_without_le;
+      // Canonical labels minus le: rebuilt by filtering the joined form.
+      std::size_t pos = 0;
+      while (pos < sample->labels.size()) {
+        std::size_t comma = sample->labels.find("\",", pos);
+        const std::size_t end_pos = comma == std::string::npos
+                                        ? sample->labels.size()
+                                        : comma + 1;
+        const std::string_view one =
+            std::string_view(sample->labels).substr(pos, end_pos - pos);
+        if (one.substr(0, 4) != "le=\"") {
+          if (!labels_without_le.empty()) labels_without_le += ',';
+          labels_without_le += one;
+        }
+        pos = comma == std::string::npos ? sample->labels.size() : comma + 2;
+      }
+      buckets[base + "{" + labels_without_le + "}"][le] = sample->value;
+    } else if (kind == "count") {
+      counts[base + "{" + sample->labels + "}"] = sample->value;
+    } else if (kind == "sum") {
+      sums.insert(base + "{" + sample->labels + "}");
+    }
+  }
+
+  // Histogram cross-checks: cumulative monotonicity, +Inf presence,
+  // _count == +Inf.
+  for (const auto& [key, by_le] : buckets) {
+    double previous = -1;
+    bool first = true;
+    for (const auto& [le, count] : by_le) {
+      if (!first && count < previous) {
+        result.fail(0, "histogram '" + key +
+                           "' bucket counts decrease at le=" +
+                           format_double(le));
+      }
+      previous = count;
+      first = false;
+    }
+    const auto inf = by_le.find(HUGE_VAL);
+    if (inf == by_le.end()) {
+      result.fail(0, "histogram '" + key + "' has no le=\"+Inf\" bucket");
+      continue;
+    }
+    const auto count = counts.find(key);
+    if (count == counts.end()) {
+      result.fail(0, "histogram '" + key + "' has no _count sample");
+    } else if (count->second != inf->second) {
+      result.fail(0, "histogram '" + key + "' _count " +
+                         format_double(count->second) +
+                         " != +Inf bucket " + format_double(inf->second));
+    }
+    if (!sums.contains(key)) {
+      result.fail(0, "histogram '" + key + "' has no _sum sample");
+    }
+  }
+  // Histograms must carry buckets (an empty histogram still renders its
+  // +Inf bucket).
+  for (const auto& [name, state] : series) {
+    if (state.type == "histogram" && state.typed &&
+        !buckets.contains(name + "{}")) {
+      bool any = false;
+      for (const auto& [key, by_le] : buckets) {
+        if (key.substr(0, name.size() + 1) == name + "{") any = true;
+      }
+      if (!any) {
+        result.fail(0, "histogram '" + name + "' declared but no _bucket "
+                       "samples found");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sdc::obs

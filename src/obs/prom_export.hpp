@@ -1,0 +1,90 @@
+// Prometheus text-exposition writer over the metrics registry (ISSUE 9).
+//
+// The embedded observability server's `/metrics` endpoint renders a
+// `MetricsSnapshot` in the Prometheus text exposition format (version
+// 0.0.4): one `# HELP` / `# TYPE` pair per exposed metric, counters and
+// gauges as single samples, fixed-bucket histograms as cumulative
+// `_bucket{le="..."}` series plus `_sum` / `_count`.
+//
+// Name mangling is mechanical and catalog-driven: the registry's dotted
+// lowercase names map onto the Prometheus grammar by replacing `.` and
+// `-` with `_` — `sdc.delay.overall` -> `sdc_delay_overall`,
+// `mine.diagnostics.unreadable-file` -> `mine_diagnostics_unreadable_file`.
+// HELP and TYPE text comes from the constexpr `obs::MetricSpec` catalog
+// row the instrument belongs to, so the exposition carries the same
+// one-line docs as docs/OBSERVABILITY.md.  sdlint's `prom.*` checks
+// prove at lint time that every catalog row (and every known
+// dynamic-suffix family member) mangles to a unique, valid Prometheus
+// name, so the renderer never has to resolve a collision at scrape time.
+//
+// `check_prom_text` is the matching writer-independent validator
+// (mirroring `check_trace_json` / `check_watch_json`): it parses an
+// exposition document from scratch and enforces the format contract —
+// CI's serve smoke and the unit tests gate `/metrics` bodies through it.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metric_catalog.hpp"
+#include "obs/metrics.hpp"
+
+namespace sdc::obs {
+
+/// True when `name` matches the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+[[nodiscard]] bool is_valid_prom_name(std::string_view name);
+
+/// Mechanical registry-name -> Prometheus-name mangling: `.` and `-`
+/// become `_`, everything else passes through unchanged.  Returns
+/// nullopt when the result would not satisfy `is_valid_prom_name`
+/// (empty name, leading digit, or a character with no defined mapping)
+/// — the renderer falls back to `prom_name` for such strays, but
+/// sdlint's `prom.invalid-name` check fails the catalog first.
+[[nodiscard]] std::optional<std::string> prom_name_strict(
+    std::string_view name);
+
+/// Lenient variant used at render time: like `prom_name_strict`, but any
+/// unmappable character also becomes `_` and a leading digit gains a
+/// `_` prefix, so the renderer always produces a grammar-valid name even
+/// for an instrument the catalog checks never saw.
+[[nodiscard]] std::string prom_name(std::string_view name);
+
+/// Renders `snapshot` as a Prometheus text-exposition document.  HELP /
+/// TYPE metadata is looked up per instrument in `catalog` (the real
+/// `metric_catalog()` in production; tests pass tailored spans).
+/// Deterministic: counters, then gauges, then histograms, each in the
+/// snapshot's name order.  Histogram `_bucket` series are cumulative,
+/// always end with `le="+Inf"`, and `_count` equals the `+Inf` sample,
+/// so the document is self-consistent even when writers raced the
+/// snapshot.
+[[nodiscard]] std::string render_prom_text(const MetricsSnapshot& snapshot,
+                                           std::span<const MetricSpec> catalog);
+/// `render_prom_text` over the production catalog.
+[[nodiscard]] std::string render_prom_text(const MetricsSnapshot& snapshot);
+
+/// Result of validating one exposition document.
+struct PromCheckResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+  /// Samples parsed (one per value line).
+  std::size_t samples = 0;
+  /// Distinct metric names carrying a TYPE line.
+  std::size_t families = 0;
+
+  void fail(std::size_t line_no, std::string message);
+};
+
+/// Validates a Prometheus text-exposition document, independently of the
+/// writer: line grammar (HELP/TYPE/comment/sample), metric-name and
+/// label syntax, float values, no duplicate samples, HELP/TYPE declared
+/// at most once and before their samples, every sample TYPE-declared,
+/// and for each histogram: cumulative `_bucket` counts non-decreasing
+/// over increasing `le`, a `+Inf` bucket present, and `_count` equal to
+/// it.  Never throws.
+[[nodiscard]] PromCheckResult check_prom_text(std::string_view text);
+
+}  // namespace sdc::obs

@@ -8,6 +8,7 @@
 #include "sdlint/machine_check.hpp"
 #include "sdlint/metrics_check.hpp"
 #include "sdlint/obs_check.hpp"
+#include "sdlint/prom_check.hpp"
 #include "sdlint/runner.hpp"
 
 namespace sdc::lint {
@@ -304,6 +305,61 @@ std::vector<Finding> run_metrics_doc_missing() {
   return check_metrics(inputs);
 }
 
+// --- broken Prometheus mappings ----------------------------------------------
+// Tiny catalogs handed to check_prom, each seeding one way the
+// mechanical name mangling ('.'/'-' -> '_') stops being total or
+// injective.
+
+/// A name with a character the mangling has no mapping for.
+std::vector<Finding> run_prom_invalid_name() {
+  static constexpr MetricSpec kBadName[] = {
+      {"fixture.bad%char", MetricKind::kCounter, "lines", "fixture"}};
+  PromCheckInputs inputs;
+  inputs.catalog = kBadName;
+  return check_prom(inputs);
+}
+
+/// Two distinct registry names that collapse onto one Prometheus name.
+std::vector<Finding> run_prom_duplicate_name() {
+  static constexpr MetricSpec kColliding[] = {
+      {"fixture.scrape-total", MetricKind::kCounter, "scrapes", "fixture"},
+      {"fixture.scrape.total", MetricKind::kCounter, "scrapes", "fixture"}};
+  PromCheckInputs inputs;
+  inputs.catalog = kColliding;
+  return check_prom(inputs);
+}
+
+/// A counter shadowing a histogram's implied `_count` series.
+std::vector<Finding> run_prom_series_collision() {
+  static constexpr MetricSpec kShadowed[] = {
+      {"fixture.lat", MetricKind::kHistogram, "ms", "fixture"},
+      {"fixture.lat.count", MetricKind::kCounter, "samples", "fixture"}};
+  PromCheckInputs inputs;
+  inputs.catalog = kShadowed;
+  return check_prom(inputs);
+}
+
+constexpr MetricSpec kPromFamily[] = {
+    {"fixture.errors.<class>", MetricKind::kCounter, "occurrences",
+     "fixture family"}};
+
+/// A family member whose suffix cannot be mangled (embedded space).
+std::vector<Finding> run_prom_suffix_unsafe() {
+  static const std::vector<FamilySuffixes> kUnsafe = {
+      {"fixture.errors.<class>", {"bad class"}}};
+  PromCheckInputs inputs;
+  inputs.catalog = kPromFamily;
+  inputs.suffixes = kUnsafe;
+  return check_prom(inputs);
+}
+
+/// A family the check has no member vocabulary for.
+std::vector<Finding> run_prom_family_unlisted() {
+  PromCheckInputs inputs;
+  inputs.catalog = kPromFamily;
+  return check_prom(inputs);
+}
+
 // --- broken diagnostic vocabularies ------------------------------------------
 // One healthy kind row (plus per-fixture damage) and the doc table that
 // matches it.
@@ -458,6 +514,14 @@ constexpr Fixture kFixtures[] = {
      &run_metrics_delay_unbound},
     {"metrics-doc-missing", "metrics.doc-missing",
      &run_metrics_doc_missing},
+    {"prom-invalid-name", "prom.invalid-name", &run_prom_invalid_name},
+    {"prom-duplicate-name", "prom.duplicate-name",
+     &run_prom_duplicate_name},
+    {"prom-series-collision", "prom.series-collision",
+     &run_prom_series_collision},
+    {"prom-suffix-unsafe", "prom.suffix-unsafe", &run_prom_suffix_unsafe},
+    {"prom-family-unlisted", "prom.family-unlisted",
+     &run_prom_family_unlisted},
     {"diag-unnamed", "diag.unnamed", &run_diag_unnamed},
     {"diag-duplicate-name", "diag.duplicate-name",
      &run_diag_duplicate_name},

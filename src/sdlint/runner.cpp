@@ -6,6 +6,7 @@
 #include "sdlint/machine_check.hpp"
 #include "sdlint/metrics_check.hpp"
 #include "sdlint/obs_check.hpp"
+#include "sdlint/prom_check.hpp"
 
 namespace sdc::lint {
 
@@ -16,6 +17,7 @@ Report run_all_checks() {
   append_findings(report.findings, check_real_coverage());
   append_findings(report.findings, check_real_obs_vocabulary());
   append_findings(report.findings, check_real_metrics());
+  append_findings(report.findings, check_real_prom());
   append_findings(report.findings, check_real_diagnostics());
   return report;
 }

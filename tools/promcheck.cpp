@@ -1,0 +1,54 @@
+// promcheck — validate a Prometheus text-exposition document.
+//
+//   promcheck [FILE]
+//
+// Reads FILE (or stdin when no FILE is given), runs the writer-
+// independent validator (obs::check_prom_text) over it, and reports:
+// format violations (bad names, bad labels, duplicate samples, missing
+// TYPE lines, trailing-newline rule) and histogram-contract violations
+// (non-cumulative buckets, missing +Inf, _count != +Inf, missing _sum).
+//
+// CI's serve smoke pipes `curl /metrics` through this so the embedded
+// observability server's exposition is gated by the same checker the
+// unit tests use.
+//
+// Exit status: 0 valid, 1 invalid (one finding per line on stderr),
+// 2 usage error / unreadable input.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/prom_export.hpp"
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: promcheck [FILE]\n");
+    return 2;
+  }
+  std::string text;
+  if (argc == 2) {
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "promcheck: cannot read %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  }
+
+  const sdc::obs::PromCheckResult result = sdc::obs::check_prom_text(text);
+  for (const std::string& error : result.errors) {
+    std::fprintf(stderr, "promcheck: %s\n", error.c_str());
+  }
+  std::fprintf(stderr, "promcheck: %zu sample(s), %zu family(ies): %s\n",
+               result.samples, result.families,
+               result.ok ? "OK" : "INVALID");
+  return result.ok ? 0 : 1;
+}

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "harness/scenario.hpp"
+#include "obs/http_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace_check.hpp"
@@ -55,6 +56,7 @@
 #include "sdchecker/export.hpp"
 #include "sdchecker/follow.hpp"
 #include "sdchecker/sdchecker.hpp"
+#include "sdchecker/serve.hpp"
 #include "sdchecker/timeline.hpp"
 #include "trace/submission_trace.hpp"
 #include "workloads/tpch.hpp"
@@ -76,6 +78,8 @@ int usage() {
                "[--json FILE] [--parked-cap N]\n"
                "            [--retire-quiet N] [--no-retire] "
                "[--analyze-shards N]\n"
+               "            [--serve [ADDR:PORT]] [--serve-stall-ms MS] "
+               "[--stall-polls-after N]\n"
                "  sdchecker followcheck <watch_ndjson>\n"
                "  sdchecker trace <log_dir> [--out FILE] [--check] "
                "[--threads N] [--analyze-shards N]\n"
@@ -94,8 +98,20 @@ int usage() {
                "                      across N threads (0 = one per hardware\n"
                "                      thread; output is identical to serial)\n"
                "\n"
+               "follow serving flags:\n"
+               "  --serve [ADDR:PORT]  embedded observability server\n"
+               "                       (/metrics /analysis /healthz /varz);\n"
+               "                       default 127.0.0.1:0, bound address\n"
+               "                       printed to stderr\n"
+               "  --serve-stall-ms MS  /healthz answers 503 when no poll\n"
+               "                       finished within MS (default 10000)\n"
+               "\n"
                "global flags (any command):\n"
-               "  --metrics FILE   dump the metrics registry as JSON on exit\n"
+               "  --metrics [FILE]     dump the metrics registry as JSON on\n"
+               "                       exit: to FILE, or to stderr when no\n"
+               "                       FILE is given (stdout stays clean for\n"
+               "                       --watch pipelines)\n"
+               "  --metrics-out FILE   same as --metrics FILE\n"
                "  --trace FILE     record self-profiling spans; write a\n"
                "                   Perfetto-compatible trace on exit\n"
                "\n"
@@ -114,6 +130,28 @@ std::optional<std::string> flag_value(std::vector<std::string>& args,
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
       return value;
     }
+  }
+  return std::nullopt;
+}
+
+/// Like `flag_value`, but the value is optional: consumed only when the
+/// token after `flag` satisfies `looks_like_value`.  Returns nullopt
+/// when the flag is absent; an engaged optional holding "" when the
+/// flag appears bare.
+std::optional<std::string> flag_optional_value(
+    std::vector<std::string>& args, const std::string& flag,
+    bool (*looks_like_value)(const std::string&)) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    std::string value;
+    std::size_t span = 1;
+    if (i + 1 < args.size() && looks_like_value(args[i + 1])) {
+      value = args[i + 1];
+      span = 2;
+    }
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i + span));
+    return value;
   }
   return std::nullopt;
 }
@@ -376,6 +414,40 @@ volatile std::sig_atomic_t g_follow_interrupted = 0;
 
 void follow_sigint(int) { g_follow_interrupted = 1; }
 
+/// Does a token after `--serve` look like an address rather than the
+/// next flag or the log-dir positional?  "host:port", ":port" or a bare
+/// all-digit port; anything else (including paths) stays in `args`.
+bool looks_like_serve_address(const std::string& token) {
+  if (token.empty() || token.front() == '-') return false;
+  if (token.find(':') != std::string::npos) return true;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+/// "host:port" / ":port" / "port" / "" onto serve options; false (with
+/// a stderr message) on an unparsable port.
+bool parse_serve_address(const std::string& address,
+                         checker::FollowServeOptions& options) {
+  if (address.empty()) return true;
+  std::string port = address;
+  const std::size_t colon = address.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) options.host = address.substr(0, colon);
+    port = address.substr(colon + 1);
+  }
+  const auto parsed = port.empty() ? std::optional<std::size_t>(0)
+                                   : parse_count(port);
+  if (!parsed || *parsed > 65535) {
+    std::fprintf(stderr, "sdchecker: --serve: bad port in '%s'\n",
+                 address.c_str());
+    return false;
+  }
+  options.port = static_cast<std::uint16_t>(*parsed);
+  return true;
+}
+
 int cmd_follow(std::vector<std::string> args) {
   const auto analyze_shards = take_analyze_shards(args);
   if (!analyze_shards) return usage();
@@ -404,18 +476,31 @@ int cmd_follow(std::vector<std::string> args) {
     }
     return true;
   };
+  std::size_t serve_stall_ms = 10000;
+  std::size_t stall_polls_after = 0;
   if (!take_count("--poll-ms", poll_ms) ||
       !take_count("--exit-quiescent", exit_quiescent) ||
       !take_count("--max-polls", max_polls) ||
       !take_count("--parked-cap", parked_cap) ||
-      !take_count("--retire-quiet", retire_quiet)) {
+      !take_count("--retire-quiet", retire_quiet) ||
+      !take_count("--serve-stall-ms", serve_stall_ms) ||
+      !take_count("--stall-polls-after", stall_polls_after)) {
+    return usage();
+  }
+  const auto serve_address =
+      flag_optional_value(args, "--serve", looks_like_serve_address);
+  checker::FollowServeOptions serve_options;
+  serve_options.stall_threshold_ms =
+      static_cast<std::int64_t>(serve_stall_ms);
+  if (serve_address && !parse_serve_address(*serve_address, serve_options)) {
     return usage();
   }
   const auto json_path = flag_value(args, "--json");
   const auto positionals = finish_args(
       std::move(args), {"log_dir"},
       {"--interval", "--poll-ms", "--exit-quiescent", "--max-polls",
-       "--json", "--parked-cap", "--retire-quiet", "--analyze-shards"});
+       "--json", "--parked-cap", "--retire-quiet", "--analyze-shards",
+       "--serve", "--serve-stall-ms", "--stall-polls-after"});
   if (!positionals) return usage();
   const std::string& dir = (*positionals)[0];
   if (!std::filesystem::is_directory(dir)) {
@@ -430,6 +515,25 @@ int cmd_follow(std::vector<std::string> args) {
   options.retire = !no_retire;
   checker::FollowService service(dir, options);
 
+  // --serve: publish-on-poll snapshots for the embedded server.  The
+  // publisher must outlive the server's worker threads, so both live
+  // until after the drain below.
+  std::unique_ptr<checker::FollowPublisher> publisher;
+  std::unique_ptr<obs::HttpServer> server;
+  if (serve_address) {
+    publisher = std::make_unique<checker::FollowPublisher>();
+    server = checker::make_follow_server(*publisher, serve_options);
+    std::string error;
+    if (!server->start(&error)) {
+      std::fprintf(stderr, "sdchecker: --serve: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serving http://%s:%u/\n",
+                 serve_options.host.c_str(),
+                 static_cast<unsigned>(server->port()));
+    std::fflush(stderr);
+  }
+
   g_follow_interrupted = 0;
   std::signal(SIGINT, follow_sigint);
   std::size_t quiescent_streak = 0;
@@ -438,8 +542,33 @@ int cmd_follow(std::vector<std::string> args) {
                                                    duration>(
                         std::chrono::duration<double>(interval_s));
   while (g_follow_interrupted == 0) {
+    if (stall_polls_after > 0 && service.polls() >= stall_polls_after) {
+      // Fault injection for the serve smoke: the poll loop wedges (no
+      // polls, no publishes) while the server keeps answering, so
+      // /healthz must flip to 503 once the poll age passes the
+      // threshold.  Only SIGINT ends the stall.
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      continue;
+    }
     service.poll_once();
     quiescent_streak = service.quiescent() ? quiescent_streak + 1 : 0;
+    if (publisher) {
+      if (!service.quiescent()) {
+        // Something changed: render once and publish.  Quiescent polls
+        // only stamp the clock — retirement cannot change the analysis
+        // document (the PR 7 parity contract), so the published bytes
+        // stay current without re-rendering every poll.
+        const checker::AnalysisResult analysis = service.snapshot();
+        checker::FollowPublication publication;
+        publication.analysis_json = checker::analysis_json(analysis);
+        publication.polls = service.polls();
+        publication.quiescent = false;
+        publication.diag_counts = analysis.diag_counts;
+        publisher->publish(std::move(publication));
+      } else {
+        publisher->touch(service.polls(), /*quiescent=*/true);
+      }
+    }
     if (watch) {
       const auto now = std::chrono::steady_clock::now();
       if (std::chrono::duration<double>(now - last_watch).count() >=
@@ -460,6 +589,17 @@ int cmd_follow(std::vector<std::string> args) {
   // batch reader would see the files now.
   service.finish();
   const checker::AnalysisResult analysis = service.snapshot();
+  if (publisher) {
+    // The server keeps answering until process exit; what it serves from
+    // here on is the drained document — byte-identical to a batch
+    // `analyze` of the directory as it stands now.
+    checker::FollowPublication publication;
+    publication.analysis_json = checker::analysis_json(analysis);
+    publication.polls = service.polls();
+    publication.quiescent = true;
+    publication.diag_counts = analysis.diag_counts;
+    publisher->publish(std::move(publication));
+  }
   if (watch) {
     std::printf("%s\n", service.watch_record().c_str());
     std::fflush(stdout);
@@ -829,16 +969,28 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
-  // Global observability flags, accepted by every command.
-  const auto metrics_path = flag_value(args, "--metrics");
+  // Global observability flags, accepted by every command.  `--metrics`
+  // takes an optional FILE: bare, the dump goes to stderr, so a
+  // `follow --watch | followcheck` pipeline keeps a pure-ndjson stdout.
+  auto metrics_path = flag_optional_value(
+      args, "--metrics",
+      [](const std::string& token) {
+        return !token.empty() && token.front() != '-';
+      });
+  if (const auto out = flag_value(args, "--metrics-out")) {
+    metrics_path = *out;
+  }
   const auto trace_path = flag_value(args, "--trace");
   if (trace_path) obs::Tracer::global().set_enabled(true);
 
   int rc = dispatch(command, std::move(args));
 
-  if (metrics_path) {
+  if (metrics_path && !metrics_path->empty()) {
     rc = write_dump(rc, *metrics_path,
                     obs::MetricsRegistry::global().snapshot().to_json());
+  } else if (metrics_path) {
+    std::fprintf(stderr, "%s\n",
+                 obs::MetricsRegistry::global().snapshot().to_json().c_str());
   }
   if (trace_path) {
     rc = write_dump(
