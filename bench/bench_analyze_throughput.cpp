@@ -206,7 +206,11 @@ void experiment() {
   std::vector<Variant> variants;
   variants.push_back({"serial", 1,
                       best_of(reps, [] { analyze_serial(); })});
-  for (std::size_t shards = 2; shards <= threads; shards *= 2) {
+  // Always time S=2..8 even when hardware_concurrency is lower: on a
+  // small box the sharded path oversubscribes instead of silently
+  // shrinking to serial-only, so every BENCH_analyze.json has the same
+  // variant set and cross-machine comparisons line up.
+  for (std::size_t shards = 2; shards <= 8; shards *= 2) {
     variants.push_back(
         {"sharded-" + std::to_string(shards), shards,
          best_of(reps, [shards] { analyze_sharded(shards); })});
@@ -218,6 +222,8 @@ void experiment() {
   out.field("apps", static_cast<std::int64_t>(apps));
   out.field("events", static_cast<std::int64_t>(events.size()));
   out.field("threads", static_cast<std::int64_t>(threads));
+  out.field("hardware_concurrency",
+            static_cast<std::int64_t>(std::thread::hardware_concurrency()));
   out.field("equivalent", true);
   out.key("variants");
   out.begin_array();

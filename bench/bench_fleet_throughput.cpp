@@ -1,0 +1,257 @@
+// End-to-end throughput bench for fleet mode (multi-corpus pipeline).
+//
+// Synthesizes F simulated corpora on disk (default 6, override with
+// SDC_FLEET_BENCH_CORPORA; job count per corpus scales with index so
+// corpus sizes are skewed like a real fleet) and runs two configurations
+// over the same root:
+//
+//   sequential       one corpus at a time, standalone SdChecker
+//                    analyze_directory (threads=1) — the pre-fleet
+//                    baseline a user would script with a shell loop
+//   fleet-pipelined  analyze_fleet: every corpus's mine chunks, stitch,
+//                    sharded grouping and finalize interleaved on one
+//                    shared pool, no per-corpus barrier
+//
+// The fleet path must be an invisible optimization per corpus: before
+// any timing, each corpus's `analysis_json` out of the fleet run is
+// compared byte for byte against a standalone analyze of the same
+// directory — any difference fails the bench, which is how CI gates the
+// equivalence.  Prints corpora/s and events/s per configuration and
+// writes BENCH_fleet.json with the measured speedup vs the 3x target
+// (reachable only when hardware_concurrency comfortably exceeds the
+// per-corpus parallelism; the JSON records both so readers can judge).
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/json.hpp"
+#include "harness/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "sdchecker/export.hpp"
+#include "sdchecker/fleet.hpp"
+#include "workloads/tpch.hpp"
+
+namespace {
+
+using namespace sdc;
+namespace fs = std::filesystem;
+
+std::size_t env_count(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+std::size_t fleet_corpora() { return env_count("SDC_FLEET_BENCH_CORPORA", 6); }
+
+std::size_t bench_threads() {
+  if (const char* env = std::getenv("SDC_FLEET_BENCH_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 8 : std::min<std::size_t>(8, hw);
+}
+
+/// Writes one simulated corpus: `jobs` TPC-H queries plus a corrupt line
+/// so diagnostics flow through the pipelined path too.
+void write_corpus(const fs::path& dir, int jobs, std::uint64_t seed) {
+  harness::ScenarioConfig scenario;
+  scenario.seed = seed;
+  for (int i = 0; i < jobs; ++i) {
+    harness::SparkSubmissionPlan plan;
+    plan.at = seconds(1 + 3 * i);
+    plan.app = workloads::make_tpch_query(1 + i % 22, 1024, 2 + i % 3);
+    scenario.spark_jobs.push_back(std::move(plan));
+  }
+  logging::LogBundle logs = harness::run_scenario(scenario).logs;
+  logs.append("rm.log", "no timestamp here: plain unparsable line");
+  fs::create_directories(dir);
+  logs.write_to_directory(dir);
+}
+
+/// Builds the fleet root once; corpus sizes are skewed (2..2+F jobs) so
+/// the pipelined schedule has stragglers to overlap.
+const fs::path& fleet_root() {
+  static const fs::path root = [] {
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("sdc_bench_fleet_" + std::to_string(static_cast<unsigned>(getpid())));
+    fs::remove_all(dir);
+    const std::size_t count = fleet_corpora();
+    for (std::size_t i = 0; i < count; ++i) {
+      write_corpus(dir / ("corpus" + std::to_string(i)),
+                   2 + static_cast<int>(i),
+                   1000 + static_cast<std::uint64_t>(i));
+    }
+    std::atexit([] {
+      std::error_code ec;
+      fs::remove_all(fleet_root(), ec);
+    });
+    return dir;
+  }();
+  return root;
+}
+
+std::size_t run_sequential(const std::vector<fs::path>& corpora) {
+  std::size_t events = 0;
+  for (const fs::path& dir : corpora) {
+    events += checker::SdChecker({.threads = 1})
+                  .analyze_directory(dir)
+                  .events_total;
+  }
+  return events;
+}
+
+checker::FleetResult run_fleet(const std::vector<fs::path>& corpora,
+                               std::size_t threads) {
+  checker::FleetOptions options;
+  options.threads = threads;
+  return checker::analyze_fleet(corpora, options);
+}
+
+struct Variant {
+  std::string name;
+  std::size_t threads = 1;
+  double seconds = 0;
+};
+
+double best_of(int reps, const std::function<void()>& run) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    run();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+void experiment() {
+  benchutil::print_header(
+      "Fleet throughput: sequential per-corpus analyze vs pipelined "
+      "multi-corpus pool",
+      "SDchecker scalability (not a paper figure)");
+  const std::vector<fs::path> corpora = checker::discover_corpora(fleet_root());
+  const std::size_t threads = bench_threads();
+
+  // Equivalence gate, before any timing: every corpus out of the fleet
+  // pipeline must export byte-identical JSON to a standalone analyze.
+  const checker::FleetResult fleet = run_fleet(corpora, threads);
+  std::uint64_t events = 0;
+  std::uint64_t lines = 0;
+  for (const checker::CorpusResult& corpus : fleet.corpora) {
+    if (!corpus.error.empty()) {
+      std::fprintf(stderr, "FAIL: corpus %s errored: %s\n",
+                   corpus.name.c_str(), corpus.error.c_str());
+      std::exit(1);
+    }
+    const checker::AnalysisResult standalone =
+        checker::SdChecker().analyze_directory(corpus.dir);
+    if (corpus.analysis_json != checker::analysis_json(standalone)) {
+      std::fprintf(stderr,
+                   "FAIL: fleet analysis_json for %s diverged from "
+                   "standalone analyze\n",
+                   corpus.name.c_str());
+      std::exit(1);
+    }
+    events += corpus.events;
+    lines += corpus.lines;
+  }
+  std::printf("  corpus root: %zu corpora, %llu lines, %llu events; "
+              "%zu threads\n",
+              corpora.size(), static_cast<unsigned long long>(lines),
+              static_cast<unsigned long long>(events), threads);
+  std::printf("  equivalence: fleet(%zu) analysis_json identical to "
+              "standalone analyze for all %zu corpora\n",
+              threads, corpora.size());
+
+  const int reps = 3;
+  obs::MetricsRegistry::global().reset_values();
+  std::vector<Variant> variants;
+  variants.push_back({"sequential", 1, best_of(reps, [&corpora] {
+                        run_sequential(corpora);
+                      })});
+  variants.push_back({"fleet-pipelined", threads,
+                      best_of(reps, [&corpora, threads] {
+                        run_fleet(corpora, threads);
+                      })});
+
+  json::Writer out;
+  out.begin_object();
+  out.field("bench", "fleet_throughput");
+  out.field("corpora", static_cast<std::int64_t>(corpora.size()));
+  out.field("lines", static_cast<std::int64_t>(lines));
+  out.field("events", static_cast<std::int64_t>(events));
+  out.field("threads", static_cast<std::int64_t>(threads));
+  out.field("hardware_concurrency",
+            static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  out.field("equivalent", true);
+  out.key("variants");
+  out.begin_array();
+  for (const Variant& v : variants) {
+    const double cps = static_cast<double>(corpora.size()) / v.seconds;
+    const double eps = static_cast<double>(events) / v.seconds;
+    std::printf("  %-16s %8.3f s   %8.2f corpora/s   %12.0f events/s\n",
+                v.name.c_str(), v.seconds, cps, eps);
+    out.begin_object();
+    out.field("name", v.name);
+    out.field("threads", static_cast<std::int64_t>(v.threads));
+    out.field("seconds", v.seconds);
+    out.field("corpora_per_s", cps);
+    out.field("events_per_s", eps);
+    out.end_object();
+  }
+  out.end_array();
+  const double speedup = variants.front().seconds / variants.back().seconds;
+  out.field("fleet_vs_sequential_speedup", speedup);
+  out.field("target_speedup", 3.0);
+  out.field("target_reached", speedup >= 3.0);
+  out.key("metrics");
+  out.raw(obs::MetricsRegistry::global().snapshot().to_json());
+  out.end_object();
+  std::printf("  fleet (%zu threads) vs sequential: %.2fx (target 3x %s)\n",
+              threads, speedup,
+              speedup >= 3.0 ? "reached" : "not reached on this host");
+
+  std::ofstream json_file("BENCH_fleet.json");
+  json_file << out.str() << '\n';
+  std::printf("  wrote BENCH_fleet.json\n");
+}
+
+void BM_Fleet(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const std::vector<fs::path> corpora = checker::discover_corpora(fleet_root());
+  for (auto _ : state) {
+    if (threads <= 1) {
+      benchmark::DoNotOptimize(run_sequential(corpora));
+    } else {
+      benchmark::DoNotOptimize(run_fleet(corpora, threads).corpora.size());
+    }
+  }
+  state.counters["corpora/s"] = benchmark::Counter(
+      static_cast<double>(corpora.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fleet)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdc::benchutil::bench_main(argc, argv, experiment);
+}

@@ -322,6 +322,8 @@ void experiment() {
   out.field("lines", static_cast<std::int64_t>(lines));
   out.field("bytes", static_cast<std::int64_t>(bytes));
   out.field("threads", static_cast<std::int64_t>(threads));
+  out.field("hardware_concurrency",
+            static_cast<std::int64_t>(std::thread::hardware_concurrency()));
   out.key("variants");
   out.begin_array();
   for (const Variant& v : variants) {

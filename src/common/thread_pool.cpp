@@ -1,12 +1,41 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <chrono>
 #include <exception>
 
 #include "common/mutex.hpp"
 
 namespace sdc {
+namespace {
+
+/// Process-wide metric sinks (see ThreadPoolMetricSinks).  Each pointer
+/// is installed/read atomically so installation can race running pools.
+std::atomic<std::atomic<std::uint64_t>*> g_tasks_sink{nullptr};
+std::atomic<std::atomic<std::uint64_t>*> g_help_sink{nullptr};
+std::atomic<std::atomic<std::int64_t>*> g_depth_sink{nullptr};
+
+inline void sink_add(std::atomic<std::atomic<std::uint64_t>*>& slot,
+                     std::uint64_t n) {
+  if (auto* sink = slot.load(std::memory_order_relaxed)) {
+    sink->fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+inline void depth_add(std::int64_t n) {
+  if (auto* sink = g_depth_sink.load(std::memory_order_relaxed)) {
+    sink->fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void set_thread_pool_metric_sinks(
+    const ThreadPoolMetricSinks& sinks) noexcept {
+  g_tasks_sink.store(sinks.tasks, std::memory_order_relaxed);
+  g_help_sink.store(sinks.help_while_wait, std::memory_order_relaxed);
+  g_depth_sink.store(sinks.queue_depth, std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -33,7 +62,29 @@ void ThreadPool::submit(std::function<void()> task) {
     MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
+  depth_add(1);
   cv_task_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    MutexLock lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+  }
+  depth_add(-1);
+  sink_add(g_tasks_sink, 1);
+  sink_add(g_help_sink, 1);
+  task();
+  {
+    MutexLock lock(mu_);
+    --in_flight_;
+  }
+  cv_idle_.notify_all();
+  return true;
 }
 
 void ThreadPool::wait_idle() {
@@ -52,6 +103,8 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
+    depth_add(-1);
+    sink_add(g_tasks_sink, 1);
     task();
     {
       MutexLock lock(mu_);
@@ -92,9 +145,22 @@ void parallel_for(ThreadPool& pool, std::size_t n,
       done_cv.notify_one();
     });
   }
-  {
+  // Help-while-wait: the caller may itself be a pool task (nested
+  // fan-out), in which case blocking here could deadlock — every worker
+  // could be parked in this same loop while the tasks they are waiting
+  // on sit in the queue behind them.  Instead the waiter drains queued
+  // work (its own shards or anyone else's) until the completion count
+  // arrives.  The timed wait backstops the unavoidable race where a
+  // task is enqueued right after try_run_one saw an empty queue.
+  while (true) {
+    {
+      MutexLock lock(done_mu);
+      if (done == shards) break;
+    }
+    if (pool.try_run_one()) continue;
     MutexLock lock(done_mu);
-    while (done != shards) done_cv.wait(lock);
+    if (done == shards) break;
+    done_cv.wait_for(lock, std::chrono::milliseconds(1));
   }
   if (first_error) std::rethrow_exception(first_error);
 }

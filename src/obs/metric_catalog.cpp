@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+
 namespace sdc::obs {
 namespace {
 
@@ -40,6 +42,12 @@ constexpr MetricSpec kCatalog[] = {
     kObsHttpBytes,
     kObsHttpLatencyMs,
     kObsHttpErrors,
+    kPoolTasks,
+    kPoolHelpWhileWait,
+    kPoolQueueDepth,
+    kFleetCorpora,
+    kFleetCorporaFailed,
+    kFleetRegressions,
     kAnalyzeApps,
     kAnalyzeAnomalies,
     kAnalyzeShards,
@@ -128,7 +136,16 @@ Histogram& catalog_histogram(const MetricSpec& family,
       std::move(upper_edges));
 }
 
+void attach_thread_pool_metrics() {
+  ThreadPoolMetricSinks sinks;
+  sinks.tasks = &catalog_counter(metric::kPoolTasks).raw();
+  sinks.help_while_wait = &catalog_counter(metric::kPoolHelpWhileWait).raw();
+  sinks.queue_depth = &catalog_gauge(metric::kPoolQueueDepth).raw();
+  set_thread_pool_metric_sinks(sinks);
+}
+
 void register_catalog_baseline() {
+  attach_thread_pool_metrics();
   for (const MetricSpec& row : kCatalog) {
     if (row.is_family()) continue;  // members appear as they occur
     switch (row.kind) {

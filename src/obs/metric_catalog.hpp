@@ -177,6 +177,31 @@ inline constexpr MetricSpec kObsHttpErrors{
     "failed requests by class (`bad-request`, `bad-method`, `overlong`, "
     "`not-found`, `internal`, `io`, `overload`)"};
 
+// --- thread pool -------------------------------------------------------------
+inline constexpr MetricSpec kPoolTasks{
+    "pool.tasks", MetricKind::kCounter, "tasks",
+    "tasks executed by thread-pool workers and help-while-wait helpers "
+    "(all pools in the process)"};
+inline constexpr MetricSpec kPoolHelpWhileWait{
+    "pool.help_while_wait", MetricKind::kCounter, "tasks",
+    "queued tasks a blocked `parallel_for` waiter executed inline instead "
+    "of sleeping (nested fan-out on one pool)"};
+inline constexpr MetricSpec kPoolQueueDepth{
+    "pool.queue_depth", MetricKind::kGauge, "tasks",
+    "tasks currently queued across all thread pools"};
+
+// --- fleet -------------------------------------------------------------------
+inline constexpr MetricSpec kFleetCorpora{
+    "fleet.corpora", MetricKind::kCounter, "corpora",
+    "corpora analyzed to completion by fleet mode"};
+inline constexpr MetricSpec kFleetCorporaFailed{
+    "fleet.corpora_failed", MetricKind::kCounter, "corpora",
+    "corpora fleet mode could not analyze (unreadable root, I/O failure)"};
+inline constexpr MetricSpec kFleetRegressions{
+    "fleet.regressions", MetricKind::kCounter, "components",
+    "delay components flagged as significant drift by the fleet "
+    "regression gate (`fleet --baseline`)"};
+
 // --- analysis ----------------------------------------------------------------
 inline constexpr MetricSpec kAnalyzeApps{
     "analyze.apps", MetricKind::kCounter, "apps", "applications finalized"};
@@ -219,8 +244,16 @@ Histogram& catalog_histogram(const MetricSpec& family,
 /// Registers every non-family catalog row (zero-valued) in the global
 /// registry.  The observability server calls this at start so a
 /// `/metrics` scrape always carries the full catalog vocabulary, not
-/// just the instruments the process happened to touch first.
+/// just the instruments the process happened to touch first.  Also
+/// attaches the thread-pool metric sinks (below), so pool activity shows
+/// up in the same scrape for free.
 void register_catalog_baseline();
+
+/// Points the common-layer thread pool at the `pool.tasks` /
+/// `pool.help_while_wait` / `pool.queue_depth` catalog instruments
+/// (common cannot depend on obs, so the wiring runs in this direction).
+/// Idempotent; called by register_catalog_baseline and by fleet mode.
+void attach_thread_pool_metrics();
 
 /// Renders the docs/OBSERVABILITY.md metric table (markdown, including
 /// the header row) from the catalog.  The committed table between the

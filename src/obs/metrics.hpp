@@ -42,6 +42,11 @@ class Counter {
   }
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
+  /// The instrument's storage, for cross-layer sinks: lower layers that
+  /// cannot depend on obs (the thread pool) are handed this atomic and
+  /// update it directly (see obs::attach_thread_pool_metrics).
+  [[nodiscard]] std::atomic<std::uint64_t>& raw() noexcept { return value_; }
+
  private:
   std::atomic<std::uint64_t> value_{0};
 };
@@ -59,6 +64,9 @@ class Gauge {
     return value_.load(std::memory_order_relaxed);
   }
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+  /// The instrument's storage, for cross-layer sinks (see Counter::raw).
+  [[nodiscard]] std::atomic<std::int64_t>& raw() noexcept { return value_; }
 
  private:
   std::atomic<std::int64_t> value_{0};

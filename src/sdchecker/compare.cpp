@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+
+#include "obs/metrics.hpp"
 
 namespace sdc::checker {
 
@@ -81,6 +84,128 @@ std::vector<const MetricDelta*> ComparisonResult::significant(
               return std::abs(*x->median_ratio - 1.0) >
                      std::abs(*y->median_ratio - 1.0);
             });
+  return out;
+}
+
+const std::vector<double>& component_bucket_edges_ms() {
+  static const std::vector<double> edges =
+      obs::Histogram::default_latency_edges_ms();
+  return edges;
+}
+
+std::vector<ComponentHistogram> component_histograms(
+    const AnalysisResult& analysis) {
+  const std::vector<double>& edges = component_bucket_edges_ms();
+  std::vector<ComponentHistogram> out;
+  for (const auto& [metric, set] : analysis.aggregate.metrics()) {
+    ComponentHistogram hist;
+    hist.metric = metric;
+    hist.buckets.assign(edges.size() + 1, 0);
+    for (const double seconds : set->samples()) {
+      // Same bucketing as obs::Histogram::observe: first edge >= value
+      // (upper edges inclusive), everything past the last edge lands in
+      // the overflow bucket.
+      const double ms = seconds * 1000.0;
+      const auto it = std::lower_bound(edges.begin(), edges.end(), ms);
+      ++hist.buckets[static_cast<std::size_t>(it - edges.begin())];
+      hist.sum_ms += ms;
+      ++hist.count;
+    }
+    out.push_back(std::move(hist));
+  }
+  return out;
+}
+
+double ks_distance(const std::vector<std::uint64_t>& buckets_a,
+                   const std::vector<std::uint64_t>& buckets_b) {
+  std::uint64_t total_a = 0;
+  std::uint64_t total_b = 0;
+  for (const std::uint64_t c : buckets_a) total_a += c;
+  for (const std::uint64_t c : buckets_b) total_b += c;
+  if (total_a == 0 || total_b == 0) return 0.0;
+  const std::size_t n = std::max(buckets_a.size(), buckets_b.size());
+  std::uint64_t cum_a = 0;
+  std::uint64_t cum_b = 0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < buckets_a.size()) cum_a += buckets_a[i];
+    if (i < buckets_b.size()) cum_b += buckets_b[i];
+    const double gap =
+        std::abs(static_cast<double>(cum_a) / static_cast<double>(total_a) -
+                 static_cast<double>(cum_b) / static_cast<double>(total_b));
+    worst = std::max(worst, gap);
+  }
+  return worst;
+}
+
+double ks_threshold(std::uint64_t n, std::uint64_t m, double floor) {
+  if (n == 0 || m == 0) return std::numeric_limits<double>::infinity();
+  const double nd = static_cast<double>(n);
+  const double md = static_cast<double>(m);
+  return std::max(floor, 1.36 * std::sqrt((nd + md) / (nd * md)));
+}
+
+DriftReport histogram_drift(const std::vector<ComponentHistogram>& a,
+                            const std::vector<ComponentHistogram>& b) {
+  DriftReport report;
+  for (const ComponentHistogram& hist_a : a) {
+    const auto match =
+        std::find_if(b.begin(), b.end(), [&](const ComponentHistogram& h) {
+          return h.metric == hist_a.metric;
+        });
+    if (match == b.end()) continue;
+    ComponentDrift drift;
+    drift.metric = hist_a.metric;
+    drift.n_a = hist_a.count;
+    drift.n_b = match->count;
+    if (hist_a.count > 0) {
+      drift.mean_a_ms = hist_a.sum_ms / static_cast<double>(hist_a.count);
+    }
+    if (match->count > 0) {
+      drift.mean_b_ms = match->sum_ms / static_cast<double>(match->count);
+    }
+    drift.distance = ks_distance(hist_a.buckets, match->buckets);
+    drift.threshold = ks_threshold(hist_a.count, match->count);
+    drift.significant = drift.distance > drift.threshold;
+    report.components.push_back(std::move(drift));
+  }
+  return report;
+}
+
+std::vector<const ComponentDrift*> DriftReport::regressions() const {
+  std::vector<const ComponentDrift*> out;
+  for (const ComponentDrift& drift : components) {
+    if (drift.significant) out.push_back(&drift);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ComponentDrift* x, const ComponentDrift* y) {
+              return x->distance / x->threshold > y->distance / y->threshold;
+            });
+  return out;
+}
+
+std::string DriftReport::render_text(const std::string& label_a,
+                                     const std::string& label_b) const {
+  std::string out;
+  char buf[220];
+  std::snprintf(buf, sizeof(buf),
+                "%-14s | %8s %8s | %10s %10s | %6s %6s | %s\n", "component",
+                ("n " + label_a).c_str(), ("n " + label_b).c_str(),
+                (label_a + " mean").c_str(), (label_b + " mean").c_str(), "KS",
+                "thresh", "verdict");
+  out += buf;
+  out += std::string(92, '-') + "\n";
+  for (const ComponentDrift& drift : components) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-14s | %8llu %8llu | %8.1fms %8.1fms | %6.3f %6.3f | %s\n",
+                  drift.metric.c_str(),
+                  static_cast<unsigned long long>(drift.n_a),
+                  static_cast<unsigned long long>(drift.n_b), drift.mean_a_ms,
+                  drift.mean_b_ms, drift.distance,
+                  std::isinf(drift.threshold) ? 0.0 : drift.threshold,
+                  drift.significant ? "DRIFT" : "ok");
+    out += buf;
+  }
   return out;
 }
 

@@ -44,4 +44,82 @@ struct ComparisonResult {
 [[nodiscard]] ComparisonResult compare(const AnalysisResult& a,
                                        const AnalysisResult& b);
 
+// ---------------------------------------------------------------------------
+// Distribution drift: the one KS-distance engine behind both CLI entry
+// points — `diff` (two result directories, histograms built from the
+// analyses in-process) and `fleet --baseline` (current fleet vs a
+// committed summary JSON whose histograms were built by a previous run).
+// Cumulative fixed-bucket histograms make the two comparable: a baseline
+// file carries no raw samples, only bucket counts.
+
+/// One delay component's distribution in portable form: counts per
+/// fixed bucket (aligned with `component_bucket_edges_ms()`; the last
+/// entry is the overflow bucket), bucketed exactly as the live
+/// `sdc.delay.*` histograms bucket their observations.
+struct ComponentHistogram {
+  std::string metric;
+  std::uint64_t count = 0;
+  double sum_ms = 0.0;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// The bucket upper edges (ms, inclusive) every ComponentHistogram uses
+/// — `obs::Histogram::default_latency_edges_ms()`.
+[[nodiscard]] const std::vector<double>& component_bucket_edges_ms();
+
+/// Buckets every aggregate delay component of `analysis` (samples are
+/// seconds; stored as ms).  Built from the analysis itself, not the
+/// global metrics registry — the registry accumulates across every
+/// corpus analyzed in the process.
+[[nodiscard]] std::vector<ComponentHistogram> component_histograms(
+    const AnalysisResult& analysis);
+
+/// Two-sample Kolmogorov–Smirnov distance over aligned cumulative
+/// buckets: max |CDF_a(edge) - CDF_b(edge)|, in [0, 1].  Zero when
+/// either side is empty (no evidence is not drift).
+[[nodiscard]] double ks_distance(const std::vector<std::uint64_t>& buckets_a,
+                                 const std::vector<std::uint64_t>& buckets_b);
+
+/// Significance threshold for a two-sample KS distance at sample sizes
+/// (n, m): the alpha=0.05 asymptotic bound 1.36*sqrt((n+m)/(n*m)),
+/// floored at `floor` so huge-sample comparisons do not flag
+/// operationally meaningless drift.  Infinite when either side is empty.
+[[nodiscard]] double ks_threshold(std::uint64_t n, std::uint64_t m,
+                                  double floor = 0.05);
+
+/// One component's drift verdict.
+struct ComponentDrift {
+  std::string metric;
+  std::uint64_t n_a = 0;
+  std::uint64_t n_b = 0;
+  /// Mean in ms (sum/count); 0 when the side is empty.
+  double mean_a_ms = 0.0;
+  double mean_b_ms = 0.0;
+  double distance = 0.0;
+  double threshold = 0.0;
+  bool significant = false;
+};
+
+struct DriftReport {
+  /// One entry per component present on both sides, input (spec) order.
+  std::vector<ComponentDrift> components;
+
+  /// Significant drifts, worst offender (largest distance/threshold
+  /// ratio) first.
+  [[nodiscard]] std::vector<const ComponentDrift*> regressions() const;
+
+  /// Fixed-width table: component | n A/B | mean A/B | KS | threshold |
+  /// verdict.
+  [[nodiscard]] std::string render_text(
+      const std::string& label_a = "baseline",
+      const std::string& label_b = "current") const;
+};
+
+/// Pairs `a` and `b` by metric name (components missing on either side
+/// are skipped — a baseline from an older build is still comparable)
+/// and scores each pair.
+[[nodiscard]] DriftReport histogram_drift(
+    const std::vector<ComponentHistogram>& a,
+    const std::vector<ComponentHistogram>& b);
+
 }  // namespace sdc::checker

@@ -184,4 +184,23 @@ ShardedGroupResult group_events_sharded(const EventBatch& events,
   return result;
 }
 
+std::size_t apply_batch_to_shard(const EventBatch& events, AppTable& apps,
+                                 std::size_t shard,
+                                 std::size_t shard_count) {
+  std::size_t unattributed = 0;
+  const std::size_t n = events.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!events.has_app(i)) {
+      if (shard == 0) ++unattributed;
+      continue;
+    }
+    const ApplicationId& app = events.app_at(i);
+    if (timeline_shard(app, shard_count) != shard) continue;
+    apply_event_parts(
+        apps, app, events.has_container(i) ? &events.container_at(i) : nullptr,
+        events.kind_at(i), events.ts_at(i));
+  }
+  return unattributed;
+}
+
 }  // namespace sdc::checker

@@ -245,4 +245,16 @@ struct ShardedGroupResult {
                                                       std::size_t shards,
                                                       ThreadPool& pool);
 
+/// One shard's pass over one batch: applies every event whose
+/// application routes to `shard` (of `shard_count`) into `apps`.
+/// Returns how many events carried no application id — counted by shard
+/// 0 only, the same single-count convention as `group_events_sharded`,
+/// so summing the return values over all shards and batches matches the
+/// serial pass.  Fleet mode (fleet.cpp) feeds per-stream batches through
+/// this as streams finish stitching, instead of merging the corpus's
+/// events first: `KindFirstTs::record` keeps the minimum timestamp, so
+/// applying batches in any order reproduces the merged result.
+std::size_t apply_batch_to_shard(const EventBatch& events, AppTable& apps,
+                                 std::size_t shard, std::size_t shard_count);
+
 }  // namespace sdc::checker

@@ -403,6 +403,149 @@ obs::Counter& diagnostic_counter(DiagnosticKind kind) {
 
 }  // namespace
 
+/// The plan's state is exactly what `LogMiner::mine` used to build
+/// inline: the logical streams (rotations reassembled), the frozen
+/// interner, the chunk work list, and one output slot per chunk.  The
+/// types live in this file's anonymous namespace; Impl is defined and
+/// used only here.
+struct MinePlan::Impl {
+  struct ChunkRef {
+    std::size_t stream;
+    std::size_t begin;
+    std::size_t end;
+  };
+
+  MinerOptions options;
+  std::vector<LogicalStream> logicals;
+  std::shared_ptr<const StringInterner> pool;
+  std::vector<ChunkRef> refs;
+  /// refs index range of stream s: [first_chunk[s], first_chunk[s+1]).
+  std::vector<std::size_t> first_chunk;
+  std::vector<ChunkOut> outs;
+  obs::Counter& lines_counter;
+  obs::Counter& prefilter_counter;
+
+  Impl()
+      : lines_counter(obs::catalog_counter(obs::metric::kMineLines)),
+        prefilter_counter(
+            obs::catalog_counter(obs::metric::kMineScanPrefilterSkipped)) {}
+};
+
+MinePlan::MinePlan(const logging::BundleView& view,
+                   const MinerOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+  static obs::Gauge& lines_expected =
+      obs::catalog_gauge(obs::metric::kMineLinesExpected);
+  // Which scan backend this mine runs with (one count per plan — the
+  // backend cannot change mid-mine).
+  obs::catalog_counter(
+      obs::metric::kMineScanBackend,
+      simd::scan_backend_name(simd::active_scan_backend()))
+      .add(1);
+
+  impl_->logicals = group_rotations(view);
+  {
+    std::int64_t expected = 0;
+    for (const LogicalStream& logical : impl_->logicals) {
+      expected += static_cast<std::int64_t>(logical.lines.size());
+    }
+    // Cumulative like the counters: `mine.lines_expected - mine.lines` is
+    // the remaining work even across repeated mines.
+    lines_expected.add(expected);
+  }
+
+  // One string pool for the whole mine: every batch stores interned
+  // stream ids; the pool is frozen (const) before the workers start, so
+  // sharing it across mining threads is read-only.  group_rotations
+  // returns streams in name order, so id order equals name order and the
+  // merge comparator almost never touches the strings.
+  impl_->pool = [this] {
+    auto building = std::make_shared<StringInterner>();
+    for (const LogicalStream& logical : impl_->logicals) {
+      building->intern(logical.name);
+    }
+    return std::shared_ptr<const StringInterner>(std::move(building));
+  }();
+
+  // Work list: every logical stream split into chunks at line boundaries,
+  // so all chunks across all streams feed one parallel loop and a
+  // dominant stream cannot serialize the run.
+  impl_->first_chunk.assign(impl_->logicals.size() + 1, 0);
+  for (std::size_t s = 0; s < impl_->logicals.size(); ++s) {
+    impl_->first_chunk[s] = impl_->refs.size();
+    const std::size_t n = impl_->logicals[s].lines.size();
+    std::size_t chunk_len = n;
+    if (options.threads > 1 && options.shard_grain > 0) {
+      const std::size_t target = 4 * options.threads;
+      chunk_len = std::max(options.shard_grain, (n + target - 1) / target);
+    }
+    if (chunk_len == 0) chunk_len = 1;
+    std::size_t begin = 0;
+    do {
+      const std::size_t end = std::min(n, begin + chunk_len);
+      impl_->refs.push_back(Impl::ChunkRef{s, begin, end});
+      begin = end;
+    } while (begin < n);
+  }
+  impl_->first_chunk[impl_->logicals.size()] = impl_->refs.size();
+  impl_->outs.resize(impl_->refs.size());
+}
+
+MinePlan::~MinePlan() = default;
+MinePlan::MinePlan(MinePlan&&) noexcept = default;
+MinePlan& MinePlan::operator=(MinePlan&&) noexcept = default;
+
+std::size_t MinePlan::stream_count() const { return impl_->logicals.size(); }
+
+std::size_t MinePlan::chunk_count() const { return impl_->refs.size(); }
+
+std::size_t MinePlan::stream_of(std::size_t chunk) const {
+  return impl_->refs[chunk].stream;
+}
+
+std::size_t MinePlan::chunks_of(std::size_t stream) const {
+  return impl_->first_chunk[stream + 1] - impl_->first_chunk[stream];
+}
+
+const std::string& MinePlan::stream_name(std::size_t stream) const {
+  return impl_->logicals[stream].name;
+}
+
+std::size_t MinePlan::stream_lines(std::size_t stream) const {
+  return impl_->logicals[stream].lines.size();
+}
+
+const std::shared_ptr<const StringInterner>& MinePlan::interner() const {
+  return impl_->pool;
+}
+
+void MinePlan::run_chunk(std::size_t chunk) {
+  const auto chunk_span = obs::Tracer::global().span("mine.chunk");
+  const Impl::ChunkRef& ref = impl_->refs[chunk];
+  const LogicalStream& logical = impl_->logicals[ref.stream];
+  impl_->outs[chunk] = mine_chunk(
+      impl_->pool->find(logical.name), impl_->pool,
+      logical.lines.subspan(ref.begin, ref.end - ref.begin), ref.begin,
+      impl_->options);
+  impl_->lines_counter.add(ref.end - ref.begin);
+  impl_->prefilter_counter.add(impl_->outs[chunk].prefilter_skipped);
+}
+
+MinedStream MinePlan::stitch(std::size_t stream) {
+  LogicalStream& logical = impl_->logicals[stream];
+  std::vector<ChunkOut> chunks(
+      std::make_move_iterator(impl_->outs.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  impl_->first_chunk[stream])),
+      std::make_move_iterator(impl_->outs.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  impl_->first_chunk[stream + 1])));
+  return stitch_stream(logical.name, impl_->pool->find(logical.name),
+                       impl_->pool, logical.lines.size(), std::move(chunks),
+                       impl_->options, std::move(logical.pre_diagnostics));
+}
+
 MinedStream LogMiner::mine_stream(
     const std::string& name, std::span<const std::string_view> lines) const {
   auto pool = std::make_shared<StringInterner>();
@@ -422,107 +565,28 @@ MinedStream LogMiner::mine_stream(const std::string& name,
 
 MineResult LogMiner::mine(const logging::BundleView& view) const {
   const auto total_span = obs::Tracer::global().span("mine.total");
-  static obs::Counter& lines_counter =
-      obs::catalog_counter(obs::metric::kMineLines);
   static obs::Counter& events_counter =
       obs::catalog_counter(obs::metric::kMineEvents);
   static obs::Counter& streams_counter =
       obs::catalog_counter(obs::metric::kMineStreams);
-  static obs::Gauge& lines_expected =
-      obs::catalog_gauge(obs::metric::kMineLinesExpected);
-  static obs::Counter& prefilter_counter =
-      obs::catalog_counter(obs::metric::kMineScanPrefilterSkipped);
-  // Which scan backend this mine ran with (one count per mine() call);
-  // the name is resolved once — the backend cannot change mid-mine.
-  obs::catalog_counter(
-      obs::metric::kMineScanBackend,
-      simd::scan_backend_name(simd::active_scan_backend()))
-      .add(1);
 
-  std::vector<LogicalStream> logicals = group_rotations(view);
-  {
-    std::int64_t expected = 0;
-    for (const LogicalStream& logical : logicals) {
-      expected += static_cast<std::int64_t>(logical.lines.size());
-    }
-    // Cumulative like the counters: `mine.lines_expected - mine.lines` is
-    // the remaining work even across repeated mine() calls.
-    lines_expected.add(expected);
-  }
-
-  // One string pool for the whole mine: every batch stores interned
-  // stream ids; the pool is frozen (const) before the workers start, so
-  // sharing it across mining threads is read-only.  group_rotations
-  // returns streams in name order, so id order equals name order and the
-  // merge comparator almost never touches the strings.
-  std::shared_ptr<const StringInterner> pool = [&logicals] {
-    auto building = std::make_shared<StringInterner>();
-    for (const LogicalStream& logical : logicals) {
-      building->intern(logical.name);
-    }
-    return std::shared_ptr<const StringInterner>(std::move(building));
-  }();
-
-  // Work list: every logical stream split into chunks at line boundaries,
-  // so all chunks across all streams feed one parallel loop and a
-  // dominant stream cannot serialize the run.
-  struct ChunkRef {
-    std::size_t stream;
-    std::size_t begin;
-    std::size_t end;
-  };
-  std::vector<ChunkRef> refs;
-  std::vector<std::size_t> first_chunk(logicals.size() + 1, 0);
-  for (std::size_t s = 0; s < logicals.size(); ++s) {
-    first_chunk[s] = refs.size();
-    const std::size_t n = logicals[s].lines.size();
-    std::size_t chunk_len = n;
-    if (options_.threads > 1 && options_.shard_grain > 0) {
-      const std::size_t target = 4 * options_.threads;
-      chunk_len = std::max(options_.shard_grain, (n + target - 1) / target);
-    }
-    if (chunk_len == 0) chunk_len = 1;
-    std::size_t begin = 0;
-    do {
-      const std::size_t end = std::min(n, begin + chunk_len);
-      refs.push_back(ChunkRef{s, begin, end});
-      begin = end;
-    } while (begin < n);
-  }
-  first_chunk[logicals.size()] = refs.size();
-
-  std::vector<ChunkOut> outs(refs.size());
-  const auto mine_one = [&](std::size_t c) {
-    const auto chunk_span = obs::Tracer::global().span("mine.chunk");
-    const ChunkRef& ref = refs[c];
-    outs[c] = mine_chunk(
-        pool->find(logicals[ref.stream].name), pool,
-        logicals[ref.stream].lines.subspan(ref.begin, ref.end - ref.begin),
-        ref.begin, options_);
-    lines_counter.add(ref.end - ref.begin);
-    prefilter_counter.add(outs[c].prefilter_skipped);
-  };
-  if (options_.threads > 1 && refs.size() > 1) {
+  MinePlan plan(view, options_);
+  if (options_.threads > 1 && plan.chunk_count() > 1) {
     ThreadPool pool(options_.threads);
-    parallel_for(pool, refs.size(), mine_one);
+    parallel_for(pool, plan.chunk_count(),
+                 [&plan](std::size_t c) { plan.run_chunk(c); });
   } else {
-    for (std::size_t c = 0; c < refs.size(); ++c) mine_one(c);
+    for (std::size_t c = 0; c < plan.chunk_count(); ++c) plan.run_chunk(c);
   }
 
   MineResult result;
-  result.streams.reserve(logicals.size());
+  result.streams.reserve(plan.stream_count());
   std::vector<EventBatch> runs;
-  runs.reserve(logicals.size());
+  runs.reserve(plan.stream_count());
   {
     const auto stitch_span = obs::Tracer::global().span("mine.stitch");
-    for (std::size_t s = 0; s < logicals.size(); ++s) {
-      std::vector<ChunkOut> chunks(
-          std::make_move_iterator(outs.begin() + first_chunk[s]),
-          std::make_move_iterator(outs.begin() + first_chunk[s + 1]));
-      MinedStream stream = stitch_stream(
-          logicals[s].name, pool->find(logicals[s].name), pool,
-          logicals[s].lines.size(), std::move(chunks), options_,
-          std::move(logicals[s].pre_diagnostics));
+    for (std::size_t s = 0; s < plan.stream_count(); ++s) {
+      MinedStream stream = plan.stitch(s);
       result.lines_total += stream.lines_total;
       result.lines_unparsed += stream.lines_unparsed;
       result.diagnostics.insert(result.diagnostics.end(),

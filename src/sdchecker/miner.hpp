@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -100,6 +101,51 @@ struct MineResult {
   /// findings in stream order.
   std::vector<logging::Diagnostic> diagnostics;
   logging::DiagnosticCounts diag_counts;
+};
+
+/// One corpus's mining work decomposed into schedulable pieces: the
+/// stream/chunk structure `LogMiner::mine` runs start-to-finish, exposed
+/// so fleet mode (fleet.hpp) can run the chunks of many corpora on one
+/// shared pool and stitch each stream — handing its events to grouping —
+/// the moment that stream's last chunk completes, instead of waiting for
+/// the whole corpus.  Both paths share this one pipeline, so the
+/// sharded/serial byte-identity proof covers fleet mining too.
+///
+/// Protocol: construct over a live BundleView (the view must outlive the
+/// plan — chunks alias its lines), call `run_chunk` for every chunk
+/// (thread-safe across distinct chunks), and `stitch` each stream exactly
+/// once after all of its chunks ran.  `run_chunk` maintains the
+/// `mine.lines` / `mine.scan.prefilter_skipped` instruments; the
+/// constructor stamps `mine.lines_expected` and the scan-backend counter
+/// exactly as one `mine()` call would.
+class MinePlan {
+ public:
+  MinePlan(const logging::BundleView& view, const MinerOptions& options);
+  ~MinePlan();
+  MinePlan(MinePlan&&) noexcept;
+  MinePlan& operator=(MinePlan&&) noexcept;
+
+  [[nodiscard]] std::size_t stream_count() const;
+  [[nodiscard]] std::size_t chunk_count() const;
+  /// The stream chunk `chunk` belongs to.
+  [[nodiscard]] std::size_t stream_of(std::size_t chunk) const;
+  /// How many chunks stream `stream` was split into.
+  [[nodiscard]] std::size_t chunks_of(std::size_t stream) const;
+  /// Streams are in logical-name order (rotated families reassembled).
+  [[nodiscard]] const std::string& stream_name(std::size_t stream) const;
+  [[nodiscard]] std::size_t stream_lines(std::size_t stream) const;
+  /// The interned stream-name pool every produced batch shares.
+  [[nodiscard]] const std::shared_ptr<const StringInterner>& interner() const;
+
+  /// Mines one chunk (mutates only that chunk's slot).
+  void run_chunk(std::size_t chunk);
+  /// Resolves stream-wide state and returns the stitched stream; consumes
+  /// the stream's chunk outputs and pre-diagnostics.
+  [[nodiscard]] MinedStream stitch(std::size_t stream);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 class LogMiner {

@@ -45,6 +45,7 @@
 
 #include "harness/scenario.hpp"
 #include "obs/http_server.hpp"
+#include "obs/metric_catalog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace_check.hpp"
@@ -54,6 +55,7 @@
 #include "sdchecker/compare.hpp"
 #include "sdchecker/corpus_mutator.hpp"
 #include "sdchecker/export.hpp"
+#include "sdchecker/fleet.hpp"
 #include "sdchecker/follow.hpp"
 #include "sdchecker/sdchecker.hpp"
 #include "sdchecker/serve.hpp"
@@ -85,6 +87,9 @@ int usage() {
                "[--threads N] [--analyze-shards N]\n"
                "  sdchecker timeline <log_dir> <application_id>\n"
                "  sdchecker diff <log_dir_a> <log_dir_b> [--threshold PCT]\n"
+               "  sdchecker fleet <root_dir> [--threads N] [--shards N] "
+               "[--json FILE]\n"
+               "            [--out-dir DIR] [--baseline FILE]\n"
                "  sdchecker graph <log_dir> <application_id> [--out FILE]\n"
                "  sdchecker simulate <out_dir> [--jobs N] [--seed S] "
                "[--executors E]\n"
@@ -97,6 +102,15 @@ int usage() {
                "  --analyze-shards N  shard the post-mining analysis stage\n"
                "                      across N threads (0 = one per hardware\n"
                "                      thread; output is identical to serial)\n"
+               "\n"
+               "fleet flags:\n"
+               "  --shards N          grouping shards per corpus (0 = auto)\n"
+               "  --out-dir DIR       write each corpus's analysis JSON to\n"
+               "                      DIR/<name>.json (byte-identical to\n"
+               "                      'analyze --json' of that corpus)\n"
+               "  --baseline FILE     compare delay distributions against a\n"
+               "                      previous fleet summary JSON; exits 4\n"
+               "                      on significant drift (KS distance)\n"
                "\n"
                "follow serving flags:\n"
                "  --serve [ADDR:PORT]  embedded observability server\n"
@@ -793,11 +807,155 @@ int cmd_diff(std::vector<std::string> args) {
                     *delta->median_ratio);
       }
     }
+    // Distribution-level verdicts from the same KS engine the fleet
+    // regression gate uses (compare.hpp): median movement above misses
+    // shape changes (tail growth at a stable median); this does not.
+    const auto drift = checker::histogram_drift(checker::component_histograms(a),
+                                                checker::component_histograms(b));
+    std::printf("\n%s", drift.render_text("A", "B").c_str());
+    const auto regressions = drift.regressions();
+    if (regressions.empty()) {
+      std::printf("no significant distribution drift\n");
+    } else {
+      std::printf("distribution drift (worst first):\n");
+      for (const checker::ComponentDrift* regression : regressions) {
+        std::printf("  %-14s KS %.3f (threshold %.3f)\n",
+                    regression->metric.c_str(), regression->distance,
+                    regression->threshold);
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sdchecker: %s\n", e.what());
     return 1;
   }
+}
+
+int cmd_fleet(std::vector<std::string> args) {
+  checker::FleetOptions options;
+  if (const auto t = flag_value(args, "--threads")) {
+    const auto parsed = parse_count(*t);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "sdchecker: --threads expects a non-negative integer, "
+                   "got '%s'\n",
+                   t->c_str());
+      return usage();
+    }
+    options.threads = *parsed;
+  }
+  if (const auto s = flag_value(args, "--shards")) {
+    const auto parsed = parse_count(*s);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "sdchecker: --shards expects a non-negative integer, "
+                   "got '%s'\n",
+                   s->c_str());
+      return usage();
+    }
+    options.shards_per_corpus = *parsed;
+  }
+  const auto json_path = flag_value(args, "--json");
+  const auto out_dir = flag_value(args, "--out-dir");
+  const auto baseline_path = flag_value(args, "--baseline");
+  const auto positionals = finish_args(
+      std::move(args), {"root_dir"},
+      {"--threads", "--shards", "--json", "--out-dir", "--baseline"});
+  if (!positionals) return usage();
+
+  checker::FleetResult fleet;
+  try {
+    fleet = checker::analyze_fleet(
+        std::filesystem::path((*positionals)[0]), options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sdchecker: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("fleet: %zu corpora on %zu threads, %zu shards/corpus\n\n",
+              fleet.corpora.size(), fleet.threads, fleet.shards_per_corpus);
+  std::size_t diagnostics_total = 0;
+  for (const checker::CorpusResult& corpus : fleet.corpora) {
+    if (!corpus.error.empty()) {
+      std::printf("  %-24s ERROR: %s\n", corpus.name.c_str(),
+                  corpus.error.c_str());
+      continue;
+    }
+    diagnostics_total += corpus.diagnostics;
+    std::printf("  %-24s %6zu apps %8zu events %10zu lines %4zu diagnostics\n",
+                corpus.name.c_str(), corpus.apps, corpus.events, corpus.lines,
+                corpus.diagnostics);
+  }
+
+  const auto write_file = [](const std::string& path,
+                             const std::string& content) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "sdchecker: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << content;
+    std::printf("written %s\n", path.c_str());
+    return true;
+  };
+  if (out_dir) {
+    std::error_code ec;
+    std::filesystem::create_directories(*out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "sdchecker: cannot create %s: %s\n",
+                   out_dir->c_str(), ec.message().c_str());
+      return 1;
+    }
+    for (const checker::CorpusResult& corpus : fleet.corpora) {
+      if (!corpus.error.empty()) continue;
+      const auto path = std::filesystem::path(*out_dir) /
+                        (corpus.name + ".json");
+      if (!write_file(path.string(), corpus.analysis_json)) return 1;
+    }
+  }
+  if (json_path && !write_file(*json_path, fleet.summary_json())) return 1;
+
+  // Exit contract: 0 clean, 1 corpus/file error, 3 corpus diagnostics,
+  // 4 baseline drift — the strongest signal wins (4 > 1 > 3).
+  int rc = 0;
+  if (diagnostics_total > 0) {
+    std::printf("fleet completed with %zu corpus diagnostic(s)\n",
+                diagnostics_total);
+    rc = 3;
+  }
+  if (fleet.failed() > 0) {
+    std::fprintf(stderr, "sdchecker: %zu corpora failed\n", fleet.failed());
+    rc = 1;
+  }
+  if (baseline_path) {
+    std::string error;
+    const auto baseline =
+        checker::load_fleet_baseline(*baseline_path, &error);
+    if (!baseline) {
+      std::fprintf(stderr, "sdchecker: %s\n", error.c_str());
+      return 1;
+    }
+    static obs::Counter& regressions_counter =
+        obs::catalog_counter(obs::metric::kFleetRegressions);
+    const auto drift = checker::histogram_drift(*baseline, fleet.components);
+    std::printf("\n%s", drift.render_text("baseline", "fleet").c_str());
+    const auto regressions = drift.regressions();
+    regressions_counter.add(regressions.size());
+    if (regressions.empty()) {
+      std::printf("no significant drift vs %s\n", baseline_path->c_str());
+    } else {
+      std::printf("drift vs %s (worst first):\n", baseline_path->c_str());
+      for (const checker::ComponentDrift* regression : regressions) {
+        std::printf("  %-14s KS %.3f (threshold %.3f, n %llu -> %llu)\n",
+                    regression->metric.c_str(), regression->distance,
+                    regression->threshold,
+                    static_cast<unsigned long long>(regression->n_a),
+                    static_cast<unsigned long long>(regression->n_b));
+      }
+      rc = 4;
+    }
+  }
+  return rc;
 }
 
 int cmd_graph(std::vector<std::string> args) {
@@ -943,6 +1101,7 @@ int dispatch(const std::string& command, std::vector<std::string> args) {
   if (command == "trace") return cmd_trace(std::move(args));
   if (command == "timeline") return cmd_timeline(std::move(args));
   if (command == "diff") return cmd_diff(std::move(args));
+  if (command == "fleet") return cmd_fleet(std::move(args));
   if (command == "graph") return cmd_graph(std::move(args));
   if (command == "simulate") return cmd_simulate(std::move(args));
   if (command == "fuzz") return cmd_fuzz(std::move(args));
